@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (shorter traces, fewer traces per suite) so the whole harness completes
+in minutes on a laptop.  Benchmarks print the rows/series they produce --
+the printed output is the reproduction artefact; the timing measured by
+pytest-benchmark documents the cost of regenerating it.
+
+Scale can be increased with the ``REPRO_BENCH_TRACE_LENGTH`` and
+``REPRO_BENCH_TRACES_PER_SUITE`` environment variables.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, RunScale
+
+BENCH_TRACE_LENGTH = int(os.environ.get("REPRO_BENCH_TRACE_LENGTH", "3000"))
+BENCH_TRACES_PER_SUITE = int(os.environ.get("REPRO_BENCH_TRACES_PER_SUITE", "2"))
+
+
+def bench_scale() -> RunScale:
+    """The RunScale used by all benchmarks."""
+    return RunScale(
+        trace_length=BENCH_TRACE_LENGTH,
+        traces_per_suite=BENCH_TRACES_PER_SUITE,
+    )
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """A session-wide runner so traces/baselines are shared across benches."""
+    return ExperimentRunner(bench_scale())
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

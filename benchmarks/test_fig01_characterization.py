@@ -1,0 +1,23 @@
+"""Fig. 1: speedup of characterization schemes on Cloud vs SPEC17 + storage."""
+
+from repro.experiments.figures import fig1_characterization
+from repro.experiments.reporting import format_rows
+
+from benchmarks.conftest import run_once
+
+
+def test_fig1_characterization(benchmark, runner):
+    rows = run_once(benchmark, fig1_characterization, runner)
+    print("\nFig. 1: characterization schemes (speedup on cloud / spec17, storage)")
+    print(format_rows(rows))
+    by_scheme = {row["prefetcher"]: row for row in rows}
+    # Shape checks from the paper's scatter plot:
+    # coarse schemes (Offset/PMP) fall below 1.0 on cloud ...
+    assert by_scheme["offset"]["cloud_speedup"] < 1.0
+    assert by_scheme["pmp"]["cloud_speedup"] < 1.02
+    # ... fine-grained schemes and Gaze improve cloud ...
+    assert by_scheme["bingo"]["cloud_speedup"] > 1.0
+    assert by_scheme["gaze"]["cloud_speedup"] > 1.0
+    # ... and Gaze does it at ~4.5 KB while Bingo needs >100 KB.
+    assert by_scheme["gaze"]["storage_kib"] < 6
+    assert by_scheme["bingo"]["storage_kib"] > 100

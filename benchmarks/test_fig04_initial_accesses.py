@@ -1,0 +1,18 @@
+"""Fig. 4: effect of the number of aligned initial accesses (1-4)."""
+
+from repro.experiments.figures import fig4_initial_accesses
+from repro.experiments.reporting import format_rows
+
+from benchmarks.conftest import run_once
+
+
+def test_fig4_initial_accesses(benchmark, runner):
+    rows = run_once(benchmark, fig4_initial_accesses, runner)
+    print("\nFig. 4: number of aligned initial accesses vs IPC/accuracy/coverage")
+    print(format_rows(rows))
+    by_n = {row["initial_accesses"]: row for row in rows}
+    # Accuracy increases with the number of required aligned accesses ...
+    assert by_n[2]["accuracy"] >= by_n[1]["accuracy"] - 0.02
+    assert by_n[4]["accuracy"] >= by_n[1]["accuracy"]
+    # ... while coverage (and eventually IPC) pays for waiting too long.
+    assert by_n[4]["coverage"] <= by_n[2]["coverage"] + 0.05

@@ -1,0 +1,22 @@
+"""Fig. 6: single-core speedup of the nine evaluated prefetchers per suite."""
+
+from repro.experiments.figures import fig6_single_core_speedup
+from repro.experiments.reporting import format_matrix
+
+from benchmarks.conftest import run_once
+
+
+def test_fig6_single_core_speedup(benchmark, runner):
+    matrix = run_once(benchmark, fig6_single_core_speedup, runner)
+    print("\nFig. 6: single-core speedup per suite (geometric mean)")
+    print(format_matrix(matrix))
+    # Shape checks mirroring the paper's headline results:
+    # Gaze achieves the highest (or tied-highest) average speedup ...
+    best = max(matrix, key=lambda name: matrix[name]["avg"])
+    assert matrix["gaze"]["avg"] >= matrix[best]["avg"] - 0.03
+    # ... outperforms the two most recent low-cost designs on average ...
+    assert matrix["gaze"]["avg"] > matrix["pmp"]["avg"]
+    assert matrix["gaze"]["avg"] > matrix["vberti"]["avg"]
+    # ... and is one of the few designs that improves the cloud suite.
+    assert matrix["gaze"]["cloud"] > 1.0
+    assert matrix["pmp"]["cloud"] < 1.02

@@ -1,0 +1,18 @@
+"""Fig. 7: overall prefetch accuracy of the evaluated prefetchers per suite."""
+
+from repro.experiments.figures import fig7_accuracy
+from repro.experiments.reporting import format_matrix
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7_accuracy(benchmark, runner):
+    matrix = run_once(benchmark, fig7_accuracy, runner)
+    print("\nFig. 7: prefetch accuracy per suite")
+    print(format_matrix(matrix))
+    # Gaze is among the most accurate designs, clearly above the coarse ones.
+    assert matrix["gaze"]["avg"] > matrix["pmp"]["avg"]
+    assert matrix["gaze"]["avg"] > matrix["dspatch"]["avg"]
+    assert matrix["gaze"]["avg"] > matrix["spp-ppf"]["avg"]
+    # vBerti serves the highest (or near-highest) accuracy.
+    assert matrix["vberti"]["avg"] >= matrix["pmp"]["avg"]

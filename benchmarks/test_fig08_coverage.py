@@ -1,0 +1,23 @@
+"""Fig. 8: LLC miss coverage and timeliness (late fraction) per suite."""
+
+from repro.experiments.figures import fig8_coverage_timeliness
+from repro.experiments.reporting import format_matrix
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8_coverage_timeliness(benchmark, runner):
+    result = run_once(benchmark, fig8_coverage_timeliness, runner)
+    coverage, late = result["coverage"], result["late_fraction"]
+    print("\nFig. 8: LLC miss coverage per suite")
+    print(format_matrix(coverage))
+    print("\nFig. 8 (lower bars): late-prefetch fraction per suite")
+    print(format_matrix(late))
+    # Gaze reaches a moderate-to-high coverage, at the level of (or above)
+    # the accurate-but-narrow vBerti and in the same league as Bingo/PMP.
+    assert coverage["gaze"]["avg"] >= coverage["vberti"]["avg"] - 0.05
+    assert coverage["gaze"]["avg"] >= 0.5 * coverage["bingo"]["avg"]
+    # On the cloud suite, Gaze covers clearly more misses than vBerti (§IV-B1).
+    assert coverage["gaze"]["cloud"] >= coverage["vberti"]["cloud"]
+    # Timeliness: waiting for the second access does not blow up lateness.
+    assert late["gaze"]["avg"] <= 0.9

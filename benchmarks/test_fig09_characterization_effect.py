@@ -1,0 +1,19 @@
+"""Fig. 9: Offset vs Gaze-PHT vs full Gaze across all traces (S-curve)."""
+
+from repro.experiments.figures import fig9_characterization_effect
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9_characterization_effect(benchmark, runner):
+    result = run_once(benchmark, fig9_characterization_effect, runner)
+    averages = result["averages"]
+    series = result["series"]
+    print("\nFig. 9: per-trace speedup series (sorted) and geomean averages")
+    for name, values in series.items():
+        preview = ", ".join(f"{v:.2f}" for v in values)
+        print(f"  {name:9s}: {preview}")
+    print(f"  averages: { {k: round(v, 3) for k, v in averages.items()} }")
+    # Paper ordering: Offset < Gaze-PHT <= full Gaze on average.
+    assert averages["gaze-pht"] > averages["offset"]
+    assert averages["gaze"] >= averages["gaze-pht"] - 0.02

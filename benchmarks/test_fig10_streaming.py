@@ -1,0 +1,25 @@
+"""Fig. 10: effect of the streaming module (PHT4SS vs SM4SS vs full Gaze)."""
+
+from repro.experiments.figures import fig10_streaming_module
+from repro.experiments.reporting import format_rows
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10_streaming_module(benchmark, runner):
+    rows = run_once(benchmark, fig10_streaming_module, runner)
+    print("\nFig. 10: streaming-module ablation on representative traces")
+    print(format_rows(rows))
+    by_trace = {row["trace"]: row for row in rows}
+    # Initial-phase (pure streaming) traces: every setting captures the
+    # stream (the paper finds them nearly identical; at benchmark scale the
+    # learning warm-up leaves a modest gap).
+    init = by_trace["PageRank-init-like"]
+    assert init["sm4ss"] >= 1.0 and init["gaze"] >= 1.0
+    assert abs(init["sm4ss"] - init["pht4ss"]) < 0.5
+    # Full Gaze is at least as good as the streaming-only settings on average.
+    avg = {name: sum(row[name] for row in rows) / len(rows)
+           for name in ("pht4ss", "sm4ss", "gaze")}
+    print(f"  averages: { {k: round(v, 3) for k, v in avg.items()} }")
+    assert avg["gaze"] >= avg["pht4ss"] - 0.02
+    assert avg["sm4ss"] >= avg["pht4ss"] - 0.05

@@ -1,0 +1,24 @@
+"""Fig. 11: per-trace speedup of vBerti, PMP and Gaze on representative traces."""
+
+from repro.experiments.figures import fig11_comparative
+from repro.experiments.metrics import geomean
+from repro.experiments.reporting import format_rows
+
+from benchmarks.conftest import run_once
+
+
+def test_fig11_comparative(benchmark, runner):
+    rows = run_once(benchmark, fig11_comparative, runner)
+    print("\nFig. 11: vBerti vs PMP vs Gaze on representative traces")
+    print(format_rows(rows))
+    averages = {
+        name: geomean(row[name] for row in rows) for name in ("vberti", "pmp", "gaze")
+    }
+    print(f"  geomean: { {k: round(v, 3) for k, v in averages.items()} }")
+    # Gaze leads the three latest spatial prefetchers overall.
+    assert averages["gaze"] >= averages["pmp"]
+    assert averages["gaze"] >= averages["vberti"] - 0.01
+    # PMP's worst-case degradation is deeper than Gaze's (paper: -27% vs -7%).
+    worst_pmp = min(row["pmp"] for row in rows)
+    worst_gaze = min(row["gaze"] for row in rows)
+    assert worst_gaze >= worst_pmp

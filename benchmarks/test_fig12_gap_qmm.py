@@ -1,0 +1,20 @@
+"""Fig. 12: GAP and QMM benchmark suites (vBerti / PMP / Gaze)."""
+
+from repro.experiments.figures import fig12_gap_qmm
+from repro.experiments.reporting import format_matrix
+
+from benchmarks.conftest import run_once
+
+
+def test_fig12_gap_qmm(benchmark, runner):
+    matrix = run_once(benchmark, fig12_gap_qmm, runner)
+    print("\nFig. 12: GAP and QMM speedups")
+    print(format_matrix(matrix))
+    # GAP (graph analytics): Gaze and vBerti improve; Gaze beats PMP.
+    assert matrix["gaze"]["gap"] >= matrix["pmp"]["gap"]
+    # QMM server workloads are instruction-miss bound: data prefetching gives
+    # little to no improvement and the aggressive PMP is the most harmful.
+    assert matrix["gaze"]["qmm-server"] >= matrix["pmp"]["qmm-server"]
+    assert matrix["pmp"]["qmm-server"] < 1.05
+    # QMM client workloads behave like SPEC-style compute: spatial prefetching pays off.
+    assert matrix["gaze"]["qmm-client"] > 1.0

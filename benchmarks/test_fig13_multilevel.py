@@ -1,0 +1,28 @@
+"""Fig. 13: multi-level (L1 + L2) prefetching combinations."""
+
+from repro.experiments.figures import fig13_multilevel
+from repro.experiments.reporting import format_rows
+from repro.experiments.runner import ExperimentRunner, RunScale
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH, run_once
+
+
+def test_fig13_multilevel(benchmark):
+    # Slightly smaller scale: this figure simulates 13 prefetcher combinations.
+    runner = ExperimentRunner(RunScale(trace_length=BENCH_TRACE_LENGTH,
+                                       traces_per_suite=1))
+    rows = run_once(benchmark, fig13_multilevel, runner)
+    print("\nFig. 13: multi-level prefetching combinations")
+    print(format_rows(rows))
+    by_combo = {row["combination"]: row["speedup"] for row in rows}
+    gaze_alone = by_combo["gaze(L1 only)"]
+    # Gaze-based combinations sit among the best pairs, and no combination
+    # pulls far ahead of Gaze alone (the paper's conclusion: multi-level
+    # prefetching brings no considerable benefit over Gaze at L1).
+    group1 = {k: v for k, v in by_combo.items()
+              if k not in ("gaze(L1 only)",) and not k.startswith("ip-stride")}
+    ranked = sorted(group1.values(), reverse=True)
+    assert group1["gaze+bingo"] >= ranked[min(3, len(ranked) - 1)]
+    assert abs(group1["gaze+bingo"] - gaze_alone) < 0.2
+    # With a commercial IP-stride at L1, adding Gaze at L2 remains competitive.
+    assert by_combo["ip-stride+gaze"] >= by_combo["ip-stride+spp-ppf"] - 0.05

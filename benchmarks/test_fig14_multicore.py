@@ -1,0 +1,31 @@
+"""Fig. 14: multi-core performance (homogeneous and heterogeneous mixes)."""
+
+from repro.experiments.figures import fig14_multicore
+
+from benchmarks.conftest import run_once
+
+
+def test_fig14_multicore(benchmark):
+    results = run_once(
+        benchmark,
+        fig14_multicore,
+        core_counts=(1, 2, 4),
+        prefetchers=("vberti", "pmp", "gaze"),
+        trace_length=2500,
+        max_instructions_per_core=9000,
+    )
+    print("\nFig. 14: multi-core speedups (homogeneous / heterogeneous)")
+    for kind, per_prefetcher in results.items():
+        print(f"  {kind}:")
+        for name, by_cores in per_prefetcher.items():
+            series = ", ".join(f"{c}c={v:.3f}" for c, v in sorted(by_cores.items()))
+            print(f"    {name:8s} {series}")
+    homo = results["homogeneous"]
+    hetero = results["heterogeneous"]
+    # Gaze stays ahead of (or tied with) PMP at every core count as
+    # bandwidth contention grows.
+    for cores in (1, 2, 4):
+        assert homo["gaze"][cores] >= homo["pmp"][cores] - 0.02
+        assert hetero["gaze"][cores] >= hetero["pmp"][cores] - 0.02
+    # Gaze keeps a positive gain in the four-core heterogeneous mix.
+    assert hetero["gaze"][4] > 0.97

@@ -1,0 +1,29 @@
+"""Fig. 15 (+ Table VI): selected four-core heterogeneous mixes."""
+
+from repro.experiments.figures import FOUR_CORE_MIXES, fig15_four_core_mixes
+from repro.experiments.reporting import format_rows
+from repro.experiments.tables import table6_four_core_mixes
+
+from benchmarks.conftest import run_once
+
+
+def test_fig15_four_core_mixes(benchmark):
+    print("\nTable VI: selected four-core mixes")
+    print(format_rows(table6_four_core_mixes()))
+    # Run a subset of the mixes at benchmark scale.
+    mixes = {name: FOUR_CORE_MIXES[name] for name in ("mix1", "mix4", "mix5")}
+    rows = run_once(
+        benchmark,
+        fig15_four_core_mixes,
+        prefetchers=("vberti", "pmp", "gaze"),
+        trace_length=2500,
+        max_instructions_per_core=9000,
+        mixes=mixes,
+    )
+    print("\nFig. 15: per-core and average speedups on four-core mixes")
+    print(format_rows(rows))
+    by_key = {(row["mix"], row["prefetcher"]): row for row in rows}
+    for mix in mixes:
+        assert by_key[(mix, "gaze")]["avg"] >= by_key[(mix, "pmp")]["avg"] - 0.03
+    # The cloud-only mix (mix5) is where the coarse-grained PMP suffers most.
+    assert by_key[("mix5", "gaze")]["avg"] > by_key[("mix5", "pmp")]["avg"]

@@ -1,0 +1,53 @@
+"""Fig. 16: sensitivity to DRAM bandwidth, LLC size and L2C size."""
+
+from repro.experiments.runner import RunScale
+from repro.experiments.sweeps import sweep_dram_bandwidth, sweep_l2c_size, sweep_llc_size
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH, run_once
+
+SWEEP_SCALE = RunScale(trace_length=BENCH_TRACE_LENGTH, traces_per_suite=1)
+SWEEP_PREFETCHERS = ("vberti", "pmp", "gaze")
+SWEEP_SUITES = ("spec17", "cloud", "ligra")
+
+
+def _print(title, results):
+    print(f"\n{title}")
+    for point, by_prefetcher in results.items():
+        series = ", ".join(f"{k}={v:.3f}" for k, v in by_prefetcher.items())
+        print(f"  {point}: {series}")
+
+
+def test_fig16a_dram_bandwidth(benchmark):
+    results = run_once(
+        benchmark, sweep_dram_bandwidth,
+        points=(800, 3200, 12800), prefetchers=SWEEP_PREFETCHERS,
+        scale=SWEEP_SCALE, suites=SWEEP_SUITES,
+    )
+    _print("Fig. 16a: speedup vs DRAM transfer rate (MT/s)", results)
+    # Gaze adapts to both ends of the bandwidth range; the over-aggressive
+    # PMP is the one that collapses when bandwidth shrinks.
+    assert results[800]["gaze"] >= results[800]["pmp"]
+    assert results[12800]["gaze"] >= results[12800]["pmp"] - 0.02
+    assert results[12800]["gaze"] >= 1.0
+
+
+def test_fig16b_llc_size(benchmark):
+    results = run_once(
+        benchmark, sweep_llc_size,
+        points_mb=(0.5, 2, 8), prefetchers=SWEEP_PREFETCHERS,
+        scale=SWEEP_SCALE, suites=SWEEP_SUITES,
+    )
+    _print("Fig. 16b: speedup vs LLC size per core (MB)", results)
+    for point in (0.5, 2, 8):
+        assert results[point]["gaze"] >= results[point]["pmp"] - 0.02
+
+
+def test_fig16c_l2c_size(benchmark):
+    results = run_once(
+        benchmark, sweep_l2c_size,
+        points_kb=(128, 512, 1024), prefetchers=SWEEP_PREFETCHERS,
+        scale=SWEEP_SCALE, suites=SWEEP_SUITES,
+    )
+    _print("Fig. 16c: speedup vs L2C size (KB)", results)
+    for point in (128, 512, 1024):
+        assert results[point]["gaze"] >= results[point]["pmp"] - 0.02

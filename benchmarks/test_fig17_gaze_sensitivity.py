@@ -1,0 +1,30 @@
+"""Fig. 17: sensitivity of Gaze to the region size and the PHT size."""
+
+from repro.experiments.figures import fig17_gaze_sensitivity
+from repro.experiments.reporting import format_rows
+
+from benchmarks.conftest import run_once
+
+
+def test_fig17_gaze_sensitivity(benchmark, runner):
+    result = run_once(
+        benchmark, fig17_gaze_sensitivity, runner,
+        region_sizes=(1024, 2048, 4096),
+        pht_sizes=(128, 256, 512),
+        trace_names=("bwaves_s-like", "gcc_s-like", "PageRank-like",
+                     "streamcluster-like"),
+    )
+    print("\nFig. 17a: speedup normalised to the 4 KB region baseline")
+    print(format_rows(result["region_size"]))
+    print("\nFig. 17b: speedup normalised to the 256-entry PHT baseline")
+    print(format_rows(result["pht_size"]))
+    # Smaller regions lose prefetch opportunities on average (paper: -9.1%,
+    # -4.4% and -1.6% for 0.5/1/2 KB regions).
+    region_rows = result["region_size"]
+    avg_1kb = sum(row["1KB"] for row in region_rows) / len(region_rows)
+    avg_4kb = sum(row["4KB"] for row in region_rows) / len(region_rows)
+    assert avg_1kb <= avg_4kb + 0.02
+    # The 256-entry PHT is within a couple of percent of larger tables.
+    pht_rows = result["pht_size"]
+    avg_512 = sum(row["512"] for row in pht_rows) / len(pht_rows)
+    assert abs(avg_512 - 1.0) < 0.1

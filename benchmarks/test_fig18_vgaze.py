@@ -1,0 +1,24 @@
+"""Fig. 18: vGaze with larger (virtual) region sizes."""
+
+from repro.experiments.figures import fig18_vgaze
+from repro.experiments.reporting import format_rows
+
+from benchmarks.conftest import run_once
+
+
+def test_fig18_vgaze(benchmark, runner):
+    rows = run_once(
+        benchmark, fig18_vgaze, runner,
+        region_sizes_kb=(4, 16, 64),
+        trace_names=("bwaves_s-like", "gcc_s-like", "xalancbmk_s-like",
+                     "PageRank-like", "streamcluster-like"),
+    )
+    print("\nFig. 18: vGaze speedup normalised to the 4 KB configuration")
+    print(format_rows(rows))
+    # The paper's conclusion: naively enlarging the region is not a win --
+    # most workloads see no benefit (only streaming-dominated traces can
+    # profit), so the average normalised speedup stays close to or below 1.
+    for size in ("16KB", "64KB"):
+        average = sum(row[size] for row in rows) / len(rows)
+        assert average < 1.15
+    assert all(row["4KB"] == 1.0 for row in rows)

@@ -1,0 +1,14 @@
+"""Table I: Gaze's storage breakdown (4.46 KB total)."""
+
+from repro.experiments.reporting import format_rows
+from repro.experiments.tables import table1_gaze_storage
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_gaze_storage(benchmark):
+    rows = run_once(benchmark, table1_gaze_storage)
+    print("\nTable I: Gaze storage breakdown (bytes)")
+    print(format_rows(rows))
+    total = next(r for r in rows if r["structure"] == "Total")
+    assert abs(total["measured_bytes"] - total["paper_bytes"]) < 100

@@ -1,0 +1,17 @@
+"""Table IV: configuration and storage overhead of the evaluated prefetchers."""
+
+from repro.experiments.reporting import format_rows
+from repro.experiments.tables import table4_baseline_storage
+
+from benchmarks.conftest import run_once
+
+
+def test_table4_baseline_storage(benchmark):
+    rows = run_once(benchmark, table4_baseline_storage)
+    print("\nTable IV: prefetcher storage overheads (KiB, measured vs paper)")
+    print(format_rows(rows))
+    by_name = {row["prefetcher"]: row for row in rows}
+    # Shape: the fine-grained schemes are orders of magnitude larger than Gaze.
+    assert by_name["bingo"]["measured_kib"] > 20 * by_name["gaze"]["measured_kib"]
+    assert by_name["sms"]["measured_kib"] > 20 * by_name["gaze"]["measured_kib"]
+    assert abs(by_name["gaze"]["measured_kib"] - 4.46) < 0.05

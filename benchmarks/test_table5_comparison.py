@@ -1,0 +1,21 @@
+"""Table V: qualitative comparison (hardware cost / simple / complex patterns)."""
+
+from repro.experiments.reporting import format_rows
+from repro.experiments.tables import table5_comparison
+
+from benchmarks.conftest import run_once
+
+
+def test_table5_comparison(benchmark, runner):
+    rows = run_once(benchmark, table5_comparison, runner=runner)
+    print("\nTable V: qualitative comparison (derived from measured results)")
+    print(format_rows(rows))
+    by_name = {row["prefetcher"]: row for row in rows}
+    # Gaze: low cost, handles simple and complex patterns.
+    assert by_name["gaze"]["low_hardware_cost"]
+    assert by_name["gaze"]["simple_pattern_ok"]
+    assert by_name["gaze"]["complex_pattern_ok"]
+    # Bingo handles both but is not low-cost.
+    assert not by_name["bingo"]["low_hardware_cost"]
+    # PMP struggles with complex (cloud) patterns.
+    assert not by_name["pmp"]["complex_pattern_ok"]

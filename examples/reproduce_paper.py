@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's headline figures/tables at a configurable scale.
+
+This is the reproduction driver: it runs the experiment harness behind the
+main figures and prints the resulting rows as text tables.  The ``--scale``
+flag trades fidelity for runtime:
+
+* ``quick``  -- 1 trace per suite, 4k accesses (a couple of minutes).
+* ``default`` -- 3 traces per suite, 12k accesses (tens of minutes).
+* ``full``   -- every trace spec, 40k accesses (hours).
+
+Run with::
+
+    python examples/reproduce_paper.py --scale quick --figures 1 6 7
+"""
+
+import argparse
+
+from repro.experiments import figures, tables
+from repro.experiments.reporting import format_matrix, format_rows
+from repro.experiments.runner import ExperimentRunner, RunScale
+
+SCALES = {
+    "quick": RunScale(trace_length=4_000, traces_per_suite=1),
+    "default": RunScale(trace_length=12_000, traces_per_suite=3),
+    "full": RunScale(trace_length=40_000, traces_per_suite=None),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument(
+        "--figures",
+        nargs="*",
+        type=int,
+        default=[1, 4, 6, 7, 8],
+        help="paper figure numbers to regenerate (supported: 1 4 6 7 8 9 10 11 12)",
+    )
+    args = parser.parse_args()
+
+    runner = ExperimentRunner(SCALES[args.scale])
+
+    print("== Table I: Gaze storage breakdown ==")
+    print(format_rows(tables.table1_gaze_storage()))
+    print("\n== Table IV: baseline storage ==")
+    print(format_rows(tables.table4_baseline_storage()))
+
+    dispatch = {
+        1: lambda: print(format_rows(figures.fig1_characterization(runner))),
+        4: lambda: print(format_rows(figures.fig4_initial_accesses(runner))),
+        6: lambda: print(format_matrix(figures.fig6_single_core_speedup(runner))),
+        7: lambda: print(format_matrix(figures.fig7_accuracy(runner))),
+        8: lambda: print(
+            format_matrix(figures.fig8_coverage_timeliness(runner)["coverage"])
+        ),
+        9: lambda: print(figures.fig9_characterization_effect(runner)["averages"]),
+        10: lambda: print(format_rows(figures.fig10_streaming_module(runner))),
+        11: lambda: print(format_rows(figures.fig11_comparative(runner))),
+        12: lambda: print(format_matrix(figures.fig12_gap_qmm(runner))),
+    }
+    for number in args.figures:
+        if number not in dispatch:
+            print(f"\n(figure {number} not supported by this driver; "
+                  f"see benchmarks/ for the full set)")
+            continue
+        print(f"\n== Figure {number} ==")
+        dispatch[number]()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro: reproduction of the Gaze spatial prefetcher (HPCA 2025).
+
+The package is organised as:
+
+* :mod:`repro.core` -- the Gaze prefetcher (the paper's contribution) and
+  its ablation variants;
+* :mod:`repro.prefetchers` -- the seven state-of-the-art baselines the paper
+  compares against, plus a registry;
+* :mod:`repro.sim` -- the trace-driven cache-hierarchy/CPU simulator
+  substrate (the ChampSim stand-in);
+* :mod:`repro.workloads` -- synthetic trace generators and benchmark suites
+  standing in for the SPEC/Ligra/PARSEC/CloudSuite/GAP/QMM traces;
+* :mod:`repro.experiments` -- the harness that regenerates every table and
+  figure of the evaluation section;
+* :mod:`repro.analysis` -- storage / area / energy accounting (Tables I, IV).
+
+Quickstart::
+
+    from repro import GazePrefetcher, simulate_trace
+    from repro.workloads import make_trace
+
+    trace = make_trace("spatial", seed=1)
+    baseline = simulate_trace(trace, prefetcher=None)
+    gaze = simulate_trace(trace, prefetcher=GazePrefetcher())
+    print("speedup:", gaze.speedup(baseline))
+"""
+
+from repro.core.gaze import GazeConfig, GazePrefetcher
+from repro.prefetchers import available_prefetchers, create_prefetcher
+from repro.sim import (
+    SimulationStats,
+    SystemConfig,
+    default_system_config,
+    simulate_mix,
+    simulate_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GazeConfig",
+    "GazePrefetcher",
+    "SimulationStats",
+    "SystemConfig",
+    "available_prefetchers",
+    "create_prefetcher",
+    "default_system_config",
+    "simulate_mix",
+    "simulate_trace",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Hardware-cost analysis: storage, area and energy accounting.
+
+Reproduces Table I (Gaze's storage breakdown), Table IV (baseline
+configurations and storage overheads) and the CACTI-based area/energy
+comparison of §III-E.
+"""
+
+from repro.analysis.storage import (
+    GAZE_STORAGE_BREAKDOWN,
+    baseline_storage_table,
+    gaze_storage_breakdown,
+    prefetcher_storage_kib,
+)
+from repro.analysis.area_energy import (
+    AreaEnergyEstimate,
+    estimate_pattern_module_cost,
+    gaze_vs_pmp_comparison,
+)
+
+__all__ = [
+    "AreaEnergyEstimate",
+    "GAZE_STORAGE_BREAKDOWN",
+    "baseline_storage_table",
+    "estimate_pattern_module_cost",
+    "gaze_storage_breakdown",
+    "gaze_vs_pmp_comparison",
+    "prefetcher_storage_kib",
+]

@@ -1,0 +1,55 @@
+"""Gaze: the paper's primary contribution.
+
+Gaze is a spatial prefetcher that characterises spatial patterns with the
+*footprint-internal temporal correlation* of a region's first two accesses
+(trigger offset + second offset), and adds a dedicated two-stage
+aggressiveness control for spatial streaming.
+
+Public API:
+
+* :class:`repro.core.gaze.GazePrefetcher` -- the full design (Fig. 3).
+* :mod:`repro.core.variants` -- the ablations used by the paper's analysis
+  figures (Offset-only, Gaze-PHT, PHT4SS, SM4SS, N-initial-access variants,
+  PC / PC+Address characterizations, and vGaze for large regions).
+* The individual hardware structures (filter table, accumulation table,
+  pattern history table, dense tracker, prefetch buffer), each sized and
+  bit-accounted per Table I.
+"""
+
+from repro.core.filter_table import GazeFilterTable
+from repro.core.accumulation_table import GazeAccumulationTable, GazeRegionEntry
+from repro.core.pattern_history import GazePatternHistoryTable
+from repro.core.dense_tracker import DenseCounter, DensePCTable, StreamingModule
+from repro.core.prefetch_buffer import GazePrefetchBuffer
+from repro.core.gaze import GazeConfig, GazePrefetcher
+from repro.core.variants import (
+    ContextCharacterizationPrefetcher,
+    GazePHTOnly,
+    NInitialAccessGaze,
+    OffsetOnlyPrefetcher,
+    PCAddressPrefetcher,
+    PCOnlyPrefetcher,
+    StreamingOnlyGaze,
+    VirtualGaze,
+)
+
+__all__ = [
+    "ContextCharacterizationPrefetcher",
+    "DenseCounter",
+    "DensePCTable",
+    "GazeAccumulationTable",
+    "GazeConfig",
+    "GazeFilterTable",
+    "GazePHTOnly",
+    "GazePatternHistoryTable",
+    "GazePrefetchBuffer",
+    "GazePrefetcher",
+    "GazeRegionEntry",
+    "NInitialAccessGaze",
+    "OffsetOnlyPrefetcher",
+    "PCAddressPrefetcher",
+    "PCOnlyPrefetcher",
+    "StreamingModule",
+    "StreamingOnlyGaze",
+    "VirtualGaze",
+]

@@ -1,0 +1,149 @@
+"""Gaze's Accumulation Table (AT).
+
+The AT tracks every active region: it accumulates the footprint bit vector
+and keeps the last two access offsets so that the region-local stride logic
+(aggressiveness promotion and the backup prefetcher) can compute the last
+two strides on every new access.  A region's tracking ends when its entry is
+evicted (LRU) -- the accumulated footprint is then handed to the Pattern
+History Module for learning.
+
+Hardware budget (Table I): 8-way, 64 entries, each storing the region tag
+(36 b), LRU (3 b), hashed PC (12 b), stride flag (1 b), trigger and second
+offsets (2 x 6 b), last and penultimate offsets (2 x 6 b) and the 64-bit
+footprint -- 1128 B total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.prefetchers.tables import LRUTable
+
+
+@dataclass
+class GazeRegionEntry:
+    """State of one actively tracked region."""
+
+    region: int
+    trigger_pc: int
+    trigger_offset: int
+    second_offset: int
+    footprint: int = 0
+    last_offset: int = -1
+    penultimate_offset: int = -1
+    stride_flag: bool = False
+    access_count: int = 0
+
+    def record(self, offset: int) -> None:
+        """Record one access at ``offset``.
+
+        Repeated accesses to the same block (common when several elements of
+        one cache line are loaded back-to-back) do not disturb the last /
+        penultimate offsets: the stride logic operates on distinct-block
+        accesses.
+        """
+        self.footprint |= 1 << offset
+        if offset != self.last_offset:
+            self.penultimate_offset = self.last_offset
+            self.last_offset = offset
+        self.access_count += 1
+
+    def strides_with(self, new_offset: int) -> Optional[Tuple[int, int]]:
+        """Return the last two strides given an incoming access at ``new_offset``.
+
+        The strides are formed by the last three *distinct-block* accesses
+        (penultimate, last, new); ``None`` if fewer than two prior distinct
+        offsets have been observed or the new access repeats the last block.
+        """
+        if self.last_offset < 0 or self.penultimate_offset < 0:
+            return None
+        if new_offset == self.last_offset:
+            return None
+        return (
+            self.last_offset - self.penultimate_offset,
+            new_offset - self.last_offset,
+        )
+
+    def is_fully_dense(self, blocks_per_region: int) -> bool:
+        """True when every block of the region has been demanded."""
+        full = (1 << blocks_per_region) - 1
+        return (self.footprint & full) == full
+
+
+class GazeAccumulationTable:
+    """64-entry LRU accumulation table."""
+
+    REGION_TAG_BITS = 36
+    LRU_BITS = 3
+    HASHED_PC_BITS = 12
+    STRIDE_FLAG_BITS = 1
+    VALID_BITS = 1
+    OFFSET_BITS = 6
+
+    def __init__(self, entries: int = 64, blocks_per_region: int = 64) -> None:
+        self.entries = entries
+        self.blocks_per_region = blocks_per_region
+        self._table: LRUTable[int, GazeRegionEntry] = LRUTable(entries)
+
+    def lookup(self, region: int) -> Optional[GazeRegionEntry]:
+        """Return the tracking entry for ``region`` (refreshing LRU)."""
+        return self._table.get(region)
+
+    def insert(
+        self,
+        region: int,
+        trigger_pc: int,
+        trigger_offset: int,
+        second_offset: int,
+        stride_flag: bool = False,
+    ) -> Tuple[GazeRegionEntry, Optional[GazeRegionEntry]]:
+        """Start tracking ``region``; returns ``(new_entry, evicted_entry)``.
+
+        The new entry already has the trigger and second accesses recorded in
+        its footprint.
+        """
+        entry = GazeRegionEntry(
+            region=region,
+            trigger_pc=trigger_pc,
+            trigger_offset=trigger_offset,
+            second_offset=second_offset,
+            stride_flag=stride_flag,
+        )
+        entry.record(trigger_offset)
+        entry.record(second_offset)
+        evicted = self._table.put(region, entry)
+        return entry, evicted[1] if evicted is not None else None
+
+    def remove(self, region: int) -> Optional[GazeRegionEntry]:
+        """Stop tracking ``region`` and return its entry."""
+        return self._table.pop(region)
+
+    def drain(self) -> List[GazeRegionEntry]:
+        """Remove and return every tracked entry (end-of-run deactivation)."""
+        entries = list(self._table.values())
+        self._table.clear()
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, region: int) -> bool:
+        return region in self._table
+
+    def storage_bits(self) -> int:
+        """Total storage of the AT in bits (Table I: 1128 B)."""
+        per_entry = (
+            self.REGION_TAG_BITS
+            + self.LRU_BITS
+            + self.HASHED_PC_BITS
+            + self.STRIDE_FLAG_BITS
+            + self.VALID_BITS
+            + 4 * self.OFFSET_BITS
+            + self.blocks_per_region
+        )
+        return self.entries * per_entry
+
+    def reset(self) -> None:
+        """Clear all entries."""
+        self._table.clear()

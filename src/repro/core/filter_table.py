@@ -1,0 +1,77 @@
+"""Gaze's Filter Table (FT).
+
+The FT holds regions that have been touched exactly once.  Its purpose is to
+keep one-bit footprints out of the Pattern History Table: a region is only
+promoted to the Accumulation Table -- and prefetching only considered --
+once a *second*, different block of the region is demanded.  At that moment
+the FT entry supplies the trigger PC and trigger offset that, together with
+the second offset, form Gaze's characterization event.
+
+Hardware budget (Table I): 8-way, 64 entries, each storing a 36-bit region
+tag, 3-bit LRU state, a 12-bit hashed PC and a 6-bit trigger offset -- 456 B
+total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.prefetchers.tables import LRUTable
+
+
+@dataclass
+class FilterEntry:
+    """One region awaiting its second access."""
+
+    region: int
+    trigger_pc: int
+    trigger_offset: int
+
+
+class GazeFilterTable:
+    """64-entry LRU filter table."""
+
+    #: Table I storage accounting (bits per entry).
+    REGION_TAG_BITS = 36
+    LRU_BITS = 3
+    HASHED_PC_BITS = 12
+    OFFSET_BITS = 6
+
+    def __init__(self, entries: int = 64) -> None:
+        self.entries = entries
+        self._table: LRUTable[int, FilterEntry] = LRUTable(entries)
+
+    def lookup(self, region: int) -> Optional[FilterEntry]:
+        """Return the entry for ``region``, refreshing its LRU position."""
+        return self._table.get(region)
+
+    def insert(self, region: int, trigger_pc: int, trigger_offset: int) -> None:
+        """Record the first access to ``region``."""
+        self._table.put(
+            region,
+            FilterEntry(
+                region=region, trigger_pc=trigger_pc, trigger_offset=trigger_offset
+            ),
+        )
+
+    def remove(self, region: int) -> Optional[FilterEntry]:
+        """Remove and return the entry for ``region`` (promotion to the AT)."""
+        return self._table.pop(region)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, region: int) -> bool:
+        return region in self._table
+
+    def storage_bits(self) -> int:
+        """Total storage of the FT in bits (Table I: 456 B)."""
+        per_entry = (
+            self.REGION_TAG_BITS + self.LRU_BITS + self.HASHED_PC_BITS + self.OFFSET_BITS
+        )
+        return self.entries * per_entry
+
+    def reset(self) -> None:
+        """Clear all entries."""
+        self._table.clear()

@@ -1,0 +1,175 @@
+"""Gaze's Prefetch Buffer (PB).
+
+A single predicted footprint expands into many prefetch requests that share
+the same region number, so Gaze stores *prefetch patterns* per region in a
+small buffer: 32 entries, each holding a region tag and a 2-bit state per
+block offset (No-Prefetch, Prefetch-to-L1, Prefetch-to-L2; the LLC state is
+unused).  Besides compressing storage, the PB is where the stage-2
+aggressiveness *promotion* merges into the original pattern: promoting a
+block upgrades its state from L2 (or none) to L1, and blocks that were
+already issued are not issued again.
+
+Hardware budget (Table I): 8-way, 32 entries, each storing the region tag
+(36 b), LRU (3 b) and the 64 x 2 b pattern -- 668 B total.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.prefetchers.tables import LRUTable
+from repro.sim.types import (
+    PrefetchHint,
+    PrefetchRequest,
+    address_from_region_offset,
+)
+
+
+class BlockPrefetchState(enum.IntEnum):
+    """2-bit per-offset prefetch state stored in the PB."""
+
+    NONE = 0
+    TO_L2 = 1
+    TO_L1 = 2
+    ISSUED = 3
+
+
+@dataclass
+class PrefetchBufferEntry:
+    """Prefetch pattern of one region."""
+
+    region: int
+    states: Dict[int, BlockPrefetchState] = field(default_factory=dict)
+    issued: Dict[int, PrefetchHint] = field(default_factory=dict)
+
+
+class GazePrefetchBuffer:
+    """32-entry buffer of per-region prefetch patterns."""
+
+    REGION_TAG_BITS = 36
+    LRU_BITS = 3
+    STATE_BITS_PER_BLOCK = 2
+
+    def __init__(self, entries: int = 32, blocks_per_region: int = 64) -> None:
+        self.entries = entries
+        self.blocks_per_region = blocks_per_region
+        self._table: LRUTable[int, PrefetchBufferEntry] = LRUTable(entries)
+
+    # ------------------------------------------------------------------ #
+    def _entry_for(self, region: int) -> PrefetchBufferEntry:
+        entry = self._table.get(region)
+        if entry is None:
+            entry = PrefetchBufferEntry(region=region)
+            self._table.put(region, entry)
+        return entry
+
+    def lookup(self, region: int) -> Optional[PrefetchBufferEntry]:
+        """Return the PB entry for ``region`` without creating one."""
+        return self._table.get(region, touch=False)
+
+    def add_pattern(
+        self,
+        region: int,
+        offsets_to_l1,
+        offsets_to_l2=(),
+        exclude_offsets=(),
+    ) -> None:
+        """Merge a prefetch pattern for ``region`` into the buffer.
+
+        Offsets already marked for a more aggressive level keep that level;
+        offsets in ``exclude_offsets`` (typically the trigger and second
+        offsets, already demanded) are never added.
+        """
+        entry = self._entry_for(region)
+        excluded = set(exclude_offsets)
+        for offset in offsets_to_l2:
+            if offset in excluded or not 0 <= offset < self.blocks_per_region:
+                continue
+            current = entry.states.get(offset, BlockPrefetchState.NONE)
+            if current == BlockPrefetchState.NONE:
+                entry.states[offset] = BlockPrefetchState.TO_L2
+        for offset in offsets_to_l1:
+            if offset in excluded or not 0 <= offset < self.blocks_per_region:
+                continue
+            current = entry.states.get(offset, BlockPrefetchState.NONE)
+            if current != BlockPrefetchState.ISSUED:
+                entry.states[offset] = BlockPrefetchState.TO_L1
+
+    def promote(self, region: int, offsets) -> List[int]:
+        """Stage-2 promotion: upgrade ``offsets`` to L1.
+
+        Returns the offsets that actually need a (re-)issue: blocks already
+        issued to the L1 are skipped, blocks issued only to the L2 are
+        re-requested at L1.
+        """
+        entry = self._entry_for(region)
+        needs_issue: List[int] = []
+        for offset in offsets:
+            if not 0 <= offset < self.blocks_per_region:
+                continue
+            issued_hint = entry.issued.get(offset)
+            if issued_hint is PrefetchHint.L1:
+                continue
+            entry.states[offset] = BlockPrefetchState.TO_L1
+            needs_issue.append(offset)
+        return needs_issue
+
+    def pop_requests(
+        self,
+        region: int,
+        region_size: int,
+        pc: int = 0,
+        metadata: str = "",
+        limit: Optional[int] = None,
+    ) -> List[PrefetchRequest]:
+        """Convert the pending pattern of ``region`` into prefetch requests.
+
+        Requests are emitted in ascending block-offset order (the order the
+        demand stream will want them) and at most ``limit`` per call, which
+        is how the PB smooths the issuance of a whole-region pattern over
+        several accesses instead of flooding the prefetch queue.  Pending
+        offsets transition to the ISSUED state and are remembered so
+        subsequent pattern merges / promotions do not duplicate them.
+        """
+        entry = self._table.get(region)
+        if entry is None:
+            return []
+        requests: List[PrefetchRequest] = []
+        for offset in sorted(entry.states):
+            state = entry.states[offset]
+            if state in (BlockPrefetchState.NONE, BlockPrefetchState.ISSUED):
+                continue
+            hint = (
+                PrefetchHint.L1 if state == BlockPrefetchState.TO_L1 else PrefetchHint.L2
+            )
+            requests.append(
+                PrefetchRequest(
+                    address=address_from_region_offset(region, offset, region_size),
+                    hint=hint,
+                    origin_pc=pc,
+                    metadata=metadata,
+                )
+            )
+            entry.states[offset] = BlockPrefetchState.ISSUED
+            entry.issued[offset] = hint
+            if limit is not None and len(requests) >= limit:
+                break
+        return requests
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def storage_bits(self) -> int:
+        """Total storage of the PB in bits (Table I: 668 B)."""
+        per_entry = (
+            self.REGION_TAG_BITS
+            + self.LRU_BITS
+            + self.blocks_per_region * self.STATE_BITS_PER_BLOCK
+        )
+        return self.entries * per_entry
+
+    def reset(self) -> None:
+        """Clear all buffered patterns."""
+        self._table.clear()

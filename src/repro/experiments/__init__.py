@@ -1,0 +1,35 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.experiments.runner` -- caches traces and baseline runs, runs
+  (trace, prefetcher, system-config) combinations.
+* :mod:`repro.experiments.metrics` -- aggregation helpers (geometric-mean
+  speedup per suite, average accuracy/coverage/timeliness).
+* :mod:`repro.experiments.figures` -- one function per paper figure
+  (``fig1`` ... ``fig18``) returning structured result rows.
+* :mod:`repro.experiments.tables` -- Table I / IV / V / VI reproductions.
+* :mod:`repro.experiments.sweeps` -- system-configuration sweeps (Fig. 16).
+* :mod:`repro.experiments.reporting` -- plain-text rendering of results.
+
+Every figure function accepts a ``scale`` argument so benchmarks can trade
+fidelity for runtime; the default scale is sized for a laptop-class run.
+"""
+
+from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.experiments.metrics import (
+    aggregate_by_suite,
+    geomean,
+    normalize_to_baseline,
+    summarize_runs,
+)
+from repro.experiments.reporting import format_rows, print_rows
+
+__all__ = [
+    "ExperimentRunner",
+    "RunScale",
+    "aggregate_by_suite",
+    "format_rows",
+    "geomean",
+    "normalize_to_baseline",
+    "print_rows",
+    "summarize_runs",
+]

@@ -1,0 +1,489 @@
+"""Per-figure experiment definitions.
+
+Each ``figN_*`` function reproduces one figure of the paper's evaluation:
+it runs the required simulations through an :class:`ExperimentRunner` and
+returns structured rows (list of dicts) or series (nested dicts) that the
+benchmarks print and ``EXPERIMENTS.md`` records.  The functions accept a
+``runner`` so callers control the scale; when omitted, a default scaled-down
+runner is created.
+
+Figure index (see DESIGN.md for the full mapping):
+
+* Fig. 1  -- characterization schemes: speedup on Cloud vs SPEC17 + storage.
+* Fig. 4  -- number of aligned initial accesses (1-4).
+* Fig. 6/7/8 -- single-core speedup / accuracy / coverage+timeliness.
+* Fig. 9  -- Offset vs Gaze-PHT vs full Gaze across all traces.
+* Fig. 10 -- streaming module ablation (PHT4SS / SM4SS / Gaze).
+* Fig. 11 -- per-trace comparison of vBerti / PMP / Gaze.
+* Fig. 12 -- GAP and QMM suites.
+* Fig. 13 -- multi-level prefetching combinations.
+* Fig. 14 -- multi-core scaling (homogeneous and heterogeneous).
+* Fig. 15 -- selected four-core mixes.
+* Fig. 16 -- sensitivity to DRAM bandwidth / LLC size / L2C size (sweeps.py).
+* Fig. 17 -- sensitivity to Gaze's region size and PHT size.
+* Fig. 18 -- vGaze with large virtual regions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.gaze import GazeConfig, GazePrefetcher
+from repro.experiments.metrics import aggregate_by_suite, geomean, summarize_runs
+from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.prefetchers.registry import create_prefetcher
+from repro.sim.config import default_system_config
+from repro.sim.multicore import simulate_mix
+from repro.sim.simulator import simulate_trace
+from repro.workloads.suites import MAIN_SUITES, trace_specs_for_suite
+from repro.workloads.trace import TraceSpec
+
+#: The nine prefetchers of the paper's main single-core comparison (Fig. 6).
+MAIN_PREFETCHERS = (
+    "ip-stride",
+    "spp-ppf",
+    "ipcp",
+    "vberti",
+    "sms",
+    "bingo",
+    "dspatch",
+    "pmp",
+    "gaze",
+)
+
+#: Fig. 1 characterization schemes mapped to their implementations.
+CHARACTERIZATION_SCHEMES = (
+    ("Offset", "offset"),
+    ("Offset-opt (PMP)", "pmp"),
+    ("PC", "pc"),
+    ("PC-opt (DSPatch)", "dspatch"),
+    ("PC+Addr (SMS)", "sms"),
+    ("PC+Addr-opt (Bingo)", "bingo"),
+    ("Gaze", "gaze"),
+)
+
+#: Table VI: the heterogeneous four-core mixes (trace-spec names per core).
+FOUR_CORE_MIXES: Dict[str, Sequence[str]] = {
+    "mix1": ("wrf-like", "BFS-like", "lbm_s-like", "BC-like"),
+    "mix2": ("GemsFDTD-like", "PageRank-like", "BFS-init-like", "BFS-like"),
+    "mix3": ("bwaves_s-like", "Components-like", "wrf_s-like", "mcf-like"),
+    "mix4": ("PageRank-like", "bwaves_s-like", "PageRank-init-like", "facesim-like"),
+    "mix5": ("cassandra-like", "nutch-like", "cloud9-like", "streaming-srv-like"),
+}
+
+
+def _default_runner(runner: Optional[ExperimentRunner]) -> ExperimentRunner:
+    return runner if runner is not None else ExperimentRunner(RunScale())
+
+
+def _spec_by_name(name: str) -> TraceSpec:
+    for suite in ("spec06", "spec17", "ligra", "parsec", "cloud", "gap",
+                  "qmm-server", "qmm-client"):
+        for spec in trace_specs_for_suite(suite):
+            if spec.name == name:
+                return spec
+    raise KeyError(f"unknown trace spec {name!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 1: characterization schemes on Cloud vs SPEC17, with storage cost
+# --------------------------------------------------------------------------- #
+def fig1_characterization(
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Dict[str, object]]:
+    """Speedup in Cloud / SPEC17 and storage for each characterization scheme."""
+    runner = _default_runner(runner)
+    rows: List[Dict[str, object]] = []
+    for label, prefetcher in CHARACTERIZATION_SCHEMES:
+        results = runner.run_suites(("cloud", "spec17"), (prefetcher,))
+        by_suite = aggregate_by_suite(results)[prefetcher]
+        rows.append(
+            {
+                "scheme": label,
+                "prefetcher": prefetcher,
+                "cloud_speedup": by_suite.get("cloud", 0.0),
+                "spec17_speedup": by_suite.get("spec17", 0.0),
+                "storage_kib": create_prefetcher(prefetcher).storage_kib(),
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 4: number of aligned initial accesses used for characterization
+# --------------------------------------------------------------------------- #
+def fig4_initial_accesses(
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Dict[str, object]]:
+    """IPC / accuracy / coverage when requiring 1..4 aligned initial accesses."""
+    runner = _default_runner(runner)
+    rows: List[Dict[str, object]] = []
+    for n in (1, 2, 3, 4):
+        results = runner.run_suites(MAIN_SUITES, (f"gaze-n{n}",))
+        summary = summarize_runs(results)[f"gaze-n{n}"]
+        rows.append(
+            {
+                "initial_accesses": n,
+                "speedup": summary["speedup"],
+                "accuracy": summary["accuracy"],
+                "coverage": summary["coverage"],
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 6 / 7 / 8: the main single-core comparison
+# --------------------------------------------------------------------------- #
+def fig6_single_core_speedup(
+    runner: Optional[ExperimentRunner] = None,
+    prefetchers: Sequence[str] = MAIN_PREFETCHERS,
+) -> Dict[str, Dict[str, float]]:
+    """Per-suite geometric-mean speedup for every evaluated prefetcher."""
+    runner = _default_runner(runner)
+    results = runner.run_suites(MAIN_SUITES, prefetchers)
+    return aggregate_by_suite(results, metric="speedup")
+
+
+def fig7_accuracy(
+    runner: Optional[ExperimentRunner] = None,
+    prefetchers: Sequence[str] = MAIN_PREFETCHERS,
+) -> Dict[str, Dict[str, float]]:
+    """Per-suite mean prefetch accuracy for every evaluated prefetcher."""
+    runner = _default_runner(runner)
+    results = runner.run_suites(MAIN_SUITES, prefetchers)
+    return aggregate_by_suite(results, metric="accuracy")
+
+
+def fig8_coverage_timeliness(
+    runner: Optional[ExperimentRunner] = None,
+    prefetchers: Sequence[str] = MAIN_PREFETCHERS,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-suite LLC coverage and late-prefetch fraction."""
+    runner = _default_runner(runner)
+    results = runner.run_suites(MAIN_SUITES, prefetchers)
+    return {
+        "coverage": aggregate_by_suite(results, metric="coverage"),
+        "late_fraction": aggregate_by_suite(results, metric="late_fraction"),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 9: effect of the pattern characterization scheme across all traces
+# --------------------------------------------------------------------------- #
+def fig9_characterization_effect(
+    runner: Optional[ExperimentRunner] = None,
+) -> Dict[str, object]:
+    """Sorted per-trace speedups of Offset, Gaze-PHT and full Gaze."""
+    runner = _default_runner(runner)
+    schemes = ("offset", "gaze-pht", "gaze")
+    results = runner.run_suites(MAIN_SUITES, schemes)
+    per_scheme: Dict[str, List[float]] = {name: [] for name in schemes}
+    for result in results:
+        per_scheme[result.prefetcher].append(result.speedup)
+    return {
+        "series": {name: sorted(values) for name, values in per_scheme.items()},
+        "averages": {name: geomean(values) for name, values in per_scheme.items()},
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 10: streaming-module ablation on streaming-heavy workloads
+# --------------------------------------------------------------------------- #
+def fig10_streaming_module(
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Dict[str, object]]:
+    """PHT4SS vs SM4SS vs full Gaze on streaming / graph representative traces."""
+    runner = _default_runner(runner)
+    trace_names = (
+        "bwaves_s-like",
+        "leslie3d-like",
+        "roms_s-like",
+        "streamcluster-like",
+        "PageRank-init-like",
+        "PageRank-like",
+        "BFS-init-like",
+        "BFS-like",
+    )
+    rows: List[Dict[str, object]] = []
+    for name in trace_names:
+        spec = _spec_by_name(name)
+        row: Dict[str, object] = {"trace": name}
+        for prefetcher in ("pht4ss", "sm4ss", "gaze"):
+            row[prefetcher] = runner.run_one(spec, prefetcher).speedup
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 11: vBerti vs PMP vs Gaze on representative traces
+# --------------------------------------------------------------------------- #
+def fig11_comparative(
+    runner: Optional[ExperimentRunner] = None,
+    trace_names: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Per-trace speedup of the three latest spatial prefetchers."""
+    runner = _default_runner(runner)
+    if trace_names is None:
+        trace_names = (
+            "leslie3d-like",
+            "GemsFDTD-like",
+            "libquantum-like",
+            "lbm-like",
+            "sphinx3-like",
+            "mcf-like",
+            "BFS-like",
+            "PageRank-like",
+            "Components-like",
+            "canneal-like",
+            "facesim-like",
+            "streamcluster-like",
+            "cassandra-like",
+            "cloud9-like",
+            "nutch-like",
+            "gcc_s-like",
+            "bwaves_s-like",
+            "mcf_s-like",
+            "xalancbmk_s-like",
+            "fotonik3d_s-like",
+            "roms_s-like",
+        )
+    rows: List[Dict[str, object]] = []
+    for name in trace_names:
+        spec = _spec_by_name(name)
+        row: Dict[str, object] = {"trace": name, "suite": spec.suite}
+        for prefetcher in ("vberti", "pmp", "gaze"):
+            row[prefetcher] = runner.run_one(spec, prefetcher).speedup
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 12: GAP and QMM suites
+# --------------------------------------------------------------------------- #
+def fig12_gap_qmm(
+    runner: Optional[ExperimentRunner] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Speedups of vBerti / PMP / Gaze on GAP and QMM (server + client)."""
+    runner = _default_runner(runner)
+    prefetchers = ("vberti", "pmp", "gaze")
+    results = runner.run_suites(("gap", "qmm-server", "qmm-client"), prefetchers)
+    return aggregate_by_suite(results, metric="speedup")
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 13: multi-level prefetching
+# --------------------------------------------------------------------------- #
+def fig13_multilevel(
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Dict[str, object]]:
+    """L1+L2 prefetcher combinations (Group 1) and with IP-stride at L1 (Group 2)."""
+    runner = _default_runner(runner)
+    l1_choices = ("vberti", "pmp", "dspatch", "ipcp", "gaze")
+    l2_choices = ("spp-ppf", "bingo")
+    rows: List[Dict[str, object]] = []
+
+    gaze_alone = summarize_runs(runner.run_suites(MAIN_SUITES, ("gaze",)))["gaze"]
+    rows.append(
+        {"group": "reference", "combination": "gaze(L1 only)",
+         "speedup": gaze_alone["speedup"]}
+    )
+    for l1 in l1_choices:
+        for l2 in l2_choices:
+            name = f"{l1}+{l2}"
+            summary = summarize_runs(runner.run_suites(MAIN_SUITES, (name,)))[name]
+            rows.append(
+                {"group": "group1", "combination": name, "speedup": summary["speedup"]}
+            )
+    for l1 in ("ip-stride",):
+        for l2 in ("spp-ppf", "bingo", "gaze"):
+            name = f"{l1}+{l2}"
+            summary = summarize_runs(runner.run_suites(MAIN_SUITES, (name,)))[name]
+            rows.append(
+                {"group": "group2", "combination": name, "speedup": summary["speedup"]}
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 14 / 15: multi-core
+# --------------------------------------------------------------------------- #
+def fig14_multicore(
+    core_counts: Sequence[int] = (1, 2, 4),
+    prefetchers: Sequence[str] = ("vberti", "pmp", "bingo", "gaze"),
+    trace_length: int = 8_000,
+    max_instructions_per_core: int = 30_000,
+    homogeneous_trace: str = "bwaves_s-like",
+    heterogeneous_traces: Sequence[str] = (
+        "bwaves_s-like",
+        "PageRank-like",
+        "cassandra-like",
+        "mcf_s-like",
+        "leslie3d-like",
+        "gcc_s-like",
+        "facesim-like",
+        "xalancbmk_s-like",
+    ),
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Multi-core speedups for homogeneous and heterogeneous mixes.
+
+    Returns ``{"homogeneous"|"heterogeneous": {prefetcher: {cores: speedup}}}``.
+    """
+    results: Dict[str, Dict[str, Dict[int, float]]] = {
+        "homogeneous": {p: {} for p in prefetchers},
+        "heterogeneous": {p: {} for p in prefetchers},
+    }
+    homo_spec = _spec_by_name(homogeneous_trace)
+    homo_trace = homo_spec.build(length=trace_length)
+    hetero_traces = [
+        _spec_by_name(name).build(length=trace_length)
+        for name in heterogeneous_traces
+    ]
+
+    for cores in core_counts:
+        config = default_system_config(cores)
+        homo_mix = [homo_trace] * cores
+        hetero_mix = hetero_traces[:cores]
+        baselines = {
+            "homogeneous": simulate_mix(
+                homo_mix, None, config, max_instructions_per_core, name="homo-base"
+            ),
+            "heterogeneous": simulate_mix(
+                hetero_mix, None, config, max_instructions_per_core, name="hetero-base"
+            ),
+        }
+        for prefetcher in prefetchers:
+            for kind, mix in (("homogeneous", homo_mix), ("heterogeneous", hetero_mix)):
+                run = simulate_mix(
+                    mix,
+                    lambda p=prefetcher: create_prefetcher(p),
+                    config,
+                    max_instructions_per_core,
+                    name=f"{kind}-{prefetcher}-{cores}c",
+                )
+                results[kind][prefetcher][cores] = run.geomean_speedup(baselines[kind])
+    return results
+
+
+def fig15_four_core_mixes(
+    prefetchers: Sequence[str] = ("vberti", "pmp", "gaze"),
+    trace_length: int = 8_000,
+    max_instructions_per_core: int = 30_000,
+    mixes: Optional[Dict[str, Sequence[str]]] = None,
+) -> List[Dict[str, object]]:
+    """Per-core and average speedups on the selected four-core mixes (Table VI)."""
+    mixes = mixes if mixes is not None else FOUR_CORE_MIXES
+    config = default_system_config(4)
+    rows: List[Dict[str, object]] = []
+    for mix_name, trace_names in mixes.items():
+        traces = [_spec_by_name(name).build(length=trace_length) for name in trace_names]
+        baseline = simulate_mix(
+            traces, None, config, max_instructions_per_core, name=f"{mix_name}-base"
+        )
+        for prefetcher in prefetchers:
+            run = simulate_mix(
+                traces,
+                lambda p=prefetcher: create_prefetcher(p),
+                config,
+                max_instructions_per_core,
+                name=f"{mix_name}-{prefetcher}",
+            )
+            row: Dict[str, object] = {"mix": mix_name, "prefetcher": prefetcher}
+            for core in range(4):
+                base_core = baseline.per_core[core]
+                run_core = run.per_core[core]
+                row[f"c{core}"] = (
+                    run_core.ipc / base_core.ipc if base_core.ipc else 0.0
+                )
+            row["avg"] = run.geomean_speedup(baseline)
+            rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 17: Gaze configuration sensitivity (region size / PHT size)
+# --------------------------------------------------------------------------- #
+def fig17_gaze_sensitivity(
+    runner: Optional[ExperimentRunner] = None,
+    region_sizes: Sequence[int] = (512, 1024, 2048, 4096),
+    pht_sizes: Sequence[int] = (128, 256, 512, 1024),
+    trace_names: Sequence[str] = (
+        "bwaves_s-like",
+        "fotonik3d_s-like",
+        "gcc_s-like",
+        "PageRank-like",
+        "streamcluster-like",
+        "xalancbmk_s-like",
+    ),
+) -> Dict[str, List[Dict[str, object]]]:
+    """Speedup of Gaze with different region sizes and PHT sizes.
+
+    Results are normalised to the baseline configuration (4 KB region,
+    256-entry PHT), exactly as the paper plots them.
+    """
+    runner = _default_runner(runner)
+    specs = [_spec_by_name(name) for name in trace_names]
+
+    def run_config(spec: TraceSpec, config: GazeConfig) -> float:
+        trace = runner.trace_for(spec)
+        baseline = runner.baseline_for(spec)
+        stats = simulate_trace(trace, prefetcher=GazePrefetcher(config), name=spec.name)
+        return stats.speedup(baseline)
+
+    region_rows: List[Dict[str, object]] = []
+    pht_rows: List[Dict[str, object]] = []
+    for spec in specs:
+        reference = run_config(spec, GazeConfig())
+        region_row: Dict[str, object] = {"trace": spec.name}
+        for size in region_sizes:
+            speedup = run_config(spec, GazeConfig(region_size=size))
+            region_row[f"{size // 1024}KB" if size >= 1024 else f"{size}B"] = (
+                speedup / reference if reference else 0.0
+            )
+        region_rows.append(region_row)
+        pht_row: Dict[str, object] = {"trace": spec.name}
+        for entries in pht_sizes:
+            speedup = run_config(spec, GazeConfig(pht_entries=entries))
+            pht_row[str(entries)] = speedup / reference if reference else 0.0
+        pht_rows.append(pht_row)
+    return {"region_size": region_rows, "pht_size": pht_rows}
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 18: vGaze with larger (virtual) region sizes
+# --------------------------------------------------------------------------- #
+def fig18_vgaze(
+    runner: Optional[ExperimentRunner] = None,
+    region_sizes_kb: Sequence[int] = (4, 8, 16, 32, 64),
+    trace_names: Sequence[str] = (
+        "bwaves_s-like",
+        "lbm-like",
+        "wrf-like",
+        "gcc_s-like",
+        "xalancbmk_s-like",
+        "fotonik3d_s-like",
+        "PageRank-like",
+        "streamcluster-like",
+    ),
+) -> List[Dict[str, object]]:
+    """Speedup of vGaze at 4-64 KB regions, normalised to the 4 KB baseline."""
+    runner = _default_runner(runner)
+    rows: List[Dict[str, object]] = []
+    for name in trace_names:
+        spec = _spec_by_name(name)
+        trace = runner.trace_for(spec)
+        baseline = runner.baseline_for(spec)
+        reference = None
+        row: Dict[str, object] = {"trace": name}
+        for size_kb in region_sizes_kb:
+            stats = simulate_trace(
+                trace,
+                prefetcher=create_prefetcher(f"vgaze-{size_kb}kb"),
+                name=spec.name,
+            )
+            speedup = stats.speedup(baseline)
+            if size_kb == 4:
+                reference = speedup
+            row[f"{size_kb}KB"] = speedup / reference if reference else 0.0
+        rows.append(row)
+    return rows

@@ -1,0 +1,93 @@
+"""Aggregation helpers for experiment results."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.experiments.runner import RunResult
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty input)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def summarize_runs(results: Sequence[RunResult]) -> Dict[str, Dict[str, float]]:
+    """Per-prefetcher summary across all traces in ``results``.
+
+    Returns ``{prefetcher: {speedup, accuracy, coverage, late_fraction}}``
+    where speedup is the geometric mean (matching the paper's methodology)
+    and the other metrics are arithmetic means.
+    """
+    by_prefetcher: Dict[str, List[RunResult]] = defaultdict(list)
+    for result in results:
+        by_prefetcher[result.prefetcher].append(result)
+    summary: Dict[str, Dict[str, float]] = {}
+    for prefetcher, rows in by_prefetcher.items():
+        summary[prefetcher] = {
+            "speedup": geomean(r.speedup for r in rows),
+            "accuracy": arithmetic_mean(r.accuracy for r in rows),
+            "coverage": arithmetic_mean(r.coverage for r in rows),
+            "late_fraction": arithmetic_mean(r.late_fraction for r in rows),
+            "traces": float(len(rows)),
+        }
+    return summary
+
+
+def aggregate_by_suite(
+    results: Sequence[RunResult], metric: str = "speedup"
+) -> Dict[str, Dict[str, float]]:
+    """``{prefetcher: {suite: aggregated metric}}`` across the results.
+
+    Speedups aggregate geometrically, everything else arithmetically.
+    """
+    grouped: Dict[str, Dict[str, List[float]]] = defaultdict(lambda: defaultdict(list))
+    for result in results:
+        grouped[result.prefetcher][result.spec.suite].append(getattr(result, metric))
+    aggregated: Dict[str, Dict[str, float]] = {}
+    for prefetcher, suites in grouped.items():
+        aggregated[prefetcher] = {}
+        for suite, values in suites.items():
+            if metric == "speedup":
+                aggregated[prefetcher][suite] = geomean(values)
+            else:
+                aggregated[prefetcher][suite] = arithmetic_mean(values)
+        all_values = [v for values in suites.values() for v in values]
+        aggregated[prefetcher]["avg"] = (
+            geomean(all_values) if metric == "speedup" else arithmetic_mean(all_values)
+        )
+    return aggregated
+
+
+def normalize_to_baseline(
+    summary: Mapping[str, Mapping[str, float]], baseline: str, metric: str = "speedup"
+) -> Dict[str, float]:
+    """Express one metric of every prefetcher relative to ``baseline``'s."""
+    if baseline not in summary:
+        raise KeyError(f"baseline {baseline!r} not present in summary")
+    reference = summary[baseline][metric]
+    if reference == 0:
+        return {name: 0.0 for name in summary}
+    return {name: row[metric] / reference for name, row in summary.items()}
+
+
+def best_prefetcher(
+    summary: Mapping[str, Mapping[str, float]], metric: str = "speedup"
+) -> str:
+    """Name of the prefetcher with the highest value of ``metric``."""
+    return max(summary, key=lambda name: summary[name][metric])

@@ -1,0 +1,91 @@
+"""Plain-text rendering of experiment results.
+
+The original artifact produces PDF figures; this reproduction prints the
+same rows/series as aligned text tables so results can be inspected in a
+terminal, captured by the benchmark harness and recorded in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value: object, precision: int = 3) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        {column: _format_value(row.get(column, ""), precision) for column in columns}
+        for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rendered:
+        lines.append("  ".join(row[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def format_matrix(
+    matrix: Mapping[str, Mapping[str, float]],
+    row_label: str = "prefetcher",
+    precision: int = 3,
+    column_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a nested mapping ``{row: {column: value}}`` as a table."""
+    rows: List[Dict[str, object]] = []
+    for name, columns in matrix.items():
+        row: Dict[str, object] = {row_label: name}
+        row.update(columns)
+        rows.append(row)
+    if column_order is not None:
+        columns = [row_label] + list(column_order)
+    else:
+        seen: List[str] = []
+        for _name, cols in matrix.items():
+            for key in cols:
+                if key not in seen:
+                    seen.append(key)
+        columns = [row_label] + seen
+    return format_rows(rows, columns=columns, precision=precision)
+
+
+def print_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    precision: int = 3,
+) -> None:
+    """Print an aligned text table with an optional title."""
+    if title:
+        print(f"\n== {title} ==")
+    print(format_rows(rows, columns=columns, precision=precision))
+
+
+def print_matrix(
+    matrix: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    row_label: str = "prefetcher",
+    precision: int = 3,
+) -> None:
+    """Print a nested mapping as a table with an optional title."""
+    if title:
+        print(f"\n== {title} ==")
+    print(format_matrix(matrix, row_label=row_label, precision=precision))

@@ -1,0 +1,187 @@
+"""Experiment runner: caches traces and baseline simulations.
+
+The paper's experiments all share a structure: simulate a set of traces with
+a set of prefetchers and compare against the no-prefetching baseline of the
+same trace.  :class:`ExperimentRunner` provides exactly that, with caching
+of generated traces and of baseline runs so figures that share workloads do
+not pay for them twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.prefetchers.registry import create_prefetcher
+from repro.sim.config import SystemConfig, default_system_config
+from repro.sim.simulator import simulate_trace
+from repro.sim.stats import SimulationStats
+from repro.sim.types import MemoryAccess
+from repro.workloads.suites import trace_specs_for_suite
+from repro.workloads.trace import TraceSpec
+
+
+@dataclass(frozen=True)
+class RunScale:
+    """Controls how much work an experiment does.
+
+    The paper simulates 200M instructions per trace on ChampSim; a Python
+    simulator cannot, so experiments run scaled-down traces.  The relative
+    comparisons the figures make survive the scaling because every
+    prefetcher sees exactly the same trace and the same system.
+    """
+
+    trace_length: int = 12_000
+    traces_per_suite: Optional[int] = 3
+    warmup_fraction: float = 0.0
+
+    def select(self, specs: Sequence[TraceSpec]) -> List[TraceSpec]:
+        """Pick the subset of trace specs this scale allows."""
+        if self.traces_per_suite is None:
+            return list(specs)
+        return list(specs)[: self.traces_per_suite]
+
+
+@dataclass
+class RunResult:
+    """One (trace, prefetcher) simulation outcome plus its baseline."""
+
+    spec: TraceSpec
+    prefetcher: str
+    stats: SimulationStats
+    baseline: SimulationStats
+
+    @property
+    def speedup(self) -> float:
+        """IPC speedup over the no-prefetching baseline."""
+        return self.stats.speedup(self.baseline)
+
+    @property
+    def accuracy(self) -> float:
+        """Overall prefetch accuracy."""
+        return self.stats.prefetch.accuracy
+
+    @property
+    def coverage(self) -> float:
+        """LLC miss coverage relative to the baseline run."""
+        return self.stats.coverage(self.baseline)
+
+    @property
+    def late_fraction(self) -> float:
+        """Fraction of useful prefetches that were late."""
+        return self.stats.prefetch.late_fraction
+
+    def row(self) -> Dict[str, object]:
+        """Flat dictionary representation (for reports and tests)."""
+        return {
+            "trace": self.spec.name,
+            "suite": self.spec.suite,
+            "prefetcher": self.prefetcher,
+            "speedup": self.speedup,
+            "accuracy": self.accuracy,
+            "coverage": self.coverage,
+            "late_fraction": self.late_fraction,
+            "ipc": self.stats.ipc,
+            "baseline_ipc": self.baseline.ipc,
+            "llc_mpki": self.stats.llc_mpki,
+        }
+
+
+class ExperimentRunner:
+    """Runs (trace x prefetcher) grids with trace/baseline caching."""
+
+    def __init__(
+        self,
+        scale: Optional[RunScale] = None,
+        system: Optional[SystemConfig] = None,
+    ) -> None:
+        self.scale = scale if scale is not None else RunScale()
+        self.system = system if system is not None else default_system_config(1)
+        self._trace_cache: Dict[Tuple[str, int], List[MemoryAccess]] = {}
+        self._baseline_cache: Dict[Tuple[str, int, int], SimulationStats] = {}
+
+    # ------------------------------------------------------------------ #
+    # Trace and baseline management
+    # ------------------------------------------------------------------ #
+    def trace_for(self, spec: TraceSpec) -> List[MemoryAccess]:
+        """Build (or fetch from cache) the trace for ``spec``."""
+        key = (spec.name, self.scale.trace_length)
+        if key not in self._trace_cache:
+            self._trace_cache[key] = spec.build(length=self.scale.trace_length)
+        return self._trace_cache[key]
+
+    def _system_key(self, system: SystemConfig) -> int:
+        return hash(
+            (
+                system.l1d.size_bytes,
+                system.l2c.size_bytes,
+                system.llc.size_bytes,
+                system.dram.channels,
+                system.dram.transfer_rate_mtps,
+                system.num_cores,
+            )
+        )
+
+    def baseline_for(
+        self, spec: TraceSpec, system: Optional[SystemConfig] = None
+    ) -> SimulationStats:
+        """No-prefetching run of ``spec`` (cached per system configuration)."""
+        system = system if system is not None else self.system
+        key = (spec.name, self.scale.trace_length, self._system_key(system))
+        if key not in self._baseline_cache:
+            self._baseline_cache[key] = simulate_trace(
+                self.trace_for(spec),
+                prefetcher=None,
+                config=system,
+                name=spec.name,
+            )
+        return self._baseline_cache[key]
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def run_one(
+        self,
+        spec: TraceSpec,
+        prefetcher_name: str,
+        system: Optional[SystemConfig] = None,
+    ) -> RunResult:
+        """Simulate one trace with one prefetcher."""
+        system = system if system is not None else self.system
+        trace = self.trace_for(spec)
+        baseline = self.baseline_for(spec, system)
+        if prefetcher_name in ("none", None):
+            stats = baseline
+        else:
+            prefetcher = create_prefetcher(prefetcher_name)
+            stats = simulate_trace(
+                trace, prefetcher=prefetcher, config=system, name=spec.name
+            )
+        return RunResult(
+            spec=spec, prefetcher=prefetcher_name, stats=stats, baseline=baseline
+        )
+
+    def run_grid(
+        self,
+        specs: Iterable[TraceSpec],
+        prefetchers: Sequence[str],
+        system: Optional[SystemConfig] = None,
+    ) -> List[RunResult]:
+        """Simulate every (trace, prefetcher) combination."""
+        results: List[RunResult] = []
+        for spec in specs:
+            for prefetcher_name in prefetchers:
+                results.append(self.run_one(spec, prefetcher_name, system))
+        return results
+
+    def run_suites(
+        self,
+        suites: Sequence[str],
+        prefetchers: Sequence[str],
+        system: Optional[SystemConfig] = None,
+    ) -> List[RunResult]:
+        """Simulate a grid over whole benchmark suites (scaled selection)."""
+        specs: List[TraceSpec] = []
+        for suite in suites:
+            specs.extend(self.scale.select(trace_specs_for_suite(suite)))
+        return self.run_grid(specs, prefetchers, system)

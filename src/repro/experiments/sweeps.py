@@ -1,0 +1,88 @@
+"""System-configuration sweeps (Fig. 16).
+
+The paper sweeps three system parameters while keeping the workloads fixed:
+DRAM transfer rate (800-12800 MT/s), LLC size per core (0.5-8 MB) and L2C
+size (128 KB-1.5 MB).  Each sweep reruns the prefetcher comparison under the
+modified :class:`~repro.sim.config.SystemConfig` and reports geometric-mean
+speedups over the *matching* no-prefetch baseline (the baseline is re-run
+for every configuration, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.metrics import summarize_runs
+from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.sim.config import SystemConfig, default_system_config
+from repro.workloads.suites import MAIN_SUITES
+
+#: Prefetchers compared in the sensitivity study.
+SWEEP_PREFETCHERS = ("spp-ppf", "vberti", "bingo", "dspatch", "pmp", "gaze")
+
+#: Paper sweep points.
+DRAM_MTPS_POINTS = (800, 1600, 3200, 6400, 12800)
+LLC_MB_POINTS = (0.5, 1, 2, 4, 8)
+L2C_KB_POINTS = (128, 256, 512, 1024)
+
+
+def _run_point(
+    system: SystemConfig,
+    prefetchers: Sequence[str],
+    scale: Optional[RunScale],
+    suites: Sequence[str],
+) -> Dict[str, float]:
+    runner = ExperimentRunner(scale=scale, system=system)
+    results = runner.run_suites(suites, prefetchers)
+    summary = summarize_runs(results)
+    return {name: summary[name]["speedup"] for name in prefetchers}
+
+
+def sweep_dram_bandwidth(
+    points: Sequence[int] = DRAM_MTPS_POINTS,
+    prefetchers: Sequence[str] = SWEEP_PREFETCHERS,
+    scale: Optional[RunScale] = None,
+    suites: Sequence[str] = MAIN_SUITES,
+) -> Dict[int, Dict[str, float]]:
+    """Fig. 16a: speedups at varying DRAM transfer rates (MT/s)."""
+    results: Dict[int, Dict[str, float]] = {}
+    for mtps in points:
+        base = default_system_config(1)
+        system = replace(base, dram=replace(base.dram, transfer_rate_mtps=mtps))
+        results[mtps] = _run_point(system, prefetchers, scale, suites)
+    return results
+
+
+def sweep_llc_size(
+    points_mb: Sequence[float] = LLC_MB_POINTS,
+    prefetchers: Sequence[str] = SWEEP_PREFETCHERS,
+    scale: Optional[RunScale] = None,
+    suites: Sequence[str] = MAIN_SUITES,
+) -> Dict[float, Dict[str, float]]:
+    """Fig. 16b: speedups at varying LLC sizes per core (MB)."""
+    results: Dict[float, Dict[str, float]] = {}
+    for size_mb in points_mb:
+        base = default_system_config(1)
+        system = replace(
+            base, llc=replace(base.llc, size_bytes=int(size_mb * 1024 * 1024))
+        )
+        results[size_mb] = _run_point(system, prefetchers, scale, suites)
+    return results
+
+
+def sweep_l2c_size(
+    points_kb: Sequence[int] = L2C_KB_POINTS,
+    prefetchers: Sequence[str] = SWEEP_PREFETCHERS,
+    scale: Optional[RunScale] = None,
+    suites: Sequence[str] = MAIN_SUITES,
+) -> Dict[int, Dict[str, float]]:
+    """Fig. 16c: speedups at varying L2C sizes (KB)."""
+    results: Dict[int, Dict[str, float]] = {}
+    for size_kb in points_kb:
+        base = default_system_config(1)
+        system = replace(
+            base, l2c=replace(base.l2c, size_bytes=size_kb * 1024)
+        )
+        results[size_kb] = _run_point(system, prefetchers, scale, suites)
+    return results

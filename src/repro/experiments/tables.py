@@ -1,0 +1,87 @@
+"""Table reproductions (Tables I, IV, V and VI of the paper)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.storage import (
+    GAZE_STORAGE_BREAKDOWN,
+    baseline_storage_table,
+    gaze_storage_breakdown,
+)
+from repro.experiments.metrics import summarize_runs
+from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.workloads.suites import MAIN_SUITES
+
+
+def table1_gaze_storage() -> List[Dict[str, object]]:
+    """Table I: Gaze's per-structure storage (measured vs paper)."""
+    measured = gaze_storage_breakdown()
+    rows: List[Dict[str, object]] = []
+    for structure, paper_bytes in GAZE_STORAGE_BREAKDOWN.items():
+        rows.append(
+            {
+                "structure": structure,
+                "measured_bytes": round(measured[structure], 1),
+                "paper_bytes": paper_bytes,
+            }
+        )
+    rows.append(
+        {
+            "structure": "Total",
+            "measured_bytes": round(measured["Total"], 1),
+            "paper_bytes": sum(GAZE_STORAGE_BREAKDOWN.values()),
+        }
+    )
+    return rows
+
+
+def table4_baseline_storage() -> List[Dict[str, object]]:
+    """Table IV: configuration storage overhead of every evaluated prefetcher."""
+    return baseline_storage_table()
+
+
+def table5_comparison(
+    runner: Optional[ExperimentRunner] = None,
+    simple_suites: Sequence[str] = ("spec06", "spec17"),
+    complex_suites: Sequence[str] = ("cloud",),
+    prefetchers: Sequence[str] = ("gaze", "vberti", "pmp", "bingo"),
+    low_cost_threshold_kib: float = 10.0,
+) -> List[Dict[str, object]]:
+    """Table V: qualitative comparison derived from measured results.
+
+    A prefetcher gets a check mark for "simple patterns" / "complex
+    patterns" when its geometric-mean speedup on the corresponding suites is
+    positive (>= 2% improvement), and for hardware cost when its storage is
+    below ``low_cost_threshold_kib``.
+    """
+    runner = runner if runner is not None else ExperimentRunner(RunScale())
+    from repro.prefetchers.registry import create_prefetcher
+
+    simple_results = summarize_runs(runner.run_suites(simple_suites, prefetchers))
+    complex_results = summarize_runs(runner.run_suites(complex_suites, prefetchers))
+    rows: List[Dict[str, object]] = []
+    for name in prefetchers:
+        storage = create_prefetcher(name).storage_kib()
+        rows.append(
+            {
+                "prefetcher": name,
+                "low_hardware_cost": storage <= low_cost_threshold_kib,
+                "storage_kib": round(storage, 2),
+                "simple_pattern_ok": simple_results[name]["speedup"] >= 1.02,
+                "simple_speedup": simple_results[name]["speedup"],
+                "complex_pattern_ok": complex_results[name]["speedup"] >= 1.02,
+                "complex_speedup": complex_results[name]["speedup"],
+            }
+        )
+    return rows
+
+
+def table6_four_core_mixes() -> List[Dict[str, object]]:
+    """Table VI: the composition of the selected four-core mixes."""
+    from repro.experiments.figures import FOUR_CORE_MIXES
+
+    return [
+        {"mix": name, "traces": ", ".join(traces)}
+        for name, traces in FOUR_CORE_MIXES.items()
+    ]

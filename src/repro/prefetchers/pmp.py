@@ -1,0 +1,140 @@
+"""Pattern Merging Prefetcher (PMP), Jiang et al., MICRO 2022.
+
+PMP pushes context coarsening to the extreme: spatial patterns are
+characterised by the trigger *offset* alone, which guarantees that a match
+is almost always found after a short warm-up.  To compensate for the loss of
+precision, each offset entry *merges* the 32 most recent footprints into a
+vector of per-block counters; prediction thresholds then extract the common
+core of those patterns: blocks whose counter exceeds 50% of the maximum
+confidence are prefetched into the L1D, blocks above 15% into the L2C.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.spatial_common import RegionTracker, rotate_footprint
+from repro.sim.types import (
+    AccessResult,
+    PrefetchHint,
+    PrefetchRequest,
+    address_from_region_offset,
+)
+
+
+class PMPPrefetcher(Prefetcher):
+    """Offset-indexed, counter-merged spatial footprint prefetcher."""
+
+    name = "pmp"
+
+    def __init__(
+        self,
+        region_size: int = 4096,
+        filter_entries: int = 64,
+        accumulation_entries: int = 64,
+        max_confidence: int = 32,
+        l1_threshold: float = 0.50,
+        l2_threshold: float = 0.15,
+        anchor_patterns: bool = True,
+    ) -> None:
+        self.region_size = region_size
+        self.blocks = region_size // 64
+        self.tracker = RegionTracker(
+            region_size=region_size,
+            filter_entries=filter_entries,
+            accumulation_entries=accumulation_entries,
+        )
+        self.max_confidence = max_confidence
+        self.l1_threshold = l1_threshold
+        self.l2_threshold = l2_threshold
+        self.anchor_patterns = anchor_patterns
+        # One counter vector per trigger offset (the OPT in the paper).
+        self.offset_pattern_table: List[List[int]] = [
+            [0] * self.blocks for _ in range(self.blocks)
+        ]
+        self.merge_counts: List[int] = [0] * self.blocks
+
+    # ------------------------------------------------------------------ #
+    def train(
+        self, pc: int, address: int, cycle: int, result: Optional[AccessResult] = None
+    ) -> List[PrefetchRequest]:
+        trigger, _activation, deactivations, _entry = self.tracker.observe(pc, address)
+
+        for event in deactivations:
+            self._merge(event.trigger_offset, event.footprint)
+
+        if trigger is None:
+            return []
+        return self._predict(trigger.region, trigger.offset, trigger.pc)
+
+    def on_cache_eviction(self, block: int) -> None:
+        event = self.tracker.on_block_eviction(block)
+        if event is not None:
+            self._merge(event.trigger_offset, event.footprint)
+
+    def _merge(self, trigger_offset: int, footprint: int) -> None:
+        pattern = (
+            rotate_footprint(footprint, -trigger_offset, self.blocks)
+            if self.anchor_patterns
+            else footprint
+        )
+        counters = self.offset_pattern_table[trigger_offset]
+        self.merge_counts[trigger_offset] = min(
+            self.max_confidence, self.merge_counts[trigger_offset] + 1
+        )
+        for block in range(self.blocks):
+            if pattern & (1 << block):
+                counters[block] = min(self.max_confidence, counters[block] + 1)
+            elif counters[block] > 0 and self.merge_counts[trigger_offset] >= self.max_confidence:
+                counters[block] -= 1
+
+    def _predict(
+        self, region: int, trigger_offset: int, pc: int
+    ) -> List[PrefetchRequest]:
+        counters = self.offset_pattern_table[trigger_offset]
+        observed = self.merge_counts[trigger_offset]
+        if observed == 0:
+            return []
+        scale = min(observed, self.max_confidence)
+        requests: List[PrefetchRequest] = []
+        for block in range(self.blocks):
+            confidence = counters[block] / scale
+            if confidence < self.l2_threshold:
+                continue
+            target_offset = (
+                (block + trigger_offset) % self.blocks
+                if self.anchor_patterns
+                else block
+            )
+            if target_offset == trigger_offset:
+                continue
+            hint = (
+                PrefetchHint.L1 if confidence >= self.l1_threshold else PrefetchHint.L2
+            )
+            requests.append(
+                PrefetchRequest(
+                    address=address_from_region_offset(
+                        region, target_offset, self.region_size
+                    ),
+                    hint=hint,
+                    origin_pc=pc,
+                    metadata="pmp",
+                )
+            )
+        return requests
+
+    def storage_bits(self) -> int:
+        ft = 64 * (36 + 3 + 12 + 6)
+        at = 64 * (36 + 3 + 12 + 6 + self.blocks)
+        # OPT: one 5-bit counter per block per offset entry (320b per line in
+        # the paper's accounting) plus a coarse counter vector table (PPT).
+        opt = self.blocks * (self.blocks * 5)
+        ppt = 32 * (self.blocks * 5 // 2)
+        pb = 32 * (36 + 3 + 2 * self.blocks)
+        return ft + at + opt + ppt + pb
+
+    def reset(self) -> None:
+        self.tracker.reset()
+        self.offset_pattern_table = [[0] * self.blocks for _ in range(self.blocks)]
+        self.merge_counts = [0] * self.blocks

@@ -1,0 +1,121 @@
+"""Name → factory registry for every prefetcher evaluated in the paper.
+
+The names follow the labels used in the paper's figures so that experiment
+definitions (``repro.experiments``) can refer to prefetchers by the same
+strings the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.berti import BertiPrefetcher
+from repro.prefetchers.bingo import BingoPrefetcher
+from repro.prefetchers.bop import BestOffsetPrefetcher
+from repro.prefetchers.dspatch import DSPatchPrefetcher
+from repro.prefetchers.ip_stride import IPStridePrefetcher
+from repro.prefetchers.ipcp import IPCPPrefetcher
+from repro.prefetchers.multilevel import MultiLevelPrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.prefetchers.no_prefetch import NoPrefetcher
+from repro.prefetchers.pmp import PMPPrefetcher
+from repro.prefetchers.sms import SMSPrefetcher
+from repro.prefetchers.spp import SPPPrefetcher
+
+PrefetcherFactory = Callable[[], Prefetcher]
+
+_REGISTRY: Dict[str, PrefetcherFactory] = {}
+
+
+def register_prefetcher(name: str, factory: PrefetcherFactory) -> None:
+    """Register (or replace) a prefetcher factory under ``name``."""
+    _REGISTRY[name.lower()] = factory
+
+
+def create_prefetcher(name: str) -> Prefetcher:
+    """Instantiate the prefetcher registered as ``name``.
+
+    Composite names of the form ``"<l1>+<l2>"`` build a
+    :class:`MultiLevelPrefetcher` from two registered designs (Fig. 13).
+    """
+    key = name.lower()
+    if key in _REGISTRY:
+        return _REGISTRY[key]()
+    if "+" in key:
+        l1_name, l2_name = key.split("+", 1)
+        return MultiLevelPrefetcher(
+            create_prefetcher(l1_name), create_prefetcher(l2_name)
+        )
+    raise KeyError(
+        f"unknown prefetcher {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+    )
+
+
+def available_prefetchers() -> List[str]:
+    """Names of all registered single-level prefetchers."""
+    return sorted(_REGISTRY)
+
+
+def _make_gaze(variant: str, **kwargs) -> Prefetcher:
+    """Instantiate a Gaze variant, importing :mod:`repro.core` lazily.
+
+    The lazy import avoids a circular dependency: ``repro.core`` modules use
+    the table primitives of this package, so Gaze classes cannot be imported
+    while ``repro.prefetchers`` itself is still initialising.
+    """
+    from repro.core.gaze import GazePrefetcher
+    from repro.core.variants import (
+        GazePHTOnly,
+        NInitialAccessGaze,
+        OffsetOnlyPrefetcher,
+        PCAddressPrefetcher,
+        PCOnlyPrefetcher,
+        StreamingOnlyGaze,
+        VirtualGaze,
+    )
+
+    constructors = {
+        "gaze": GazePrefetcher,
+        "gaze-pht": GazePHTOnly,
+        "offset": OffsetOnlyPrefetcher,
+        "pc": PCOnlyPrefetcher,
+        "pc+addr": PCAddressPrefetcher,
+        "pht4ss": lambda: StreamingOnlyGaze(use_streaming_module=False),
+        "sm4ss": lambda: StreamingOnlyGaze(use_streaming_module=True),
+        "gaze-n": lambda: NInitialAccessGaze(**kwargs),
+        "vgaze": lambda: VirtualGaze(**kwargs),
+    }
+    return constructors[variant]()
+
+
+def _register_defaults() -> None:
+    # Baselines and state-of-the-art designs from Table IV.
+    register_prefetcher("none", NoPrefetcher)
+    register_prefetcher("next-line", NextLinePrefetcher)
+    register_prefetcher("ip-stride", IPStridePrefetcher)
+    register_prefetcher("bop", BestOffsetPrefetcher)
+    register_prefetcher("sms", SMSPrefetcher)
+    register_prefetcher("bingo", BingoPrefetcher)
+    register_prefetcher("dspatch", DSPatchPrefetcher)
+    register_prefetcher("pmp", PMPPrefetcher)
+    register_prefetcher("ipcp", IPCPPrefetcher)
+    register_prefetcher("ipcp-l1", IPCPPrefetcher)
+    register_prefetcher("spp-ppf", SPPPrefetcher)
+    register_prefetcher("vberti", BertiPrefetcher)
+
+    # Gaze and its ablations, resolved lazily (see :func:`_make_gaze`).
+    for variant in ("gaze", "gaze-pht", "offset", "pc", "pc+addr", "pht4ss", "sm4ss"):
+        register_prefetcher(variant, lambda variant=variant: _make_gaze(variant))
+    for n in range(1, 5):
+        register_prefetcher(
+            f"gaze-n{n}", lambda n=n: _make_gaze("gaze-n", n=n)
+        )
+    for size_kb in (4, 8, 16, 32, 64):
+        register_prefetcher(
+            f"vgaze-{size_kb}kb",
+            lambda size_kb=size_kb: _make_gaze("vgaze", region_size=size_kb * 1024),
+        )
+
+
+_register_defaults()

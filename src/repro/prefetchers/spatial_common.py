@@ -1,0 +1,302 @@
+"""Structures shared by all spatial-pattern-based prefetchers.
+
+Spatial prefetchers (SMS, Bingo, DSPatch, PMP and Gaze) share a common
+front end:
+
+* a **Filter Table (FT)** holds regions that have been touched exactly once,
+  so that one-bit footprints never pollute the pattern history;
+* an **Accumulation Table (AT)** tracks currently active regions and
+  accumulates their footprint bit vectors;
+* when a region is *deactivated* (its AT entry is evicted by LRU), the
+  accumulated footprint is handed to the prefetcher for learning.
+
+:class:`RegionTracker` implements that front end once, parameterised by the
+region size and the FT/AT capacities, and reports three kinds of events to
+the owning prefetcher:
+
+* ``TriggerEvent`` -- first access to an untracked region;
+* ``ActivationEvent`` -- second (different-block) access, i.e. the moment a
+  region moves from the FT to the AT.  This carries the trigger offset, the
+  second offset and the trigger PC -- everything Gaze's pattern
+  characterization needs;
+* ``DeactivationEvent`` -- the accumulated footprint of a region whose
+  tracking ended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.prefetchers.tables import LRUTable
+from repro.sim.types import (
+    BLOCK_SIZE,
+    PrefetchHint,
+    PrefetchRequest,
+    address_from_region_offset,
+    block_offset_in_region,
+    blocks_per_region,
+    region_number,
+)
+
+
+@dataclass
+class TriggerEvent:
+    """First access to a region not currently tracked."""
+
+    region: int
+    pc: int
+    offset: int
+    address: int
+
+
+@dataclass
+class ActivationEvent:
+    """Second access to a region: it is now tracked by the AT."""
+
+    region: int
+    trigger_pc: int
+    trigger_offset: int
+    second_pc: int
+    second_offset: int
+
+
+@dataclass
+class DeactivationEvent:
+    """A region's tracking ended; its footprint is ready for learning."""
+
+    region: int
+    footprint: int
+    trigger_pc: int
+    trigger_offset: int
+    second_offset: int
+    access_count: int
+
+
+@dataclass
+class FilterTableEntry:
+    """FT entry: a region seen exactly once so far."""
+
+    region: int
+    trigger_pc: int
+    trigger_offset: int
+
+
+@dataclass
+class AccumulationEntry:
+    """AT entry: an actively tracked region and its accumulated footprint."""
+
+    region: int
+    trigger_pc: int
+    trigger_offset: int
+    second_offset: int
+    footprint: int = 0
+    access_count: int = 0
+    last_offset: int = -1
+    penultimate_offset: int = -1
+    stride_flag: bool = False
+
+    def record(self, offset: int) -> None:
+        """Accumulate one access at ``offset`` into the footprint.
+
+        Repeated accesses to the same block do not disturb the last/penultimate
+        offsets (the stride logic works on distinct-block accesses).
+        """
+        self.footprint |= 1 << offset
+        if offset != self.last_offset:
+            self.penultimate_offset = self.last_offset
+            self.last_offset = offset
+        self.access_count += 1
+
+    def last_two_strides(self, new_offset: int) -> Optional[Tuple[int, int]]:
+        """Strides formed by (penultimate, last, new) offsets, if available."""
+        if self.last_offset < 0 or self.penultimate_offset < 0:
+            return None
+        return (
+            self.last_offset - self.penultimate_offset,
+            new_offset - self.last_offset,
+        )
+
+
+class RegionTracker:
+    """FT + AT front end shared by spatial prefetchers."""
+
+    def __init__(
+        self,
+        region_size: int = 4096,
+        filter_entries: int = 64,
+        accumulation_entries: int = 64,
+    ) -> None:
+        self.region_size = region_size
+        self.blocks_per_region = blocks_per_region(region_size)
+        self.filter_table: LRUTable[int, FilterTableEntry] = LRUTable(filter_entries)
+        self.accumulation_table: LRUTable[int, AccumulationEntry] = LRUTable(
+            accumulation_entries
+        )
+
+    # ------------------------------------------------------------------ #
+    def observe(
+        self, pc: int, address: int
+    ) -> Tuple[
+        Optional[TriggerEvent],
+        Optional[ActivationEvent],
+        List[DeactivationEvent],
+        Optional[AccumulationEntry],
+    ]:
+        """Feed one demand load into the tracker.
+
+        Returns ``(trigger, activation, deactivations, at_entry)`` where any
+        element may be ``None``/empty.  ``at_entry`` is the AT entry of the
+        accessed region *after* the access has been recorded (present for
+        every access to a tracked region, including the activating one).
+        """
+        region = region_number(address, self.region_size)
+        offset = block_offset_in_region(address, self.region_size)
+        deactivations: List[DeactivationEvent] = []
+
+        at_entry = self.accumulation_table.get(region)
+        if at_entry is not None:
+            at_entry.record(offset)
+            return None, None, deactivations, at_entry
+
+        ft_entry = self.filter_table.get(region)
+        if ft_entry is not None:
+            if ft_entry.trigger_offset == offset:
+                # Same block touched again: still a one-bit footprint.
+                return None, None, deactivations, None
+            self.filter_table.pop(region)
+            new_entry = AccumulationEntry(
+                region=region,
+                trigger_pc=ft_entry.trigger_pc,
+                trigger_offset=ft_entry.trigger_offset,
+                second_offset=offset,
+            )
+            new_entry.record(ft_entry.trigger_offset)
+            new_entry.record(offset)
+            evicted = self.accumulation_table.put(region, new_entry)
+            if evicted is not None:
+                deactivations.append(self._deactivate(evicted[1]))
+            activation = ActivationEvent(
+                region=region,
+                trigger_pc=ft_entry.trigger_pc,
+                trigger_offset=ft_entry.trigger_offset,
+                second_pc=pc,
+                second_offset=offset,
+            )
+            return None, activation, deactivations, new_entry
+
+        # Brand-new region: record it in the FT.
+        trigger = TriggerEvent(region=region, pc=pc, offset=offset, address=address)
+        self.filter_table.put(
+            region,
+            FilterTableEntry(region=region, trigger_pc=pc, trigger_offset=offset),
+        )
+        return trigger, None, deactivations, None
+
+    def _deactivate(self, entry: AccumulationEntry) -> DeactivationEvent:
+        return DeactivationEvent(
+            region=entry.region,
+            footprint=entry.footprint,
+            trigger_pc=entry.trigger_pc,
+            trigger_offset=entry.trigger_offset,
+            second_offset=entry.second_offset,
+            access_count=entry.access_count,
+        )
+
+    def on_block_eviction(self, block: int) -> Optional[DeactivationEvent]:
+        """Deactivate the region containing ``block`` if it is being tracked.
+
+        Called when a cache block is evicted from the L1D: the paper ends a
+        region's tracking as soon as one of its cached blocks leaves the
+        cache, which keeps pattern learning timely even when few regions are
+        active concurrently.
+        """
+        region = (block * 64) // self.region_size
+        entry = self.accumulation_table.pop(region)
+        if entry is None:
+            return None
+        return self._deactivate(entry)
+
+    def drain(self) -> List[DeactivationEvent]:
+        """Deactivate every tracked region (used at end of simulation/tests)."""
+        events = [self._deactivate(entry) for entry in self.accumulation_table.values()]
+        self.accumulation_table.clear()
+        self.filter_table.clear()
+        return events
+
+    def reset(self) -> None:
+        """Clear all tracking state."""
+        self.filter_table.clear()
+        self.accumulation_table.clear()
+
+
+# ---------------------------------------------------------------------- #
+# Footprint helpers
+# ---------------------------------------------------------------------- #
+def footprint_to_offsets(footprint: int, blocks: int = 64) -> List[int]:
+    """Return the list of set block offsets in a footprint bit vector."""
+    return [i for i in range(blocks) if footprint & (1 << i)]
+
+def offsets_to_footprint(offsets) -> int:
+    """Build a footprint bit vector from an iterable of block offsets."""
+    footprint = 0
+    for offset in offsets:
+        footprint |= 1 << offset
+    return footprint
+
+
+def footprint_density(footprint: int, blocks: int = 64) -> float:
+    """Fraction of blocks in the region covered by the footprint."""
+    if blocks <= 0:
+        return 0.0
+    return bin(footprint & ((1 << blocks) - 1)).count("1") / blocks
+
+
+def footprint_population(footprint: int) -> int:
+    """Number of blocks set in the footprint."""
+    return bin(footprint).count("1")
+
+
+def rotate_footprint(footprint: int, shift: int, blocks: int = 64) -> int:
+    """Rotate a footprint by ``shift`` block positions (anchored patterns).
+
+    SMS-style prefetchers store footprints relative to the trigger offset;
+    rotating lets a pattern learned at one trigger offset be replayed at
+    another.
+    """
+    mask = (1 << blocks) - 1
+    shift %= blocks
+    value = footprint & mask
+    return ((value << shift) | (value >> (blocks - shift))) & mask if shift else value
+
+
+def pattern_to_requests(
+    region: int,
+    footprint: int,
+    region_size: int,
+    hint: PrefetchHint = PrefetchHint.L1,
+    exclude_offsets=(),
+    pc: int = 0,
+    limit: Optional[int] = None,
+    metadata: str = "",
+) -> List[PrefetchRequest]:
+    """Convert a footprint bit vector into block-aligned prefetch requests."""
+    blocks = blocks_per_region(region_size)
+    excluded = set(exclude_offsets)
+    requests: List[PrefetchRequest] = []
+    for offset in range(blocks):
+        if not footprint & (1 << offset):
+            continue
+        if offset in excluded:
+            continue
+        requests.append(
+            PrefetchRequest(
+                address=address_from_region_offset(region, offset, region_size),
+                hint=hint,
+                origin_pc=pc,
+                metadata=metadata,
+            )
+        )
+        if limit is not None and len(requests) >= limit:
+            break
+    return requests

@@ -1,0 +1,191 @@
+"""Hardware-style table primitives shared by the prefetchers.
+
+Two flavours are provided:
+
+* :class:`LRUTable` -- a fully-associative table with true-LRU replacement
+  (used for small structures such as filter tables and IP tables);
+* :class:`SetAssociativeTable` -- a set-associative table with per-set LRU
+  (used for pattern history tables), where the caller controls how keys map
+  to set indices and tags.
+
+Both are deliberately simple dictionaries under the hood; what matters for
+the reproduction is that capacity limits and replacement order match the
+hardware structures whose storage budgets Table I / Table IV account for.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LRUTable(Generic[K, V]):
+    """Fully-associative table with LRU replacement."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("table capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def get(self, key: K, touch: bool = True) -> Optional[V]:
+        """Return the value for ``key`` (refreshing LRU unless ``touch=False``)."""
+        if key not in self._entries:
+            return None
+        if touch:
+            self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key: K, value: V) -> Optional[Tuple[K, V]]:
+        """Insert/update ``key``; return the evicted ``(key, value)`` if any."""
+        evicted: Optional[Tuple[K, V]] = None
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return None
+        if len(self._entries) >= self.capacity:
+            evicted = self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = value
+        return evicted
+
+    def pop(self, key: K) -> Optional[V]:
+        """Remove and return the value for ``key`` (None if absent)."""
+        return self._entries.pop(key, None)
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """Iterate over (key, value) pairs from LRU to MRU."""
+        return iter(self._entries.items())
+
+    def values(self) -> Iterator[V]:
+        """Iterate over values from LRU to MRU."""
+        return iter(self._entries.values())
+
+    def keys(self) -> Iterator[K]:
+        """Iterate over keys from LRU to MRU."""
+        return iter(self._entries.keys())
+
+    def clear(self) -> None:
+        """Remove all entries."""
+        self._entries.clear()
+
+    def lru_key(self) -> Optional[K]:
+        """Return the least-recently-used key (None when empty)."""
+        if not self._entries:
+            return None
+        return next(iter(self._entries))
+
+
+class SetAssociativeTable(Generic[V]):
+    """Set-associative table with per-set LRU replacement.
+
+    Keys are ``(set_index, tag)`` pairs supplied by the caller; the table
+    enforces ``sets * ways`` total capacity with at most ``ways`` entries per
+    set.
+    """
+
+    def __init__(self, sets: int, ways: int) -> None:
+        if sets <= 0 or ways <= 0:
+            raise ValueError("sets and ways must be positive")
+        self.sets = sets
+        self.ways = ways
+        self._data: List["OrderedDict[int, V]"] = [OrderedDict() for _ in range(sets)]
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        """Total number of entries the table can hold."""
+        return self.sets * self.ways
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._data)
+
+    def _set_for(self, set_index: int) -> "OrderedDict[int, V]":
+        return self._data[set_index % self.sets]
+
+    def get(self, set_index: int, tag: int, touch: bool = True) -> Optional[V]:
+        """Look up ``(set_index, tag)``; refresh LRU on hit unless disabled."""
+        entries = self._set_for(set_index)
+        if tag not in entries:
+            return None
+        if touch:
+            entries.move_to_end(tag)
+        return entries[tag]
+
+    def put(self, set_index: int, tag: int, value: V) -> Optional[Tuple[int, V]]:
+        """Insert/update an entry; return the evicted ``(tag, value)`` if any."""
+        entries = self._set_for(set_index)
+        evicted: Optional[Tuple[int, V]] = None
+        if tag in entries:
+            entries.move_to_end(tag)
+            entries[tag] = value
+            return None
+        if len(entries) >= self.ways:
+            evicted = entries.popitem(last=False)
+            self.evictions += 1
+        entries[tag] = value
+        return evicted
+
+    def pop(self, set_index: int, tag: int) -> Optional[V]:
+        """Remove and return an entry (None if absent)."""
+        return self._set_for(set_index).pop(tag, None)
+
+    def entries_in_set(self, set_index: int) -> List[Tuple[int, V]]:
+        """Return all (tag, value) pairs of one set, LRU to MRU."""
+        return list(self._set_for(set_index).items())
+
+    def clear(self) -> None:
+        """Remove all entries."""
+        for entries in self._data:
+            entries.clear()
+
+    def items(self) -> Iterator[Tuple[int, int, V]]:
+        """Iterate over (set_index, tag, value) triples."""
+        for set_index, entries in enumerate(self._data):
+            for tag, value in entries.items():
+                yield set_index, tag, value
+
+
+class SaturatingCounter:
+    """A small saturating up/down counter (hardware confidence counter)."""
+
+    def __init__(self, bits: int = 2, initial: int = 0) -> None:
+        if bits <= 0:
+            raise ValueError("counter width must be positive")
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        self.value = max(0, min(initial, self.max_value))
+
+    def increment(self, amount: int = 1) -> int:
+        """Increase the counter, saturating at the maximum."""
+        self.value = min(self.max_value, self.value + amount)
+        return self.value
+
+    def decrement(self, amount: int = 1) -> int:
+        """Decrease the counter, saturating at zero."""
+        self.value = max(0, self.value - amount)
+        return self.value
+
+    def halve(self) -> int:
+        """Fast decay: divide the counter by two (used by Gaze's DC)."""
+        self.value //= 2
+        return self.value
+
+    @property
+    def is_saturated(self) -> bool:
+        """True when the counter is at its maximum value."""
+        return self.value == self.max_value
+
+    def reset(self) -> None:
+        """Clear the counter to zero."""
+        self.value = 0

@@ -1,0 +1,226 @@
+"""Set-associative cache model with LRU replacement and prefetch bookkeeping.
+
+The cache tracks, for every resident block, whether it was brought in by a
+prefetch and whether it has been demanded since.  This is what lets the
+statistics layer classify prefetches as *useful* (demanded before eviction)
+or *useless* (evicted untouched), which the paper's accuracy metric is built
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.config import CacheConfig
+
+
+@dataclass
+class CacheBlock:
+    """Metadata of one resident cache block."""
+
+    block: int
+    last_used: int = 0
+    prefetched: bool = False
+    prefetch_useful: bool = False
+    from_dram: bool = False
+    dirty: bool = False
+
+
+class Cache:
+    """A set-associative cache with true-LRU replacement.
+
+    The cache operates on *block numbers* (byte address >> 6), not byte
+    addresses; callers are expected to convert first.  Timing is handled by
+    the hierarchy -- this class only answers presence questions and manages
+    replacement state.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.name = config.name
+        self._sets: List[Dict[int, CacheBlock]] = [
+            {} for _ in range(config.sets)
+        ]
+        self._use_counter = 0
+        self.eviction_listeners: List[Callable[[CacheBlock], None]] = []
+        # Aggregate counters (per-cache, the hierarchy also keeps per-request
+        # statistics).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.useless_prefetch_evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Basic geometry helpers
+    # ------------------------------------------------------------------ #
+    def set_index(self, block: int) -> int:
+        """Return the set index a block maps to."""
+        return block % self.config.sets
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_blocks(self) -> Iterator[int]:
+        """Iterate over all block numbers currently resident."""
+        for cache_set in self._sets:
+            yield from cache_set.keys()
+
+    # ------------------------------------------------------------------ #
+    # Lookup / fill / evict
+    # ------------------------------------------------------------------ #
+    def lookup(self, block: int, update_lru: bool = True) -> Optional[CacheBlock]:
+        """Return the resident :class:`CacheBlock` for ``block`` or ``None``.
+
+        ``update_lru`` controls whether the access refreshes the LRU state
+        (demand accesses do; probe-only checks from prefetchers do not).
+        """
+        entry = self._sets[self.set_index(block)].get(block)
+        if entry is not None and update_lru:
+            self._use_counter += 1
+            entry.last_used = self._use_counter
+        return entry
+
+    def contains(self, block: int) -> bool:
+        """Presence check that does not disturb LRU state."""
+        return block in self._sets[self.set_index(block)]
+
+    def access(self, block: int) -> Tuple[bool, Optional[CacheBlock]]:
+        """Perform a demand access for ``block``.
+
+        Returns ``(hit, entry)``.  On a hit the entry's LRU position is
+        refreshed and, if the block was prefetched and not yet used, it is
+        marked as a useful prefetch.
+        """
+        entry = self.lookup(block, update_lru=True)
+        if entry is None:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        if entry.prefetched and not entry.prefetch_useful:
+            entry.prefetch_useful = True
+        return True, entry
+
+    def fill(
+        self,
+        block: int,
+        prefetched: bool = False,
+        from_dram: bool = False,
+        dirty: bool = False,
+    ) -> Optional[CacheBlock]:
+        """Insert ``block``; return the evicted :class:`CacheBlock` if any.
+
+        Filling a block that is already resident refreshes its LRU position
+        and merges the ``dirty`` flag without changing its prefetch
+        provenance.
+        """
+        cache_set = self._sets[self.set_index(block)]
+        self._use_counter += 1
+        existing = cache_set.get(block)
+        if existing is not None:
+            existing.last_used = self._use_counter
+            existing.dirty = existing.dirty or dirty
+            return None
+
+        victim: Optional[CacheBlock] = None
+        if len(cache_set) >= self.config.ways:
+            victim_block = min(cache_set, key=lambda b: cache_set[b].last_used)
+            victim = cache_set.pop(victim_block)
+            self.evictions += 1
+            if victim.prefetched and not victim.prefetch_useful:
+                self.useless_prefetch_evictions += 1
+            for listener in self.eviction_listeners:
+                listener(victim)
+
+        cache_set[block] = CacheBlock(
+            block=block,
+            last_used=self._use_counter,
+            prefetched=prefetched,
+            prefetch_useful=False,
+            from_dram=from_dram,
+            dirty=dirty,
+        )
+        return victim
+
+    def invalidate(self, block: int) -> Optional[CacheBlock]:
+        """Remove ``block`` from the cache (no listeners fired)."""
+        return self._sets[self.set_index(block)].pop(block, None)
+
+    def reset_statistics(self) -> None:
+        """Zero the aggregate hit/miss/eviction counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.useless_prefetch_evictions = 0
+
+
+class MSHRFile:
+    """Tracks outstanding fills (misses / in-flight prefetches) for one cache.
+
+    Each entry maps a block number to the cycle its data arrives plus
+    whether the fill was initiated by a prefetch.  The structure enforces a
+    capacity limit; callers must check :meth:`has_free_entry` before
+    allocating a prefetch entry (demand misses are modelled as always
+    schedulable to keep the timing model simple).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, "MSHREntry"] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def has_free_entry(self, cycle: int) -> bool:
+        """True if a new entry can be allocated at ``cycle``."""
+        self.expire(cycle)
+        return len(self._entries) < self.capacity
+
+    def allocate(
+        self, block: int, ready_cycle: int, is_prefetch: bool, hint_level: int = 1
+    ) -> "MSHREntry":
+        """Allocate (or merge into) an entry for ``block``."""
+        entry = self._entries.get(block)
+        if entry is not None:
+            entry.ready_cycle = min(entry.ready_cycle, ready_cycle)
+            return entry
+        entry = MSHREntry(
+            block=block,
+            ready_cycle=ready_cycle,
+            is_prefetch=is_prefetch,
+            hint_level=hint_level,
+        )
+        self._entries[block] = entry
+        return entry
+
+    def lookup(self, block: int) -> Optional["MSHREntry"]:
+        """Return the outstanding entry for ``block`` if any."""
+        return self._entries.get(block)
+
+    def remove(self, block: int) -> Optional["MSHREntry"]:
+        """Remove and return the entry for ``block``."""
+        return self._entries.pop(block, None)
+
+    def expire(self, cycle: int) -> List["MSHREntry"]:
+        """Remove and return all entries whose data has arrived by ``cycle``."""
+        done = [e for e in self._entries.values() if e.ready_cycle <= cycle]
+        for entry in done:
+            del self._entries[entry.block]
+        return done
+
+    def outstanding(self) -> List["MSHREntry"]:
+        """Return a snapshot of all outstanding entries."""
+        return list(self._entries.values())
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding fill tracked by an :class:`MSHRFile`."""
+
+    block: int
+    ready_cycle: int
+    is_prefetch: bool
+    hint_level: int = 1
+    from_dram: bool = False

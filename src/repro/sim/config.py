@@ -1,0 +1,178 @@
+"""System configuration dataclasses.
+
+The default values mirror Table II of the paper:
+
+* 1-8 cores, 4 GHz, 4-wide out-of-order, 352-entry ROB;
+* L1D 48 KB / 12-way / 5 cycles / 16 MSHRs;
+* L2C 512 KB / 8-way / 10 cycles / 32 MSHRs;
+* LLC 2 MB per core / 16-way / 20 cycles / 64 MSHRs;
+* DDR4-3200 with a channel count scaled with the core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Parameters of the analytic out-of-order core model."""
+
+    width: int = 4
+    rob_size: int = 352
+    load_queue_size: int = 128
+    store_queue_size: int = 72
+    frequency_ghz: float = 4.0
+    #: Maximum demand misses the core can overlap (L1D MSHR count).  This is
+    #: the memory-level-parallelism bound that prefetching relieves: a
+    #: prefetched block does not occupy a demand MSHR.
+    max_outstanding_misses: int = 16
+    #: Latency above which an access is considered a miss for the MLP bound.
+    miss_latency_threshold: int = 20
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("core width must be positive")
+        if self.rob_size <= 0:
+            raise ValueError("ROB size must be positive")
+        if self.max_outstanding_misses <= 0:
+            raise ValueError("max_outstanding_misses must be positive")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int
+    mshrs: int
+    block_size: int = 64
+    prefetch_queue_size: int = 64
+    max_prefetch_issue_per_access: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.block_size) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*block ({self.ways}*{self.block_size})"
+            )
+        # Non-power-of-two set counts are allowed (the cache indexes sets by
+        # modulo); this keeps odd core counts (3, 5, ...) valid when the LLC
+        # scales at 2 MB per core.
+
+    @property
+    def sets(self) -> int:
+        """Number of sets in this cache."""
+        return self.size_bytes // (self.ways * self.block_size)
+
+    @property
+    def total_blocks(self) -> int:
+        """Total block capacity of this cache."""
+        return self.size_bytes // self.block_size
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Main-memory timing/bandwidth model parameters.
+
+    The model keeps one busy-until timestamp per channel and a last-open-row
+    per bank, so the effective latency of a request is::
+
+        queue_wait + (row_hit ? t_cas : t_rp + t_rcd + t_cas) + transfer
+
+    with ``transfer`` derived from the transfer rate (MT/s) and the 64-bit
+    data bus, exactly the knobs the paper sweeps in Fig. 16a.
+    """
+
+    channels: int = 1
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    transfer_rate_mtps: int = 3200
+    bus_width_bits: int = 64
+    row_buffer_bytes: int = 2048
+    t_rp_ns: float = 12.5
+    t_rcd_ns: float = 12.5
+    t_cas_ns: float = 12.5
+    cpu_frequency_ghz: float = 4.0
+
+    @property
+    def cycles_per_ns(self) -> float:
+        """CPU cycles per nanosecond."""
+        return self.cpu_frequency_ghz
+
+    @property
+    def row_hit_latency_cycles(self) -> int:
+        """Latency (CPU cycles) of a row-buffer hit, excluding transfer."""
+        return max(1, round(self.t_cas_ns * self.cycles_per_ns))
+
+    @property
+    def row_miss_latency_cycles(self) -> int:
+        """Latency (CPU cycles) of a row-buffer miss (precharge+activate+CAS)."""
+        return max(
+            1,
+            round((self.t_rp_ns + self.t_rcd_ns + self.t_cas_ns) * self.cycles_per_ns),
+        )
+
+    @property
+    def transfer_cycles_per_block(self) -> float:
+        """CPU cycles the data bus is occupied transferring one 64 B block."""
+        bytes_per_second = self.transfer_rate_mtps * 1e6 * (self.bus_width_bits / 8)
+        seconds = 64.0 / bytes_per_second
+        return seconds * self.cpu_frequency_ghz * 1e9
+
+    @property
+    def total_banks(self) -> int:
+        """Total number of banks across channels and ranks."""
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete configuration of a simulated system."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="L1D", size_bytes=48 * 1024, ways=12, latency=5, mshrs=16
+        )
+    )
+    l2c: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="L2C", size_bytes=512 * 1024, ways=8, latency=10, mshrs=32
+        )
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="LLC", size_bytes=2 * 1024 * 1024, ways=16, latency=20, mshrs=64
+        )
+    )
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    num_cores: int = 1
+
+    def scaled_for_cores(self, num_cores: int) -> "SystemConfig":
+        """Return a copy scaled for ``num_cores`` following Table II.
+
+        The LLC is 2 MB per core and the DRAM channel/rank count grows with
+        the core count (1C: 1 channel/1 rank, 2C: 2/1, 4C: 2/2, 8C: 4/2).
+        """
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        llc = replace(self.llc, size_bytes=2 * 1024 * 1024 * num_cores)
+        if num_cores >= 8:
+            channels, ranks = 4, 2
+        elif num_cores >= 4:
+            channels, ranks = 2, 2
+        elif num_cores >= 2:
+            channels, ranks = 2, 1
+        else:
+            channels, ranks = 1, 1
+        dram = replace(self.dram, channels=channels, ranks_per_channel=ranks)
+        return replace(self, llc=llc, dram=dram, num_cores=num_cores)
+
+
+def default_system_config(num_cores: int = 1) -> SystemConfig:
+    """Build the paper's baseline system configuration for ``num_cores``."""
+    return SystemConfig().scaled_for_cores(num_cores)

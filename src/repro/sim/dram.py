@@ -1,0 +1,136 @@
+"""Main-memory timing model.
+
+The model captures the two first-order effects the paper's evaluation relies
+on:
+
+* **Row-buffer locality** -- consecutive accesses to the same 2 KB row of a
+  bank pay only CAS latency; a row conflict pays precharge + activate + CAS.
+* **Channel bandwidth / queueing** -- every transfer occupies its channel's
+  data bus for a number of cycles derived from the configured transfer rate
+  (MT/s); requests that arrive while the channel is busy wait.  This is what
+  makes aggressive-but-inaccurate prefetchers (PMP, DSPatch) degrade in
+  multi-core and low-bandwidth configurations (Fig. 14 and Fig. 16a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.config import DRAMConfig
+
+
+@dataclass
+class DRAMStats:
+    """Aggregate counters kept by the DRAM model."""
+
+    requests: int = 0
+    demand_requests: int = 0
+    prefetch_requests: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    total_queue_wait: int = 0
+    total_service_cycles: int = 0
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of requests that hit in an open row buffer."""
+        if not self.requests:
+            return 0.0
+        return self.row_hits / self.requests
+
+    @property
+    def average_queue_wait(self) -> float:
+        """Mean cycles a request waited for its channel."""
+        if not self.requests:
+            return 0.0
+        return self.total_queue_wait / self.requests
+
+
+class DRAMModel:
+    """Channel-occupancy main-memory model.
+
+    The address is decomposed into (channel, bank, row) by simple bit
+    slicing of the block number; the per-channel busy-until timestamp models
+    bandwidth, the per-bank open row models row-buffer locality.
+    """
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self._channel_busy_until: List[float] = [0.0] * config.channels
+        self._bank_busy_until: Dict[int, float] = {}
+        self._open_row: Dict[int, int] = {}
+        self.stats = DRAMStats()
+        self._blocks_per_row = max(1, config.row_buffer_bytes // 64)
+        self._banks_per_channel = config.ranks_per_channel * config.banks_per_rank
+
+    # ------------------------------------------------------------------ #
+    # Address mapping
+    # ------------------------------------------------------------------ #
+    def channel_of(self, block: int) -> int:
+        """Channel a block maps to (block-interleaved)."""
+        return block % self.config.channels
+
+    def bank_of(self, block: int) -> int:
+        """Global bank index a block maps to."""
+        channel = self.channel_of(block)
+        bank_in_channel = (block // self.config.channels) % self._banks_per_channel
+        return channel * self._banks_per_channel + bank_in_channel
+
+    def row_of(self, block: int) -> int:
+        """Row number (within its bank) a block maps to."""
+        return block // (self._blocks_per_row * self.config.channels)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def access(self, block: int, cycle: int, is_prefetch: bool = False) -> int:
+        """Serve a request for ``block`` arriving at ``cycle``.
+
+        Returns the total latency in CPU cycles (queueing + array access +
+        transfer) and advances the channel/bank state.
+        """
+        config = self.config
+        channel = self.channel_of(block)
+        bank = self.bank_of(block)
+        row = self.row_of(block)
+
+        if self._open_row.get(bank) == row:
+            array_latency = config.row_hit_latency_cycles
+            self.stats.row_hits += 1
+        else:
+            array_latency = config.row_miss_latency_cycles
+            self.stats.row_misses += 1
+            self._open_row[bank] = row
+
+        # The bank is occupied for the array access, the channel data bus
+        # only for the burst transfer; queueing reflects whichever resource
+        # the request has to wait for.
+        bank_wait = max(0.0, self._bank_busy_until.get(bank, 0.0) - cycle)
+        array_done = cycle + bank_wait + array_latency
+        self._bank_busy_until[bank] = array_done
+
+        transfer = config.transfer_cycles_per_block
+        bus_start = max(array_done, self._channel_busy_until[channel])
+        bus_done = bus_start + transfer
+        self._channel_busy_until[channel] = bus_done
+
+        queue_wait = bank_wait + max(0.0, bus_start - array_done)
+        total_latency = bus_done - cycle
+
+        self.stats.requests += 1
+        if is_prefetch:
+            self.stats.prefetch_requests += 1
+        else:
+            self.stats.demand_requests += 1
+        self.stats.total_queue_wait += int(queue_wait)
+        self.stats.total_service_cycles += int(array_latency + transfer)
+
+        return int(round(total_latency))
+
+    def reset(self) -> None:
+        """Clear all timing state and statistics."""
+        self._channel_busy_until = [0.0] * self.config.channels
+        self._bank_busy_until.clear()
+        self._open_row.clear()
+        self.stats = DRAMStats()

@@ -1,0 +1,271 @@
+"""Three-level cache hierarchy with prefetch routing.
+
+The hierarchy owns an L1D, a private L2C and an LLC (which may be shared in
+multi-core simulations), plus a DRAM model, an L1 MSHR file used to track
+in-flight prefetches, and a prefetch queue.  It is deliberately
+non-inclusive and write-allocate; stores are treated like loads for timing
+purposes (the paper trains prefetchers on loads only, which the simulator
+driver enforces).
+
+Responsibilities:
+
+* compute the load-to-use latency of every demand access (including partial
+  savings from late prefetches),
+* fill/evict blocks with prefetch provenance so usefulness can be measured,
+* issue queued prefetch requests, accounting for redundant requests, MSHR
+  pressure and DRAM bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.cache import Cache, MSHRFile
+from repro.sim.config import SystemConfig
+from repro.sim.dram import DRAMModel
+from repro.sim.prefetch_queue import PrefetchQueue
+from repro.sim.stats import SimulationStats
+from repro.sim.types import AccessResult, PrefetchHint, PrefetchRequest, block_number
+
+
+class CacheHierarchy:
+    """L1D + L2C + LLC + DRAM with prefetch support for one core."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        stats: Optional[SimulationStats] = None,
+        shared_llc: Optional[Cache] = None,
+        shared_dram: Optional[DRAMModel] = None,
+    ) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else SimulationStats()
+        self.l1d = Cache(config.l1d)
+        self.l2c = Cache(config.l2c)
+        self.llc = shared_llc if shared_llc is not None else Cache(config.llc)
+        self.dram = shared_dram if shared_dram is not None else DRAMModel(config.dram)
+        self.l1_mshr = MSHRFile(config.l1d.mshrs)
+        self.prefetch_queue = PrefetchQueue(
+            capacity=config.l1d.prefetch_queue_size,
+            drain_per_access=config.l1d.max_prefetch_issue_per_access,
+        )
+        self._register_eviction_listeners()
+
+    # ------------------------------------------------------------------ #
+    # Setup helpers
+    # ------------------------------------------------------------------ #
+    def _register_eviction_listeners(self) -> None:
+        def on_l1_evict(victim) -> None:
+            if victim.prefetched and not victim.prefetch_useful:
+                self.stats.prefetch.useless += 1
+
+        def on_l2_evict(victim) -> None:
+            if victim.prefetched and not victim.prefetch_useful:
+                self.stats.prefetch.useless += 1
+
+        self.l1d.eviction_listeners.append(on_l1_evict)
+        self.l2c.eviction_listeners.append(on_l2_evict)
+
+    # ------------------------------------------------------------------ #
+    # Demand path
+    # ------------------------------------------------------------------ #
+    def demand_access(self, address: int, cycle: int, is_store: bool = False) -> AccessResult:
+        """Route one demand access through the hierarchy.
+
+        Returns an :class:`AccessResult` with the total latency and the level
+        that served the request.  Prefetch bookkeeping (useful / late /
+        covered) is updated as a side effect.
+        """
+        self._complete_ready_prefetches(cycle)
+
+        block = block_number(address)
+        stats = self.stats
+        stats.demand_accesses += 1
+        l1_latency = self.config.l1d.latency
+
+        # 1. In-flight prefetch (late prefetch) -------------------------- #
+        inflight = self.l1_mshr.lookup(block)
+        if inflight is not None:
+            remaining = max(0, inflight.ready_cycle - cycle)
+            latency = max(l1_latency, remaining)
+            self.l1_mshr.remove(block)
+            self.l1d.fill(
+                block,
+                prefetched=inflight.is_prefetch,
+                from_dram=inflight.from_dram,
+                dirty=is_store,
+            )
+            entry = self.l1d.lookup(block, update_lru=True)
+            result = AccessResult(
+                latency=latency,
+                hit_level="L1D",
+                served_by_prefetch=inflight.is_prefetch,
+                late_prefetch=inflight.is_prefetch,
+            )
+            stats.l1_hits += 1
+            if inflight.is_prefetch:
+                entry.prefetch_useful = True
+                stats.prefetch.useful_l1 += 1
+                stats.prefetch.late += 1
+                if inflight.from_dram:
+                    stats.prefetch.covered_llc_misses += 1
+            stats.total_demand_latency += latency
+            return result
+
+        # 2. L1D ---------------------------------------------------------- #
+        hit, entry = self.l1d.access(block)
+        if hit:
+            latency = l1_latency
+            served_by_prefetch = False
+            if entry.prefetched and not getattr(entry, "_useful_counted", False):
+                entry._useful_counted = True  # type: ignore[attr-defined]
+                served_by_prefetch = True
+                stats.prefetch.useful_l1 += 1
+                if entry.from_dram:
+                    stats.prefetch.covered_llc_misses += 1
+            if is_store:
+                entry.dirty = True
+            stats.l1_hits += 1
+            stats.total_demand_latency += latency
+            return AccessResult(
+                latency=latency, hit_level="L1D", served_by_prefetch=served_by_prefetch
+            )
+
+        stats.l1_misses += 1
+
+        # 3. L2C ---------------------------------------------------------- #
+        hit, entry = self.l2c.access(block)
+        if hit:
+            latency = l1_latency + self.config.l2c.latency
+            served_by_prefetch = False
+            if entry.prefetched and not getattr(entry, "_useful_counted", False):
+                entry._useful_counted = True  # type: ignore[attr-defined]
+                served_by_prefetch = True
+                stats.prefetch.useful_l2 += 1
+                if entry.from_dram:
+                    stats.prefetch.covered_llc_misses += 1
+            self.l1d.fill(block, prefetched=False, from_dram=False, dirty=is_store)
+            stats.l2_hits += 1
+            stats.total_demand_latency += latency
+            return AccessResult(
+                latency=latency, hit_level="L2C", served_by_prefetch=served_by_prefetch
+            )
+
+        stats.l2_misses += 1
+
+        # 4. LLC ---------------------------------------------------------- #
+        hit, _entry = self.llc.access(block)
+        if hit:
+            latency = (
+                l1_latency + self.config.l2c.latency + self.config.llc.latency
+            )
+            self.l2c.fill(block, prefetched=False, from_dram=False)
+            self.l1d.fill(block, prefetched=False, from_dram=False, dirty=is_store)
+            stats.llc_hits += 1
+            stats.total_demand_latency += latency
+            return AccessResult(latency=latency, hit_level="LLC")
+
+        stats.llc_misses += 1
+
+        # 5. DRAM --------------------------------------------------------- #
+        dram_latency = self.dram.access(block, cycle, is_prefetch=False)
+        latency = (
+            l1_latency
+            + self.config.l2c.latency
+            + self.config.llc.latency
+            + dram_latency
+        )
+        stats.dram_reads += 1
+        self.llc.fill(block, prefetched=False, from_dram=True)
+        self.l2c.fill(block, prefetched=False, from_dram=True)
+        self.l1d.fill(block, prefetched=False, from_dram=True, dirty=is_store)
+        stats.total_demand_latency += latency
+        return AccessResult(latency=latency, hit_level="DRAM")
+
+    # ------------------------------------------------------------------ #
+    # Prefetch path
+    # ------------------------------------------------------------------ #
+    def enqueue_prefetches(self, requests, cycle: int) -> int:
+        """Add prefetch requests to the PQ; returns how many were accepted."""
+        accepted = 0
+        for request in requests:
+            self.stats.prefetch.generated += 1
+            if self.prefetch_queue.push(request, cycle):
+                accepted += 1
+            else:
+                self.stats.prefetch.dropped_queue_full += 1
+        return accepted
+
+    def issue_queued_prefetches(self, cycle: int, limit: Optional[int] = None) -> int:
+        """Drain the PQ and issue requests into the hierarchy."""
+        issued = 0
+        for queued in self.prefetch_queue.drain(limit):
+            self._issue_prefetch(queued.request, cycle)
+            issued += 1
+        return issued
+
+    def _issue_prefetch(self, request: PrefetchRequest, cycle: int) -> None:
+        block = request.block
+        stats = self.stats.prefetch
+
+        # Redundant: already in the L1D (or being filled).
+        if self.l1d.contains(block) or self.l1_mshr.lookup(block) is not None:
+            stats.redundant += 1
+            return
+        if request.hint is PrefetchHint.L2 and self.l2c.contains(block):
+            stats.redundant += 1
+            return
+
+        stats.issued += 1
+
+        # Find where the data currently lives and how long it takes to get it.
+        from_dram = False
+        if self.l2c.contains(block):
+            source_latency = self.config.l2c.latency
+            self.l2c.lookup(block, update_lru=True)
+        elif self.llc.contains(block):
+            source_latency = self.config.l2c.latency + self.config.llc.latency
+            self.llc.lookup(block, update_lru=True)
+        else:
+            dram_latency = self.dram.access(block, cycle, is_prefetch=True)
+            source_latency = (
+                self.config.l2c.latency + self.config.llc.latency + dram_latency
+            )
+            from_dram = True
+            self.llc.fill(block, prefetched=False, from_dram=True)
+
+        if request.hint is PrefetchHint.L1:
+            if not self.l1_mshr.has_free_entry(cycle):
+                stats.dropped_mshr_full += 1
+                # Fall back to an L2 fill so the work done is not wasted.
+                if not self.l2c.contains(block):
+                    self.l2c.fill(block, prefetched=True, from_dram=from_dram)
+                    stats.filled_l2 += 1
+                return
+            entry = self.l1_mshr.allocate(
+                block,
+                ready_cycle=cycle + source_latency,
+                is_prefetch=True,
+                hint_level=1,
+            )
+            entry.from_dram = from_dram
+            stats.filled_l1 += 1
+        else:
+            if not self.l2c.contains(block):
+                self.l2c.fill(block, prefetched=True, from_dram=from_dram)
+                stats.filled_l2 += 1
+            else:
+                stats.redundant += 1
+
+    def _complete_ready_prefetches(self, cycle: int) -> None:
+        """Move finished in-flight prefetches from the MSHRs into the L1D."""
+        for entry in self.l1_mshr.expire(cycle):
+            self.l1d.fill(
+                entry.block, prefetched=entry.is_prefetch, from_dram=entry.from_dram
+            )
+
+    def flush_prefetches(self, cycle: int) -> None:
+        """Issue everything still queued and complete all in-flight fills."""
+        for queued in self.prefetch_queue.drain_all():
+            self._issue_prefetch(queued.request, cycle)
+        self._complete_ready_prefetches(cycle + 10**9)

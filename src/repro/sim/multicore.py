@@ -1,0 +1,175 @@
+"""Multi-core simulation driver.
+
+Models an ``n``-core system in which each core has private L1D/L2C caches,
+its own prefetcher instance and its own timing model, while the LLC and the
+DRAM channels are shared.  Cores are interleaved access-by-access in a
+round-robin fashion; contention appears through the shared LLC contents and
+through the DRAM channel-occupancy model (each core stamps DRAM requests
+with its own cycle count, which advance at comparable rates).
+
+Mixes follow the paper's methodology: a *homogeneous* mix runs ``n`` copies
+of one trace; a *heterogeneous* mix runs ``n`` different traces.  A core
+that exhausts its instruction budget keeps replaying its trace (to keep
+pressuring shared resources) but stops accumulating statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.cache import Cache
+from repro.sim.config import SystemConfig, default_system_config
+from repro.sim.cpu import CoreTimingModel
+from repro.sim.dram import DRAMModel
+from repro.sim.hierarchy import CacheHierarchy
+from repro.sim.simulator import _TraceReplayer
+from repro.sim.stats import MultiCoreStats, SimulationStats
+from repro.sim.types import AccessType, MemoryAccess
+
+
+class _CoreContext:
+    """Per-core bookkeeping used by the multi-core driver."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: SystemConfig,
+        prefetcher,
+        trace: Sequence[MemoryAccess],
+        shared_llc: Cache,
+        shared_dram: DRAMModel,
+        name: str,
+    ) -> None:
+        self.core_id = core_id
+        self.prefetcher = prefetcher
+        self.stats = SimulationStats(
+            name=name,
+            prefetcher=getattr(prefetcher, "name", "none") if prefetcher else "none",
+        )
+        self.hierarchy = CacheHierarchy(
+            config, stats=self.stats, shared_llc=shared_llc, shared_dram=shared_dram
+        )
+        self.core = CoreTimingModel(config.core)
+        if prefetcher is not None and hasattr(prefetcher, "on_cache_eviction"):
+            self.hierarchy.l1d.eviction_listeners.append(
+                lambda victim: prefetcher.on_cache_eviction(victim.block)
+            )
+        self.replayer = _TraceReplayer(list(trace))
+        self.executed_instructions = 0
+        self.finished = False
+        self.measuring = True
+
+    def step(self) -> None:
+        """Execute one memory access (plus its preceding non-memory gap)."""
+        access = next(self.replayer)
+        self.core.advance_non_memory(access.instr_gap)
+        issue_cycle = self.core.begin_memory_access()
+        self.executed_instructions += access.instr_gap + 1
+
+        self.hierarchy.issue_queued_prefetches(issue_cycle)
+        result = self.hierarchy.demand_access(
+            access.address,
+            issue_cycle,
+            is_store=access.access_type is AccessType.STORE,
+        )
+        self.core.complete_memory_access(result.latency)
+
+        if self.prefetcher is not None and access.access_type is AccessType.LOAD:
+            requests = self.prefetcher.train(
+                access.pc, access.address, issue_cycle, result
+            )
+            if requests:
+                self.hierarchy.enqueue_prefetches(requests, issue_cycle)
+
+    def finalize(self) -> SimulationStats:
+        """Close the timing model and fill in instruction/cycle totals."""
+        self.hierarchy.flush_prefetches(self.core.current_cycle)
+        instructions, cycles = self.core.finalize()
+        self.stats.instructions = instructions
+        self.stats.cycles = cycles
+        return self.stats
+
+
+class MultiCoreSimulator:
+    """Runs an ``n``-core mix with a shared LLC and DRAM."""
+
+    def __init__(
+        self,
+        num_cores: int,
+        prefetcher_factory: Optional[Callable[[], object]] = None,
+        config: Optional[SystemConfig] = None,
+        name: str = "",
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        base = config if config is not None else default_system_config(num_cores)
+        self.config = base.scaled_for_cores(num_cores)
+        self.num_cores = num_cores
+        self.prefetcher_factory = prefetcher_factory
+        self.name = name
+        self.shared_llc = Cache(self.config.llc)
+        self.shared_dram = DRAMModel(self.config.dram)
+
+    def run(
+        self,
+        traces: Sequence[Sequence[MemoryAccess]],
+        max_instructions_per_core: int,
+    ) -> MultiCoreStats:
+        """Simulate the mix; ``traces`` must contain one trace per core."""
+        if len(traces) != self.num_cores:
+            raise ValueError(
+                f"expected {self.num_cores} traces, got {len(traces)}"
+            )
+        contexts: List[_CoreContext] = []
+        for core_id, trace in enumerate(traces):
+            prefetcher = (
+                self.prefetcher_factory() if self.prefetcher_factory else None
+            )
+            contexts.append(
+                _CoreContext(
+                    core_id=core_id,
+                    config=self.config,
+                    prefetcher=prefetcher,
+                    trace=trace,
+                    shared_llc=self.shared_llc,
+                    shared_dram=self.shared_dram,
+                    name=f"{self.name}.core{core_id}",
+                )
+            )
+
+        unfinished = set(range(self.num_cores))
+        while unfinished:
+            for context in contexts:
+                if context.core_id not in unfinished:
+                    # Finished cores keep running to exert shared-resource
+                    # pressure, but only for as long as someone is measuring.
+                    context.step()
+                    continue
+                context.step()
+                if context.executed_instructions >= max_instructions_per_core:
+                    unfinished.discard(context.core_id)
+
+        result = MultiCoreStats(
+            name=self.name,
+            prefetcher=contexts[0].stats.prefetcher if contexts else "none",
+        )
+        for context in contexts:
+            result.per_core[context.core_id] = context.finalize()
+        return result
+
+
+def simulate_mix(
+    traces: Sequence[Sequence[MemoryAccess]],
+    prefetcher_factory: Optional[Callable[[], object]] = None,
+    config: Optional[SystemConfig] = None,
+    max_instructions_per_core: int = 50_000,
+    name: str = "",
+) -> MultiCoreStats:
+    """Convenience wrapper around :class:`MultiCoreSimulator`."""
+    simulator = MultiCoreSimulator(
+        num_cores=len(traces),
+        prefetcher_factory=prefetcher_factory,
+        config=config,
+        name=name,
+    )
+    return simulator.run(traces, max_instructions_per_core=max_instructions_per_core)

@@ -1,0 +1,79 @@
+"""Prefetch queue (PQ) model.
+
+Prefetch requests produced by a prefetcher do not reach the memory hierarchy
+instantly: they are enqueued in a small FIFO and drained a few entries at a
+time.  Two effects matter for the paper's results and are modelled here:
+
+* a full queue drops new requests (lost opportunities for very aggressive
+  prefetchers);
+* *redundant* requests (for blocks already resident in the L1D) still occupy
+  queue slots until they are drained and discarded -- this is the effect that
+  limits vBerti on streaming workloads (§IV-B3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.sim.types import PrefetchRequest
+
+
+@dataclass
+class QueuedPrefetch:
+    """A prefetch request waiting in the PQ."""
+
+    request: PrefetchRequest
+    enqueue_cycle: int
+
+
+class PrefetchQueue:
+    """Bounded FIFO of pending prefetch requests."""
+
+    def __init__(self, capacity: int, drain_per_access: int = 4) -> None:
+        if capacity <= 0:
+            raise ValueError("prefetch queue capacity must be positive")
+        if drain_per_access <= 0:
+            raise ValueError("drain_per_access must be positive")
+        self.capacity = capacity
+        self.drain_per_access = drain_per_access
+        self._queue: Deque[QueuedPrefetch] = deque()
+        self.enqueued = 0
+        self.dropped_full = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        """True when no more requests can be accepted."""
+        return len(self._queue) >= self.capacity
+
+    def push(self, request: PrefetchRequest, cycle: int) -> bool:
+        """Enqueue ``request``; returns False (and counts a drop) if full."""
+        if self.is_full:
+            self.dropped_full += 1
+            return False
+        self._queue.append(QueuedPrefetch(request=request, enqueue_cycle=cycle))
+        self.enqueued += 1
+        return True
+
+    def drain(self, limit: Optional[int] = None) -> List[QueuedPrefetch]:
+        """Remove and return up to ``limit`` queued requests (FIFO order)."""
+        if limit is None:
+            limit = self.drain_per_access
+        drained: List[QueuedPrefetch] = []
+        while self._queue and len(drained) < limit:
+            drained.append(self._queue.popleft())
+        return drained
+
+    def drain_all(self) -> List[QueuedPrefetch]:
+        """Remove and return every queued request."""
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
+
+    def clear(self) -> None:
+        """Discard all queued requests without counting them."""
+        self._queue.clear()

@@ -1,0 +1,157 @@
+"""Single-core simulation driver.
+
+Ties together a trace (an iterable of :class:`repro.sim.types.MemoryAccess`),
+a :class:`repro.sim.hierarchy.CacheHierarchy`, a prefetcher and the core
+timing model, producing a :class:`repro.sim.stats.SimulationStats`.
+
+The driver mirrors the paper's methodology: an optional warm-up phase trains
+the caches and the prefetcher without counting statistics, then a measured
+phase of a configurable number of instructions; traces that end early are
+replayed from the start.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.sim.config import SystemConfig, default_system_config
+from repro.sim.cpu import CoreTimingModel
+from repro.sim.hierarchy import CacheHierarchy
+from repro.sim.stats import SimulationStats
+from repro.sim.types import AccessType, MemoryAccess
+
+
+class _TraceReplayer:
+    """Endless iterator over a finite trace (replays from the start)."""
+
+    def __init__(self, accesses: Sequence[MemoryAccess]) -> None:
+        if not accesses:
+            raise ValueError("cannot simulate an empty trace")
+        self._accesses = accesses
+        self._index = 0
+        self.replays = 0
+
+    def __next__(self) -> MemoryAccess:
+        access = self._accesses[self._index]
+        self._index += 1
+        if self._index >= len(self._accesses):
+            self._index = 0
+            self.replays += 1
+        return access
+
+    def __iter__(self) -> "Iterator[MemoryAccess]":
+        return self
+
+
+class SingleCoreSimulator:
+    """Runs one trace against one configured core + hierarchy + prefetcher."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        prefetcher=None,
+        name: str = "",
+    ) -> None:
+        self.config = config if config is not None else default_system_config(1)
+        self.prefetcher = prefetcher
+        self.stats = SimulationStats(
+            name=name,
+            prefetcher=getattr(prefetcher, "name", "none") if prefetcher else "none",
+        )
+        self.hierarchy = CacheHierarchy(self.config, stats=self.stats)
+        self.core = CoreTimingModel(self.config.core)
+        if prefetcher is not None and hasattr(prefetcher, "on_cache_eviction"):
+            self.hierarchy.l1d.eviction_listeners.append(
+                lambda victim: prefetcher.on_cache_eviction(victim.block)
+            )
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        trace: Sequence[MemoryAccess],
+        max_instructions: Optional[int] = None,
+        warmup_instructions: int = 0,
+    ) -> SimulationStats:
+        """Simulate ``trace`` and return the collected statistics.
+
+        ``max_instructions`` bounds the measured phase (counting both memory
+        and non-memory instructions); ``warmup_instructions`` are executed
+        first with full cache/prefetcher training but without resetting the
+        cycle clock (statistics counters are cleared at the boundary).
+        """
+        accesses = list(trace) if not isinstance(trace, (list, tuple)) else trace
+        replayer = _TraceReplayer(accesses)
+
+        start_instr = 0
+        start_cycles = 0.0
+        if warmup_instructions > 0:
+            self._execute(replayer, warmup_instructions)
+            self._reset_measurement_counters()
+            snapshot = self.core.snapshot()
+            start_instr = snapshot.instructions
+            start_cycles = snapshot.cycles
+
+        if max_instructions is None:
+            max_instructions = sum(a.instr_gap + 1 for a in accesses)
+        self._execute(replayer, max_instructions)
+
+        self.hierarchy.flush_prefetches(self.core.current_cycle)
+        instructions, cycles = self.core.finalize()
+        self.stats.instructions = instructions - start_instr
+        self.stats.cycles = max(1, int(cycles - start_cycles))
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    def _execute(self, replayer: _TraceReplayer, instruction_budget: int) -> None:
+        executed = 0
+        while executed < instruction_budget:
+            access = next(replayer)
+            self.core.advance_non_memory(access.instr_gap)
+            executed += access.instr_gap
+
+            issue_cycle = self.core.begin_memory_access()
+            executed += 1
+
+            self.hierarchy.issue_queued_prefetches(issue_cycle)
+            result = self.hierarchy.demand_access(
+                access.address,
+                issue_cycle,
+                is_store=access.access_type is AccessType.STORE,
+            )
+            self.core.complete_memory_access(result.latency)
+
+            if self.prefetcher is not None and access.access_type is AccessType.LOAD:
+                requests = self.prefetcher.train(
+                    access.pc, access.address, issue_cycle, result
+                )
+                if requests:
+                    self.hierarchy.enqueue_prefetches(requests, issue_cycle)
+
+    def _reset_measurement_counters(self) -> None:
+        """Clear statistics at the warm-up/measurement boundary.
+
+        The hierarchy's eviction listeners read ``self.hierarchy.stats``
+        dynamically, so swapping the stats object is sufficient; cache and
+        prefetcher *state* is deliberately preserved (that is the point of
+        warming up).
+        """
+        fresh = SimulationStats(name=self.stats.name, prefetcher=self.stats.prefetcher)
+        self.stats = fresh
+        self.hierarchy.stats = fresh
+
+
+def simulate_trace(
+    trace: Sequence[MemoryAccess],
+    prefetcher=None,
+    config: Optional[SystemConfig] = None,
+    max_instructions: Optional[int] = None,
+    warmup_instructions: int = 0,
+    name: str = "",
+) -> SimulationStats:
+    """Convenience wrapper: build a simulator, run it, return the stats."""
+    simulator = SingleCoreSimulator(config=config, prefetcher=prefetcher, name=name)
+    return simulator.run(
+        trace,
+        max_instructions=max_instructions,
+        warmup_instructions=warmup_instructions,
+    )

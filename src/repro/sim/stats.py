@@ -1,0 +1,185 @@
+"""Statistics collected during simulation and the paper's derived metrics.
+
+The paper's metrics of interest (§IV-A3):
+
+* **Speedup** -- IPC with prefetching / IPC without prefetching.
+* **Accuracy** -- *overall* accuracy ``(useful_l1 + useful_l2) / (all filled
+  prefetches at L1 and L2)``; prefetches dropped before filling any cache do
+  not count.
+* **Coverage** -- fraction of would-be LLC misses covered by prefetching;
+  computed as ``covered / (covered + remaining demand LLC misses)`` where a
+  covered miss is a demand access served by a prefetched block whose fill
+  came from DRAM.
+* **Timeliness** -- fraction of useful prefetches that were *late* (the
+  demand arrived while the prefetch was still in flight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class PrefetchStats:
+    """Counters describing prefetcher behaviour during one simulation."""
+
+    generated: int = 0
+    issued: int = 0
+    dropped_queue_full: int = 0
+    dropped_mshr_full: int = 0
+    redundant: int = 0
+    filled_l1: int = 0
+    filled_l2: int = 0
+    useful_l1: int = 0
+    useful_l2: int = 0
+    useless: int = 0
+    late: int = 0
+    covered_llc_misses: int = 0
+
+    @property
+    def useful(self) -> int:
+        """Total useful prefetches across L1D and L2C."""
+        return self.useful_l1 + self.useful_l2
+
+    @property
+    def filled(self) -> int:
+        """Total prefetches that filled some cache level."""
+        return self.filled_l1 + self.filled_l2
+
+    @property
+    def accuracy(self) -> float:
+        """Overall prefetch accuracy as defined in the paper."""
+        if not self.filled:
+            return 0.0
+        return min(1.0, self.useful / self.filled)
+
+    @property
+    def late_fraction(self) -> float:
+        """Fraction of useful prefetches that arrived late."""
+        if not self.useful:
+            return 0.0
+        return self.late / self.useful
+
+
+@dataclass
+class SimulationStats:
+    """Complete result of one single-core simulation run."""
+
+    name: str = ""
+    prefetcher: str = ""
+    instructions: int = 0
+    cycles: int = 0
+    demand_accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    dram_reads: int = 0
+    total_demand_latency: int = 0
+    prefetch: PrefetchStats = field(default_factory=PrefetchStats)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """Fraction of demand accesses hitting the L1D."""
+        if not self.demand_accesses:
+            return 0.0
+        return self.l1_hits / self.demand_accesses
+
+    @property
+    def llc_mpki(self) -> float:
+        """LLC misses per kilo-instruction (demand only)."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.instructions
+
+    @property
+    def average_demand_latency(self) -> float:
+        """Mean load-to-use latency of demand accesses."""
+        if not self.demand_accesses:
+            return 0.0
+        return self.total_demand_latency / self.demand_accesses
+
+    def coverage(self, baseline: Optional["SimulationStats"] = None) -> float:
+        """LLC miss coverage.
+
+        If ``baseline`` (a no-prefetch run of the same trace) is supplied,
+        coverage is ``1 - misses/baseline_misses`` clamped to [0, 1]; this is
+        the definition that matches the paper most closely.  Without a
+        baseline, the covered-miss counter collected online is used.
+        """
+        if baseline is not None and baseline.llc_misses > 0:
+            return max(0.0, min(1.0, 1.0 - self.llc_misses / baseline.llc_misses))
+        covered = self.prefetch.covered_llc_misses
+        denom = covered + self.llc_misses
+        if denom == 0:
+            return 0.0
+        return covered / denom
+
+    def speedup(self, baseline: "SimulationStats") -> float:
+        """IPC speedup relative to a baseline run of the same trace."""
+        if baseline.ipc == 0.0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dictionary of headline metrics (for reports and tests)."""
+        return {
+            "ipc": self.ipc,
+            "accuracy": self.prefetch.accuracy,
+            "coverage": self.coverage(),
+            "late_fraction": self.prefetch.late_fraction,
+            "llc_mpki": self.llc_mpki,
+            "issued_prefetches": float(self.prefetch.issued),
+        }
+
+
+@dataclass
+class MultiCoreStats:
+    """Result of a multi-core simulation: one :class:`SimulationStats` per core."""
+
+    per_core: Dict[int, SimulationStats] = field(default_factory=dict)
+    name: str = ""
+    prefetcher: str = ""
+
+    @property
+    def num_cores(self) -> int:
+        """Number of simulated cores."""
+        return len(self.per_core)
+
+    def geomean_speedup(self, baseline: "MultiCoreStats") -> float:
+        """Geometric-mean per-core speedup against a baseline run."""
+        if not self.per_core:
+            return 0.0
+        product = 1.0
+        count = 0
+        for core, stats in self.per_core.items():
+            base = baseline.per_core.get(core)
+            if base is None or base.ipc == 0.0:
+                continue
+            product *= stats.ipc / base.ipc
+            count += 1
+        if count == 0:
+            return 0.0
+        return product ** (1.0 / count)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of an iterable of positive floats (0.0 if empty)."""
+    values = [v for v in values if v > 0.0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,157 @@
+"""Core value types shared by the simulator, prefetchers and workloads.
+
+Addresses are plain integers (byte addresses).  The helpers here convert
+between byte addresses, 64-byte cache-block numbers, and spatial regions
+(4 KB pages by default, matching the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Cache block (line) size in bytes.  The paper uses 64-byte lines throughout.
+BLOCK_SIZE = 64
+
+#: log2 of the block size, used for address arithmetic.
+BLOCK_SHIFT = 6
+
+#: Default spatial region size in bytes (a 4 KB physical page).
+DEFAULT_REGION_SIZE = 4096
+
+#: Number of 64-byte blocks in a default region.
+DEFAULT_BLOCKS_PER_REGION = DEFAULT_REGION_SIZE // BLOCK_SIZE
+
+
+class AccessType(enum.Enum):
+    """Kind of memory operation carried by a trace record."""
+
+    LOAD = "load"
+    STORE = "store"
+    PREFETCH = "prefetch"
+
+
+class PrefetchHint(enum.Enum):
+    """Target fill level requested for a prefetch.
+
+    The paper's prefetchers issue prefetches either into the L1D (high
+    confidence) or only into the L2C (moderate confidence).  None of the
+    evaluated designs fill the LLC directly, but the level exists for
+    completeness.
+    """
+
+    L1 = 1
+    L2 = 2
+    LLC = 3
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One demand access observed by the prefetcher / hierarchy.
+
+    Attributes:
+        pc: program counter of the triggering instruction.
+        address: byte address accessed.
+        access_type: load or store.
+        instr_gap: number of non-memory instructions preceding this access
+            in program order (used by the core timing model).
+    """
+
+    pc: int
+    address: int
+    access_type: AccessType = AccessType.LOAD
+    instr_gap: int = 0
+
+    @property
+    def block(self) -> int:
+        """Cache-block number of this access."""
+        return self.address >> BLOCK_SHIFT
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """A prefetch candidate produced by a prefetcher.
+
+    Attributes:
+        address: byte address (block aligned addresses are recommended but
+            any address within the target block is accepted).
+        hint: which cache level the block should be filled into.
+        origin_pc: PC of the access that triggered the prediction, kept for
+            bookkeeping / debugging.
+        metadata: free-form tag used by some prefetchers (e.g. which internal
+            path produced the request) -- only used for statistics.
+    """
+
+    address: int
+    hint: PrefetchHint = PrefetchHint.L1
+    origin_pc: int = 0
+    metadata: str = ""
+
+    @property
+    def block(self) -> int:
+        """Cache-block number of the requested prefetch."""
+        return self.address >> BLOCK_SHIFT
+
+
+@dataclass
+class AccessResult:
+    """Outcome of routing one demand access through the hierarchy.
+
+    Attributes:
+        latency: total load-to-use latency in cycles.
+        hit_level: name of the level that served the access
+            (``"L1D"``, ``"L2C"``, ``"LLC"``, ``"DRAM"``).
+        served_by_prefetch: True when the block was present (or in flight)
+            because of a prefetch and had not yet been demanded.
+        late_prefetch: True when the block was still in flight from a
+            prefetch when the demand arrived (partial latency savings).
+    """
+
+    latency: int
+    hit_level: str
+    served_by_prefetch: bool = False
+    late_prefetch: bool = False
+
+
+def block_number(address: int) -> int:
+    """Return the cache-block number containing ``address``."""
+    return address >> BLOCK_SHIFT
+
+
+def block_address(block: int) -> int:
+    """Return the base byte address of cache block ``block``."""
+    return block << BLOCK_SHIFT
+
+
+def region_number(address: int, region_size: int = DEFAULT_REGION_SIZE) -> int:
+    """Return the spatial-region number containing ``address``."""
+    return address // region_size
+
+
+def region_base_address(region: int, region_size: int = DEFAULT_REGION_SIZE) -> int:
+    """Return the base byte address of region ``region``."""
+    return region * region_size
+
+
+def block_offset_in_region(
+    address: int, region_size: int = DEFAULT_REGION_SIZE
+) -> int:
+    """Return the block offset (0..blocks_per_region-1) of ``address``.
+
+    This is the quantity the paper calls the *offset*: the distance of the
+    block from the beginning of its region, measured in blocks.
+    """
+    return (address % region_size) >> BLOCK_SHIFT
+
+
+def blocks_per_region(region_size: int = DEFAULT_REGION_SIZE) -> int:
+    """Number of cache blocks per spatial region of ``region_size`` bytes."""
+    return region_size // BLOCK_SIZE
+
+
+def address_from_region_offset(
+    region: int, offset: int, region_size: int = DEFAULT_REGION_SIZE
+) -> int:
+    """Compose a block-aligned byte address from a region number and offset."""
+    return region * region_size + (offset << BLOCK_SHIFT)

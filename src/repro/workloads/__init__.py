@@ -1,0 +1,67 @@
+"""Synthetic workload traces standing in for the paper's benchmark suites.
+
+The original evaluation uses 201 instruction traces from SPEC06, SPEC17,
+Ligra, PARSEC and CloudSuite (plus GAP and QMM for supplementary results).
+Those traces are not redistributable, so this package provides parametric
+generators that reproduce the *access-pattern properties* the paper
+attributes to each suite:
+
+* dense spatial streaming (SPEC fp: bwaves/lbm/leslie3d-like),
+* recurring spatial footprints keyed by their initial accesses (SPEC int /
+  fotonik3d-like),
+* graph analytics with interleaved frontier streaming and irregular
+  neighbour accesses (Ligra / GAP),
+* pointer chasing with minimal spatial locality (mcf-like),
+* scale-out cloud behaviour: irregular, PC-correlated, weakly
+  offset-correlated access (CloudSuite / QMM server),
+* multi-phase mixes (PARSEC-like).
+
+`repro.workloads.suites` groups named trace specifications into suites that
+mirror the paper's Table III.
+"""
+
+from repro.workloads.trace import (
+    TraceSpec,
+    load_trace,
+    make_trace,
+    save_trace,
+    trace_statistics,
+)
+from repro.workloads.suites import (
+    SUITES,
+    all_trace_specs,
+    suite_names,
+    trace_specs_for_suite,
+)
+from repro.workloads.generators import (
+    GENERATORS,
+    CloudWorkload,
+    GraphWorkload,
+    MixedPhaseWorkload,
+    PointerChaseWorkload,
+    SpatialRecurrenceWorkload,
+    StreamingWorkload,
+    StridedWorkload,
+    WorkloadGenerator,
+)
+
+__all__ = [
+    "CloudWorkload",
+    "GENERATORS",
+    "GraphWorkload",
+    "MixedPhaseWorkload",
+    "PointerChaseWorkload",
+    "SUITES",
+    "SpatialRecurrenceWorkload",
+    "StreamingWorkload",
+    "StridedWorkload",
+    "TraceSpec",
+    "WorkloadGenerator",
+    "all_trace_specs",
+    "load_trace",
+    "make_trace",
+    "save_trace",
+    "suite_names",
+    "trace_specs_for_suite",
+    "trace_statistics",
+]

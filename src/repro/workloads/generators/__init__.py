@@ -1,0 +1,37 @@
+"""Workload generators.
+
+Each generator derives from
+:class:`repro.workloads.generators.base.WorkloadGenerator` and produces a
+deterministic (seeded) list of :class:`repro.sim.types.MemoryAccess`.
+``GENERATORS`` maps short names to generator classes so traces can be
+described declaratively by :mod:`repro.workloads.suites`.
+"""
+
+from repro.workloads.generators.base import WorkloadGenerator
+from repro.workloads.generators.streaming import StreamingWorkload, StridedWorkload
+from repro.workloads.generators.spatial import SpatialRecurrenceWorkload
+from repro.workloads.generators.graph import GraphWorkload
+from repro.workloads.generators.irregular import CloudWorkload, PointerChaseWorkload
+from repro.workloads.generators.mixed import MixedPhaseWorkload
+
+GENERATORS = {
+    "streaming": StreamingWorkload,
+    "strided": StridedWorkload,
+    "spatial": SpatialRecurrenceWorkload,
+    "graph": GraphWorkload,
+    "pointer-chase": PointerChaseWorkload,
+    "cloud": CloudWorkload,
+    "mixed": MixedPhaseWorkload,
+}
+
+__all__ = [
+    "GENERATORS",
+    "CloudWorkload",
+    "GraphWorkload",
+    "MixedPhaseWorkload",
+    "PointerChaseWorkload",
+    "SpatialRecurrenceWorkload",
+    "StreamingWorkload",
+    "StridedWorkload",
+    "WorkloadGenerator",
+]

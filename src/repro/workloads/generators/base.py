@@ -1,0 +1,99 @@
+"""Base class for synthetic workload generators."""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterable, List, Optional
+
+from repro.sim.types import AccessType, MemoryAccess
+
+
+class WorkloadGenerator(abc.ABC):
+    """A deterministic, seeded producer of memory-access traces.
+
+    Subclasses implement :meth:`_generate`, yielding
+    :class:`~repro.sim.types.MemoryAccess` records.  The base class provides
+    the seeded RNG, common address-layout helpers and the public
+    :meth:`generate` entry point that enforces the requested length.
+    """
+
+    #: Short name used in trace specifications and reports.
+    kind: str = "base"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        length: int = 50_000,
+        mean_instr_gap: float = 5.0,
+        region_size: int = 4096,
+    ) -> None:
+        if length <= 0:
+            raise ValueError("trace length must be positive")
+        if mean_instr_gap < 0:
+            raise ValueError("mean_instr_gap must be non-negative")
+        self.seed = seed
+        self.length = length
+        self.mean_instr_gap = mean_instr_gap
+        self.region_size = region_size
+        self.blocks_per_region = region_size // 64
+        self.rng = random.Random(seed)
+        self._pc_counter = 0x400000 + (seed & 0xFFFF) * 0x100
+
+    # ------------------------------------------------------------------ #
+    # Helpers for subclasses
+    # ------------------------------------------------------------------ #
+    def new_pc(self) -> int:
+        """Allocate a fresh, stable program-counter value."""
+        self._pc_counter += 4
+        return self._pc_counter
+
+    def instr_gap(self) -> int:
+        """Draw a non-memory instruction gap around the configured mean."""
+        if self.mean_instr_gap == 0:
+            return 0
+        low = max(0, int(self.mean_instr_gap * 0.5))
+        high = int(self.mean_instr_gap * 1.5) + 1
+        return self.rng.randint(low, high)
+
+    def access(
+        self,
+        pc: int,
+        address: int,
+        access_type: AccessType = AccessType.LOAD,
+        gap: Optional[int] = None,
+    ) -> MemoryAccess:
+        """Build a :class:`MemoryAccess` with a drawn instruction gap."""
+        return MemoryAccess(
+            pc=pc,
+            address=address,
+            access_type=access_type,
+            instr_gap=self.instr_gap() if gap is None else gap,
+        )
+
+    def region_base(self, region: int) -> int:
+        """Byte address of the start of ``region``."""
+        return region * self.region_size
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def generate(self) -> List[MemoryAccess]:
+        """Produce exactly ``self.length`` memory accesses."""
+        trace: List[MemoryAccess] = []
+        generator = self._generate()
+        for access in generator:
+            trace.append(access)
+            if len(trace) >= self.length:
+                break
+        # If the generator ran dry, replay deterministic copies of itself.
+        while len(trace) < self.length:
+            for access in self._generate():
+                trace.append(access)
+                if len(trace) >= self.length:
+                    break
+        return trace[: self.length]
+
+    @abc.abstractmethod
+    def _generate(self) -> Iterable[MemoryAccess]:
+        """Yield memory accesses (may be finite or infinite)."""

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import default_system_config
+from repro.sim.types import AccessType, MemoryAccess
+from repro.workloads import make_trace
+
+
+def sequential_trace(num_blocks: int = 256, pc: int = 0x400100, gap: int = 4):
+    """A simple fully-sequential trace touching ``num_blocks`` blocks once."""
+    return [
+        MemoryAccess(pc=pc, address=block * 64, access_type=AccessType.LOAD,
+                     instr_gap=gap)
+        for block in range(0x10000, 0x10000 + num_blocks)
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_system():
+    """Single-core system configuration used across tests."""
+    return default_system_config(1)
+
+
+@pytest.fixture(scope="session")
+def spatial_trace():
+    """A small spatial-recurrence trace (shared to keep the suite fast)."""
+    return make_trace("spatial", seed=1, length=6_000)
+
+
+@pytest.fixture(scope="session")
+def streaming_trace():
+    """A small streaming trace."""
+    return make_trace("streaming", seed=2, length=6_000)
+
+
+@pytest.fixture(scope="session")
+def cloud_trace():
+    """A small cloud-like trace."""
+    return make_trace("cloud", seed=3, length=6_000)
+
+
+@pytest.fixture(scope="session")
+def seq_trace():
+    """Deterministic sequential trace of 256 blocks."""
+    return sequential_trace()

@@ -1,0 +1,75 @@
+"""Tests for the storage / area / energy analysis (Tables I & IV, §III-E)."""
+
+import pytest
+
+from repro.analysis import (
+    baseline_storage_table,
+    estimate_pattern_module_cost,
+    gaze_storage_breakdown,
+    gaze_vs_pmp_comparison,
+    prefetcher_storage_kib,
+)
+from repro.analysis.storage import GAZE_STORAGE_BREAKDOWN, storage_ratio_vs
+
+
+class TestGazeStorage:
+    def test_breakdown_structures(self):
+        breakdown = gaze_storage_breakdown()
+        for structure, paper_bytes in GAZE_STORAGE_BREAKDOWN.items():
+            assert breakdown[structure] == pytest.approx(paper_bytes, rel=0.02)
+
+    def test_total_is_4_46_kb(self):
+        breakdown = gaze_storage_breakdown()
+        assert breakdown["Total"] / 1024 == pytest.approx(4.46, abs=0.02)
+
+    def test_dc_is_tiny(self):
+        assert gaze_storage_breakdown()["DC"] < 1.0
+
+
+class TestBaselineStorage:
+    def test_rows_have_measured_and_paper(self):
+        for row in baseline_storage_table():
+            assert row["measured_kib"] > 0
+
+    def test_gaze_much_smaller_than_bingo(self):
+        """The paper reports a ~31x storage advantage over Bingo."""
+        ratio = storage_ratio_vs("bingo", "gaze")
+        assert ratio > 20
+
+    def test_gaze_close_to_pmp(self):
+        gaze = prefetcher_storage_kib("gaze")
+        pmp = prefetcher_storage_kib("pmp")
+        assert abs(pmp - gaze) < 1.5
+
+    def test_low_cost_group_under_10kb(self):
+        for name in ("gaze", "pmp", "dspatch", "vberti", "ipcp"):
+            assert prefetcher_storage_kib(name) < 10
+
+
+class TestAreaEnergy:
+    def test_known_designs(self):
+        for design in ("gaze", "pmp", "berti"):
+            estimates = estimate_pattern_module_cost(design)
+            for estimate in estimates.values():
+                assert estimate.area_mm2 > 0
+                assert estimate.access_energy_pj > 0
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_pattern_module_cost("mystery")
+
+    def test_gaze_cheaper_than_pmp(self):
+        """§III-E: Gaze's PHM is ~29% of PMP's area and <46% of its energy."""
+        comparison = gaze_vs_pmp_comparison()
+        assert comparison["gaze_over_pmp_area"] < 0.6
+        assert comparison["gaze_over_pmp_energy"] < 1.0
+
+    def test_berti_l1_extension_larger_than_gaze_phm(self):
+        """§III-E: Berti's per-line extension costs >10x the Gaze PHM."""
+        comparison = gaze_vs_pmp_comparison()
+        assert comparison["berti_over_gaze_area"] > 2.0
+
+    def test_gaze_line_narrower_than_pmp_line(self):
+        gaze = estimate_pattern_module_cost("gaze")["PHT"]
+        pmp = estimate_pattern_module_cost("pmp")["OPT"]
+        assert gaze.bits_per_line < pmp.bits_per_line

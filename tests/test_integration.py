@@ -1,0 +1,116 @@
+"""End-to-end integration tests across the full stack."""
+
+import pytest
+
+from repro.prefetchers import available_prefetchers, create_prefetcher
+from repro.sim import default_system_config, simulate_mix, simulate_trace
+from repro.workloads import make_trace
+
+
+MAIN_NAMES = (
+    "ip-stride", "spp-ppf", "ipcp", "vberti", "sms", "bingo", "dspatch", "pmp", "gaze",
+)
+
+
+class TestEveryPrefetcherRuns:
+    @pytest.mark.parametrize("name", sorted(available_prefetchers()))
+    def test_runs_on_spatial_trace(self, name, spatial_trace):
+        stats = simulate_trace(
+            spatial_trace[:2000], prefetcher=create_prefetcher(name)
+        )
+        assert stats.cycles > 0
+        assert stats.instructions > 0
+        assert 0.0 <= stats.prefetch.accuracy <= 1.0
+        assert stats.prefetch.filled >= stats.prefetch.useful
+
+    @pytest.mark.parametrize("name", MAIN_NAMES)
+    def test_runs_on_cloud_trace(self, name, cloud_trace):
+        stats = simulate_trace(cloud_trace[:2000], prefetcher=create_prefetcher(name))
+        assert stats.demand_accesses == 2000
+
+
+class TestMetricConsistency:
+    @pytest.mark.parametrize("name", ("gaze", "pmp", "bingo", "vberti"))
+    def test_prefetch_accounting_consistent(self, name, spatial_trace):
+        stats = simulate_trace(spatial_trace, prefetcher=create_prefetcher(name))
+        prefetch = stats.prefetch
+        assert prefetch.issued <= prefetch.generated
+        assert prefetch.useful <= prefetch.filled + 1
+        assert prefetch.late <= prefetch.useful
+        assert prefetch.covered_llc_misses <= prefetch.useful
+        assert (
+            prefetch.generated
+            == prefetch.issued
+            + prefetch.dropped_queue_full
+            + prefetch.redundant
+            + prefetch.dropped_mshr_full
+            or prefetch.generated >= prefetch.issued
+        )
+
+    def test_hit_counters_sum_to_accesses(self, spatial_trace):
+        stats = simulate_trace(spatial_trace, prefetcher=create_prefetcher("gaze"))
+        served = stats.l1_hits + stats.l2_hits + stats.llc_hits + stats.llc_misses
+        assert served == stats.demand_accesses
+
+    def test_prefetching_never_increases_llc_misses_much(self, streaming_trace):
+        base = simulate_trace(streaming_trace, prefetcher=None)
+        gaze = simulate_trace(streaming_trace, prefetcher=create_prefetcher("gaze"))
+        assert gaze.llc_misses <= base.llc_misses * 1.05
+
+    def test_determinism_with_prefetcher(self, cloud_trace):
+        first = simulate_trace(cloud_trace[:3000], prefetcher=create_prefetcher("gaze"))
+        second = simulate_trace(cloud_trace[:3000], prefetcher=create_prefetcher("gaze"))
+        assert first.cycles == second.cycles
+        assert first.prefetch.issued == second.prefetch.issued
+
+
+class TestSystemSensitivityDirections:
+    def test_more_bandwidth_helps_baseline(self, streaming_trace):
+        from dataclasses import replace
+
+        slow_cfg = default_system_config(1)
+        slow_cfg = replace(slow_cfg, dram=replace(slow_cfg.dram, transfer_rate_mtps=800))
+        fast_cfg = default_system_config(1)
+        fast_cfg = replace(fast_cfg, dram=replace(fast_cfg.dram, transfer_rate_mtps=12800))
+        slow = simulate_trace(streaming_trace, prefetcher=None, config=slow_cfg)
+        fast = simulate_trace(streaming_trace, prefetcher=None, config=fast_cfg)
+        assert fast.ipc >= slow.ipc
+
+    def test_bigger_llc_reduces_misses(self, cloud_trace):
+        from dataclasses import replace
+
+        small_cfg = default_system_config(1)
+        small_cfg = replace(
+            small_cfg, llc=replace(small_cfg.llc, size_bytes=512 * 1024)
+        )
+        big_cfg = default_system_config(1)
+        big_cfg = replace(big_cfg, llc=replace(big_cfg.llc, size_bytes=8 * 1024 * 1024))
+        small = simulate_trace(cloud_trace, prefetcher=None, config=small_cfg)
+        big = simulate_trace(cloud_trace, prefetcher=None, config=big_cfg)
+        assert big.llc_misses <= small.llc_misses
+
+
+class TestMultiCoreIntegration:
+    def test_homogeneous_four_core_gaze(self):
+        trace = make_trace("streaming", seed=9, length=4000)
+        config = default_system_config(4)
+        baseline = simulate_mix([trace] * 4, None, config, 10_000)
+        gaze = simulate_mix(
+            [trace] * 4, lambda: create_prefetcher("gaze"), config, 10_000
+        )
+        speedup = gaze.geomean_speedup(baseline)
+        assert speedup > 0.9
+
+    def test_heterogeneous_mix_all_cores_progress(self):
+        traces = [
+            make_trace("streaming", seed=1, length=3000),
+            make_trace("cloud", seed=2, length=3000),
+            make_trace("graph", seed=3, length=3000),
+            make_trace("pointer-chase", seed=4, length=3000),
+        ]
+        run = simulate_mix(
+            traces, lambda: create_prefetcher("gaze"), default_system_config(4), 8_000
+        )
+        for stats in run.per_core.values():
+            assert stats.instructions >= 8_000
+            assert stats.ipc > 0

@@ -1,0 +1,187 @@
+"""Integration tests asserting the paper's qualitative claims (shape checks).
+
+These are the claims the reproduction is expected to preserve: who wins,
+in which scenario, and in roughly which direction -- not absolute numbers
+(our substrate is a scaled-down Python simulator, not the authors' ChampSim
+testbed).  Each test runs a small but representative workload.
+"""
+
+import pytest
+
+from repro.prefetchers import create_prefetcher
+from repro.sim import default_system_config, simulate_mix, simulate_trace
+from repro.workloads import make_trace
+
+
+def run(trace, name):
+    if name is None:
+        return simulate_trace(trace, prefetcher=None)
+    return simulate_trace(trace, prefetcher=create_prefetcher(name))
+
+
+@pytest.fixture(scope="module")
+def spatial():
+    return make_trace("spatial", seed=17, length=12_000)
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return make_trace("cloud", seed=18, length=12_000)
+
+
+@pytest.fixture(scope="module")
+def streaming():
+    return make_trace("streaming", seed=19, length=12_000)
+
+
+@pytest.fixture(scope="module")
+def mixed():
+    return make_trace("mixed", seed=20, length=12_000)
+
+
+class TestCharacterizationClaims:
+    """§II-B / Fig. 1-2: two-access characterization beats trigger-only."""
+
+    def test_gaze_beats_offset_only_on_spatial(self, spatial):
+        base = run(spatial, None)
+        gaze = run(spatial, "gaze")
+        offset = run(spatial, "offset")
+        assert gaze.speedup(base) > offset.speedup(base)
+
+    def test_gaze_more_accurate_than_pmp_on_spatial(self, spatial):
+        gaze = run(spatial, "gaze")
+        pmp = run(spatial, "pmp")
+        assert gaze.prefetch.accuracy > pmp.prefetch.accuracy + 0.1
+
+    def test_gaze_matches_finegrained_without_their_storage(self, spatial):
+        base = run(spatial, None)
+        gaze = run(spatial, "gaze")
+        bingo = run(spatial, "bingo")
+        assert gaze.speedup(base) > 0.9 * bingo.speedup(base)
+        assert (create_prefetcher("bingo").storage_kib()
+                > 20 * create_prefetcher("gaze").storage_kib())
+
+    def test_coarse_schemes_degrade_on_cloud(self, cloud):
+        """Fig. 1/6: PMP and Offset lose performance on scale-out workloads."""
+        base = run(cloud, None)
+        assert run(cloud, "pmp").speedup(base) < 1.0
+        assert run(cloud, "offset").speedup(base) < 1.0
+
+    def test_gaze_improves_cloud(self, cloud):
+        base = run(cloud, None)
+        assert run(cloud, "gaze").speedup(base) > 1.05
+
+    def test_vberti_accurate_but_low_coverage_on_cloud(self, cloud):
+        """§IV-B1: vBerti's accuracy is high on cloud but it covers few misses."""
+        base = run(cloud, None)
+        vberti = run(cloud, "vberti")
+        gaze = run(cloud, "gaze")
+        assert vberti.prefetch.accuracy >= 0.5
+        assert vberti.coverage(base) < gaze.coverage(base)
+
+
+class TestInitialAccessTradeoff:
+    """Fig. 4: more initial accesses -> higher accuracy, lower coverage."""
+
+    def test_accuracy_rises_with_n(self, spatial):
+        acc = {}
+        for n in (1, 2, 4):
+            stats = run(spatial, f"gaze-n{n}")
+            acc[n] = stats.prefetch.accuracy
+        assert acc[2] >= acc[1]
+        assert acc[4] >= acc[2] - 0.05
+
+    def test_coverage_falls_with_large_n(self, spatial):
+        base = run(spatial, None)
+        cov2 = run(spatial, "gaze-n2").coverage(base)
+        cov4 = run(spatial, "gaze-n4").coverage(base)
+        assert cov4 <= cov2 + 0.02
+
+
+class TestStreamingClaims:
+    """§III-C / Fig. 10: the dedicated streaming module matters when dense
+    streams are interleaved with partially-touched regions."""
+
+    def test_gaze_handles_pure_streaming(self, streaming):
+        base = run(streaming, None)
+        assert run(streaming, "gaze").speedup(base) > 1.05
+
+    def test_sm4ss_faster_than_pht4ss_on_mixed(self, mixed):
+        """Fig. 10 (computing phase): the finer-grained streaming module
+        performs better than naively replaying dense patterns via the PHT."""
+        base = run(mixed, None)
+        sm = run(mixed, "sm4ss")
+        pht = run(mixed, "pht4ss")
+        assert sm.speedup(base) >= pht.speedup(base)
+
+    def test_full_gaze_covers_more_than_streaming_only(self, mixed):
+        base = run(mixed, None)
+        assert run(mixed, "gaze").coverage(base) >= run(mixed, "sm4ss").coverage(base)
+
+    def test_gaze_positive_on_mixed(self, mixed):
+        base = run(mixed, None)
+        assert run(mixed, "gaze").speedup(base) > 1.0
+
+
+class TestIrregularSafety:
+    """§IV-B3: Gaze degrades only mildly on irregular workloads while PMP
+    collapses."""
+
+    def test_gaze_safe_on_pointer_chase(self):
+        trace = make_trace("pointer-chase", seed=23, length=10_000)
+        base = run(trace, None)
+        gaze = run(trace, "gaze")
+        pmp = run(trace, "pmp")
+        assert gaze.speedup(base) > 0.93
+        assert pmp.speedup(base) < gaze.speedup(base)
+
+    def test_max_degradation_ordering(self, cloud):
+        base = run(cloud, None)
+        gaze_drop = 1.0 - run(cloud, "gaze").speedup(base)
+        pmp_drop = 1.0 - run(cloud, "pmp").speedup(base)
+        assert pmp_drop > gaze_drop
+
+
+class TestMultiCoreClaims:
+    """Fig. 14: Gaze degrades more gracefully than aggressive coarse designs."""
+
+    @pytest.fixture(scope="class")
+    def four_core_results(self):
+        traces = [
+            make_trace("spatial", seed=31, length=5_000),
+            make_trace("cloud", seed=32, length=5_000),
+            make_trace("streaming", seed=33, length=5_000),
+            make_trace("graph", seed=34, length=5_000),
+        ]
+        config = default_system_config(4)
+        baseline = simulate_mix(traces, None, config, 12_000)
+        out = {}
+        for name in ("gaze", "pmp", "vberti"):
+            result = simulate_mix(
+                traces, lambda n=name: create_prefetcher(n), config, 12_000
+            )
+            out[name] = result.geomean_speedup(baseline)
+        return out
+
+    def test_gaze_best_in_four_core_mix(self, four_core_results):
+        assert four_core_results["gaze"] >= four_core_results["pmp"]
+        assert four_core_results["gaze"] >= four_core_results["vberti"] - 0.02
+
+    def test_pmp_hurt_by_contention(self, four_core_results):
+        assert four_core_results["pmp"] < 1.05
+
+
+class TestStorageClaims:
+    """Table I / §III-E."""
+
+    def test_gaze_storage_4_46_kb(self):
+        assert create_prefetcher("gaze").storage_kib() == pytest.approx(4.46, abs=0.02)
+
+    def test_gaze_vs_bingo_storage_ratio(self):
+        ratio = (create_prefetcher("bingo").storage_kib()
+                 / create_prefetcher("gaze").storage_kib())
+        assert ratio > 20
+
+    def test_gaze_smaller_than_pmp(self):
+        assert (create_prefetcher("gaze").storage_kib()
+                < create_prefetcher("pmp").storage_kib())

@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accumulation_table import GazeRegionEntry
+from repro.core.gaze import GazePrefetcher
+from repro.core.pattern_history import GazePatternHistoryTable
+from repro.core.prefetch_buffer import GazePrefetchBuffer
+from repro.prefetchers.spatial_common import (
+    RegionTracker,
+    footprint_population,
+    footprint_to_offsets,
+    offsets_to_footprint,
+    rotate_footprint,
+)
+from repro.prefetchers.tables import LRUTable, SetAssociativeTable
+from repro.sim.cache import Cache
+from repro.sim.config import CacheConfig, DRAMConfig
+from repro.sim.dram import DRAMModel
+from repro.sim.types import (
+    address_from_region_offset,
+    block_offset_in_region,
+    region_number,
+)
+
+offsets_strategy = st.lists(
+    st.integers(min_value=0, max_value=63), min_size=1, max_size=64
+)
+
+
+class TestFootprintProperties:
+    @given(offsets=offsets_strategy)
+    def test_offsets_footprint_round_trip(self, offsets):
+        footprint = offsets_to_footprint(offsets)
+        assert set(footprint_to_offsets(footprint)) == set(offsets)
+        assert footprint_population(footprint) == len(set(offsets))
+
+    @given(offsets=offsets_strategy, shift=st.integers(min_value=-256, max_value=256))
+    def test_rotation_preserves_population(self, offsets, shift):
+        footprint = offsets_to_footprint(offsets)
+        rotated = rotate_footprint(footprint, shift)
+        assert footprint_population(rotated) == footprint_population(footprint)
+
+    @given(offsets=offsets_strategy, shift=st.integers(min_value=-128, max_value=128))
+    def test_rotation_is_invertible(self, offsets, shift):
+        footprint = offsets_to_footprint(offsets)
+        assert rotate_footprint(rotate_footprint(footprint, shift), -shift) == footprint
+
+    @given(
+        region=st.integers(min_value=0, max_value=1 << 30),
+        offset=st.integers(min_value=0, max_value=63),
+    )
+    def test_region_offset_address_round_trip(self, region, offset):
+        address = address_from_region_offset(region, offset)
+        assert region_number(address) == region
+        assert block_offset_in_region(address) == offset
+
+
+class TestTableProperties:
+    @given(keys=st.lists(st.integers(min_value=0, max_value=100), max_size=200),
+           capacity=st.integers(min_value=1, max_value=16))
+    def test_lru_table_never_exceeds_capacity(self, keys, capacity):
+        table = LRUTable(capacity=capacity)
+        for key in keys:
+            table.put(key, key * 2)
+            assert len(table) <= capacity
+        # Every resident value is consistent with its key.
+        for key, value in table.items():
+            assert value == key * 2
+
+    @given(keys=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=31),
+                  st.integers(min_value=0, max_value=63)),
+        max_size=200,
+    ))
+    def test_set_associative_bounds(self, keys):
+        table = SetAssociativeTable(sets=8, ways=4)
+        for set_index, tag in keys:
+            table.put(set_index, tag, tag)
+        assert len(table) <= table.capacity
+        for set_index in range(8):
+            assert len(table.entries_in_set(set_index)) <= 4
+
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=63),
+                      st.integers(min_value=0, max_value=63),
+                      st.integers(min_value=0, max_value=(1 << 64) - 1)),
+            max_size=100,
+        )
+    )
+    def test_pht_prediction_only_after_learning(self, entries):
+        pht = GazePatternHistoryTable()
+        learned = {}
+        for trigger, second, footprint in entries:
+            pht.learn(trigger, second, footprint)
+            learned[(trigger, second)] = footprint
+        for (trigger, second), footprint in learned.items():
+            prediction = pht.predict(trigger, second)
+            # Either evicted (None) or exactly what was last learned.
+            assert prediction is None or prediction == footprint
+
+
+class TestCacheProperties:
+    @given(blocks=st.lists(st.integers(min_value=0, max_value=500), min_size=1,
+                           max_size=300))
+    @settings(max_examples=50)
+    def test_cache_capacity_and_hit_consistency(self, blocks):
+        cache = Cache(CacheConfig(name="P", size_bytes=16 * 64 * 2, ways=2,
+                                  latency=1, mshrs=4))
+        for block in blocks:
+            hit, _ = cache.access(block)
+            if not hit:
+                cache.fill(block)
+            assert len(cache) <= cache.config.total_blocks
+            # A block just accessed/filled must be resident.
+            assert cache.contains(block)
+
+    @given(blocks=st.lists(st.integers(min_value=0, max_value=2000), min_size=1,
+                           max_size=200),
+           cycles=st.lists(st.integers(min_value=0, max_value=10), min_size=1,
+                           max_size=200))
+    @settings(max_examples=30)
+    def test_dram_latency_never_negative_and_busy_monotone(self, blocks, cycles):
+        dram = DRAMModel(DRAMConfig())
+        now = 0
+        for block, gap in zip(blocks, cycles):
+            now += gap
+            latency = dram.access(block, now)
+            assert latency >= 0
+        assert dram.stats.requests == min(len(blocks), len(cycles))
+        assert dram.stats.row_hits + dram.stats.row_misses == dram.stats.requests
+
+
+class TestRegionTrackerProperties:
+    @given(accesses=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=0, max_value=63)),
+        min_size=1, max_size=300,
+    ))
+    @settings(max_examples=50)
+    def test_footprint_always_contains_initial_offsets(self, accesses):
+        tracker = RegionTracker(accumulation_entries=4)
+        collected = []
+        for region, offset in accesses:
+            _, _, deactivations, _ = tracker.observe(
+                pc=1, address=region * 4096 + offset * 64
+            )
+            collected.extend(deactivations)
+        collected.extend(tracker.drain())
+        for event in collected:
+            assert event.footprint & (1 << event.trigger_offset)
+            assert event.footprint & (1 << event.second_offset)
+            assert event.trigger_offset != event.second_offset
+            assert footprint_population(event.footprint) >= 2
+
+
+class TestGazeProperties:
+    @given(accesses=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=7),
+                  st.integers(min_value=0, max_value=63)),
+        min_size=1, max_size=300,
+    ))
+    @settings(max_examples=30, deadline=None)
+    def test_gaze_never_prefetches_demanded_initial_blocks(self, accesses):
+        """Requests are always block-aligned, inside the region, and never for
+        the trigger/second blocks the region was activated with."""
+        gaze = GazePrefetcher()
+        activations = {}
+        for index, (region, offset) in enumerate(accesses):
+            address = region * 4096 + offset * 64
+            at_before = gaze.accumulation_table.lookup(region) is None
+            requests = gaze.train(0x400, address, index * 10)
+            entry = gaze.accumulation_table.lookup(region)
+            if at_before and entry is not None:
+                activations[region] = (entry.trigger_offset, entry.second_offset)
+            for request in requests:
+                assert request.address % 64 == 0
+                req_region = request.address // 4096
+                req_offset = (request.address % 4096) // 64
+                assert 0 <= req_offset < 64
+                if req_region in activations:
+                    trigger, second = activations[req_region]
+                    assert req_offset not in (trigger, second)
+
+    @given(offsets=st.lists(st.integers(min_value=0, max_value=63), min_size=2,
+                            max_size=80))
+    @settings(max_examples=50)
+    def test_region_entry_footprint_superset_of_accesses(self, offsets):
+        entry = GazeRegionEntry(region=0, trigger_pc=0,
+                                trigger_offset=offsets[0], second_offset=offsets[1])
+        for offset in offsets:
+            entry.record(offset)
+        footprint_offsets = set(footprint_to_offsets(entry.footprint))
+        assert footprint_offsets == set(offsets)
+
+
+class TestPrefetchBufferProperties:
+    @given(
+        l1=st.lists(st.integers(min_value=0, max_value=63), max_size=64),
+        l2=st.lists(st.integers(min_value=0, max_value=63), max_size=64),
+    )
+    @settings(max_examples=60)
+    def test_no_offset_issued_twice(self, l1, l2):
+        pb = GazePrefetchBuffer()
+        pb.add_pattern(region=3, offsets_to_l1=l1, offsets_to_l2=l2)
+        issued = []
+        while True:
+            batch = pb.pop_requests(3, 4096, limit=7)
+            if not batch:
+                break
+            issued.extend((r.address % 4096) // 64 for r in batch)
+        assert len(issued) == len(set(issued))
+        assert set(issued) == set(l1) | set(l2)

@@ -1,0 +1,189 @@
+"""Unit tests for the cache model (LRU, prefetch provenance, MSHRs)."""
+
+import pytest
+
+from repro.sim.cache import Cache, MSHRFile
+from repro.sim.config import CacheConfig
+
+
+def tiny_cache(ways: int = 2, sets: int = 4) -> Cache:
+    return Cache(
+        CacheConfig(
+            name="T", size_bytes=sets * ways * 64, ways=ways, latency=1, mshrs=4
+        )
+    )
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        hit, _ = cache.access(10)
+        assert not hit
+        cache.fill(10)
+        hit, entry = cache.access(10)
+        assert hit
+        assert entry.block == 10
+
+    def test_len_counts_resident_blocks(self):
+        cache = tiny_cache()
+        for block in range(5):
+            cache.fill(block * 4)  # map to same set index 0
+        assert len(cache) == 2  # capacity of one set
+
+    def test_contains_does_not_change_lru(self):
+        cache = tiny_cache(ways=2)
+        cache.fill(0)
+        cache.fill(4)
+        # Probe block 0 without touching LRU, then insert a conflicting block:
+        assert cache.contains(0)
+        cache.fill(8)
+        # Block 0 (still LRU) should have been evicted.
+        assert not cache.contains(0)
+        assert cache.contains(4)
+
+    def test_lookup_refreshes_lru(self):
+        cache = tiny_cache(ways=2)
+        cache.fill(0)
+        cache.fill(4)
+        cache.lookup(0, update_lru=True)
+        cache.fill(8)
+        assert cache.contains(0)
+        assert not cache.contains(4)
+
+    def test_set_mapping(self):
+        cache = tiny_cache(sets=4)
+        assert cache.set_index(0) == 0
+        assert cache.set_index(5) == 1
+        assert cache.set_index(7) == 3
+
+    def test_hits_misses_counted(self):
+        cache = tiny_cache()
+        cache.access(1)
+        cache.fill(1)
+        cache.access(1)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_reset_statistics(self):
+        cache = tiny_cache()
+        cache.access(1)
+        cache.reset_statistics()
+        assert cache.misses == 0
+
+
+class TestLRUReplacement:
+    def test_evicts_least_recently_used(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fill(1)
+        cache.fill(2)
+        cache.access(1)  # make 2 the LRU
+        victim = cache.fill(3)
+        assert victim is not None
+        assert victim.block == 2
+
+    def test_never_evicts_most_recently_used(self):
+        cache = tiny_cache(ways=4, sets=1)
+        for block in range(4):
+            cache.fill(block)
+        cache.access(3)
+        victim = cache.fill(99)
+        assert victim.block != 3
+
+    def test_refill_existing_block_no_eviction(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fill(1)
+        cache.fill(2)
+        assert cache.fill(1) is None
+        assert len(cache) == 2
+
+    def test_eviction_listener_called(self):
+        cache = tiny_cache(ways=1, sets=1)
+        evicted = []
+        cache.eviction_listeners.append(lambda blk: evicted.append(blk.block))
+        cache.fill(1)
+        cache.fill(2)
+        assert evicted == [1]
+
+    def test_invalidate(self):
+        cache = tiny_cache()
+        cache.fill(9)
+        removed = cache.invalidate(9)
+        assert removed.block == 9
+        assert not cache.contains(9)
+        assert cache.invalidate(9) is None
+
+
+class TestPrefetchProvenance:
+    def test_prefetched_flag_preserved(self):
+        cache = tiny_cache()
+        cache.fill(5, prefetched=True, from_dram=True)
+        entry = cache.lookup(5, update_lru=False)
+        assert entry.prefetched
+        assert entry.from_dram
+        assert not entry.prefetch_useful
+
+    def test_demand_hit_marks_prefetch_useful(self):
+        cache = tiny_cache()
+        cache.fill(5, prefetched=True)
+        _, entry = cache.access(5)
+        assert entry.prefetch_useful
+
+    def test_useless_prefetch_eviction_counted(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.fill(1, prefetched=True)
+        cache.fill(2)  # evicts unused prefetch
+        assert cache.useless_prefetch_evictions == 1
+
+    def test_used_prefetch_eviction_not_useless(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.fill(1, prefetched=True)
+        cache.access(1)
+        cache.fill(2)
+        assert cache.useless_prefetch_evictions == 0
+
+    def test_dirty_flag_merged_on_refill(self):
+        cache = tiny_cache()
+        cache.fill(3, dirty=False)
+        cache.fill(3, dirty=True)
+        assert cache.lookup(3, update_lru=False).dirty
+
+
+class TestMSHRFile:
+    def test_capacity_enforced(self):
+        mshr = MSHRFile(capacity=2)
+        mshr.allocate(1, ready_cycle=100, is_prefetch=True)
+        mshr.allocate(2, ready_cycle=100, is_prefetch=True)
+        assert not mshr.has_free_entry(cycle=0)
+
+    def test_expire_frees_entries(self):
+        mshr = MSHRFile(capacity=2)
+        mshr.allocate(1, ready_cycle=10, is_prefetch=True)
+        mshr.allocate(2, ready_cycle=50, is_prefetch=True)
+        done = mshr.expire(cycle=20)
+        assert [e.block for e in done] == [1]
+        assert mshr.has_free_entry(cycle=20)
+
+    def test_merge_keeps_earliest_ready(self):
+        mshr = MSHRFile(capacity=2)
+        mshr.allocate(1, ready_cycle=100, is_prefetch=True)
+        entry = mshr.allocate(1, ready_cycle=50, is_prefetch=False)
+        assert entry.ready_cycle == 50
+        assert len(mshr) == 1
+
+    def test_lookup_and_remove(self):
+        mshr = MSHRFile(capacity=2)
+        mshr.allocate(7, ready_cycle=5, is_prefetch=True)
+        assert mshr.lookup(7) is not None
+        assert mshr.remove(7).block == 7
+        assert mshr.lookup(7) is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(capacity=0)
+
+    def test_outstanding_snapshot(self):
+        mshr = MSHRFile(capacity=4)
+        mshr.allocate(1, 10, True)
+        mshr.allocate(2, 20, False)
+        blocks = sorted(e.block for e in mshr.outstanding())
+        assert blocks == [1, 2]

@@ -1,0 +1,111 @@
+"""Unit tests for repro.sim.config."""
+
+import pytest
+
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    DRAMConfig,
+    SystemConfig,
+    default_system_config,
+)
+
+
+class TestCoreConfig:
+    def test_defaults_match_table2(self):
+        core = CoreConfig()
+        assert core.width == 4
+        assert core.rob_size == 352
+        assert core.load_queue_size == 128
+        assert core.store_queue_size == 72
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(width=0)
+
+    def test_invalid_rob_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(rob_size=-1)
+
+    def test_invalid_mshr_rejected(self):
+        with pytest.raises(ValueError):
+            CoreConfig(max_outstanding_misses=0)
+
+
+class TestCacheConfig:
+    def test_l1d_geometry(self):
+        config = default_system_config(1).l1d
+        assert config.size_bytes == 48 * 1024
+        assert config.ways == 12
+        assert config.sets == 64
+        assert config.total_blocks == 768
+
+    def test_l2c_geometry(self):
+        config = default_system_config(1).l2c
+        assert config.size_bytes == 512 * 1024
+        assert config.sets == 1024
+
+    def test_llc_geometry_single_core(self):
+        config = default_system_config(1).llc
+        assert config.size_bytes == 2 * 1024 * 1024
+        assert config.ways == 16
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="bad", size_bytes=1000, ways=3, latency=1, mshrs=4)
+
+    def test_non_power_of_two_sets_allowed(self):
+        config = CacheConfig(name="odd", size_bytes=3 * 64 * 8, ways=8, latency=1, mshrs=4)
+        assert config.sets == 3
+
+
+class TestDRAMConfig:
+    def test_latencies_positive(self):
+        dram = DRAMConfig()
+        assert dram.row_hit_latency_cycles > 0
+        assert dram.row_miss_latency_cycles > dram.row_hit_latency_cycles
+
+    def test_transfer_cycles_scale_with_rate(self):
+        slow = DRAMConfig(transfer_rate_mtps=800)
+        fast = DRAMConfig(transfer_rate_mtps=12800)
+        assert slow.transfer_cycles_per_block > fast.transfer_cycles_per_block
+        assert slow.transfer_cycles_per_block == pytest.approx(
+            16 * fast.transfer_cycles_per_block
+        )
+
+    def test_ddr4_3200_transfer_time(self):
+        dram = DRAMConfig()
+        # 64 bytes over 25.6 GB/s at 4 GHz = 10 CPU cycles.
+        assert dram.transfer_cycles_per_block == pytest.approx(10.0, rel=0.01)
+
+    def test_total_banks(self):
+        dram = DRAMConfig(channels=2, ranks_per_channel=2, banks_per_rank=8)
+        assert dram.total_banks == 32
+
+
+class TestSystemScaling:
+    def test_single_core_default(self):
+        config = default_system_config(1)
+        assert config.num_cores == 1
+        assert config.dram.channels == 1
+
+    def test_llc_scales_with_cores(self):
+        for cores in (1, 2, 4, 8):
+            config = default_system_config(cores)
+            assert config.llc.size_bytes == 2 * 1024 * 1024 * cores
+
+    def test_dram_channels_scale_with_cores(self):
+        assert default_system_config(2).dram.channels == 2
+        assert default_system_config(4).dram.channels == 2
+        assert default_system_config(4).dram.ranks_per_channel == 2
+        assert default_system_config(8).dram.channels == 4
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            SystemConfig().scaled_for_cores(0)
+
+    def test_scaling_is_pure(self):
+        base = SystemConfig()
+        scaled = base.scaled_for_cores(8)
+        assert base.llc.size_bytes == 2 * 1024 * 1024
+        assert scaled.llc.size_bytes == 16 * 1024 * 1024

@@ -1,0 +1,117 @@
+"""Unit tests for the analytic core timing model."""
+
+import pytest
+
+from repro.sim.config import CoreConfig
+from repro.sim.cpu import CoreTimingModel
+
+
+def run_loads(core: CoreTimingModel, count: int, latency: int, gap: int = 0):
+    for _ in range(count):
+        core.advance_non_memory(gap)
+        core.begin_memory_access()
+        core.complete_memory_access(latency)
+    return core.finalize()
+
+
+class TestFrontEndBound:
+    def test_all_hits_is_fetch_bound(self):
+        core = CoreTimingModel(CoreConfig(width=4))
+        instructions, cycles = run_loads(core, count=1000, latency=5, gap=3)
+        ipc = instructions / cycles
+        assert 3.0 <= ipc <= 4.0
+
+    def test_width_scales_throughput(self):
+        narrow = CoreTimingModel(CoreConfig(width=1))
+        wide = CoreTimingModel(CoreConfig(width=8))
+        n_instr, n_cycles = run_loads(narrow, 500, latency=5, gap=3)
+        w_instr, w_cycles = run_loads(wide, 500, latency=5, gap=3)
+        assert n_instr == w_instr
+        assert w_cycles < n_cycles
+
+    def test_non_memory_instructions_counted(self):
+        core = CoreTimingModel(CoreConfig())
+        core.advance_non_memory(100)
+        core.begin_memory_access()
+        core.complete_memory_access(1)
+        instructions, _ = core.finalize()
+        assert instructions == 101
+
+
+class TestMemoryBound:
+    def test_long_latency_reduces_ipc(self):
+        fast = CoreTimingModel(CoreConfig())
+        slow = CoreTimingModel(CoreConfig())
+        _, fast_cycles = run_loads(fast, 500, latency=5, gap=2)
+        _, slow_cycles = run_loads(slow, 500, latency=200, gap=2)
+        assert slow_cycles > fast_cycles
+
+    def test_mlp_limited_by_mshrs(self):
+        few = CoreTimingModel(CoreConfig(max_outstanding_misses=2))
+        many = CoreTimingModel(CoreConfig(max_outstanding_misses=64))
+        _, few_cycles = run_loads(few, 300, latency=200, gap=2)
+        _, many_cycles = run_loads(many, 300, latency=200, gap=2)
+        assert many_cycles < few_cycles
+
+    def test_mshr_bound_throughput(self):
+        """With K MSHRs and latency L, miss throughput is at most K per L cycles."""
+        config = CoreConfig(max_outstanding_misses=4)
+        core = CoreTimingModel(config)
+        count, latency = 400, 100
+        _, cycles = run_loads(core, count, latency=latency, gap=0)
+        minimum_cycles = (count / config.max_outstanding_misses) * latency
+        assert cycles >= 0.9 * minimum_cycles
+
+    def test_rob_limits_overlap(self):
+        small = CoreTimingModel(CoreConfig(rob_size=8, max_outstanding_misses=64))
+        large = CoreTimingModel(CoreConfig(rob_size=512, max_outstanding_misses=64))
+        _, small_cycles = run_loads(small, 300, latency=150, gap=4)
+        _, large_cycles = run_loads(large, 300, latency=150, gap=4)
+        assert large_cycles < small_cycles
+
+    def test_short_latency_does_not_occupy_mshr(self):
+        core = CoreTimingModel(CoreConfig(max_outstanding_misses=1))
+        _, cycles = run_loads(core, 400, latency=5, gap=3)
+        ipc = 400 * 4 / cycles  # 3 gap + 1 load per iteration
+        assert ipc > 2.0
+
+
+class TestModelInvariants:
+    def test_issue_cycles_monotonic(self):
+        core = CoreTimingModel(CoreConfig())
+        previous = -1
+        for index in range(200):
+            core.advance_non_memory(2)
+            issue = core.begin_memory_access()
+            assert issue >= previous
+            previous = issue
+            core.complete_memory_access(50 if index % 3 else 300)
+
+    def test_finalize_waits_for_outstanding_loads(self):
+        core = CoreTimingModel(CoreConfig())
+        core.begin_memory_access()
+        core.complete_memory_access(10_000)
+        _, cycles = core.finalize()
+        assert cycles >= 10_000
+
+    def test_cycles_at_least_instructions_over_width(self):
+        core = CoreTimingModel(CoreConfig(width=4))
+        instructions, cycles = run_loads(core, 200, latency=5, gap=7)
+        assert cycles >= instructions / 4 - 1
+
+    def test_snapshot_progress(self):
+        core = CoreTimingModel(CoreConfig())
+        run_args = (core, 10, 5)
+        for _ in range(10):
+            core.begin_memory_access()
+            core.complete_memory_access(5)
+        snap = core.snapshot()
+        assert snap.instructions == 10
+        assert snap.cycles > 0
+
+    def test_zero_gap_allowed(self):
+        core = CoreTimingModel(CoreConfig())
+        core.advance_non_memory(0)
+        instructions, cycles = run_loads(core, 10, latency=5)
+        assert instructions == 10
+        assert cycles >= 1

@@ -1,0 +1,104 @@
+"""Unit tests for the DRAM timing/bandwidth model."""
+
+import pytest
+
+from repro.sim.config import DRAMConfig
+from repro.sim.dram import DRAMModel
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        dram = DRAMModel(DRAMConfig())
+        dram.access(block=0, cycle=0)
+        assert dram.stats.row_misses == 1
+        assert dram.stats.row_hits == 0
+
+    def test_same_row_hits(self):
+        dram = DRAMModel(DRAMConfig())
+        dram.access(block=0, cycle=0)
+        dram.access(block=8, cycle=1000)  # same bank, same row, far in time
+        assert dram.stats.row_hits == 1
+
+    def test_row_conflict_misses(self):
+        dram = DRAMModel(DRAMConfig())
+        config = DRAMConfig()
+        blocks_per_row = config.row_buffer_bytes // 64
+        dram.access(block=0, cycle=0)
+        dram.access(block=blocks_per_row * 8, cycle=1000)  # same bank, new row
+        assert dram.stats.row_misses == 2
+
+    def test_row_hit_is_faster(self):
+        dram = DRAMModel(DRAMConfig())
+        miss_latency = dram.access(block=0, cycle=0)
+        hit_latency = dram.access(block=8, cycle=10_000)
+        assert hit_latency < miss_latency
+
+
+class TestBandwidthContention:
+    def test_burst_queues_on_channel(self):
+        dram = DRAMModel(DRAMConfig())
+        latencies = [dram.access(block=b, cycle=0) for b in range(64)]
+        # The last request of a same-cycle burst must wait for the bus.
+        assert latencies[-1] > latencies[0]
+        assert dram.stats.total_queue_wait > 0
+
+    def test_spread_requests_do_not_queue(self):
+        dram = DRAMModel(DRAMConfig())
+        latencies = [
+            dram.access(block=b, cycle=b * 1000) for b in range(16)
+        ]
+        assert dram.stats.average_queue_wait == pytest.approx(0.0)
+        assert max(latencies) <= DRAMConfig().row_miss_latency_cycles + 11
+
+    def test_more_channels_less_contention(self):
+        single = DRAMModel(DRAMConfig(channels=1))
+        quad = DRAMModel(DRAMConfig(channels=4))
+        single_last = [single.access(b, 0) for b in range(64)][-1]
+        quad_last = [quad.access(b, 0) for b in range(64)][-1]
+        assert quad_last < single_last
+
+    def test_higher_transfer_rate_faster_burst(self):
+        slow = DRAMModel(DRAMConfig(transfer_rate_mtps=800))
+        fast = DRAMModel(DRAMConfig(transfer_rate_mtps=12800))
+        slow_last = [slow.access(b, 0) for b in range(32)][-1]
+        fast_last = [fast.access(b, 0) for b in range(32)][-1]
+        assert fast_last < slow_last
+
+    def test_latency_never_negative_and_time_monotone(self):
+        dram = DRAMModel(DRAMConfig())
+        busy_before = 0.0
+        for index in range(100):
+            latency = dram.access(block=index * 7, cycle=index * 3)
+            assert latency >= 0
+            busy_now = max(dram._channel_busy_until)
+            assert busy_now >= busy_before
+            busy_before = busy_now
+
+
+class TestAccounting:
+    def test_prefetch_vs_demand_counters(self):
+        dram = DRAMModel(DRAMConfig())
+        dram.access(0, 0, is_prefetch=True)
+        dram.access(1, 0, is_prefetch=False)
+        assert dram.stats.prefetch_requests == 1
+        assert dram.stats.demand_requests == 1
+        assert dram.stats.requests == 2
+
+    def test_row_hit_rate(self):
+        dram = DRAMModel(DRAMConfig())
+        dram.access(0, 0)
+        dram.access(8, 500)
+        assert dram.stats.row_hit_rate == pytest.approx(0.5)
+
+    def test_reset_clears_state(self):
+        dram = DRAMModel(DRAMConfig())
+        dram.access(0, 0)
+        dram.reset()
+        assert dram.stats.requests == 0
+        assert max(dram._channel_busy_until) == 0.0
+
+    def test_channel_mapping_is_interleaved(self):
+        dram = DRAMModel(DRAMConfig(channels=2))
+        assert dram.channel_of(0) == 0
+        assert dram.channel_of(1) == 1
+        assert dram.channel_of(2) == 0

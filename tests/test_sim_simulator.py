@@ -1,0 +1,146 @@
+"""Tests for the single-core and multi-core simulation drivers."""
+
+import pytest
+
+from repro.prefetchers import NextLinePrefetcher, NoPrefetcher, create_prefetcher
+from repro.sim import default_system_config, simulate_mix, simulate_trace
+from repro.sim.simulator import SingleCoreSimulator
+from repro.sim.types import AccessType, MemoryAccess
+
+from tests.conftest import sequential_trace
+
+
+class TestSingleCoreSimulator:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_trace([], prefetcher=None)
+
+    def test_counts_instructions(self, seq_trace):
+        stats = simulate_trace(seq_trace, prefetcher=None)
+        expected = sum(a.instr_gap + 1 for a in seq_trace)
+        assert stats.instructions == expected
+        assert stats.demand_accesses == len(seq_trace)
+
+    def test_ipc_positive_and_bounded(self, seq_trace):
+        stats = simulate_trace(seq_trace, prefetcher=None)
+        assert 0.0 < stats.ipc <= 4.0
+
+    def test_deterministic(self, spatial_trace):
+        first = simulate_trace(spatial_trace, prefetcher=None)
+        second = simulate_trace(spatial_trace, prefetcher=None)
+        assert first.cycles == second.cycles
+        assert first.llc_misses == second.llc_misses
+
+    def test_replay_when_budget_exceeds_trace(self):
+        trace = sequential_trace(num_blocks=16)
+        stats = simulate_trace(trace, prefetcher=None, max_instructions=2_000)
+        assert stats.instructions >= 2_000
+
+    def test_max_instructions_limits_run(self):
+        trace = sequential_trace(num_blocks=512)
+        short = simulate_trace(trace, prefetcher=None, max_instructions=500)
+        long = simulate_trace(trace, prefetcher=None, max_instructions=2_000)
+        assert short.instructions < long.instructions
+
+    def test_warmup_preserves_cache_state(self):
+        trace = sequential_trace(num_blocks=64)
+        warm = simulate_trace(
+            trace, prefetcher=None, warmup_instructions=400, max_instructions=400
+        )
+        cold = simulate_trace(trace, prefetcher=None, max_instructions=400)
+        # After warming up, the same blocks are resident, so fewer misses.
+        assert warm.llc_misses <= cold.llc_misses
+
+    def test_prefetcher_receives_loads_only(self):
+        calls = []
+
+        class Spy(NoPrefetcher):
+            def train(self, pc, address, cycle, result=None):
+                calls.append(address)
+                return []
+
+        trace = [
+            MemoryAccess(pc=1, address=0, access_type=AccessType.LOAD),
+            MemoryAccess(pc=1, address=64, access_type=AccessType.STORE),
+            MemoryAccess(pc=1, address=128, access_type=AccessType.LOAD),
+        ]
+        simulate_trace(trace, prefetcher=Spy())
+        assert calls == [0, 128]
+
+    def test_next_line_improves_sequential(self, seq_trace):
+        base = simulate_trace(seq_trace, prefetcher=None)
+        pref = simulate_trace(seq_trace, prefetcher=NextLinePrefetcher(degree=2))
+        assert pref.llc_misses < base.llc_misses
+        assert pref.speedup(base) > 1.0
+
+    def test_stats_name_tags(self, seq_trace):
+        stats = simulate_trace(seq_trace, prefetcher=NoPrefetcher(), name="mytrace")
+        assert stats.name == "mytrace"
+        assert stats.prefetcher == "none"
+
+    def test_eviction_listener_wired_to_prefetcher(self):
+        evicted = []
+
+        class Spy(NoPrefetcher):
+            def on_cache_eviction(self, block):
+                evicted.append(block)
+
+        trace = sequential_trace(num_blocks=2048)  # exceeds the 768-block L1D
+        simulate_trace(trace, prefetcher=Spy())
+        assert len(evicted) > 0
+
+
+class TestMultiCoreSimulator:
+    def test_per_core_results(self):
+        traces = [sequential_trace(64, pc=0x100), sequential_trace(64, pc=0x200)]
+        result = simulate_mix(traces, None, max_instructions_per_core=1_000)
+        assert result.num_cores == 2
+        for stats in result.per_core.values():
+            assert stats.instructions >= 1_000
+
+    def test_mismatched_trace_count_rejected(self):
+        from repro.sim.multicore import MultiCoreSimulator
+
+        simulator = MultiCoreSimulator(num_cores=2)
+        with pytest.raises(ValueError):
+            simulator.run([sequential_trace(16)], max_instructions_per_core=100)
+
+    def test_prefetcher_factory_instantiated_per_core(self):
+        created = []
+
+        def factory():
+            created.append(1)
+            return NoPrefetcher()
+
+        traces = [sequential_trace(32), sequential_trace(32), sequential_trace(32)]
+        simulate_mix(traces, factory, max_instructions_per_core=200)
+        assert len(created) == 3
+
+    def test_shared_llc_contention_slows_cores(self):
+        # Two cores streaming disjoint data must be slower per-core than one
+        # core alone with the same per-core configuration and shared DRAM.
+        alone = simulate_mix(
+            [sequential_trace(512, pc=0x1)],
+            None,
+            config=default_system_config(1),
+            max_instructions_per_core=2_000,
+        )
+        together = simulate_mix(
+            [sequential_trace(512, pc=0x1),
+             [MemoryAccess(pc=0x2, address=a.address + (1 << 30), instr_gap=a.instr_gap)
+              for a in sequential_trace(512, pc=0x2)]],
+            None,
+            config=default_system_config(1),  # deliberately NOT scaled up
+            max_instructions_per_core=2_000,
+        )
+        assert together.per_core[0].ipc <= alone.per_core[0].ipc * 1.05
+
+    def test_speedup_with_prefetching_multicore(self):
+        traces = [sequential_trace(256, pc=0x10), sequential_trace(256, pc=0x20)]
+        baseline = simulate_mix(traces, None, max_instructions_per_core=1_500)
+        prefetched = simulate_mix(
+            traces,
+            lambda: create_prefetcher("ip-stride"),
+            max_instructions_per_core=1_500,
+        )
+        assert prefetched.geomean_speedup(baseline) >= 0.95
