@@ -31,9 +31,16 @@ def bench_scale() -> RunScale:
 
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
-    """A session-wide runner so traces/baselines are shared across benches."""
-    return ExperimentRunner(bench_scale())
+def runner(tmp_path_factory) -> ExperimentRunner:
+    """A session-wide runner so traces/baselines are shared across benches.
+
+    Results are shared *within* the session (figures 6/7/8 reuse one grid via
+    the engine memo and a session-local cache), but the persistent cache
+    lives in a fresh temp directory so recorded timings always measure
+    simulation, never stale JSON loads from an earlier invocation.
+    """
+    cache_dir = str(tmp_path_factory.mktemp("bench-cache"))
+    return ExperimentRunner(bench_scale(), cache_dir=cache_dir)
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -1,0 +1,60 @@
+"""Perf smoke benchmark: cold vs. warm engine throughput on a fig11 grid.
+
+Records the wall-clock of a standard fig11-style (trace x prefetcher) grid
+run cold (every job simulated, results stored) and warm (every job answered
+from the persistent cache), so future PRs have a trajectory to measure
+orchestration overhead and cache effectiveness against.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.reporting import print_rows
+from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.workloads.suites import trace_specs_for_suite
+
+from benchmarks.conftest import BENCH_TRACE_LENGTH
+
+GRID_PREFETCHERS = ("vberti", "pmp", "gaze")
+GRID_TRACES = 4
+
+
+def _grid_specs():
+    return trace_specs_for_suite("spec17")[:GRID_TRACES]
+
+
+def test_engine_cold_vs_warm_throughput(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("engine-cache"))
+    scale = RunScale(trace_length=BENCH_TRACE_LENGTH, traces_per_suite=None)
+    specs = _grid_specs()
+    grid_jobs = len(specs) * (len(GRID_PREFETCHERS) + 1)
+
+    cold_runner = ExperimentRunner(scale, cache_dir=cache_dir, use_cache=True)
+    start = time.perf_counter()
+    cold_results = cold_runner.run_grid(specs, GRID_PREFETCHERS)
+    cold_seconds = time.perf_counter() - start
+    assert cold_runner.engine.simulations_run == grid_jobs
+
+    warm_runner = ExperimentRunner(scale, cache_dir=cache_dir, use_cache=True)
+    start = time.perf_counter()
+    warm_results = warm_runner.run_grid(specs, GRID_PREFETCHERS)
+    warm_seconds = time.perf_counter() - start
+    assert warm_runner.engine.simulations_run == 0
+    assert warm_runner.engine.cache.hits == grid_jobs
+    assert [r.row() for r in warm_results] == [r.row() for r in cold_results]
+
+    print_rows(
+        [
+            {
+                "grid": f"{len(specs)} traces x {len(GRID_PREFETCHERS)} prefetchers",
+                "jobs": grid_jobs,
+                "cold_s": cold_seconds,
+                "warm_s": warm_seconds,
+                "speedup": cold_seconds / warm_seconds if warm_seconds else 0.0,
+                "sims_per_s_cold": grid_jobs / cold_seconds if cold_seconds else 0.0,
+            }
+        ],
+        title="Engine throughput: cold vs warm cache (fig11-style grid)",
+        precision=2,
+    )

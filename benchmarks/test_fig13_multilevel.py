@@ -7,10 +7,12 @@ from repro.experiments.runner import ExperimentRunner, RunScale
 from benchmarks.conftest import BENCH_TRACE_LENGTH, run_once
 
 
-def test_fig13_multilevel(benchmark):
+def test_fig13_multilevel(benchmark, tmp_path):
     # Slightly smaller scale: this figure simulates 13 prefetcher combinations.
+    # A fresh cache dir keeps the recorded timing a simulation measurement.
     runner = ExperimentRunner(RunScale(trace_length=BENCH_TRACE_LENGTH,
-                                       traces_per_suite=1))
+                                       traces_per_suite=1),
+                              cache_dir=str(tmp_path / "cache"))
     rows = run_once(benchmark, fig13_multilevel, runner)
     print("\nFig. 13: multi-level prefetching combinations")
     print(format_rows(rows))

@@ -1,5 +1,6 @@
 """Fig. 16: sensitivity to DRAM bandwidth, LLC size and L2C size."""
 
+from repro.experiments.engine import build_engine
 from repro.experiments.runner import RunScale
 from repro.experiments.sweeps import sweep_dram_bandwidth, sweep_l2c_size, sweep_llc_size
 
@@ -10,6 +11,12 @@ SWEEP_PREFETCHERS = ("vberti", "pmp", "gaze")
 SWEEP_SUITES = ("spec17", "cloud", "ligra")
 
 
+def _sweep_engine(tmp_path):
+    # A fresh cache dir per test keeps the recorded timing a simulation
+    # measurement instead of a warm-cache JSON load.
+    return build_engine(cache_dir=str(tmp_path / "cache"))
+
+
 def _print(title, results):
     print(f"\n{title}")
     for point, by_prefetcher in results.items():
@@ -17,11 +24,11 @@ def _print(title, results):
         print(f"  {point}: {series}")
 
 
-def test_fig16a_dram_bandwidth(benchmark):
+def test_fig16a_dram_bandwidth(benchmark, tmp_path):
     results = run_once(
         benchmark, sweep_dram_bandwidth,
         points=(800, 3200, 12800), prefetchers=SWEEP_PREFETCHERS,
-        scale=SWEEP_SCALE, suites=SWEEP_SUITES,
+        scale=SWEEP_SCALE, suites=SWEEP_SUITES, engine=_sweep_engine(tmp_path),
     )
     _print("Fig. 16a: speedup vs DRAM transfer rate (MT/s)", results)
     # Gaze adapts to both ends of the bandwidth range; the over-aggressive
@@ -31,22 +38,22 @@ def test_fig16a_dram_bandwidth(benchmark):
     assert results[12800]["gaze"] >= 1.0
 
 
-def test_fig16b_llc_size(benchmark):
+def test_fig16b_llc_size(benchmark, tmp_path):
     results = run_once(
         benchmark, sweep_llc_size,
         points_mb=(0.5, 2, 8), prefetchers=SWEEP_PREFETCHERS,
-        scale=SWEEP_SCALE, suites=SWEEP_SUITES,
+        scale=SWEEP_SCALE, suites=SWEEP_SUITES, engine=_sweep_engine(tmp_path),
     )
     _print("Fig. 16b: speedup vs LLC size per core (MB)", results)
     for point in (0.5, 2, 8):
         assert results[point]["gaze"] >= results[point]["pmp"] - 0.02
 
 
-def test_fig16c_l2c_size(benchmark):
+def test_fig16c_l2c_size(benchmark, tmp_path):
     results = run_once(
         benchmark, sweep_l2c_size,
         points_kb=(128, 512, 1024), prefetchers=SWEEP_PREFETCHERS,
-        scale=SWEEP_SCALE, suites=SWEEP_SUITES,
+        scale=SWEEP_SCALE, suites=SWEEP_SUITES, engine=_sweep_engine(tmp_path),
     )
     _print("Fig. 16c: speedup vs L2C size (KB)", results)
     for point in (128, 512, 1024):

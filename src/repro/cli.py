@@ -1,0 +1,286 @@
+"""Command-line interface: ``python -m repro``.
+
+Examples::
+
+    python -m repro run --figure fig6 --jobs 4
+    python -m repro run --figure fig11 --trace-length 4000
+    python -m repro run --suite spec17 --suite cloud --prefetchers gaze,pmp
+    python -m repro run --table table5
+    python -m repro run --sweep dram --jobs 8
+    python -m repro cache info
+    python -m repro cache clear
+    python -m repro list figures
+
+``run`` builds an :class:`~repro.experiments.runner.ExperimentRunner` backed
+by the job engine: ``--jobs N`` fans simulations out over N worker processes
+(results are bit-identical to serial runs) and the persistent cache under
+``.repro-cache/`` makes warm re-runs skip simulation entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import figures, sweeps, tables
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import ExperimentEngine, build_engine
+from repro.experiments.reporting import render_result
+from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.prefetchers.registry import available_prefetchers, is_registered
+from repro.workloads.suites import SUITES
+
+#: Figures that accept a runner (and therefore honour --jobs / the cache).
+_RUNNER_FIGURES: Dict[str, Callable[..., object]] = {
+    "fig1": figures.fig1_characterization,
+    "fig4": figures.fig4_initial_accesses,
+    "fig6": figures.fig6_single_core_speedup,
+    "fig7": figures.fig7_accuracy,
+    "fig8": figures.fig8_coverage_timeliness,
+    "fig9": figures.fig9_characterization_effect,
+    "fig10": figures.fig10_streaming_module,
+    "fig11": figures.fig11_comparative,
+    "fig12": figures.fig12_gap_qmm,
+    "fig13": figures.fig13_multilevel,
+    "fig17": figures.fig17_gaze_sensitivity,
+    "fig18": figures.fig18_vgaze,
+}
+
+#: Figures over a fixed representative trace list: --traces-per-suite has no
+#: effect on them (only --trace-length shrinks the run).
+_FIXED_TRACE_FIGURES = ("fig10", "fig11", "fig17", "fig18")
+
+#: Multi-core figures run through ``simulate_mix`` (always in-process).
+_STANDALONE_FIGURES: Dict[str, Callable[[], object]] = {
+    "fig14": figures.fig14_multicore,
+    "fig15": figures.fig15_four_core_mixes,
+}
+
+_TABLES: Dict[str, Callable[..., object]] = {
+    "table1": tables.table1_gaze_storage,
+    "table4": tables.table4_baseline_storage,
+    "table5": tables.table5_comparison,
+    "table6": tables.table6_four_core_mixes,
+}
+
+#: Tables that accept a runner.
+_RUNNER_TABLES = ("table5",)
+
+_SWEEPS: Dict[str, Callable[..., object]] = {
+    "dram": sweeps.sweep_dram_bandwidth,
+    "llc": sweeps.sweep_llc_size,
+    "l2c": sweeps.sweep_l2c_size,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the Gaze prefetcher evaluation (HPCA 2025).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a figure, table, sweep or ad-hoc grid")
+    target = run.add_mutually_exclusive_group()
+    target.add_argument("--figure", choices=sorted(
+        list(_RUNNER_FIGURES) + list(_STANDALONE_FIGURES)
+    ), help="figure to reproduce (fig1..fig18)")
+    target.add_argument("--table", choices=sorted(_TABLES), help="table to reproduce")
+    target.add_argument("--sweep", choices=sorted(_SWEEPS),
+                        help="Fig. 16 system sweep to run")
+    run.add_argument("--suite", action="append", default=None,
+                     choices=sorted(SUITES),
+                     help="suite for an ad-hoc grid (repeatable)")
+    run.add_argument("--prefetchers", default=None,
+                     help="comma-separated prefetcher names for ad-hoc grids "
+                          "(default gaze,vberti,pmp)")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (1 = serial)")
+    run.add_argument("--trace-length", type=int, default=None, metavar="L",
+                     help="accesses per trace (default 12000)")
+    run.add_argument("--traces-per-suite", type=int, default=None, metavar="K",
+                     help="traces per suite (default 3; 0 = all)")
+    run.add_argument("--cache-dir", default=None,
+                     help="persistent result cache directory (default .repro-cache)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the persistent result cache")
+    run.add_argument("--precision", type=int, default=3,
+                     help="decimal places in printed tables")
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache directory (default .repro-cache)")
+
+    lst = sub.add_parser("list", help="list available experiment targets")
+    lst.add_argument("what", choices=("figures", "tables", "sweeps",
+                                      "prefetchers", "suites"))
+    return parser
+
+
+def _make_scale(args: argparse.Namespace) -> Optional[RunScale]:
+    if args.trace_length is None and args.traces_per_suite is None:
+        return None
+    defaults = RunScale()
+    traces_per_suite = defaults.traces_per_suite
+    if args.traces_per_suite is not None:
+        traces_per_suite = args.traces_per_suite if args.traces_per_suite > 0 else None
+    return RunScale(
+        trace_length=(
+            args.trace_length if args.trace_length is not None
+            else defaults.trace_length
+        ),
+        traces_per_suite=traces_per_suite,
+    )
+
+
+def _warn_ignored_engine_flags(args: argparse.Namespace, reason: str) -> None:
+    """Tell the user which engine flags a non-engine target will ignore."""
+    ignored = [
+        flag
+        for flag, is_set in (
+            ("--jobs", args.jobs not in (None, 1)),
+            ("--trace-length", args.trace_length is not None),
+            ("--traces-per-suite", args.traces_per_suite is not None),
+            ("--cache-dir", args.cache_dir is not None),
+            ("--no-cache", args.no_cache),
+        )
+        if is_set
+    ]
+    if ignored:
+        print(f"note: {reason}; {', '.join(ignored)} ignored", file=sys.stderr)
+
+
+def _print_engine_summary(engine: ExperimentEngine, elapsed: float) -> None:
+    counters = engine.counters()
+    cache_root = engine.cache.root if engine.cache is not None else "disabled"
+    print(
+        f"\n# {counters['simulations_run']} simulated, "
+        f"{counters['cache_hits']} cache hits, "
+        f"{counters['memo_hits']} memo hits in {elapsed:.1f}s "
+        f"(cache: {cache_root})"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    engine = build_engine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=False if args.no_cache else None,
+    )
+    scale = _make_scale(args)
+    runner = ExperimentRunner(scale=scale, engine=engine)
+
+    if args.figure in _FIXED_TRACE_FIGURES and args.traces_per_suite is not None:
+        print(
+            f"note: {args.figure} uses a fixed trace list; "
+            "--traces-per-suite ignored (use --trace-length to shrink the run)",
+            file=sys.stderr,
+        )
+    if (args.figure or args.table or args.sweep) and (
+        args.suite or args.prefetchers is not None
+    ):
+        target = args.figure or args.table or f"sweep {args.sweep}"
+        print(
+            f"note: --suite/--prefetchers only apply to ad-hoc grids; "
+            f"{target} defines its own workloads, flags ignored",
+            file=sys.stderr,
+        )
+
+    start = time.perf_counter()
+    engine_used = True
+    if args.figure in _STANDALONE_FIGURES:
+        _warn_ignored_engine_flags(
+            args, f"{args.figure} runs through the multi-core driver"
+        )
+        engine_used = False
+        title = args.figure
+        result = _STANDALONE_FIGURES[args.figure]()
+    elif args.figure:
+        title = args.figure
+        result = _RUNNER_FIGURES[args.figure](runner)
+    elif args.table:
+        title = args.table
+        func = _TABLES[args.table]
+        if args.table in _RUNNER_TABLES:
+            result = func(runner)
+        else:
+            _warn_ignored_engine_flags(args, f"{args.table} runs no simulations")
+            engine_used = False
+            result = func()
+    elif args.sweep:
+        title = f"sweep-{args.sweep}"
+        result = _SWEEPS[args.sweep](scale=scale, engine=engine)
+    else:
+        suites = args.suite if args.suite else ["spec17"]
+        requested = (
+            args.prefetchers if args.prefetchers is not None else "gaze,vberti,pmp"
+        )
+        prefetchers = [
+            name.strip() for name in requested.split(",") if name.strip()
+        ]
+        if not prefetchers:
+            print("error: --prefetchers selected no prefetchers", file=sys.stderr)
+            return 2
+        for name in prefetchers:
+            if not is_registered(name):
+                print(
+                    f"error: unknown prefetcher {name!r}; "
+                    f"known: {', '.join(available_prefetchers())}",
+                    file=sys.stderr,
+                )
+                return 2
+        title = f"grid: {','.join(suites)} x {','.join(prefetchers)}"
+        results = runner.run_suites(suites, prefetchers)
+        result = [r.row() for r in results]
+    elapsed = time.perf_counter() - start
+
+    print(f"== {title} ==")
+    print(render_result(result, precision=args.precision))
+    if engine_used:
+        _print_engine_summary(engine, elapsed)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        info = cache.info()
+        for key in ("root", "entries", "bytes", "schema"):
+            print(f"{key}: {info[key]}")
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.what == "figures":
+        names: List[str] = sorted(list(_RUNNER_FIGURES) + list(_STANDALONE_FIGURES))
+    elif args.what == "tables":
+        names = sorted(_TABLES)
+    elif args.what == "sweeps":
+        names = sorted(_SWEEPS)
+    elif args.what == "prefetchers":
+        names = available_prefetchers()
+    else:
+        names = sorted(SUITES)
+    for name in names:
+        print(name)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    return _cmd_list(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

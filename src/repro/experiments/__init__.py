@@ -1,7 +1,15 @@
 """Experiment harness: regenerates every table and figure of the paper.
 
-* :mod:`repro.experiments.runner` -- caches traces and baseline runs, runs
-  (trace, prefetcher, system-config) combinations.
+* :mod:`repro.experiments.jobs` -- :class:`SimulationJob` (frozen,
+  content-hashed description of one simulation; use ``job.key()`` for
+  dict/set keys) and the pure ``execute_job`` worker.
+* :mod:`repro.experiments.executors` -- serial and process-pool execution
+  strategies with bit-identical results.
+* :mod:`repro.experiments.cache` -- persistent on-disk result cache keyed
+  by job content hash (``.repro-cache/``).
+* :mod:`repro.experiments.engine` -- cache-aware, deduplicating dispatch.
+* :mod:`repro.experiments.runner` -- the figure-facing façade: runs
+  (trace, prefetcher, system-config) grids through the engine.
 * :mod:`repro.experiments.metrics` -- aggregation helpers (geometric-mean
   speedup per suite, average accuracy/coverage/timeliness).
 * :mod:`repro.experiments.figures` -- one function per paper figure
@@ -14,7 +22,11 @@ Every figure function accepts a ``scale`` argument so benchmarks can trade
 fidelity for runtime; the default scale is sized for a laptop-class run.
 """
 
-from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import ExperimentEngine, build_engine
+from repro.experiments.executors import ParallelExecutor, SerialExecutor, make_executor
+from repro.experiments.jobs import SimulationJob, execute_job
+from repro.experiments.runner import ExperimentRunner, RunResult, RunScale
 from repro.experiments.metrics import (
     aggregate_by_suite,
     geomean,
@@ -24,11 +36,20 @@ from repro.experiments.metrics import (
 from repro.experiments.reporting import format_rows, print_rows
 
 __all__ = [
+    "ExperimentEngine",
     "ExperimentRunner",
+    "ParallelExecutor",
+    "ResultCache",
+    "RunResult",
     "RunScale",
+    "SerialExecutor",
+    "SimulationJob",
     "aggregate_by_suite",
+    "build_engine",
+    "execute_job",
     "format_rows",
     "geomean",
+    "make_executor",
     "normalize_to_baseline",
     "print_rows",
     "summarize_runs",

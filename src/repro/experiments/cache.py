@@ -1,0 +1,153 @@
+"""Persistent on-disk cache of simulation results.
+
+Entries are JSON files keyed by the job's content hash (see
+:meth:`repro.experiments.jobs.SimulationJob.key`), sharded into
+two-character prefix directories.  Values round-trip through
+:meth:`repro.sim.stats.SimulationStats.to_dict`, which preserves every
+counter exactly (Python's JSON encoder round-trips ints and floats
+bit-exactly), so a cache hit is indistinguishable from a fresh simulation.
+
+The default location is ``.repro-cache/`` in the current directory and can
+be redirected with the ``REPRO_CACHE_DIR`` environment variable or disabled
+entirely with ``REPRO_CACHE=0``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.experiments.jobs import ENGINE_SCHEMA_VERSION
+from repro.sim.stats import SimulationStats
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable disabling the cache when set to ``0``/``off``/``no``.
+CACHE_ENABLE_ENV = "REPRO_CACHE"
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def cache_enabled_by_default() -> bool:
+    """Whether the persistent cache should be used absent an explicit choice."""
+    return os.environ.get(CACHE_ENABLE_ENV, "1").lower() not in ("0", "off", "no", "false")
+
+
+def default_cache_dir() -> Path:
+    """Cache directory from the environment, or ``.repro-cache``."""
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SimulationStats` keyed by job hash."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Path:
+        """File path storing the entry for ``key``."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimulationStats]:
+        """Load the cached result for ``key``, or ``None`` on a miss.
+
+        Corrupt or unreadable entries are treated as misses and removed so
+        a damaged cache heals itself instead of failing every run.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            stats = SimulationStats.from_dict(payload["stats"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, stats: SimulationStats) -> None:
+        """Store ``stats`` under ``key`` (atomic write, best effort)."""
+        path = self.path_for(key)
+        payload = {
+            "schema": ENGINE_SCHEMA_VERSION,
+            "key": key,
+            "stats": stats.to_dict(),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full filesystem degrades to a no-op cache.
+            return
+        self.stores += 1
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in sorted(self.root.glob("*/*.json")):
+            orphaned_tmp = entry.name.startswith(".tmp-")
+            try:
+                entry.unlink()
+                if not orphaned_tmp:  # crash leftovers aren't cache entries
+                    removed += 1
+            except OSError:
+                pass
+        for shard in sorted(self.root.glob("*")):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    def info(self) -> Dict[str, object]:
+        """Summary of the on-disk state plus this process's hit counters."""
+        entries = 0
+        total_bytes = 0
+        if self.root.exists():
+            for entry in self.root.glob("*/*.json"):
+                if entry.name.startswith(".tmp-"):
+                    continue  # orphan from a crashed put(), not an entry
+                entries += 1
+                try:
+                    total_bytes += entry.stat().st_size
+                except OSError:
+                    pass
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "schema": ENGINE_SCHEMA_VERSION,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

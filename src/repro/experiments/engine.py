@@ -1,0 +1,121 @@
+"""The experiment engine: cache-aware, deduplicating job dispatch.
+
+:class:`ExperimentEngine` sits between the experiment layer (runner,
+figures, sweeps) and the executors.  For every batch it:
+
+1. computes each job's deterministic content key;
+2. answers duplicates and previously-seen jobs from an in-process memo
+   (figures 6/7/8 share one grid — it is simulated once);
+3. answers remaining jobs from the persistent :class:`ResultCache`;
+4. dispatches the true misses to the configured executor in submission
+   order and stores their results.
+
+The returned list always lines up 1:1 with the submitted jobs, so callers
+are oblivious to which of the three tiers served each result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.cache import ResultCache, cache_enabled_by_default
+from repro.experiments.executors import Executor, SerialExecutor, make_executor
+from repro.experiments.jobs import SimulationJob
+from repro.sim.stats import SimulationStats
+
+
+class ExperimentEngine:
+    """Runs simulation jobs through memo → persistent cache → executor."""
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        cache: Optional[ResultCache] = None,
+        salt: str = "",
+    ) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.salt = salt
+        self._memo: Dict[str, SimulationStats] = {}
+        #: Number of jobs actually simulated (executor dispatches).
+        self.simulations_run = 0
+        #: Number of jobs answered by the in-process memo (incl. duplicates).
+        self.memo_hits = 0
+
+    # ------------------------------------------------------------------ #
+    def run_job(self, job: SimulationJob) -> SimulationStats:
+        """Run a single job (convenience wrapper around :meth:`run_jobs`)."""
+        return self.run_jobs([job])[0]
+
+    def run_jobs(self, jobs: Sequence[SimulationJob]) -> List[SimulationStats]:
+        """Run a batch of jobs; result ``i`` corresponds to ``jobs[i]``."""
+        jobs = list(jobs)
+        keys = [job.key(self.salt) for job in jobs]
+
+        pending_jobs: List[SimulationJob] = []
+        pending_keys: List[str] = []
+        scheduled = set()
+        for job, key in zip(jobs, keys):
+            if key in self._memo:
+                self.memo_hits += 1
+                continue
+            if key in scheduled:
+                # An intra-batch duplicate: it will be answered from the memo
+                # once the first occurrence simulates, so count it as one.
+                self.memo_hits += 1
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                self._memo[key] = cached
+                continue
+            scheduled.add(key)
+            pending_jobs.append(job)
+            pending_keys.append(key)
+
+        if pending_jobs:
+            results = self.executor.run(pending_jobs)
+            self.simulations_run += len(pending_jobs)
+            for key, stats in zip(pending_keys, results):
+                self._memo[key] = stats
+                if self.cache is not None:
+                    self.cache.put(key, stats)
+
+        return [self._memo[key] for key in keys]
+
+    # ------------------------------------------------------------------ #
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/simulation counters for reporting and tests."""
+        counters = {
+            "simulations_run": self.simulations_run,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache.hits if self.cache is not None else 0,
+            "cache_misses": self.cache.misses if self.cache is not None else 0,
+            "cache_stores": self.cache.stores if self.cache is not None else 0,
+        }
+        return counters
+
+    def reset_counters(self) -> None:
+        """Zero every counter (the memo itself is kept)."""
+        self.simulations_run = 0
+        self.memo_hits = 0
+        if self.cache is not None:
+            self.cache.hits = 0
+            self.cache.misses = 0
+            self.cache.stores = 0
+
+
+def build_engine(
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: Optional[bool] = None,
+    salt: str = "",
+) -> ExperimentEngine:
+    """Standard engine construction shared by the runner, sweeps and CLI.
+
+    ``jobs=None``/``1`` selects serial execution; ``use_cache=None`` defers
+    to the ``REPRO_CACHE`` environment variable (cache on by default).
+    """
+    if use_cache is None:
+        use_cache = cache_enabled_by_default()
+    cache = ResultCache(cache_dir) if use_cache else None
+    return ExperimentEngine(executor=make_executor(jobs), cache=cache, salt=salt)

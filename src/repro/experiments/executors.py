@@ -1,0 +1,84 @@
+"""Execution strategies for batches of :class:`SimulationJob`.
+
+Both executors share one contract: given a sequence of jobs, return the
+corresponding :class:`~repro.sim.stats.SimulationStats` *in submission
+order*.  Because :func:`~repro.experiments.jobs.execute_job` is pure and
+every workload generator is seed-deterministic, the parallel executor is
+bit-identical to the serial one — only wall-clock time differs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Protocol, Sequence
+
+from repro.experiments.jobs import SimulationJob, execute_job
+from repro.sim.stats import SimulationStats
+
+
+class Executor(Protocol):
+    """Anything that can run a batch of jobs in submission order."""
+
+    def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationStats]:
+        """Execute ``jobs`` and return their stats, order preserved."""
+        ...
+
+
+class SerialExecutor:
+    """Runs every job in-process, one after another."""
+
+    jobs = 1
+
+    def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationStats]:
+        """Execute ``jobs`` sequentially in the calling process."""
+        return [execute_job(job) for job in jobs]
+
+
+class ParallelExecutor:
+    """Fans jobs out over a :class:`ProcessPoolExecutor`.
+
+    ``ProcessPoolExecutor.map`` yields results in submission order, and the
+    worker function is pure, so results are identical to
+    :class:`SerialExecutor` for the same batch.  Prefers the ``fork`` start
+    method (cheap workers that inherit the imported package) and falls back
+    to the platform default elsewhere.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+
+    def _context(self):
+        # Prefer cheap forked workers only on Linux; macOS lists "fork" but
+        # defaults to spawn because forking after framework/thread init is
+        # unsafe there, so everywhere else we take the platform default.
+        if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationStats]:
+        """Execute ``jobs`` across worker processes, order preserved."""
+        jobs = list(jobs)
+        if len(jobs) <= 1 or self.jobs == 1:
+            return SerialExecutor().run(jobs)
+        workers = min(self.jobs, len(jobs))
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=self._context()
+        ) as pool:
+            return list(pool.map(execute_job, jobs, chunksize=chunksize))
+
+
+def make_executor(jobs: Optional[int] = None) -> Executor:
+    """Build the right executor for a ``--jobs`` style request.
+
+    ``None`` or ``1`` selects the serial executor; anything larger selects
+    the process-pool executor with that many workers.
+    """
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs)

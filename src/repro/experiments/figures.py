@@ -28,13 +28,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.gaze import GazeConfig, GazePrefetcher
 from repro.experiments.metrics import aggregate_by_suite, geomean, summarize_runs
 from repro.experiments.runner import ExperimentRunner, RunScale
 from repro.prefetchers.registry import create_prefetcher
 from repro.sim.config import default_system_config
 from repro.sim.multicore import simulate_mix
-from repro.sim.simulator import simulate_trace
 from repro.workloads.suites import MAIN_SUITES, trace_specs_for_suite
 from repro.workloads.trace import TraceSpec
 
@@ -93,10 +91,12 @@ def fig1_characterization(
 ) -> List[Dict[str, object]]:
     """Speedup in Cloud / SPEC17 and storage for each characterization scheme."""
     runner = _default_runner(runner)
+    schemes = tuple(prefetcher for _label, prefetcher in CHARACTERIZATION_SCHEMES)
+    results = runner.run_suites(("cloud", "spec17"), schemes)
+    by_suite_all = aggregate_by_suite(results)
     rows: List[Dict[str, object]] = []
     for label, prefetcher in CHARACTERIZATION_SCHEMES:
-        results = runner.run_suites(("cloud", "spec17"), (prefetcher,))
-        by_suite = aggregate_by_suite(results)[prefetcher]
+        by_suite = by_suite_all[prefetcher]
         rows.append(
             {
                 "scheme": label,
@@ -117,16 +117,16 @@ def fig4_initial_accesses(
 ) -> List[Dict[str, object]]:
     """IPC / accuracy / coverage when requiring 1..4 aligned initial accesses."""
     runner = _default_runner(runner)
+    names = tuple(f"gaze-n{n}" for n in (1, 2, 3, 4))
+    summary = summarize_runs(runner.run_suites(MAIN_SUITES, names))
     rows: List[Dict[str, object]] = []
     for n in (1, 2, 3, 4):
-        results = runner.run_suites(MAIN_SUITES, (f"gaze-n{n}",))
-        summary = summarize_runs(results)[f"gaze-n{n}"]
         rows.append(
             {
                 "initial_accesses": n,
-                "speedup": summary["speedup"],
-                "accuracy": summary["accuracy"],
-                "coverage": summary["coverage"],
+                "speedup": summary[f"gaze-n{n}"]["speedup"],
+                "accuracy": summary[f"gaze-n{n}"]["accuracy"],
+                "coverage": summary[f"gaze-n{n}"]["coverage"],
             }
         )
     return rows
@@ -205,12 +205,15 @@ def fig10_streaming_module(
         "BFS-init-like",
         "BFS-like",
     )
+    specs = [_spec_by_name(name) for name in trace_names]
+    schemes = ("pht4ss", "sm4ss", "gaze")
+    results = runner.run_grid(specs, schemes)
+    speedups = {(r.spec.name, r.prefetcher): r.speedup for r in results}
     rows: List[Dict[str, object]] = []
     for name in trace_names:
-        spec = _spec_by_name(name)
         row: Dict[str, object] = {"trace": name}
-        for prefetcher in ("pht4ss", "sm4ss", "gaze"):
-            row[prefetcher] = runner.run_one(spec, prefetcher).speedup
+        for prefetcher in schemes:
+            row[prefetcher] = speedups[(name, prefetcher)]
         rows.append(row)
     return rows
 
@@ -248,12 +251,15 @@ def fig11_comparative(
             "fotonik3d_s-like",
             "roms_s-like",
         )
+    specs = [_spec_by_name(name) for name in trace_names]
+    prefetchers = ("vberti", "pmp", "gaze")
+    results = runner.run_grid(specs, prefetchers)
+    speedups = {(r.spec.name, r.prefetcher): r.speedup for r in results}
     rows: List[Dict[str, object]] = []
-    for name in trace_names:
-        spec = _spec_by_name(name)
-        row: Dict[str, object] = {"trace": name, "suite": spec.suite}
-        for prefetcher in ("vberti", "pmp", "gaze"):
-            row[prefetcher] = runner.run_one(spec, prefetcher).speedup
+    for spec in specs:
+        row: Dict[str, object] = {"trace": spec.name, "suite": spec.suite}
+        for prefetcher in prefetchers:
+            row[prefetcher] = speedups[(spec.name, prefetcher)]
         rows.append(row)
     return rows
 
@@ -281,27 +287,28 @@ def fig13_multilevel(
     runner = _default_runner(runner)
     l1_choices = ("vberti", "pmp", "dspatch", "ipcp", "gaze")
     l2_choices = ("spp-ppf", "bingo")
-    rows: List[Dict[str, object]] = []
+    group1 = [f"{l1}+{l2}" for l1 in l1_choices for l2 in l2_choices]
+    group2 = [f"ip-stride+{l2}" for l2 in ("spp-ppf", "bingo", "gaze")]
 
-    gaze_alone = summarize_runs(runner.run_suites(MAIN_SUITES, ("gaze",)))["gaze"]
-    rows.append(
-        {"group": "reference", "combination": "gaze(L1 only)",
-         "speedup": gaze_alone["speedup"]}
+    # One batched grid covering the reference and every combination, so the
+    # engine can dedupe shared baselines and parallelize across all of them.
+    summary = summarize_runs(
+        runner.run_suites(MAIN_SUITES, ["gaze"] + group1 + group2)
     )
-    for l1 in l1_choices:
-        for l2 in l2_choices:
-            name = f"{l1}+{l2}"
-            summary = summarize_runs(runner.run_suites(MAIN_SUITES, (name,)))[name]
-            rows.append(
-                {"group": "group1", "combination": name, "speedup": summary["speedup"]}
-            )
-    for l1 in ("ip-stride",):
-        for l2 in ("spp-ppf", "bingo", "gaze"):
-            name = f"{l1}+{l2}"
-            summary = summarize_runs(runner.run_suites(MAIN_SUITES, (name,)))[name]
-            rows.append(
-                {"group": "group2", "combination": name, "speedup": summary["speedup"]}
-            )
+    rows: List[Dict[str, object]] = [
+        {"group": "reference", "combination": "gaze(L1 only)",
+         "speedup": summary["gaze"]["speedup"]}
+    ]
+    for name in group1:
+        rows.append(
+            {"group": "group1", "combination": name,
+             "speedup": summary[name]["speedup"]}
+        )
+    for name in group2:
+        rows.append(
+            {"group": "group2", "combination": name,
+             "speedup": summary[name]["speedup"]}
+        )
     return rows
 
 
@@ -424,26 +431,39 @@ def fig17_gaze_sensitivity(
     runner = _default_runner(runner)
     specs = [_spec_by_name(name) for name in trace_names]
 
-    def run_config(spec: TraceSpec, config: GazeConfig) -> float:
-        trace = runner.trace_for(spec)
-        baseline = runner.baseline_for(spec)
-        stats = simulate_trace(trace, prefetcher=GazePrefetcher(config), name=spec.name)
-        return stats.speedup(baseline)
+    # Every configuration is a (spec, "gaze", params) job; the whole
+    # sensitivity study is submitted as one engine batch, so it is both
+    # cacheable and parallelizable.
+    configs: List[Dict[str, object]] = [{}]
+    configs += [{"region_size": size} for size in region_sizes]
+    configs += [{"pht_entries": entries} for entries in pht_sizes]
+
+    jobs = []
+    for spec in specs:
+        jobs.append(runner.job_for(spec, "none"))
+        for params in configs:
+            jobs.append(runner.job_for(spec, "gaze", prefetcher_params=params))
+    stats_list = runner.engine.run_jobs(jobs)
 
     region_rows: List[Dict[str, object]] = []
     pht_rows: List[Dict[str, object]] = []
+    cursor = 0
     for spec in specs:
-        reference = run_config(spec, GazeConfig())
+        baseline = stats_list[cursor]
+        cursor += 1
+        speedups: List[float] = []
+        for _params in configs:
+            speedups.append(stats_list[cursor].speedup(baseline))
+            cursor += 1
+        reference = speedups[0]
         region_row: Dict[str, object] = {"trace": spec.name}
-        for size in region_sizes:
-            speedup = run_config(spec, GazeConfig(region_size=size))
+        for size, speedup in zip(region_sizes, speedups[1 : 1 + len(region_sizes)]):
             region_row[f"{size // 1024}KB" if size >= 1024 else f"{size}B"] = (
                 speedup / reference if reference else 0.0
             )
         region_rows.append(region_row)
         pht_row: Dict[str, object] = {"trace": spec.name}
-        for entries in pht_sizes:
-            speedup = run_config(spec, GazeConfig(pht_entries=entries))
+        for entries, speedup in zip(pht_sizes, speedups[1 + len(region_sizes) :]):
             pht_row[str(entries)] = speedup / reference if reference else 0.0
         pht_rows.append(pht_row)
     return {"region_size": region_rows, "pht_size": pht_rows}
@@ -468,20 +488,16 @@ def fig18_vgaze(
 ) -> List[Dict[str, object]]:
     """Speedup of vGaze at 4-64 KB regions, normalised to the 4 KB baseline."""
     runner = _default_runner(runner)
+    specs = [_spec_by_name(name) for name in trace_names]
+    prefetchers = tuple(f"vgaze-{size_kb}kb" for size_kb in region_sizes_kb)
+    results = runner.run_grid(specs, prefetchers)
+    speedups = {(r.spec.name, r.prefetcher): r.speedup for r in results}
     rows: List[Dict[str, object]] = []
-    for name in trace_names:
-        spec = _spec_by_name(name)
-        trace = runner.trace_for(spec)
-        baseline = runner.baseline_for(spec)
+    for spec in specs:
         reference = None
-        row: Dict[str, object] = {"trace": name}
+        row: Dict[str, object] = {"trace": spec.name}
         for size_kb in region_sizes_kb:
-            stats = simulate_trace(
-                trace,
-                prefetcher=create_prefetcher(f"vgaze-{size_kb}kb"),
-                name=spec.name,
-            )
-            speedup = stats.speedup(baseline)
+            speedup = speedups[(spec.name, f"vgaze-{size_kb}kb")]
             if size_kb == 4:
                 reference = speedup
             row[f"{size_kb}KB"] = speedup / reference if reference else 0.0

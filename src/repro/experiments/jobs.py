@@ -1,0 +1,144 @@
+"""Simulation jobs: the unit of work of the experiment engine.
+
+A :class:`SimulationJob` is a frozen, picklable, *complete* description of
+one single-core simulation: which trace to generate, which prefetcher to
+attach (by registry name plus keyword parameters, never a live object) and
+which :class:`~repro.sim.config.SystemConfig` to run it on.  Because every
+input is captured by value, a job has a deterministic content-hash key
+(:meth:`SimulationJob.key` — use it, not ``hash(job)``, for dict/set
+membership) that is stable across processes — the foundation for both the parallel executor
+(bit-identical results regardless of worker placement) and the persistent
+result cache (warm re-runs skip simulation entirely).
+
+:func:`execute_job` is the pure top-level worker: it depends only on its
+argument, so ``ProcessPoolExecutor`` can ship it to worker processes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.hashing import content_hash
+from repro.prefetchers.registry import create_prefetcher
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import simulate_trace
+from repro.sim.stats import SimulationStats
+from repro.sim.types import MemoryAccess
+from repro.workloads.trace import TraceSpec
+
+#: Version salt mixed into every job key.  Bump this whenever the simulator,
+#: a prefetcher, or a workload generator changes behaviour: old cache
+#: entries become unreachable instead of silently stale.
+ENGINE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One (trace spec, prefetcher, system, scale) simulation request.
+
+    ``prefetcher`` is a registry name (``"none"`` means the no-prefetching
+    baseline) and ``prefetcher_params`` an ordered tuple of ``(key, value)``
+    pairs forwarded to the factory, so configured designs (e.g. Gaze with a
+    512 B region for Fig. 17) are expressed by value and stay picklable.
+    """
+
+    spec: TraceSpec
+    prefetcher: str = "none"
+    system: SystemConfig = field(default_factory=SystemConfig)
+    trace_length: int = 12_000
+    warmup_instructions: int = 0
+    max_instructions: Optional[int] = None
+    prefetcher_params: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def is_baseline(self) -> bool:
+        """True when this job simulates without any prefetcher."""
+        return self.prefetcher in ("none", "", None)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data representation covering every result-affecting input."""
+        return {
+            "spec": self.spec.to_dict(),
+            "prefetcher": "none" if self.is_baseline else self.prefetcher.lower(),
+            "prefetcher_params": {
+                key: value for key, value in sorted(self.prefetcher_params)
+            },
+            "system": self.system.to_dict(),
+            "trace_length": self.trace_length,
+            "warmup_instructions": self.warmup_instructions,
+            "max_instructions": self.max_instructions,
+        }
+
+    def key(self, salt: str = "") -> str:
+        """Deterministic content-hash key of this job.
+
+        The key folds in :data:`ENGINE_SCHEMA_VERSION` plus an optional
+        caller salt, so cache entries are invalidated both by engine
+        upgrades and by explicit experiment-level salting.
+        """
+        return content_hash(
+            {
+                "schema": ENGINE_SCHEMA_VERSION,
+                "salt": salt,
+                "job": self.to_dict(),
+            }
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side trace memoization
+# --------------------------------------------------------------------------- #
+# Worker processes are reused across jobs, so generating each trace once per
+# process (instead of once per job) removes the dominant non-simulation cost
+# of a grid.  The cache is keyed by trace content, bounded, and purely a
+# memoization — it never changes results.
+_TRACE_CACHE: "OrderedDict[Tuple[str, int], List[MemoryAccess]]" = OrderedDict()
+_TRACE_CACHE_LIMIT = 64
+
+
+def build_trace_cached(spec: TraceSpec, length: int) -> List[MemoryAccess]:
+    """Build (or fetch from the per-process memo) the trace for ``spec``.
+
+    Shared by :func:`execute_job` and :meth:`ExperimentRunner.trace_for`, so
+    one process holds at most one copy of each generated trace.
+    """
+    key = (spec.content_key(), length)
+    cached = _TRACE_CACHE.get(key)
+    if cached is None:
+        cached = spec.build(length=length)
+        _TRACE_CACHE[key] = cached
+        while len(_TRACE_CACHE) > _TRACE_CACHE_LIMIT:
+            _TRACE_CACHE.popitem(last=False)
+    else:
+        _TRACE_CACHE.move_to_end(key)
+    return cached
+
+
+def _trace_for_job(job: SimulationJob) -> List[MemoryAccess]:
+    return build_trace_cached(job.spec, job.trace_length)
+
+
+def execute_job(job: SimulationJob) -> SimulationStats:
+    """Run one job to completion and return its statistics.
+
+    Pure with respect to ``job``: trace generation is seed-deterministic and
+    the simulator has no global state, so any process executing the same job
+    produces identical statistics.
+    """
+    trace = _trace_for_job(job)
+    if job.is_baseline:
+        prefetcher = None
+    else:
+        prefetcher = create_prefetcher(
+            job.prefetcher, **dict(job.prefetcher_params)
+        )
+    return simulate_trace(
+        trace,
+        prefetcher=prefetcher,
+        config=job.system,
+        max_instructions=job.max_instructions,
+        warmup_instructions=job.warmup_instructions,
+        name=job.spec.name,
+    )

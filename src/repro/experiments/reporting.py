@@ -67,6 +67,42 @@ def format_matrix(
     return format_rows(rows, columns=columns, precision=precision)
 
 
+def render_result(result: object, precision: int = 3) -> str:
+    """Render any figure/table/sweep result structure as text.
+
+    The experiment layer returns three shapes: row lists (most figures and
+    tables), ``{row: {column: scalar}}`` matrices (fig6/7/12, sweeps) and
+    nested mappings of either (fig8, fig9, fig14, fig17).  This renderer
+    dispatches on structure so the CLI can print every experiment without
+    per-figure formatting code.
+    """
+    if isinstance(result, Sequence) and not isinstance(result, (str, bytes)):
+        items = list(result)
+        if items and all(isinstance(item, Mapping) for item in items):
+            return format_rows(items, precision=precision)
+        return "  ".join(_format_value(item, precision) for item in items)
+    if isinstance(result, Mapping):
+        values = list(result.values())
+        if values and all(
+            isinstance(v, Mapping)
+            and all(not isinstance(cell, (Mapping, list)) for cell in v.values())
+            for v in values
+        ):
+            # Stringify keys so integer-keyed results (sweep points, core
+            # counts) render through the text-table machinery.
+            normalized = {
+                str(row): {str(col): cell for col, cell in cols.items()}
+                for row, cols in result.items()
+            }
+            return format_matrix(normalized, precision=precision)
+        sections: List[str] = []
+        for key, value in result.items():
+            sections.append(f"[{key}]")
+            sections.append(render_result(value, precision=precision))
+        return "\n".join(sections)
+    return _format_value(result, precision)
+
+
 def print_rows(
     rows: Sequence[Mapping[str, object]],
     columns: Optional[Sequence[str]] = None,

@@ -1,20 +1,26 @@
-"""Experiment runner: caches traces and baseline simulations.
+"""Experiment runner: the figure-facing façade over the job engine.
 
 The paper's experiments all share a structure: simulate a set of traces with
 a set of prefetchers and compare against the no-prefetching baseline of the
-same trace.  :class:`ExperimentRunner` provides exactly that, with caching
-of generated traces and of baseline runs so figures that share workloads do
-not pay for them twice.
+same trace.  :class:`ExperimentRunner` provides exactly that.  Since the
+job-engine refactor it no longer simulates anything itself: every request is
+expressed as a :class:`~repro.experiments.jobs.SimulationJob` and dispatched
+through an :class:`~repro.experiments.engine.ExperimentEngine`, which
+
+* deduplicates repeated work in-process (figures sharing a grid pay once),
+* answers warm re-runs from the persistent on-disk cache, and
+* fans cold batches out over worker processes when ``jobs > 1`` —
+  with results bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.prefetchers.registry import create_prefetcher
+from repro.experiments.engine import ExperimentEngine, build_engine
+from repro.experiments.jobs import SimulationJob, build_trace_cached
 from repro.sim.config import SystemConfig, default_system_config
-from repro.sim.simulator import simulate_trace
 from repro.sim.stats import SimulationStats
 from repro.sim.types import MemoryAccess
 from repro.workloads.suites import trace_specs_for_suite
@@ -87,55 +93,104 @@ class RunResult:
         }
 
 
+PrefetcherParams = Union[Mapping[str, object], Sequence[Tuple[str, object]]]
+
+
+def _normalize_params(
+    params: Optional[PrefetcherParams],
+) -> Tuple[Tuple[str, object], ...]:
+    if not params:
+        return ()
+    if isinstance(params, Mapping):
+        items = params.items()
+    else:
+        items = params
+    return tuple(sorted((str(key), value) for key, value in items))
+
+
 class ExperimentRunner:
-    """Runs (trace x prefetcher) grids with trace/baseline caching."""
+    """Runs (trace x prefetcher) grids through the job engine."""
 
     def __init__(
         self,
         scale: Optional[RunScale] = None,
         system: Optional[SystemConfig] = None,
+        *,
+        engine: Optional[ExperimentEngine] = None,
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: Optional[bool] = None,
     ) -> None:
+        """Create a runner.
+
+        Args:
+            scale: trace length / suite-subset policy (default laptop scale).
+            system: the simulated system (default 1-core Table II config).
+            engine: share an existing engine (its executor, cache and memo);
+                when given, ``jobs``/``cache_dir``/``use_cache`` are ignored.
+            jobs: worker-process count; ``None`` or ``1`` runs serially.
+            cache_dir: persistent cache location (default ``.repro-cache``
+                or ``$REPRO_CACHE_DIR``).
+            use_cache: force the persistent cache on/off; defaults to on
+                unless ``REPRO_CACHE=0``.
+        """
         self.scale = scale if scale is not None else RunScale()
         self.system = system if system is not None else default_system_config(1)
-        self._trace_cache: Dict[Tuple[str, int], List[MemoryAccess]] = {}
-        self._baseline_cache: Dict[Tuple[str, int, int], SimulationStats] = {}
+        if engine is None:
+            engine = build_engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+        self.engine = engine
+
+    # ------------------------------------------------------------------ #
+    # Job construction
+    # ------------------------------------------------------------------ #
+    def job_for(
+        self,
+        spec: TraceSpec,
+        prefetcher_name: str = "none",
+        system: Optional[SystemConfig] = None,
+        prefetcher_params: Optional[PrefetcherParams] = None,
+    ) -> SimulationJob:
+        """Build the :class:`SimulationJob` for one grid cell at this scale."""
+        return SimulationJob(
+            spec=spec,
+            prefetcher=prefetcher_name if prefetcher_name else "none",
+            system=system if system is not None else self.system,
+            trace_length=self.scale.trace_length,
+            prefetcher_params=_normalize_params(prefetcher_params),
+        )
 
     # ------------------------------------------------------------------ #
     # Trace and baseline management
     # ------------------------------------------------------------------ #
     def trace_for(self, spec: TraceSpec) -> List[MemoryAccess]:
-        """Build (or fetch from cache) the trace for ``spec``."""
-        key = (spec.name, self.scale.trace_length)
-        if key not in self._trace_cache:
-            self._trace_cache[key] = spec.build(length=self.scale.trace_length)
-        return self._trace_cache[key]
+        """Build (or fetch from the process-wide cache) the trace for ``spec``.
 
-    def _system_key(self, system: SystemConfig) -> int:
-        return hash(
-            (
-                system.l1d.size_bytes,
-                system.l2c.size_bytes,
-                system.llc.size_bytes,
-                system.dram.channels,
-                system.dram.transfer_rate_mtps,
-                system.num_cores,
-            )
-        )
+        Delegates to the same per-process memo the job worker uses, so a
+        caller inspecting a trace shares the object the simulations saw.
+        """
+        return build_trace_cached(spec, self.scale.trace_length)
+
+    def _system_key(self, system: SystemConfig) -> str:
+        """Full deterministic content key of ``system``.
+
+        Replaces the old truncated, process-randomized ``hash()`` over six
+        fields: every configuration field now participates, so systems that
+        differ only in MSHRs, latencies or prefetch-queue sizes no longer
+        share a cached baseline, and keys are stable across processes.
+        """
+        return system.content_key()
 
     def baseline_for(
         self, spec: TraceSpec, system: Optional[SystemConfig] = None
     ) -> SimulationStats:
-        """No-prefetching run of ``spec`` (cached per system configuration)."""
-        system = system if system is not None else self.system
-        key = (spec.name, self.scale.trace_length, self._system_key(system))
-        if key not in self._baseline_cache:
-            self._baseline_cache[key] = simulate_trace(
-                self.trace_for(spec),
-                prefetcher=None,
-                config=system,
-                name=spec.name,
-            )
-        return self._baseline_cache[key]
+        """No-prefetching run of ``spec`` (cached per system configuration).
+
+        Memoization lives in the engine: the job's content key covers the
+        spec, the scale and every field of ``system`` (via
+        :meth:`_system_key` semantics), so repeated calls return the same
+        stats object without re-simulating.
+        """
+        return self.engine.run_job(self.job_for(spec, "none", system))
 
     # ------------------------------------------------------------------ #
     # Running
@@ -145,17 +200,16 @@ class ExperimentRunner:
         spec: TraceSpec,
         prefetcher_name: str,
         system: Optional[SystemConfig] = None,
+        prefetcher_params: Optional[PrefetcherParams] = None,
     ) -> RunResult:
         """Simulate one trace with one prefetcher."""
         system = system if system is not None else self.system
-        trace = self.trace_for(spec)
         baseline = self.baseline_for(spec, system)
         if prefetcher_name in ("none", None):
             stats = baseline
         else:
-            prefetcher = create_prefetcher(prefetcher_name)
-            stats = simulate_trace(
-                trace, prefetcher=prefetcher, config=system, name=spec.name
+            stats = self.engine.run_job(
+                self.job_for(spec, prefetcher_name, system, prefetcher_params)
             )
         return RunResult(
             spec=spec, prefetcher=prefetcher_name, stats=stats, baseline=baseline
@@ -167,11 +221,41 @@ class ExperimentRunner:
         prefetchers: Sequence[str],
         system: Optional[SystemConfig] = None,
     ) -> List[RunResult]:
-        """Simulate every (trace, prefetcher) combination."""
-        results: List[RunResult] = []
+        """Simulate every (trace, prefetcher) combination.
+
+        The whole grid — baselines included — is submitted to the engine as
+        one batch, so a parallel executor can overlap every cell.
+        """
+        system = system if system is not None else self.system
+        specs = list(specs)
+
+        jobs: List[SimulationJob] = []
         for spec in specs:
+            jobs.append(self.job_for(spec, "none", system))
             for prefetcher_name in prefetchers:
-                results.append(self.run_one(spec, prefetcher_name, system))
+                if prefetcher_name not in ("none", None):
+                    jobs.append(self.job_for(spec, prefetcher_name, system))
+        stats_list = self.engine.run_jobs(jobs)
+
+        results: List[RunResult] = []
+        cursor = 0
+        for spec in specs:
+            baseline = stats_list[cursor]
+            cursor += 1
+            for prefetcher_name in prefetchers:
+                if prefetcher_name in ("none", None):
+                    stats = baseline
+                else:
+                    stats = stats_list[cursor]
+                    cursor += 1
+                results.append(
+                    RunResult(
+                        spec=spec,
+                        prefetcher=prefetcher_name,
+                        stats=stats,
+                        baseline=baseline,
+                    )
+                )
         return results
 
     def run_suites(

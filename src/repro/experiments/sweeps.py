@@ -6,6 +6,11 @@ size (128 KB-1.5 MB).  Each sweep reruns the prefetcher comparison under the
 modified :class:`~repro.sim.config.SystemConfig` and reports geometric-mean
 speedups over the *matching* no-prefetch baseline (the baseline is re-run
 for every configuration, as in the paper).
+
+All points of a sweep share one :class:`ExperimentEngine`, so traces and
+results are cached across configurations, duplicate jobs are deduplicated,
+and ``jobs > 1`` parallelizes each point's grid; job keys include the full
+system configuration, so distinct sweep points can never share a result.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, Optional, Sequence
 
+from repro.experiments.engine import ExperimentEngine, build_engine
 from repro.experiments.metrics import summarize_runs
 from repro.experiments.runner import ExperimentRunner, RunScale
 from repro.sim.config import SystemConfig, default_system_config
@@ -27,13 +33,20 @@ LLC_MB_POINTS = (0.5, 1, 2, 4, 8)
 L2C_KB_POINTS = (128, 256, 512, 1024)
 
 
+def _sweep_engine(
+    engine: Optional[ExperimentEngine], jobs: Optional[int]
+) -> ExperimentEngine:
+    return engine if engine is not None else build_engine(jobs=jobs)
+
+
 def _run_point(
     system: SystemConfig,
     prefetchers: Sequence[str],
     scale: Optional[RunScale],
     suites: Sequence[str],
+    engine: ExperimentEngine,
 ) -> Dict[str, float]:
-    runner = ExperimentRunner(scale=scale, system=system)
+    runner = ExperimentRunner(scale=scale, system=system, engine=engine)
     results = runner.run_suites(suites, prefetchers)
     summary = summarize_runs(results)
     return {name: summary[name]["speedup"] for name in prefetchers}
@@ -44,13 +57,16 @@ def sweep_dram_bandwidth(
     prefetchers: Sequence[str] = SWEEP_PREFETCHERS,
     scale: Optional[RunScale] = None,
     suites: Sequence[str] = MAIN_SUITES,
+    engine: Optional[ExperimentEngine] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Fig. 16a: speedups at varying DRAM transfer rates (MT/s)."""
+    engine = _sweep_engine(engine, jobs)
     results: Dict[int, Dict[str, float]] = {}
     for mtps in points:
         base = default_system_config(1)
         system = replace(base, dram=replace(base.dram, transfer_rate_mtps=mtps))
-        results[mtps] = _run_point(system, prefetchers, scale, suites)
+        results[mtps] = _run_point(system, prefetchers, scale, suites, engine)
     return results
 
 
@@ -59,15 +75,18 @@ def sweep_llc_size(
     prefetchers: Sequence[str] = SWEEP_PREFETCHERS,
     scale: Optional[RunScale] = None,
     suites: Sequence[str] = MAIN_SUITES,
+    engine: Optional[ExperimentEngine] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[float, Dict[str, float]]:
     """Fig. 16b: speedups at varying LLC sizes per core (MB)."""
+    engine = _sweep_engine(engine, jobs)
     results: Dict[float, Dict[str, float]] = {}
     for size_mb in points_mb:
         base = default_system_config(1)
         system = replace(
             base, llc=replace(base.llc, size_bytes=int(size_mb * 1024 * 1024))
         )
-        results[size_mb] = _run_point(system, prefetchers, scale, suites)
+        results[size_mb] = _run_point(system, prefetchers, scale, suites, engine)
     return results
 
 
@@ -76,13 +95,16 @@ def sweep_l2c_size(
     prefetchers: Sequence[str] = SWEEP_PREFETCHERS,
     scale: Optional[RunScale] = None,
     suites: Sequence[str] = MAIN_SUITES,
+    engine: Optional[ExperimentEngine] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Fig. 16c: speedups at varying L2C sizes (KB)."""
+    engine = _sweep_engine(engine, jobs)
     results: Dict[int, Dict[str, float]] = {}
     for size_kb in points_kb:
         base = default_system_config(1)
         system = replace(
             base, l2c=replace(base.l2c, size_bytes=size_kb * 1024)
         )
-        results[size_kb] = _run_point(system, prefetchers, scale, suites)
+        results[size_kb] = _run_point(system, prefetchers, scale, suites, engine)
     return results

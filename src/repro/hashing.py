@@ -1,0 +1,31 @@
+"""Deterministic content hashing for experiment artefacts.
+
+The job engine keys its persistent result cache on a content hash of the
+complete simulation request (trace spec, prefetcher, system configuration,
+scale).  The hash must be stable across processes and Python invocations, so
+it is computed over a *canonical* JSON encoding (sorted keys, no whitespace)
+rather than over Python's process-randomized ``hash()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(value: Any) -> str:
+    """Encode ``value`` as canonical JSON (sorted keys, compact separators).
+
+    Only JSON-representable values are accepted; anything else raises
+    ``TypeError`` so non-serializable state cannot silently leak into a
+    cache key.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def content_hash(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

@@ -23,7 +23,7 @@ from repro.prefetchers.pmp import PMPPrefetcher
 from repro.prefetchers.sms import SMSPrefetcher
 from repro.prefetchers.spp import SPPPrefetcher
 
-PrefetcherFactory = Callable[[], Prefetcher]
+PrefetcherFactory = Callable[..., Prefetcher]
 
 _REGISTRY: Dict[str, PrefetcherFactory] = {}
 
@@ -33,16 +33,28 @@ def register_prefetcher(name: str, factory: PrefetcherFactory) -> None:
     _REGISTRY[name.lower()] = factory
 
 
-def create_prefetcher(name: str) -> Prefetcher:
+def create_prefetcher(name: str, **params) -> Prefetcher:
     """Instantiate the prefetcher registered as ``name``.
 
     Composite names of the form ``"<l1>+<l2>"`` build a
     :class:`MultiLevelPrefetcher` from two registered designs (Fig. 13).
+
+    ``params`` are forwarded to the registered factory, so callers (most
+    importantly the job engine, which ships only picklable descriptions of
+    work to worker processes) can request configured instances by value:
+    ``create_prefetcher("gaze", region_size=512)`` builds a
+    :class:`~repro.core.gaze.GazePrefetcher` with a matching
+    :class:`~repro.core.gaze.GazeConfig`.
     """
     key = name.lower()
     if key in _REGISTRY:
-        return _REGISTRY[key]()
+        factory = _REGISTRY[key]
+        return factory(**params) if params else factory()
     if "+" in key:
+        if params:
+            raise ValueError(
+                f"composite prefetcher {name!r} does not accept parameters"
+            )
         l1_name, l2_name = key.split("+", 1)
         return MultiLevelPrefetcher(
             create_prefetcher(l1_name), create_prefetcher(l2_name)
@@ -55,6 +67,21 @@ def create_prefetcher(name: str) -> Prefetcher:
 def available_prefetchers() -> List[str]:
     """Names of all registered single-level prefetchers."""
     return sorted(_REGISTRY)
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` resolves to a prefetcher, without instantiating it.
+
+    Accepts the same composite ``"<l1>+<l2>"`` forms as
+    :func:`create_prefetcher`.
+    """
+    key = name.lower()
+    if key in _REGISTRY:
+        return True
+    if "+" in key:
+        l1_name, l2_name = key.split("+", 1)
+        return is_registered(l1_name) and is_registered(l2_name)
+    return False
 
 
 def _make_gaze(variant: str, **kwargs) -> Prefetcher:
@@ -75,18 +102,26 @@ def _make_gaze(variant: str, **kwargs) -> Prefetcher:
         VirtualGaze,
     )
 
+    if variant == "gaze":
+        # Keyword arguments are GazeConfig fields (Fig. 17 sweeps region and
+        # PHT sizes through here without shipping live objects to workers).
+        from repro.core.gaze import GazeConfig
+
+        return GazePrefetcher(GazeConfig(**kwargs)) if kwargs else GazePrefetcher()
+
+    # Every entry forwards kwargs, so configured creation either applies the
+    # parameters or raises TypeError — never silently runs the default.
     constructors = {
-        "gaze": GazePrefetcher,
         "gaze-pht": GazePHTOnly,
         "offset": OffsetOnlyPrefetcher,
         "pc": PCOnlyPrefetcher,
         "pc+addr": PCAddressPrefetcher,
-        "pht4ss": lambda: StreamingOnlyGaze(use_streaming_module=False),
-        "sm4ss": lambda: StreamingOnlyGaze(use_streaming_module=True),
-        "gaze-n": lambda: NInitialAccessGaze(**kwargs),
-        "vgaze": lambda: VirtualGaze(**kwargs),
+        "pht4ss": lambda **kw: StreamingOnlyGaze(use_streaming_module=False, **kw),
+        "sm4ss": lambda **kw: StreamingOnlyGaze(use_streaming_module=True, **kw),
+        "gaze-n": NInitialAccessGaze,
+        "vgaze": VirtualGaze,
     }
-    return constructors[variant]()
+    return constructors[variant](**kwargs)
 
 
 def _register_defaults() -> None:
@@ -106,15 +141,19 @@ def _register_defaults() -> None:
 
     # Gaze and its ablations, resolved lazily (see :func:`_make_gaze`).
     for variant in ("gaze", "gaze-pht", "offset", "pc", "pc+addr", "pht4ss", "sm4ss"):
-        register_prefetcher(variant, lambda variant=variant: _make_gaze(variant))
+        register_prefetcher(
+            variant, lambda variant=variant, **kwargs: _make_gaze(variant, **kwargs)
+        )
     for n in range(1, 5):
         register_prefetcher(
-            f"gaze-n{n}", lambda n=n: _make_gaze("gaze-n", n=n)
+            f"gaze-n{n}", lambda n=n, **kwargs: _make_gaze("gaze-n", n=n, **kwargs)
         )
     for size_kb in (4, 8, 16, 32, 64):
         register_prefetcher(
             f"vgaze-{size_kb}kb",
-            lambda size_kb=size_kb: _make_gaze("vgaze", region_size=size_kb * 1024),
+            lambda size_kb=size_kb, **kwargs: _make_gaze(
+                "vgaze", region_size=size_kb * 1024, **kwargs
+            ),
         )
 
 

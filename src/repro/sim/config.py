@@ -11,8 +11,10 @@ The default values mirror Table II of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.hashing import content_hash
 
 
 @dataclass(frozen=True)
@@ -151,6 +153,35 @@ class SystemConfig:
     )
     dram: DRAMConfig = field(default_factory=DRAMConfig)
     num_cores: int = 1
+
+    # ------------------------------------------------------------------ #
+    # Deterministic serialization (used by the job engine's cache keys)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data representation covering *every* configuration field."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SystemConfig":
+        """Rebuild a :class:`SystemConfig` from :meth:`to_dict` output."""
+        return cls(
+            core=CoreConfig(**data["core"]),
+            l1d=CacheConfig(**data["l1d"]),
+            l2c=CacheConfig(**data["l2c"]),
+            llc=CacheConfig(**data["llc"]),
+            dram=DRAMConfig(**data["dram"]),
+            num_cores=data["num_cores"],
+        )
+
+    def content_key(self) -> str:
+        """Stable hash of the full configuration.
+
+        Unlike Python's ``hash()``, this covers every field (MSHRs,
+        latencies, prefetch-queue sizes, ...) and is identical across
+        processes, so two systems share a key only when they are genuinely
+        the same system.
+        """
+        return content_hash(self.to_dict())
 
     def scaled_for_cores(self, num_cores: int) -> "SystemConfig":
         """Return a copy scaled for ``num_cores`` following Table II.

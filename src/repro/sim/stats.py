@@ -16,7 +16,7 @@ The paper's metrics of interest (§IV-A3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional
 
 
@@ -60,6 +60,15 @@ class PrefetchStats:
         if not self.useful:
             return 0.0
         return self.late / self.useful
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-data representation (for the persistent result cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "PrefetchStats":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**data)
 
 
 @dataclass
@@ -131,6 +140,24 @@ class SimulationStats:
         if baseline.ipc == 0.0:
             return 0.0
         return self.ipc / baseline.ipc
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation with every counter preserved exactly.
+
+        Integers stay integers and floats round-trip bit-exactly through
+        JSON, so a cached result is indistinguishable from a fresh run.
+        """
+        data = asdict(self)
+        data["prefetch"] = self.prefetch.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationStats":
+        """Rebuild a :class:`SimulationStats` from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["prefetch"] = PrefetchStats.from_dict(payload.get("prefetch", {}))
+        payload["extra"] = dict(payload.get("extra", {}))
+        return cls(**payload)
 
     def summary(self) -> Dict[str, float]:
         """Compact dictionary of headline metrics (for reports and tests)."""

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.hashing import content_hash
 from repro.sim.types import AccessType, MemoryAccess
 
 
@@ -31,6 +32,37 @@ class TraceSpec:
     params: Dict[str, object] = field(default_factory=dict)
     seed: int = 0
     length: int = 40_000
+
+    def to_dict(self) -> Dict[str, object]:
+        """Deterministic plain-data representation (params key-sorted)."""
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "generator": self.generator,
+            "params": {key: self.params[key] for key in sorted(self.params)},
+            "seed": self.seed,
+            "length": self.length,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceSpec":
+        """Rebuild a :class:`TraceSpec` from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            suite=data["suite"],
+            generator=data["generator"],
+            params=dict(data.get("params", {})),
+            seed=data.get("seed", 0),
+            length=data.get("length", 40_000),
+        )
+
+    def content_key(self) -> str:
+        """Stable hash of everything that determines the generated trace.
+
+        Generators are seed-deterministic, so two specs with the same
+        content key produce byte-identical traces in any process.
+        """
+        return content_hash(self.to_dict())
 
     def build(self, length: Optional[int] = None) -> List[MemoryAccess]:
         """Instantiate the generator and produce the trace."""

@@ -1,0 +1,142 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv, capsys):
+    code = main(argv)
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestListCommands:
+    def test_list_figures(self, capsys):
+        code, out = _run(["list", "figures"], capsys)
+        assert code == 0
+        names = out.split()
+        assert "fig6" in names and "fig18" in names
+
+    def test_list_prefetchers(self, capsys):
+        code, out = _run(["list", "prefetchers"], capsys)
+        assert code == 0
+        assert "gaze" in out.split()
+
+    def test_list_suites(self, capsys):
+        code, out = _run(["list", "suites"], capsys)
+        assert code == 0
+        assert "spec17" in out.split()
+
+    def test_list_tables_and_sweeps(self, capsys):
+        assert "table5" in _run(["list", "tables"], capsys)[1].split()
+        assert "dram" in _run(["list", "sweeps"], capsys)[1].split()
+
+
+class TestRunCommand:
+    def test_adhoc_grid(self, tmp_path, capsys):
+        code, out = _run(
+            [
+                "run", "--suite", "spec17", "--prefetchers", "ip-stride",
+                "--trace-length", "600", "--traces-per-suite", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "ip-stride" in out
+        assert "speedup" in out
+        assert "# 2 simulated" in out
+
+    def test_warm_rerun_skips_simulation(self, tmp_path, capsys):
+        argv = [
+            "run", "--suite", "spec17", "--prefetchers", "ip-stride",
+            "--trace-length", "600", "--traces-per-suite", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        _run(argv, capsys)
+        code, out = _run(argv, capsys)
+        assert code == 0
+        assert "# 0 simulated" in out
+        assert "2 cache hits" in out
+
+    def test_no_cache_flag(self, tmp_path, capsys, monkeypatch):
+        # Run from a fresh CWD so the default .repro-cache location would be
+        # observable if --no-cache failed to suppress it.
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code, out = _run(
+            [
+                "run", "--suite", "spec17", "--prefetchers", "ip-stride",
+                "--trace-length", "600", "--traces-per-suite", "1",
+                "--no-cache",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "cache: disabled" in out
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_run_table(self, capsys):
+        code, out = _run(["run", "--table", "table1"], capsys)
+        assert code == 0
+        assert "structure" in out
+
+    def test_figure_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--figure", "fig99"])
+
+    def test_unknown_prefetcher_is_clean_error(self, capsys):
+        code = main(["run", "--suite", "spec17", "--prefetchers", "gazee",
+                     "--trace-length", "600", "--traces-per-suite", "1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown prefetcher 'gazee'" in err
+
+    def test_empty_prefetchers_is_clean_error(self, capsys):
+        code = main(["run", "--suite", "spec17", "--prefetchers", " , ",
+                     "--trace-length", "600", "--traces-per-suite", "1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no prefetchers" in err
+
+    def test_standalone_figure_warns_about_ignored_flags(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Stub the expensive multi-core figure: this test covers CLI flag
+        # handling, not the simulation itself.
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli._STANDALONE_FIGURES, "fig15", lambda: [{"mix": "stub"}]
+        )
+        code = main(["run", "--figure", "fig15", "--jobs", "4",
+                     "--cache-dir", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "--jobs, --cache-dir ignored" in captured.err
+        assert "simulated" not in captured.out  # no misleading engine summary
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        _run(
+            [
+                "run", "--suite", "spec17", "--prefetchers", "ip-stride",
+                "--trace-length", "600", "--traces-per-suite", "1",
+                "--cache-dir", cache_dir,
+            ],
+            capsys,
+        )
+        code, out = _run(["cache", "info", "--cache-dir", cache_dir], capsys)
+        assert code == 0
+        assert "entries: 2" in out
+
+        code, out = _run(["cache", "clear", "--cache-dir", cache_dir], capsys)
+        assert code == 0
+        assert "removed 2" in out
+        code, out = _run(["cache", "info", "--cache-dir", cache_dir], capsys)
+        assert "entries: 0" in out

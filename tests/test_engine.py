@@ -1,0 +1,258 @@
+"""Tests for the job-based experiment engine.
+
+Covers the acceptance properties of the engine refactor:
+
+* job keys are deterministic, schema-salted and parameter-sensitive;
+* the parallel executor is bit-identical to the serial one;
+* the persistent cache round-trips results exactly and its hit counters
+  make warm runs observable;
+* cache invalidation on salt / parameter changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.engine import ExperimentEngine, build_engine
+from repro.experiments.executors import (
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.experiments.jobs import SimulationJob, execute_job
+from repro.experiments.runner import ExperimentRunner, RunScale
+from repro.prefetchers.registry import create_prefetcher
+from repro.sim.config import SystemConfig, default_system_config
+from repro.sim.stats import PrefetchStats, SimulationStats
+from repro.workloads.suites import trace_specs_for_suite
+from repro.workloads.trace import TraceSpec
+
+SCALE = RunScale(trace_length=1_000, traces_per_suite=1)
+
+
+def _specs(n=2):
+    return trace_specs_for_suite("spec17")[:n]
+
+
+def _job(spec=None, prefetcher="ip-stride", **overrides) -> SimulationJob:
+    spec = spec if spec is not None else _specs(1)[0]
+    defaults = dict(
+        spec=spec,
+        prefetcher=prefetcher,
+        system=default_system_config(1),
+        trace_length=1_000,
+    )
+    defaults.update(overrides)
+    return SimulationJob(**defaults)
+
+
+class TestJobKeys:
+    def test_key_is_deterministic(self):
+        assert _job().key() == _job().key()
+
+    def test_key_covers_prefetcher(self):
+        assert _job(prefetcher="ip-stride").key() != _job(prefetcher="gaze").key()
+
+    def test_key_covers_trace_length(self):
+        assert _job().key() != _job(trace_length=2_000).key()
+
+    def test_key_covers_prefetcher_params(self):
+        plain = _job(prefetcher="gaze")
+        tuned = _job(prefetcher="gaze", prefetcher_params=(("region_size", 512),))
+        assert plain.key() != tuned.key()
+
+    def test_key_covers_salt(self):
+        assert _job().key("a") != _job().key("b")
+
+    def test_key_covers_full_system_config(self):
+        # The old ExperimentRunner._system_key hashed only six fields, so
+        # systems differing in MSHRs or latencies collided.  Content keys
+        # must distinguish them.
+        base = default_system_config(1)
+        from dataclasses import replace
+
+        more_mshrs = replace(base, l2c=replace(base.l2c, mshrs=64))
+        slower = replace(base, llc=replace(base.llc, latency=30))
+        keys = {
+            _job(system=base).key(),
+            _job(system=more_mshrs).key(),
+            _job(system=slower).key(),
+        }
+        assert len(keys) == 3
+
+    def test_system_config_roundtrip(self):
+        config = default_system_config(4)
+        rebuilt = SystemConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.content_key() == config.content_key()
+
+    def test_trace_spec_roundtrip(self):
+        spec = TraceSpec(
+            name="t", suite="s", generator="streaming",
+            params={"num_arrays": 2}, seed=7, length=123,
+        )
+        rebuilt = TraceSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.content_key() == spec.content_key()
+
+
+class TestStatsRoundTrip:
+    def test_simulation_stats_roundtrip_exact(self):
+        stats = execute_job(_job(prefetcher="gaze"))
+        rebuilt = SimulationStats.from_dict(stats.to_dict())
+        assert rebuilt == stats
+        assert rebuilt.ipc == stats.ipc
+
+    def test_prefetch_stats_roundtrip(self):
+        stats = PrefetchStats(generated=5, issued=4, useful_l1=2, late=1)
+        assert PrefetchStats.from_dict(stats.to_dict()) == stats
+
+
+class TestSerialParallelDeterminism:
+    def test_fig11_style_grid_identical_rows(self):
+        """The acceptance property: parallel rows == serial rows, exactly."""
+        specs = _specs(2)
+        prefetchers = ("vberti", "pmp", "gaze")
+
+        serial = ExperimentRunner(SCALE, use_cache=False)
+        parallel = ExperimentRunner(SCALE, jobs=2, use_cache=False)
+
+        serial_rows = [r.row() for r in serial.run_grid(specs, prefetchers)]
+        parallel_rows = [r.row() for r in parallel.run_grid(specs, prefetchers)]
+        assert serial_rows == parallel_rows
+        # Both actually simulated (no cache involved).
+        assert serial.engine.simulations_run == len(specs) * (len(prefetchers) + 1)
+        assert parallel.engine.simulations_run == serial.engine.simulations_run
+
+    def test_executors_agree_on_job_batch(self):
+        jobs = [_job(spec, "ip-stride") for spec in _specs(2)]
+        serial_stats = SerialExecutor().run(jobs)
+        parallel_stats = ParallelExecutor(jobs=2).run(jobs)
+        assert [s.to_dict() for s in serial_stats] == [
+            s.to_dict() for s in parallel_stats
+        ]
+
+    def test_make_executor_selection(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        executor = make_executor(3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 3
+
+
+class TestPersistentCache:
+    def test_cache_round_trip_skips_simulation(self, tmp_path):
+        specs = _specs(2)
+        prefetchers = ("ip-stride", "gaze")
+        cache_dir = str(tmp_path / "cache")
+
+        cold = ExperimentRunner(SCALE, cache_dir=cache_dir, use_cache=True)
+        cold_rows = [r.row() for r in cold.run_grid(specs, prefetchers)]
+        expected_jobs = len(specs) * (len(prefetchers) + 1)
+        assert cold.engine.simulations_run == expected_jobs
+        assert cold.engine.cache.stores == expected_jobs
+
+        warm = ExperimentRunner(SCALE, cache_dir=cache_dir, use_cache=True)
+        warm_rows = [r.row() for r in warm.run_grid(specs, prefetchers)]
+        assert warm.engine.simulations_run == 0
+        assert warm.engine.cache.hits == expected_jobs
+        assert warm_rows == cold_rows
+
+    def test_in_process_memo_dedupes_repeated_grids(self, tmp_path):
+        runner = ExperimentRunner(SCALE, cache_dir=str(tmp_path), use_cache=True)
+        specs = _specs(1)
+        runner.run_grid(specs, ("ip-stride",))
+        first = runner.engine.simulations_run
+        runner.run_grid(specs, ("ip-stride",))  # fig6/7/8 share grids like this
+        assert runner.engine.simulations_run == first
+        assert runner.engine.memo_hits > 0
+
+    def test_salt_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        engine = ExperimentEngine(cache=cache, salt="v1")
+        job = _job()
+        engine.run_job(job)
+        assert engine.simulations_run == 1
+
+        stale = ExperimentEngine(cache=ResultCache(tmp_path / "c"), salt="v2")
+        stale.run_job(job)
+        assert stale.simulations_run == 1  # salted key missed the v1 entry
+
+        fresh = ExperimentEngine(cache=ResultCache(tmp_path / "c"), salt="v1")
+        fresh.run_job(job)
+        assert fresh.simulations_run == 0
+
+    def test_parameter_change_invalidates(self, tmp_path):
+        engine = ExperimentEngine(cache=ResultCache(tmp_path / "c"))
+        engine.run_job(_job(trace_length=1_000))
+        engine.run_job(_job(trace_length=1_200))
+        assert engine.simulations_run == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = _job()
+        key = job.key()
+        ExperimentEngine(cache=cache).run_job(job)
+        path = cache.path_for(key)
+        path.write_text("{ not json", encoding="utf-8")
+
+        engine = ExperimentEngine(cache=ResultCache(tmp_path / "c"))
+        engine.run_job(job)
+        assert engine.simulations_run == 1  # corrupt entry re-simulated
+        assert not path.read_text(encoding="utf-8").startswith("{ not")
+
+    def test_cache_info_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        ExperimentEngine(cache=cache).run_job(_job())
+        info = cache.info()
+        assert info["entries"] == 1
+        assert info["bytes"] > 0
+        assert cache.clear() == 1
+        assert cache.info()["entries"] == 0
+
+    def test_disabled_cache_runs_without_disk(self):
+        engine = build_engine(use_cache=False)
+        assert engine.cache is None
+        engine.run_job(_job())
+        assert engine.simulations_run == 1
+
+
+class TestEngineBatching:
+    def test_batch_results_align_with_jobs(self):
+        engine = build_engine(use_cache=False)
+        specs = _specs(2)
+        jobs = [_job(specs[0], "none"), _job(specs[1], "none"),
+                _job(specs[0], "none")]  # duplicate on purpose
+        results = engine.run_jobs(jobs)
+        assert len(results) == 3
+        assert results[0] is results[2]  # duplicate answered from memo
+        assert engine.simulations_run == 2
+        assert engine.memo_hits == 1  # the intra-batch duplicate is counted
+
+    def test_run_one_none_returns_baseline_object(self):
+        runner = ExperimentRunner(SCALE, use_cache=False)
+        result = runner.run_one(_specs(1)[0], "none")
+        assert result.stats is result.baseline
+        assert result.speedup == pytest.approx(1.0)
+
+
+class TestConfiguredPrefetcherCreation:
+    def test_create_prefetcher_with_params(self):
+        gaze = create_prefetcher("gaze", region_size=512)
+        assert gaze.config.region_size == 512
+
+    def test_create_prefetcher_without_params_unchanged(self):
+        gaze = create_prefetcher("gaze")
+        assert gaze.config.region_size == 4096
+
+    def test_composite_rejects_params(self):
+        with pytest.raises(ValueError):
+            create_prefetcher("ip-stride+gaze", region_size=512)
+
+    def test_engine_runs_configured_gaze(self):
+        engine = build_engine(use_cache=False)
+        stats = engine.run_job(
+            _job(prefetcher="gaze", prefetcher_params=(("region_size", 512),))
+        )
+        assert stats.instructions > 0

@@ -19,7 +19,11 @@ from repro.workloads.trace import TraceSpec
 
 @pytest.fixture(scope="module")
 def tiny_runner():
-    return ExperimentRunner(RunScale(trace_length=1_500, traces_per_suite=1))
+    # use_cache=False keeps the suite hermetic: results must come from the
+    # simulator under test, never from a stale .repro-cache in the CWD.
+    return ExperimentRunner(
+        RunScale(trace_length=1_500, traces_per_suite=1), use_cache=False
+    )
 
 
 class TestRunScale:
