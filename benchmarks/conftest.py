@@ -22,6 +22,23 @@ BENCH_TRACE_LENGTH = int(os.environ.get("REPRO_BENCH_TRACE_LENGTH", "3000"))
 BENCH_TRACES_PER_SUITE = int(os.environ.get("REPRO_BENCH_TRACES_PER_SUITE", "2"))
 
 
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark in this directory as ``slow``.
+
+    The figure/table reproductions dominate suite wall-time (~40s of the
+    cold run), so the default run deselects them (``-m "not slow"`` in
+    ``pyproject.toml``); CI runs them in a dedicated lane and locally they
+    are a ``python -m pytest -m slow`` away.  The hook receives the whole
+    session's items, so membership is filtered by path.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.slow)
+
+
 def bench_scale() -> RunScale:
     """The RunScale used by all benchmarks."""
     return RunScale(

@@ -7,6 +7,11 @@ Examples::
     python -m repro run --suite spec17 --suite cloud --prefetchers gaze,pmp
     python -m repro run --table table5
     python -m repro run --sweep dram --jobs 8
+    python -m repro run --trace-file traces/bwaves.gzt.gz --prefetchers gaze
+    python -m repro trace export --generator streaming --seed 1 \
+        --length 50000 -o traces/stream.champsim.xz
+    python -m repro trace import raw.jsonl -o traces/raw.gzt.gz
+    python -m repro trace info traces/stream.champsim.xz
     python -m repro cache info
     python -m repro cache clear
     python -m repro list figures
@@ -30,7 +35,18 @@ from repro.experiments.engine import ExperimentEngine, build_engine
 from repro.experiments.reporting import render_result
 from repro.experiments.runner import ExperimentRunner, RunScale
 from repro.prefetchers.registry import available_prefetchers, is_registered
-from repro.workloads.suites import SUITES
+from repro.workloads import formats as trace_formats
+from repro.workloads.formats import (
+    COMPRESSIONS,
+    FORMATS,
+    TraceFormatError,
+    cap_instructions,
+    interleave,
+    remap_addresses,
+    slice_accesses,
+)
+from repro.workloads.suites import SUITES, all_trace_specs, trace_specs_for_suite
+from repro.workloads.trace import TraceSpec, make_trace, trace_statistics
 
 #: Figures that accept a runner (and therefore honour --jobs / the cache).
 _RUNNER_FIGURES: Dict[str, Callable[..., object]] = {
@@ -93,6 +109,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--suite", action="append", default=None,
                      choices=sorted(SUITES),
                      help="suite for an ad-hoc grid (repeatable)")
+    run.add_argument("--trace-file", action="append", default=None,
+                     metavar="PATH",
+                     help="simulate an on-disk trace file instead of a "
+                          "generated suite (repeatable; streams in O(1) "
+                          "memory, any supported format/compression)")
     run.add_argument("--prefetchers", default=None,
                      help="comma-separated prefetcher names for ad-hoc grids "
                           "(default gaze,vberti,pmp)")
@@ -113,6 +134,81 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("info", "clear"))
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory (default .repro-cache)")
+
+    trace = sub.add_parser(
+        "trace", help="export, convert and inspect trace files"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _add_transform_flags(cmd):
+        cmd.add_argument("--start", type=int, default=0, metavar="N",
+                         help="skip the first N accesses")
+        cmd.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="keep at most N accesses (after --start)")
+        cmd.add_argument("--instr-budget", type=int, default=None, metavar="I",
+                         help="stop once I instructions have been emitted")
+        cmd.add_argument("--remap-offset", default=None, metavar="BYTES",
+                         help="shift every address by this byte offset "
+                              "(accepts hex, e.g. 0x1000000)")
+
+    export = trace_sub.add_parser(
+        "export", help="generate a synthetic trace and write it to a file"
+    )
+    export_source = export.add_mutually_exclusive_group(required=True)
+    export_source.add_argument("--generator", metavar="KIND",
+                               help="workload generator kind (see "
+                                    "`repro list suites` traces)")
+    export_source.add_argument("--trace", metavar="NAME",
+                               help="named trace spec from the built-in "
+                                    "suites (e.g. bwaves_s-like)")
+    export.add_argument("--seed", type=int, default=0,
+                        help="generator RNG seed (with --generator)")
+    export.add_argument("--length", type=int, default=None, metavar="L",
+                        help="accesses to generate (default: spec length "
+                             "or 40000)")
+    export.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="generator parameter (repeatable, with "
+                             "--generator)")
+    export.add_argument("-o", "--output", required=True, metavar="PATH",
+                        help="destination file (suffix selects format and "
+                             "compression)")
+    export.add_argument("--format", choices=sorted(FORMATS), default=None,
+                        help="force the trace format (default: from suffix)")
+    export.add_argument("--compression", choices=("auto",) + COMPRESSIONS,
+                        default="auto",
+                        help="force the compression codec (default: from "
+                             "suffix)")
+    _add_transform_flags(export)
+
+    imp = trace_sub.add_parser(
+        "import",
+        help="convert/validate trace files (several inputs interleave "
+             "deterministically)",
+    )
+    imp.add_argument("sources", nargs="+", metavar="SRC",
+                     help="input trace file(s) in any supported format")
+    imp.add_argument("-o", "--output", required=True, metavar="PATH",
+                     help="destination file (suffix selects format and "
+                          "compression)")
+    imp.add_argument("--input-format", choices=sorted(FORMATS), default=None,
+                     help="force the input format (default: sniffed)")
+    imp.add_argument("--format", choices=sorted(FORMATS), default=None,
+                     help="force the output format (default: from suffix)")
+    imp.add_argument("--compression", choices=("auto",) + COMPRESSIONS,
+                     default="auto",
+                     help="force the compression codec (default: from suffix)")
+    imp.add_argument("--interleave-chunk", type=int, default=1, metavar="K",
+                     help="accesses taken per input per round when "
+                          "interleaving several sources (default 1)")
+    _add_transform_flags(imp)
+
+    info = trace_sub.add_parser(
+        "info", help="validate a trace file and print its metadata"
+    )
+    info.add_argument("path", metavar="PATH")
+    info.add_argument("--no-stats", action="store_true",
+                      help="skip the access-pattern statistics pass")
 
     lst = sub.add_parser("list", help="list available experiment targets")
     lst.add_argument("what", choices=("figures", "tables", "sweeps",
@@ -164,13 +260,63 @@ def _print_engine_summary(engine: ExperimentEngine, elapsed: float) -> None:
     )
 
 
+def _file_trace_specs(paths: List[str]) -> List[TraceSpec]:
+    """Build file-backed specs for ``run --trace-file`` arguments."""
+    specs = []
+    for path in paths:
+        spec = TraceSpec.from_file(path)
+        if spec.length == 0:
+            raise TraceFormatError(
+                f"trace file {path} is empty (0 records); nothing to simulate"
+            )
+        specs.append(spec)
+    return specs
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.trace_file and (args.figure or args.table or args.sweep):
+        target = args.figure or args.table or f"sweep {args.sweep}"
+        print(
+            f"error: --trace-file defines an ad-hoc grid and cannot be "
+            f"combined with {target}",
+            file=sys.stderr,
+        )
+        return 2
+    file_specs: List[TraceSpec] = []
+    if args.trace_file:
+        try:
+            file_specs = _file_trace_specs(args.trace_file)
+        except TraceFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     engine = build_engine(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=False if args.no_cache else None,
     )
     scale = _make_scale(args)
+    if file_specs and args.trace_length is None:
+        if args.suite:
+            # One scale drives every job in a grid, so stretching it to
+            # the file length would silently inflate the suite's synthetic
+            # traces too; keep the default and tell the user.
+            default_length = (scale if scale is not None else RunScale()).trace_length
+            if any(spec.length > default_length for spec in file_specs):
+                print(
+                    f"note: combined with --suite, file traces are capped at "
+                    f"the grid trace length ({default_length} accesses); "
+                    "pass --trace-length to simulate more",
+                    file=sys.stderr,
+                )
+        else:
+            # Default to simulating each file trace in full rather than
+            # truncating at the synthetic-grid default length.
+            base = scale if scale is not None else RunScale()
+            scale = RunScale(
+                trace_length=max(spec.length for spec in file_specs),
+                traces_per_suite=base.traces_per_suite,
+            )
     runner = ExperimentRunner(scale=scale, engine=engine)
 
     if args.figure in _FIXED_TRACE_FIGURES and args.traces_per_suite is not None:
@@ -214,7 +360,6 @@ def _cmd_run(args: argparse.Namespace) -> int:
         title = f"sweep-{args.sweep}"
         result = _SWEEPS[args.sweep](scale=scale, engine=engine)
     else:
-        suites = args.suite if args.suite else ["spec17"]
         requested = (
             args.prefetchers if args.prefetchers is not None else "gaze,vberti,pmp"
         )
@@ -232,8 +377,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
                 return 2
-        title = f"grid: {','.join(suites)} x {','.join(prefetchers)}"
-        results = runner.run_suites(suites, prefetchers)
+        if file_specs:
+            sources = [spec.name for spec in file_specs]
+            if args.suite:
+                for suite in args.suite:
+                    file_specs.extend(
+                        runner.scale.select(trace_specs_for_suite(suite))
+                    )
+                sources.extend(args.suite)
+            title = f"grid: {','.join(sources)} x {','.join(prefetchers)}"
+            results = runner.run_grid(file_specs, prefetchers)
+        else:
+            suites = args.suite if args.suite else ["spec17"]
+            title = f"grid: {','.join(suites)} x {','.join(prefetchers)}"
+            results = runner.run_suites(suites, prefetchers)
         result = [r.row() for r in results]
     elapsed = time.perf_counter() - start
 
@@ -254,6 +411,146 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")
     return 0
+
+
+def _parse_generator_params(pairs: List[str]) -> Dict[str, object]:
+    """Parse repeated ``--param key=value`` flags (int/float/str coercion)."""
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"expected KEY=VALUE, got {pair!r}")
+        for convert in (lambda v: int(v, 0), float):
+            try:
+                params[key] = convert(raw)
+                break
+            except ValueError:
+                continue
+        else:
+            params[key] = raw
+    return params
+
+
+def _apply_transform_flags(accesses, args: argparse.Namespace):
+    """Chain the slice/cap/remap streaming transforms selected by flags."""
+    if args.start or args.limit is not None:
+        stop = None if args.limit is None else args.start + args.limit
+        accesses = slice_accesses(accesses, args.start, stop)
+    if args.instr_budget is not None:
+        accesses = cap_instructions(accesses, args.instr_budget)
+    if args.remap_offset is not None:
+        try:
+            offset = int(args.remap_offset, 0)
+        except ValueError:
+            raise TraceFormatError(
+                f"--remap-offset must be an integer (decimal or 0x-hex), "
+                f"got {args.remap_offset!r}"
+            ) from None
+        accesses = remap_addresses(accesses, offset=offset)
+    return accesses
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    if args.trace is not None:
+        matches = [
+            spec for spec in all_trace_specs(main_only=False)
+            if spec.name == args.trace
+        ]
+        if not matches:
+            print(f"error: unknown trace {args.trace!r}; see "
+                  "`python -m repro list suites`", file=sys.stderr)
+            return 2
+        spec = matches[0]
+        accesses = iter(spec.build(length=args.length))
+    else:
+        try:
+            params = _parse_generator_params(args.param)
+            accesses = iter(make_trace(
+                args.generator,
+                seed=args.seed,
+                length=args.length if args.length is not None else 40_000,
+                **params,
+            ))
+        except (KeyError, ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    accesses = _apply_transform_flags(accesses, args)
+    count = trace_formats.save_trace_file(
+        accesses, args.output, format=args.format, compression=args.compression
+    )
+    digest = trace_formats.file_digest(args.output)
+    print(f"wrote {count} accesses to {args.output} (sha256 {digest[:16]}…)")
+    return 0
+
+
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    streams = [
+        trace_formats.read_trace_stream(source, format=args.input_format)
+        for source in args.sources
+    ]
+    if len(streams) == 1:
+        combined = streams[0]
+    else:
+        combined = interleave(streams, chunk=args.interleave_chunk)
+    combined = _apply_transform_flags(combined, args)
+    count = trace_formats.save_trace_file(
+        combined, args.output, format=args.format, compression=args.compression
+    )
+    digest = trace_formats.file_digest(args.output)
+    print(
+        f"wrote {count} accesses from {len(args.sources)} source(s) to "
+        f"{args.output} (sha256 {digest[:16]}…)"
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if args.no_stats:
+        info = trace_formats.describe_trace_file(args.path)
+        for key, value in info.items():
+            print(f"{key}: {value}")
+        return 0
+
+    # One decode pass serves both the record/instruction counts and the
+    # access-pattern statistics (decompression dominates on large traces).
+    fmt = trace_formats.sniff_format(args.path)
+    with trace_formats.open_for_read(args.path) as stream:
+        header = fmt.describe(stream)
+    stats = trace_statistics(
+        trace_formats.read_trace_stream(args.path, format=fmt.name)
+    )
+    info = {
+        "path": str(args.path),
+        "format": fmt.name,
+        "compression": trace_formats.sniff_compression(args.path),
+        "bytes": Path(args.path).stat().st_size,
+        "records": int(stats["accesses"]),
+        "instructions": int(stats["instructions"]),
+        "digest": trace_formats.file_digest(args.path),
+    }
+    info.update(header)
+    for key, value in info.items():
+        print(f"{key}: {value}")
+    for key, value in stats.items():
+        if key in ("accesses", "instructions"):
+            continue  # already printed as records/instructions above
+        print(f"{key}: {value:g}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "export": _cmd_trace_export,
+        "import": _cmd_trace_import,
+        "info": _cmd_trace_info,
+    }
+    try:
+        return handlers[args.trace_command](args)
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -279,6 +576,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_list(args)
 
 

@@ -58,9 +58,14 @@ class SimulationJob:
         return self.prefetcher in ("none", "", None)
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-data representation covering every result-affecting input."""
+        """Plain-data representation covering every result-affecting input.
+
+        The spec contributes its *content identity* (file sources appear as
+        ``(format, digest)`` fingerprints, not paths), so job keys — and
+        therefore persistent cache entries — survive trace-file moves.
+        """
         return {
-            "spec": self.spec.to_dict(),
+            "spec": self.spec.identity_dict(),
             "prefetcher": "none" if self.is_baseline else self.prefetcher.lower(),
             "prefetcher_params": {
                 key: value for key, value in sorted(self.prefetcher_params)
@@ -116,16 +121,25 @@ def build_trace_cached(spec: TraceSpec, length: int) -> List[MemoryAccess]:
     return cached
 
 
-def _trace_for_job(job: SimulationJob) -> List[MemoryAccess]:
+def _trace_for_job(job: SimulationJob):
+    """The job's trace in the shape the simulator should consume.
+
+    File-backed specs return a re-openable streaming handle so the
+    simulation runs in O(1) memory whatever the trace length (the content
+    digest in the job key keeps cache identity exact); generator specs
+    return the per-process memoized materialized list.
+    """
+    if job.spec.source is not None:
+        return job.spec.replayable(length=job.trace_length)
     return build_trace_cached(job.spec, job.trace_length)
 
 
 def execute_job(job: SimulationJob) -> SimulationStats:
     """Run one job to completion and return its statistics.
 
-    Pure with respect to ``job``: trace generation is seed-deterministic and
-    the simulator has no global state, so any process executing the same job
-    produces identical statistics.
+    Pure with respect to ``job``: trace generation is seed-deterministic
+    (and file-backed traces are digest-pinned), so any process executing
+    the same job produces identical statistics.
     """
     trace = _trace_for_job(job)
     if job.is_baseline:

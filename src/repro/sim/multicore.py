@@ -35,7 +35,7 @@ class _CoreContext:
         core_id: int,
         config: SystemConfig,
         prefetcher,
-        trace: Sequence[MemoryAccess],
+        trace,
         shared_llc: Cache,
         shared_dram: DRAMModel,
         name: str,
@@ -54,7 +54,14 @@ class _CoreContext:
             self.hierarchy.l1d.eviction_listeners.append(
                 lambda victim: prefetcher.on_cache_eviction(victim.block)
             )
-        self.replayer = _TraceReplayer(list(trace))
+        # Mixes replay traces indefinitely to keep pressuring shared
+        # resources, so the source must be replayable: materialized
+        # sequences and re-openable handles (TraceFile) are used as-is —
+        # the latter replay by re-opening, keeping memory O(1) — while
+        # one-shot iterators are materialized.
+        if hasattr(trace, "__next__"):
+            trace = list(trace)
+        self.replayer = _TraceReplayer(trace)
         self.executed_instructions = 0
         self.finished = False
         self.measuring = True
@@ -112,10 +119,16 @@ class MultiCoreSimulator:
 
     def run(
         self,
-        traces: Sequence[Sequence[MemoryAccess]],
+        traces: Sequence,
         max_instructions_per_core: int,
     ) -> MultiCoreStats:
-        """Simulate the mix; ``traces`` must contain one trace per core."""
+        """Simulate the mix; ``traces`` must contain one trace per core.
+
+        Each entry may be a materialized access sequence or a re-openable
+        streaming handle (:class:`repro.workloads.formats.TraceFile`);
+        handles are replayed by re-opening, so an n-core mix over file
+        traces runs in O(1) memory per core.
+        """
         if len(traces) != self.num_cores:
             raise ValueError(
                 f"expected {self.num_cores} traces, got {len(traces)}"

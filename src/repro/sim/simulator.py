@@ -12,7 +12,7 @@ replayed from the start.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.sim.config import SystemConfig, default_system_config
 from repro.sim.cpu import CoreTimingModel
@@ -22,21 +22,92 @@ from repro.sim.types import AccessType, MemoryAccess
 
 
 class _TraceReplayer:
-    """Endless iterator over a finite trace (replays from the start)."""
+    """Iterator over a trace source, optionally replaying from the start.
 
-    def __init__(self, accesses: Sequence[MemoryAccess]) -> None:
-        if not accesses:
-            raise ValueError("cannot simulate an empty trace")
-        self._accesses = accesses
-        self._index = 0
+    Three source shapes are accepted:
+
+    * a ``list``/``tuple`` — indexed replay, the fully-materialized fast
+      path (unchanged pre-streaming behaviour);
+    * a *re-openable* iterable (e.g.
+      :class:`repro.workloads.formats.TraceFile`) — each pass opens a
+      fresh iterator, so arbitrarily long traces replay in O(1) memory;
+    * a one-shot iterator — streamed once; it cannot replay, so it simply
+      ends when exhausted.
+    """
+
+    def __init__(self, source) -> None:
         self.replays = 0
+        self.yielded_any = False
+        self._sequence: Optional[Sequence[MemoryAccess]] = None
+        self._factory = None
+        self._iterator: Optional[Iterator[MemoryAccess]] = None
+        self._index = 0
+        if isinstance(source, (list, tuple)):
+            if not source:
+                raise ValueError("cannot simulate an empty trace")
+            self._sequence = source
+        elif hasattr(source, "__next__"):
+            self._iterator = source
+        else:
+            self._factory = source
+            self._iterator = iter(source)
+
+    @property
+    def known_instruction_total(self) -> Optional[int]:
+        """Total instructions per pass, when the source is materialized."""
+        if self._sequence is not None:
+            return sum(a.instr_gap + 1 for a in self._sequence)
+        return None
+
+    @property
+    def reopenable(self) -> bool:
+        """Whether the source can be iterated again from the start."""
+        return self._factory is not None
+
+    def count_pass_instructions(self) -> int:
+        """One pass's instruction total, via a dedicated counting pass.
+
+        Only valid for re-openable sources; the replay position is not
+        disturbed (a fresh iterator is opened just for counting).
+        """
+        return sum(a.instr_gap + 1 for a in iter(self._factory))
+
+    def next_access(self, replay: bool = True) -> Optional[MemoryAccess]:
+        """Return the next access, or ``None`` at the end of the trace.
+
+        With ``replay`` the trace restarts (re-opening streamed sources) so
+        only one-shot iterators ever end; without it, every source ends at
+        the end of its current pass — the single-pass semantics used when
+        no instruction budget bounds the run.
+        """
+        if self._sequence is not None:
+            if not replay and self.replays > 0:
+                return None
+            access = self._sequence[self._index]
+            self._index += 1
+            if self._index >= len(self._sequence):
+                self._index = 0
+                self.replays += 1
+            self.yielded_any = True
+            return access
+        try:
+            access = next(self._iterator)
+        except StopIteration:
+            self.replays += 1
+            if self._factory is None or not replay:
+                return None
+            self._iterator = iter(self._factory)
+            try:
+                access = next(self._iterator)
+            except StopIteration:
+                raise ValueError("cannot simulate an empty trace") from None
+        self.yielded_any = True
+        return access
 
     def __next__(self) -> MemoryAccess:
-        access = self._accesses[self._index]
-        self._index += 1
-        if self._index >= len(self._accesses):
-            self._index = 0
-            self.replays += 1
+        access = self.next_access(replay=True)
+        if access is None:
+            raise StopIteration
         return access
 
     def __iter__(self) -> "Iterator[MemoryAccess]":
@@ -68,19 +139,30 @@ class SingleCoreSimulator:
     # ------------------------------------------------------------------ #
     def run(
         self,
-        trace: Sequence[MemoryAccess],
+        trace: Union[Sequence[MemoryAccess], Iterable[MemoryAccess]],
         max_instructions: Optional[int] = None,
         warmup_instructions: int = 0,
     ) -> SimulationStats:
         """Simulate ``trace`` and return the collected statistics.
 
+        ``trace`` may be a materialized sequence, a re-openable streaming
+        handle (:class:`repro.workloads.formats.TraceFile`) or a one-shot
+        iterator; streamed sources are consumed lazily in O(1) memory.
+
         ``max_instructions`` bounds the measured phase (counting both memory
-        and non-memory instructions); ``warmup_instructions`` are executed
-        first with full cache/prefetcher training but without resetting the
-        cycle clock (statistics counters are cleared at the boundary).
+        and non-memory instructions), replaying the trace as needed; when
+        omitted, exactly one full pass over the trace is simulated.
+        ``warmup_instructions`` are executed first with full
+        cache/prefetcher training but without resetting the cycle clock
+        (statistics counters are cleared at the boundary).
         """
-        accesses = list(trace) if not isinstance(trace, (list, tuple)) else trace
-        replayer = _TraceReplayer(accesses)
+        if max_instructions is not None and hasattr(trace, "__next__"):
+            # An explicit budget may require replaying past the end of the
+            # trace, which a one-shot iterator cannot do — materialize it
+            # (the historical behaviour).  Re-openable handles replay by
+            # re-opening and stay O(1)-memory.
+            trace = list(trace)
+        replayer = _TraceReplayer(trace)
 
         start_instr = 0
         start_cycles = 0.0
@@ -92,8 +174,20 @@ class SingleCoreSimulator:
             start_cycles = snapshot.cycles
 
         if max_instructions is None:
-            max_instructions = sum(a.instr_gap + 1 for a in accesses)
+            # Materialized traces keep the historical exact budget (one
+            # pass's instructions, wrapping mid-access never truncates);
+            # streamed traces run single-pass until exhaustion, which
+            # executes the identical access sequence.  When warmup consumed
+            # part of the stream, a re-openable source pays one counting
+            # pass so its measured budget matches the materialized path
+            # exactly (one-shot iterators measure the stream's remainder).
+            max_instructions = replayer.known_instruction_total
+            if max_instructions is None and warmup_instructions > 0:
+                if replayer.reopenable:
+                    max_instructions = replayer.count_pass_instructions()
         self._execute(replayer, max_instructions)
+        if not replayer.yielded_any:
+            raise ValueError("cannot simulate an empty trace")
 
         self.hierarchy.flush_prefetches(self.core.current_cycle)
         instructions, cycles = self.core.finalize()
@@ -102,10 +196,16 @@ class SingleCoreSimulator:
         return self.stats
 
     # ------------------------------------------------------------------ #
-    def _execute(self, replayer: _TraceReplayer, instruction_budget: int) -> None:
+    def _execute(
+        self, replayer: _TraceReplayer, instruction_budget: Optional[int]
+    ) -> None:
+        """Execute until the budget is spent (``None`` = one full pass)."""
+        unbounded = instruction_budget is None
         executed = 0
-        while executed < instruction_budget:
-            access = next(replayer)
+        while unbounded or executed < instruction_budget:
+            access = replayer.next_access(replay=not unbounded)
+            if access is None:
+                break
             self.core.advance_non_memory(access.instr_gap)
             executed += access.instr_gap
 
@@ -141,7 +241,7 @@ class SingleCoreSimulator:
 
 
 def simulate_trace(
-    trace: Sequence[MemoryAccess],
+    trace: Union[Sequence[MemoryAccess], Iterable[MemoryAccess]],
     prefetcher=None,
     config: Optional[SystemConfig] = None,
     max_instructions: Optional[int] = None,

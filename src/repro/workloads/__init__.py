@@ -21,11 +21,20 @@ mirror the paper's Table III.
 """
 
 from repro.workloads.trace import (
+    TraceSource,
     TraceSpec,
     load_trace,
     make_trace,
     save_trace,
+    stream_trace,
     trace_statistics,
+)
+from repro.workloads.formats import (
+    FORMATS,
+    TraceFile,
+    TraceFormatError,
+    describe_trace_file,
+    file_digest,
 )
 from repro.workloads.suites import (
     SUITES,
@@ -47,6 +56,7 @@ from repro.workloads.generators import (
 
 __all__ = [
     "CloudWorkload",
+    "FORMATS",
     "GENERATORS",
     "GraphWorkload",
     "MixedPhaseWorkload",
@@ -55,12 +65,18 @@ __all__ = [
     "SpatialRecurrenceWorkload",
     "StreamingWorkload",
     "StridedWorkload",
+    "TraceFile",
+    "TraceFormatError",
+    "TraceSource",
     "TraceSpec",
     "WorkloadGenerator",
     "all_trace_specs",
+    "describe_trace_file",
+    "file_digest",
     "load_trace",
     "make_trace",
     "save_trace",
+    "stream_trace",
     "suite_names",
     "trace_specs_for_suite",
     "trace_statistics",

@@ -1,0 +1,162 @@
+"""Shared infrastructure for trace file formats.
+
+A :class:`TraceFormat` turns a binary stream into an iterator of
+:class:`~repro.sim.types.MemoryAccess` records and back.  Formats never
+touch the filesystem themselves: compression and path handling live in
+this module so every format is automatically readable and writable
+through gzip and xz containers.
+
+All malformed-input paths raise :class:`TraceFormatError` (a
+``ValueError``) instead of leaking ``struct.error`` / ``KeyError`` /
+``json.JSONDecodeError`` from the codec internals.
+"""
+
+from __future__ import annotations
+
+import gzip
+import lzma
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import BinaryIO, Dict, Iterable, Iterator, Union
+
+from repro.sim.types import MemoryAccess
+
+PathLike = Union[str, Path]
+
+
+class TraceFormatError(ValueError):
+    """A trace file (or trace record) is malformed, truncated or unsupported.
+
+    Raised by every reader on corrupt input and by writers on records a
+    format cannot represent, so callers catch one typed error instead of
+    bare ``struct.error`` / ``KeyError`` / ``UnicodeDecodeError``.
+    """
+
+
+#: Compression codec names accepted throughout the package.
+COMPRESSIONS = ("none", "gzip", "xz")
+
+#: Magic prefixes used to sniff compressed containers.
+_GZIP_MAGIC = b"\x1f\x8b"
+_XZ_MAGIC = b"\xfd7zXZ\x00"
+
+_SUFFIX_TO_COMPRESSION = {".gz": "gzip", ".gzip": "gzip", ".xz": "xz", ".lzma": "xz"}
+
+
+def compression_from_path(path: PathLike) -> str:
+    """Infer the compression codec from a file suffix (``none`` when plain)."""
+    return _SUFFIX_TO_COMPRESSION.get(Path(path).suffix.lower(), "none")
+
+
+def strip_compression_suffix(path: PathLike) -> Path:
+    """Return ``path`` without a trailing ``.gz``/``.xz`` suffix (if any)."""
+    path = Path(path)
+    if path.suffix.lower() in _SUFFIX_TO_COMPRESSION:
+        return path.with_suffix("")
+    return path
+
+
+def sniff_compression(path: PathLike) -> str:
+    """Detect the compression codec of an existing file from its magic bytes.
+
+    Falls back to the path suffix when the file cannot be read (e.g. a
+    path that does not exist yet).
+    """
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(_XZ_MAGIC))
+    except OSError:
+        return compression_from_path(path)
+    if head.startswith(_GZIP_MAGIC):
+        return "gzip"
+    if head.startswith(_XZ_MAGIC):
+        return "xz"
+    return "none"
+
+
+def open_for_read(path: PathLike) -> BinaryIO:
+    """Open ``path`` for binary reading, transparently decompressing.
+
+    The codec is sniffed from the file's magic bytes, so a gzip trace named
+    ``trace.gzt`` (no ``.gz`` suffix) still opens correctly.
+    """
+    codec = sniff_compression(path)
+    if codec == "gzip":
+        return gzip.open(path, "rb")
+    if codec == "xz":
+        return lzma.open(path, "rb")
+    return open(path, "rb")
+
+
+def open_for_write(path: PathLike, compression: str = "auto") -> BinaryIO:
+    """Open ``path`` for binary writing with the requested codec.
+
+    ``"auto"`` picks the codec from the path suffix (``.gz`` → gzip,
+    ``.xz`` → xz, otherwise uncompressed).  gzip streams are written with
+    ``mtime=0`` so identical traces produce byte-identical files.
+    """
+    if compression == "auto":
+        compression = compression_from_path(path)
+    if compression not in COMPRESSIONS:
+        raise TraceFormatError(
+            f"unknown compression {compression!r}; expected one of {COMPRESSIONS}"
+        )
+    if compression == "gzip":
+        return _ReproducibleGzipWriter(path)
+    if compression == "xz":
+        return lzma.open(path, "wb")
+    return open(path, "wb")
+
+
+class _ReproducibleGzipWriter(gzip.GzipFile):
+    """Gzip writer whose output depends only on the payload.
+
+    Fixes ``mtime`` to zero and keeps the original-filename header field
+    empty, so the same trace always compresses to byte-identical files
+    regardless of where or when it is written (stable digests).  Owns the
+    underlying file handle and closes it with the stream.
+    """
+
+    def __init__(self, path: "PathLike") -> None:
+        self._raw = open(path, "wb")
+        try:
+            super().__init__(fileobj=self._raw, mode="wb", mtime=0, filename="")
+        except Exception:
+            self._raw.close()
+            raise
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self._raw.close()
+
+
+class TraceFormat(ABC):
+    """One on-disk encoding of a sequence of memory accesses.
+
+    Subclasses are stateless codecs: :meth:`write` serialises an iterable
+    of accesses onto an already-open binary stream and :meth:`read` yields
+    accesses lazily from one, so arbitrarily long traces encode and decode
+    in O(1) memory.
+    """
+
+    #: Registry name (``"native"``, ``"champsim"``, ``"jsonl"``).
+    name: str = ""
+    #: File suffixes (without compression suffixes) that select this format.
+    suffixes: tuple = ()
+
+    @abstractmethod
+    def write(self, accesses: Iterable[MemoryAccess], stream: BinaryIO) -> int:
+        """Serialise ``accesses`` onto ``stream``; returns the record count."""
+
+    @abstractmethod
+    def read(self, stream: BinaryIO) -> Iterator[MemoryAccess]:
+        """Yield accesses from ``stream`` lazily until EOF.
+
+        Raises :class:`TraceFormatError` on truncated or corrupt input.
+        """
+
+    def describe(self, stream: BinaryIO) -> Dict[str, object]:
+        """Format-specific header metadata (empty for headerless formats)."""
+        return {}

@@ -1,0 +1,116 @@
+"""JSON-lines trace format (the repo's original persistence format).
+
+One JSON object per line with keys ``pc``, ``addr``, ``type`` and ``gap``.
+Human-readable and diff-friendly, at roughly 3x the size of the native
+binary encoding.  Kept both for backwards compatibility with traces saved
+by earlier versions and as the interchange format of last resort.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.sim.types import AccessType, MemoryAccess
+from repro.workloads.formats.base import TraceFormat, TraceFormatError
+
+_TYPE_VALUES = {kind.value for kind in AccessType}
+
+
+class JsonlTraceFormat(TraceFormat):
+    """One ``{"pc":..,"addr":..,"type":..,"gap":..}`` object per line."""
+
+    name = "jsonl"
+    suffixes = (".jsonl", ".json")
+
+    def write(self, accesses: Iterable[MemoryAccess], stream: BinaryIO) -> int:
+        text = io.TextIOWrapper(stream, encoding="utf-8", newline="\n")
+        count = 0
+        try:
+            for access in accesses:
+                if access.address < 0 or access.pc < 0 or access.instr_gap < 0:
+                    raise TraceFormatError(
+                        f"record {count}: negative pc/address/gap "
+                        f"(pc={access.pc}, addr={access.address}, "
+                        f"gap={access.instr_gap})"
+                    )
+                text.write(
+                    json.dumps(
+                        {
+                            "pc": access.pc,
+                            "addr": access.address,
+                            "type": access.access_type.value,
+                            "gap": access.instr_gap,
+                        }
+                    )
+                )
+                text.write("\n")
+                count += 1
+        finally:
+            # Flush and detach so closing responsibility stays with the
+            # caller-owned binary stream.
+            text.flush()
+            text.detach()
+        return count
+
+    def read(self, stream: BinaryIO) -> Iterator[MemoryAccess]:
+        text = io.TextIOWrapper(stream, encoding="utf-8")
+        try:
+            for line_number, line in enumerate(text, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceFormatError(
+                        f"line {line_number}: invalid JSON ({exc.msg})"
+                    ) from exc
+                if not isinstance(record, dict):
+                    raise TraceFormatError(
+                        f"line {line_number}: expected an object, "
+                        f"got {type(record).__name__}"
+                    )
+                yield self._decode(record, line_number)
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(
+                f"not a JSON-lines trace: undecodable bytes ({exc.reason})"
+            ) from exc
+        finally:
+            text.detach()
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _decode(record: dict, line_number: int) -> MemoryAccess:
+        try:
+            pc = int(record["pc"])
+            address = int(record["addr"])
+        except KeyError as exc:
+            raise TraceFormatError(
+                f"line {line_number}: missing required key {exc.args[0]!r}"
+            ) from exc
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(
+                f"line {line_number}: non-integer pc/addr"
+            ) from exc
+        type_value = record.get("type", "load")
+        if type_value not in _TYPE_VALUES:
+            raise TraceFormatError(
+                f"line {line_number}: unknown access type {type_value!r} "
+                f"(expected one of {sorted(_TYPE_VALUES)})"
+            )
+        try:
+            gap = int(record.get("gap", 0))
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(
+                f"line {line_number}: non-integer gap"
+            ) from exc
+        if pc < 0 or address < 0 or gap < 0:
+            raise TraceFormatError(
+                f"line {line_number}: negative pc/addr/gap"
+            )
+        return MemoryAccess(
+            pc=pc, address=address,
+            access_type=AccessType(type_value), instr_gap=gap,
+        )

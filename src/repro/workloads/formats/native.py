@@ -1,0 +1,119 @@
+"""The versioned native binary trace format.
+
+Layout (all little-endian):
+
+* 16-byte header: ``b"GZTRACE\\0"`` magic, ``u16`` version, ``u16`` flags
+  (reserved, must be zero), ``u32`` reserved.
+* a stream of fixed-size 21-byte records: ``u64`` pc, ``u64`` byte address,
+  ``u8`` access type (0 load, 1 store, 2 prefetch), ``u32`` instruction gap.
+
+The record count is deliberately *not* stored in the header so traces can
+be produced by streaming writers that do not know their length up front;
+EOF on a record boundary terminates the trace, EOF inside a record raises
+:class:`~repro.workloads.formats.base.TraceFormatError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Dict, Iterable, Iterator
+
+from repro.sim.types import AccessType, MemoryAccess
+from repro.workloads.formats.base import TraceFormat, TraceFormatError
+
+MAGIC = b"GZTRACE\x00"
+VERSION = 1
+
+_HEADER = struct.Struct("<8sHHI")
+_RECORD = struct.Struct("<QQBI")
+
+_TYPE_TO_CODE = {AccessType.LOAD: 0, AccessType.STORE: 1, AccessType.PREFETCH: 2}
+_CODE_TO_TYPE = {code: kind for kind, code in _TYPE_TO_CODE.items()}
+
+_MAX_U64 = (1 << 64) - 1
+_MAX_U32 = (1 << 32) - 1
+
+
+class NativeTraceFormat(TraceFormat):
+    """Compact fixed-record binary encoding with a versioned header."""
+
+    # Note: only the unambiguous ``.gzt`` suffix is claimed.  Generic
+    # suffixes like ``.trace`` stay unclaimed so files written by earlier
+    # versions (always JSON lines, whatever the suffix) keep loading via
+    # content sniffing and ``save_trace``'s legacy JSON-lines default.
+    name = "native"
+    suffixes = (".gzt",)
+
+    def write(self, accesses: Iterable[MemoryAccess], stream: BinaryIO) -> int:
+        stream.write(_HEADER.pack(MAGIC, VERSION, 0, 0))
+        count = 0
+        for access in accesses:
+            if not 0 <= access.address <= _MAX_U64 or not 0 <= access.pc <= _MAX_U64:
+                raise TraceFormatError(
+                    f"record {count}: pc/address out of u64 range "
+                    f"(pc={access.pc:#x}, address={access.address:#x})"
+                )
+            if not 0 <= access.instr_gap <= _MAX_U32:
+                raise TraceFormatError(
+                    f"record {count}: instr_gap {access.instr_gap} out of u32 range"
+                )
+            stream.write(
+                _RECORD.pack(
+                    access.pc,
+                    access.address,
+                    _TYPE_TO_CODE[access.access_type],
+                    access.instr_gap,
+                )
+            )
+            count += 1
+        return count
+
+    def read(self, stream: BinaryIO) -> Iterator[MemoryAccess]:
+        self._read_header(stream)
+        index = 0
+        while True:
+            chunk = stream.read(_RECORD.size)
+            if not chunk:
+                return
+            if len(chunk) != _RECORD.size:
+                raise TraceFormatError(
+                    f"truncated native trace: record {index} has "
+                    f"{len(chunk)} of {_RECORD.size} bytes"
+                )
+            pc, address, type_code, gap = _RECORD.unpack(chunk)
+            access_type = _CODE_TO_TYPE.get(type_code)
+            if access_type is None:
+                raise TraceFormatError(
+                    f"record {index}: unknown access-type code {type_code}"
+                )
+            yield MemoryAccess(
+                pc=pc, address=address, access_type=access_type, instr_gap=gap
+            )
+            index += 1
+
+    def describe(self, stream: BinaryIO) -> Dict[str, object]:
+        version, flags = self._read_header(stream)
+        return {"magic": MAGIC.decode("ascii").rstrip("\x00"),
+                "version": version, "flags": flags}
+
+    # ------------------------------------------------------------------ #
+    def _read_header(self, stream: BinaryIO):
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceFormatError(
+                f"not a native trace: header has {len(header)} of "
+                f"{_HEADER.size} bytes"
+            )
+        magic, version, flags, _reserved = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise TraceFormatError(
+                f"not a native trace: bad magic {magic!r} (expected {MAGIC!r})"
+            )
+        if version != VERSION:
+            raise TraceFormatError(
+                f"unsupported native trace version {version} "
+                f"(this reader supports version {VERSION})"
+            )
+        if flags != 0:
+            raise TraceFormatError(f"unsupported native trace flags {flags:#x}")
+        return version, flags

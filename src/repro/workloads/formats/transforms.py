@@ -1,0 +1,105 @@
+"""Composable streaming transforms over access iterators.
+
+Every transform consumes an iterator of
+:class:`~repro.sim.types.MemoryAccess` and yields a transformed iterator
+without materializing the trace, so they chain freely between a streaming
+reader and the simulator (or a writer) in O(1) memory::
+
+    accesses = read_trace_stream(path)
+    accesses = slice_accesses(accesses, start=1000, stop=51000)
+    accesses = remap_addresses(accesses, offset=0x1000000)
+
+:func:`interleave` builds deterministic multi-program mixes out of several
+single-program traces — the streaming analogue of concatenating ChampSim
+trace segments round-robin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from itertools import islice
+from typing import Iterable, Iterator, Sequence
+
+from repro.sim.types import MemoryAccess
+from repro.workloads.formats.base import TraceFormatError
+
+
+def slice_accesses(
+    accesses: Iterable[MemoryAccess],
+    start: int = 0,
+    stop: int = None,
+) -> Iterator[MemoryAccess]:
+    """Yield accesses ``start`` (inclusive) through ``stop`` (exclusive).
+
+    Mirrors list slicing with non-negative bounds: ``stop=None`` streams to
+    the end of the trace.
+    """
+    if start < 0 or (stop is not None and stop < start):
+        raise TraceFormatError(
+            f"invalid slice [{start}:{stop}]: bounds must be non-negative "
+            "and ordered"
+        )
+    return islice(iter(accesses), start, stop)
+
+
+def cap_instructions(
+    accesses: Iterable[MemoryAccess], budget: int
+) -> Iterator[MemoryAccess]:
+    """Stop the stream once ``budget`` instructions have been emitted.
+
+    Each access accounts for ``instr_gap + 1`` instructions (the non-memory
+    gap plus the access itself), matching the simulator's accounting.  The
+    access that crosses the budget is still yielded, so a capped trace
+    always covers at least ``budget`` instructions (unless it ends first).
+    """
+    if budget <= 0:
+        raise TraceFormatError(f"instruction budget must be positive, got {budget}")
+    executed = 0
+    for access in accesses:
+        yield access
+        executed += access.instr_gap + 1
+        if executed >= budget:
+            return
+
+
+def remap_addresses(
+    accesses: Iterable[MemoryAccess], offset: int = 0, pc_offset: int = 0
+) -> Iterator[MemoryAccess]:
+    """Shift every address (and optionally every pc) by a fixed offset.
+
+    Useful for aliasing studies and for giving the cores of a homogeneous
+    multi-core mix disjoint address spaces.  Raises on remaps that would
+    produce a negative address.
+    """
+    for index, access in enumerate(accesses):
+        address = access.address + offset
+        pc = access.pc + pc_offset
+        if address < 0 or pc < 0:
+            raise TraceFormatError(
+                f"record {index}: remap by {offset:#x}/{pc_offset:#x} "
+                "produces a negative address/pc"
+            )
+        yield replace(access, address=address, pc=pc)
+
+
+def interleave(
+    traces: Sequence[Iterable[MemoryAccess]], chunk: int = 1
+) -> Iterator[MemoryAccess]:
+    """Deterministically round-robin ``chunk`` accesses from each trace.
+
+    Traces that end early simply drop out of the rotation; the stream ends
+    when every input is exhausted.  With a fixed input order the output is
+    fully deterministic, so interleaved traces are cache-key friendly.
+    """
+    if chunk < 1:
+        raise TraceFormatError(f"interleave chunk must be >= 1, got {chunk}")
+    iterators = [iter(trace) for trace in traces]
+    while iterators:
+        surviving = []
+        for iterator in iterators:
+            taken = list(islice(iterator, chunk))
+            if taken:
+                yield from taken
+            if len(taken) == chunk:
+                surviving.append(iterator)
+        iterators = surviving

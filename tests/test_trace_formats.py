@@ -1,0 +1,524 @@
+"""Tests for the trace I/O subsystem: formats, compression, transforms.
+
+The round-trip tests are property-based with seeded randomness (the
+environment has no ``hypothesis``): randomized traces spanning the full
+value ranges round-trip exactly through every format x compression
+combination, and corrupt inputs always raise the typed
+:class:`~repro.workloads.formats.TraceFormatError`.
+"""
+
+import gzip
+import random
+
+import pytest
+
+from repro.sim.types import AccessType, MemoryAccess
+from repro.workloads import formats as trace_formats
+from repro.workloads.formats import (
+    COMPRESSIONS,
+    FORMATS,
+    TraceFile,
+    TraceFormatError,
+    cap_instructions,
+    describe_trace_file,
+    interleave,
+    load_trace_file,
+    read_trace_stream,
+    remap_addresses,
+    resolve_format,
+    save_trace_file,
+    slice_accesses,
+    sniff_format,
+)
+from repro.workloads.trace import TraceSource, TraceSpec, load_trace, save_trace
+
+_COMPRESSION_SUFFIX = {"none": "", "gzip": ".gz", "xz": ".xz"}
+
+
+def random_trace(seed, length=200, max_gap=200):
+    """A seeded-random trace exercising wide pc/address/gap ranges."""
+    rng = random.Random(seed)
+    return [
+        MemoryAccess(
+            pc=rng.randrange(1, 1 << 48),
+            address=rng.randrange(64, 1 << 48),
+            access_type=rng.choice((AccessType.LOAD, AccessType.STORE)),
+            instr_gap=rng.randrange(0, max_gap),
+        )
+        for _ in range(length)
+    ]
+
+
+class TestRoundTripProperties:
+    @pytest.mark.parametrize("fmt", sorted(FORMATS))
+    @pytest.mark.parametrize("compression", COMPRESSIONS)
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_save_load_exact(self, tmp_path, fmt, compression, seed):
+        trace = random_trace(seed)
+        path = tmp_path / f"t-{fmt}-{seed}{_COMPRESSION_SUFFIX[compression]}"
+        written = save_trace_file(trace, path, format=fmt, compression=compression)
+        assert written == len(trace)
+        assert load_trace_file(path, format=fmt) == trace
+
+    @pytest.mark.parametrize("fmt", sorted(FORMATS))
+    def test_format_resolved_from_suffix(self, tmp_path, fmt):
+        trace = random_trace(3, length=50)
+        suffix = FORMATS[fmt].suffixes[0]
+        path = tmp_path / f"trace{suffix}.gz"
+        save_trace_file(trace, path)
+        assert sniff_format(path).name == fmt
+        assert load_trace_file(path) == trace
+
+    @pytest.mark.parametrize("fmt", sorted(FORMATS))
+    def test_sniffed_without_suffix(self, tmp_path, fmt):
+        trace = random_trace(4, length=30)
+        path = tmp_path / "suffixless"
+        save_trace_file(trace, path, format=fmt)
+        assert sniff_format(path).name == fmt
+        assert load_trace_file(path) == trace
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        for fmt in sorted(FORMATS):
+            path = tmp_path / f"empty-{fmt}"
+            assert save_trace_file([], path, format=fmt) == 0
+            assert load_trace_file(path, format=fmt) == []
+
+    def test_gzip_writes_are_reproducible(self, tmp_path):
+        trace = random_trace(5, length=100)
+        a = tmp_path / "a.gzt.gz"
+        b = tmp_path / "b.gzt.gz"
+        save_trace_file(trace, a)
+        save_trace_file(trace, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_streaming_reader_is_lazy(self, tmp_path):
+        path = tmp_path / "t.gzt"
+        save_trace_file(random_trace(6, length=500), path)
+        stream = read_trace_stream(path)
+        first = next(stream)
+        assert isinstance(first, MemoryAccess)
+        stream.close()
+
+
+class TestStreamingVsMaterializedSimulation:
+    @pytest.mark.parametrize("compression", COMPRESSIONS)
+    def test_identical_stats(self, tmp_path, compression):
+        from repro.prefetchers import create_prefetcher
+        from repro.sim.simulator import simulate_trace
+        from repro.workloads import make_trace
+
+        trace = make_trace("spatial", seed=11, length=3_000)
+        path = tmp_path / ("t.gzt" + _COMPRESSION_SUFFIX[compression])
+        save_trace_file(trace, path, compression=compression)
+
+        materialized = simulate_trace(trace, prefetcher=create_prefetcher("gaze"))
+        streamed = simulate_trace(
+            TraceFile(path), prefetcher=create_prefetcher("gaze")
+        )
+        assert streamed.to_dict() == materialized.to_dict()
+
+    def test_identical_stats_with_replay(self, tmp_path):
+        from repro.sim.simulator import simulate_trace
+        from repro.workloads import make_trace
+
+        trace = make_trace("streaming", seed=12, length=1_000)
+        path = tmp_path / "t.gzt.gz"
+        save_trace_file(trace, path)
+        materialized = simulate_trace(trace, max_instructions=15_000)
+        streamed = simulate_trace(TraceFile(path), max_instructions=15_000)
+        assert streamed.to_dict() == materialized.to_dict()
+
+    def test_one_shot_iterator_with_budget_matches_list(self):
+        from repro.sim.simulator import simulate_trace
+        from repro.workloads import make_trace
+
+        trace = make_trace("streaming", seed=16, length=500)
+        from_list = simulate_trace(trace, max_instructions=10_000)
+        from_iter = simulate_trace(iter(trace), max_instructions=10_000)
+        assert from_iter.to_dict() == from_list.to_dict()
+
+    def test_identical_stats_with_warmup(self, tmp_path):
+        from repro.prefetchers import create_prefetcher
+        from repro.sim.simulator import simulate_trace
+        from repro.workloads import make_trace
+
+        trace = make_trace("spatial", seed=15, length=800)
+        path = tmp_path / "t.gzt.gz"
+        save_trace_file(trace, path)
+        materialized = simulate_trace(
+            trace, prefetcher=create_prefetcher("gaze"), warmup_instructions=500
+        )
+        streamed = simulate_trace(
+            TraceFile(path),
+            prefetcher=create_prefetcher("gaze"),
+            warmup_instructions=500,
+        )
+        assert streamed.to_dict() == materialized.to_dict()
+
+    def test_multicore_replays_reopenable_handles(self, tmp_path):
+        from repro.prefetchers import create_prefetcher
+        from repro.sim.multicore import simulate_mix
+        from repro.workloads import make_trace
+
+        traces = [
+            make_trace("streaming", seed=13, length=800),
+            make_trace("spatial", seed=14, length=800),
+        ]
+        handles = []
+        for index, trace in enumerate(traces):
+            path = tmp_path / f"core{index}.gzt.gz"
+            save_trace_file(trace, path)
+            handles.append(TraceFile(path))
+
+        factory = lambda: create_prefetcher("gaze")  # noqa: E731
+        materialized = simulate_mix(
+            traces, prefetcher_factory=factory, max_instructions_per_core=10_000
+        )
+        streamed = simulate_mix(
+            handles, prefetcher_factory=factory, max_instructions_per_core=10_000
+        )
+        assert streamed.num_cores == materialized.num_cores
+        for core in range(streamed.num_cores):
+            assert (
+                streamed.per_core[core].to_dict()
+                == materialized.per_core[core].to_dict()
+            )
+
+
+class TestValidation:
+    def test_truncated_native_record(self, tmp_path):
+        path = tmp_path / "t.gzt"
+        save_trace_file(random_trace(7, length=20), path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace_file(path)
+
+    def test_truncated_native_header(self, tmp_path):
+        path = tmp_path / "t.gzt"
+        path.write_bytes(b"GZTR")
+        with pytest.raises(TraceFormatError, match="header"):
+            load_trace_file(path)
+
+    def test_bad_native_magic(self, tmp_path):
+        path = tmp_path / "t.gzt"
+        path.write_bytes(b"NOTATRACE_______" + b"\x00" * 21)
+        with pytest.raises(TraceFormatError, match="magic"):
+            load_trace_file(path)
+
+    def test_unsupported_native_version(self, tmp_path):
+        import struct
+
+        path = tmp_path / "t.gzt"
+        path.write_bytes(struct.pack("<8sHHI", b"GZTRACE\x00", 99, 0, 0))
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace_file(path)
+
+    def test_unknown_access_type_code(self, tmp_path):
+        import struct
+
+        path = tmp_path / "t.gzt"
+        path.write_bytes(
+            struct.pack("<8sHHI", b"GZTRACE\x00", 1, 0, 0)
+            + struct.pack("<QQBI", 1, 64, 7, 0)
+        )
+        with pytest.raises(TraceFormatError, match="access-type"):
+            load_trace_file(path)
+
+    def test_truncated_champsim_record(self, tmp_path):
+        path = tmp_path / "t.champsim"
+        save_trace_file(random_trace(8, length=10), path)
+        path.write_bytes(path.read_bytes()[:-17])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace_file(path)
+
+    def test_corrupt_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"pc": 1, "addr": 64}\nnot json at all\n')
+        with pytest.raises(TraceFormatError, match="line 2"):
+            load_trace_file(path)
+
+    def test_jsonl_missing_key(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"pc": 1}\n')
+        with pytest.raises(TraceFormatError, match="addr"):
+            load_trace_file(path)
+
+    def test_jsonl_bad_type(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"pc": 1, "addr": 64, "type": "jump"}\n')
+        with pytest.raises(TraceFormatError, match="jump"):
+            load_trace_file(path)
+
+    def test_jsonl_negative_values(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"pc": 1, "addr": -64}\n')
+        with pytest.raises(TraceFormatError, match="negative"):
+            load_trace_file(path)
+
+    def test_corrupt_gzip_container(self, tmp_path):
+        path = tmp_path / "t.gzt.gz"
+        path.write_bytes(b"\x1f\x8b" + b"\x00" * 32)
+        with pytest.raises(TraceFormatError, match="corrupt"):
+            load_trace_file(path)
+
+    def test_truncated_gzip_container(self, tmp_path):
+        path = tmp_path / "t.gzt.gz"
+        save_trace_file(random_trace(9, length=300), path)
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(TraceFormatError):
+            load_trace_file(path)
+
+    def test_champsim_rejects_address_zero(self, tmp_path):
+        trace = [MemoryAccess(pc=1, address=0)]
+        with pytest.raises(TraceFormatError, match="not.*representable"):
+            save_trace_file(trace, tmp_path / "t.champsim")
+
+    def test_failed_write_leaves_no_partial_file(self, tmp_path):
+        # Record 3 is unrepresentable in ChampSim; the aborted write must
+        # not leave a truncated-but-loadable file (or temp litter) behind.
+        trace = [MemoryAccess(pc=1, address=64 * (i + 1)) for i in range(3)]
+        trace.append(MemoryAccess(pc=1, address=0))
+        path = tmp_path / "t.champsim"
+        with pytest.raises(TraceFormatError):
+            save_trace_file(trace, path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_write_preserves_existing_file(self, tmp_path):
+        path = tmp_path / "t.champsim"
+        good = [MemoryAccess(pc=1, address=64)]
+        save_trace_file(good, path)
+        with pytest.raises(TraceFormatError):
+            save_trace_file([MemoryAccess(pc=1, address=0)], path)
+        assert load_trace_file(path) == good
+
+    def test_unwritable_destination_raises_typed_error(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot write"):
+            save_trace_file(
+                random_trace(27, length=5), tmp_path / "no-such-dir" / "t.gzt"
+            )
+
+    def test_champsim_rejects_prefetch_type(self, tmp_path):
+        trace = [
+            MemoryAccess(pc=1, address=64, access_type=AccessType.PREFETCH)
+        ]
+        with pytest.raises(TraceFormatError, match="prefetch"):
+            save_trace_file(trace, tmp_path / "t.champsim")
+
+    def test_native_rejects_out_of_range(self, tmp_path):
+        trace = [MemoryAccess(pc=1, address=1 << 65)]
+        with pytest.raises(TraceFormatError, match="u64"):
+            save_trace_file(trace, tmp_path / "t.gzt")
+
+    def test_unknown_format_name(self):
+        with pytest.raises(TraceFormatError, match="unknown trace format"):
+            resolve_format("elf")
+
+    def test_unknown_compression(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="compression"):
+            save_trace_file([], tmp_path / "t.gzt", compression="zstd")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="not found"):
+            TraceFile(tmp_path / "nope.gzt")
+
+
+class TestLegacyWrappers:
+    @pytest.mark.parametrize("filename", ("trace.txt", "trace.trace"))
+    def test_unknown_suffix_defaults_to_jsonl(self, tmp_path, filename):
+        # Earlier versions always wrote JSON lines whatever the suffix
+        # (including the generic '.trace'), so these must keep doing so —
+        # and keep loading — for old files to stay readable.
+        trace = random_trace(10, length=20)
+        path = tmp_path / filename
+        save_trace(trace, path)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line.startswith("{")
+        assert load_trace(path) == trace
+
+    def test_load_trace_raises_typed_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("garbage\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_save_trace_honours_format_suffix(self, tmp_path):
+        trace = random_trace(11, length=20)
+        path = tmp_path / "trace.gzt.gz"
+        save_trace(trace, path)
+        assert sniff_format(path).name == "native"
+        assert load_trace(path) == trace
+
+
+class TestTransforms:
+    def test_slice_matches_list_slicing(self):
+        trace = random_trace(12, length=100)
+        assert list(slice_accesses(iter(trace), 10, 40)) == trace[10:40]
+        assert list(slice_accesses(iter(trace), 90, None)) == trace[90:]
+
+    def test_slice_rejects_bad_bounds(self):
+        with pytest.raises(TraceFormatError):
+            list(slice_accesses(iter([]), -1, 5))
+        with pytest.raises(TraceFormatError):
+            list(slice_accesses(iter([]), 10, 5))
+
+    def test_cap_instructions_budget(self):
+        trace = [MemoryAccess(pc=1, address=64 * i, instr_gap=9) for i in range(50)]
+        capped = list(cap_instructions(iter(trace), 25))
+        # Each access is 10 instructions; the access crossing the budget is
+        # still emitted.
+        assert len(capped) == 3
+
+    def test_cap_instructions_rejects_non_positive(self):
+        with pytest.raises(TraceFormatError):
+            list(cap_instructions(iter([]), 0))
+
+    def test_remap_addresses(self):
+        trace = random_trace(13, length=30)
+        remapped = list(remap_addresses(iter(trace), offset=0x100))
+        assert [a.address - 0x100 for a in remapped] == [a.address for a in trace]
+        assert [a.pc for a in remapped] == [a.pc for a in trace]
+
+    def test_remap_rejects_negative_result(self):
+        with pytest.raises(TraceFormatError):
+            list(remap_addresses(iter([MemoryAccess(pc=1, address=64)]), offset=-128))
+
+    def test_interleave_round_robin(self):
+        a = [MemoryAccess(pc=1, address=64 * i) for i in range(3)]
+        b = [MemoryAccess(pc=2, address=64 * i) for i in range(5)]
+        mixed = list(interleave([iter(a), iter(b)]))
+        assert len(mixed) == 8
+        assert [m.pc for m in mixed] == [1, 2, 1, 2, 1, 2, 2, 2]
+
+    def test_interleave_chunked(self):
+        a = [MemoryAccess(pc=1, address=64 * i) for i in range(4)]
+        b = [MemoryAccess(pc=2, address=64 * i) for i in range(4)]
+        mixed = list(interleave([iter(a), iter(b)], chunk=2))
+        assert [m.pc for m in mixed] == [1, 1, 2, 2, 1, 1, 2, 2]
+
+
+class TestTraceFileHandle:
+    def test_reopenable(self, tmp_path):
+        trace = random_trace(14, length=40)
+        path = tmp_path / "t.gzt.xz"
+        save_trace_file(trace, path)
+        handle = TraceFile(path)
+        assert list(handle) == trace
+        assert list(handle) == trace
+
+    def test_with_transforms_composes(self, tmp_path):
+        trace = random_trace(15, length=40)
+        path = tmp_path / "t.gzt"
+        save_trace_file(trace, path)
+        sliced = TraceFile(path).with_transforms(
+            lambda accesses: slice_accesses(accesses, 0, 10)
+        )
+        assert list(sliced) == trace[:10]
+        assert list(sliced) == trace[:10]
+
+    def test_digest_is_cached_and_stable(self, tmp_path):
+        path = tmp_path / "t.gzt"
+        save_trace_file(random_trace(16, length=10), path)
+        handle = TraceFile(path)
+        assert handle.digest() == handle.digest()
+        assert handle.digest() == trace_formats.file_digest(path)
+
+    def test_describe_trace_file(self, tmp_path):
+        trace = random_trace(17, length=25)
+        path = tmp_path / "t.gzt.gz"
+        save_trace_file(trace, path)
+        info = describe_trace_file(path)
+        assert info["format"] == "native"
+        assert info["compression"] == "gzip"
+        assert info["records"] == 25
+        assert info["instructions"] == sum(a.instr_gap + 1 for a in trace)
+        assert info["version"] == 1
+
+
+class TestTraceSourceAndSpec:
+    def test_job_key_is_path_independent(self, tmp_path):
+        from repro.experiments.jobs import SimulationJob
+
+        trace = random_trace(26, length=30)
+        a = tmp_path / "a.gzt"
+        b = tmp_path / "elsewhere" / "a.gzt"
+        b.parent.mkdir()
+        save_trace_file(trace, a)
+        save_trace_file(trace, b)
+        job_a = SimulationJob(spec=TraceSpec.from_file(a), prefetcher="gaze")
+        job_b = SimulationJob(spec=TraceSpec.from_file(b), prefetcher="gaze")
+        assert job_a.key() == job_b.key()
+
+    def test_content_key_is_path_independent(self, tmp_path):
+        trace = random_trace(18, length=30)
+        a = tmp_path / "a.gzt"
+        b = tmp_path / "sub" / "b.gzt"
+        b.parent.mkdir()
+        save_trace_file(trace, a)
+        save_trace_file(trace, b)
+        spec_a = TraceSpec.from_file(a, name="t")
+        spec_b = TraceSpec.from_file(b, name="t")
+        assert spec_a.content_key() == spec_b.content_key()
+
+    def test_content_key_tracks_content(self, tmp_path):
+        a = tmp_path / "a.gzt"
+        b = tmp_path / "b.gzt"
+        save_trace_file(random_trace(19, length=30), a)
+        save_trace_file(random_trace(20, length=30), b)
+        assert (
+            TraceSpec.from_file(a, name="t").content_key()
+            != TraceSpec.from_file(b, name="t").content_key()
+        )
+
+    def test_generator_spec_dict_unchanged_without_source(self):
+        spec = TraceSpec(name="t", suite="s", generator="streaming")
+        assert "source" not in spec.to_dict()
+
+    def test_spec_round_trips_through_dict(self, tmp_path):
+        path = tmp_path / "t.gzt"
+        save_trace_file(random_trace(21, length=10), path)
+        spec = TraceSpec.from_file(path, name="t", suite="file")
+        rebuilt = TraceSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.content_key() == spec.content_key()
+
+    def test_from_file_counts_records(self, tmp_path):
+        path = tmp_path / "t.champsim.gz"
+        save_trace_file(random_trace(22, length=77), path)
+        spec = TraceSpec.from_file(path)
+        assert spec.length == 77
+        assert spec.source.format == "champsim"
+        assert spec.build() == load_trace_file(path)
+
+    def test_digest_mismatch_detected(self, tmp_path):
+        import repro.workloads.trace as trace_module
+
+        path = tmp_path / "t.gzt"
+        save_trace_file(random_trace(23, length=10), path)
+        source = TraceSource(
+            path=str(path), format="native", digest="0" * 64
+        )
+        trace_module._VERIFIED_SOURCES.clear()
+        with pytest.raises(TraceFormatError, match="changed on disk"):
+            list(source.open())
+
+    def test_stream_equals_build(self, tmp_path):
+        path = tmp_path / "t.gzt"
+        trace = random_trace(24, length=60)
+        save_trace_file(trace, path)
+        spec = TraceSpec.from_file(path, name="t", length=40)
+        assert list(spec.stream()) == trace[:40]
+        assert spec.build() == trace[:40]
+        assert spec.build(length=10) == trace[:10]
+
+    def test_compressed_payload_sniffs_inner_format(self, tmp_path):
+        # A gzip file whose *name* says nothing about the format still
+        # resolves via magic bytes and content sniffing.
+        trace = random_trace(25, length=15)
+        path = tmp_path / "blob"
+        raw = tmp_path / "raw.gzt"
+        save_trace_file(trace, raw)
+        path.write_bytes(gzip.compress(raw.read_bytes()))
+        assert sniff_format(path).name == "native"
+        assert load_trace_file(path) == trace
