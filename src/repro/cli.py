@@ -12,6 +12,8 @@ Examples::
         --length 50000 -o traces/stream.champsim.xz
     python -m repro trace import raw.jsonl -o traces/raw.gzt.gz
     python -m repro trace info traces/stream.champsim.xz
+    python -m repro bench
+    python -m repro bench --quick --check --threshold 40
     python -m repro cache info
     python -m repro cache clear
     python -m repro list figures
@@ -134,6 +136,34 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("info", "clear"))
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory (default .repro-cache)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the kernel-throughput suite and record a BENCH_<n>.json "
+             "snapshot",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="run the 4-case subset (same case keys, "
+                            "comparable against full-suite baselines)")
+    bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                       help="runs per case; the best rate is recorded "
+                            "(default 3)")
+    bench.add_argument("--output-dir", default=".", metavar="DIR",
+                       help="directory holding the BENCH_<n>.json "
+                            "trajectory (default: repo root)")
+    bench.add_argument("--no-write", action="store_true",
+                       help="measure and compare only; do not write a new "
+                            "snapshot")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="snapshot to compare against (default: latest "
+                            "BENCH_<n>.json in --output-dir)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero when any shared case regresses "
+                            "beyond --threshold")
+    bench.add_argument("--threshold", type=float, default=40.0,
+                       metavar="PCT",
+                       help="regression threshold in percent (default 40; "
+                            "generous on purpose — machines differ)")
 
     trace = sub.add_parser(
         "trace", help="export, convert and inspect trace files"
@@ -401,6 +431,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments import bench as bench_mod
+
+    if args.repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 < args.threshold < 100.0:
+        print("error: --threshold must be in (0, 100)", file=sys.stderr)
+        return 2
+
+    suite = "quick subset" if args.quick else "full suite"
+    print(f"== kernel-throughput bench ({suite}, best of {args.repeats}) ==")
+    result = bench_mod.run_bench(
+        quick=args.quick, repeats=args.repeats, progress=print
+    )
+    print(f"{'geomean':40s} {result['geomean_accesses_per_sec']:12,.0f} acc/s")
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        latest = bench_mod.latest_bench_file(args.output_dir)
+        baseline_path = str(latest) if latest is not None else None
+    exit_code = 0
+    if baseline_path is not None:
+        baseline = bench_mod.load_bench_file(baseline_path)
+        report = bench_mod.compare_bench(
+            result, baseline, threshold=args.threshold / 100.0
+        )
+        print(f"\n# vs {baseline_path} "
+              f"({len(report['shared_cases'])} shared cases): "
+              f"geomean {report['geomean_ratio']:.2f}x")
+        for key in report["shared_cases"]:
+            marker = " <-- REGRESSION" if key in report["regressions"] else ""
+            print(f"  {key:38s} {report['ratios'][key]:6.2f}x{marker}")
+        if not report["ok"]:
+            print(
+                f"\nerror: {len(report['regressions'])} case(s) regressed "
+                f"beyond {args.threshold:.0f}%",
+                file=sys.stderr,
+            )
+            if args.check:
+                exit_code = 1
+    else:
+        print("\n# no baseline snapshot found; this run establishes one")
+
+    if not args.no_write:
+        path = bench_mod.write_bench_file(result, args.output_dir)
+        print(f"\nwrote {path}")
+    return exit_code
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "info":
@@ -574,6 +654,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "trace":

@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple
 from repro.prefetchers.tables import LRUTable
 
 
-@dataclass
+@dataclass(slots=True)
 class GazeRegionEntry:
     """State of one actively tracked region."""
 

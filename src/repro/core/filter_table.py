@@ -20,7 +20,7 @@ from typing import Optional
 from repro.prefetchers.tables import LRUTable
 
 
-@dataclass
+@dataclass(slots=True)
 class FilterEntry:
     """One region awaiting its second access."""
 

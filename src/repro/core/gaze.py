@@ -41,8 +41,7 @@ from repro.sim.types import (
     AccessResult,
     PrefetchHint,
     PrefetchRequest,
-    block_offset_in_region,
-    region_number,
+    RegionGeometry,
 )
 
 
@@ -106,6 +105,13 @@ class GazePrefetcher(Prefetcher):
         self.prefetch_buffer = GazePrefetchBuffer(
             entries=self.config.prefetch_buffer_entries, blocks_per_region=blocks
         )
+        # Precomputed shift/mask address decomposition for the hot path.
+        self._geometry = RegionGeometry(self.config.region_size)
+        # Stage-1 offset lists are the same for every activation; build the
+        # head/tail split once.
+        head = min(self.config.streaming_head_blocks, blocks)
+        self._stage1_head = tuple(range(head))
+        self._stage1_tail = tuple(range(head, blocks))
         # Introspection counters used by the analysis figures/tests.
         self.pht_predictions = 0
         self.streaming_predictions = 0
@@ -118,32 +124,26 @@ class GazePrefetcher(Prefetcher):
     def train(
         self, pc: int, address: int, cycle: int, result: Optional[AccessResult] = None
     ) -> List[PrefetchRequest]:
-        region = region_number(address, self.config.region_size)
-        offset = block_offset_in_region(address, self.config.region_size)
-        requests: List[PrefetchRequest] = []
+        region, offset = self._geometry.split(address)
 
         at_entry = self.accumulation_table.lookup(region)
         if at_entry is not None:
             self._handle_tracked_access(at_entry, offset)
             at_entry.record(offset)
-            requests.extend(
-                self.prefetch_buffer.pop_requests(
-                    region,
-                    self.config.region_size,
-                    pc=pc,
-                    metadata="gaze-promo",
-                    limit=self.config.pb_issue_per_access,
-                )
+            return self.prefetch_buffer.pop_requests(
+                region,
+                self.config.region_size,
+                pc=pc,
+                metadata="gaze-promo",
+                limit=self.config.pb_issue_per_access,
             )
-            return requests
 
         ft_entry = self.filter_table.lookup(region)
         if ft_entry is not None:
             if ft_entry.trigger_offset == offset:
                 return []
             self.filter_table.remove(region)
-            requests.extend(self._activate_region(region, ft_entry, offset, pc))
-            return requests
+            return self._activate_region(region, ft_entry, offset, pc)
 
         self.filter_table.insert(region, trigger_pc=pc, trigger_offset=offset)
         return []
@@ -221,22 +221,18 @@ class GazePrefetcher(Prefetcher):
         trigger_offset: int,
         second_offset: int,
     ) -> None:
-        blocks = self.config.blocks_per_region
-        head = min(self.config.streaming_head_blocks, blocks)
-        head_offsets = list(range(head))
-        tail_offsets = list(range(head, blocks))
         if confidence is StreamingConfidence.HIGH:
             self.prefetch_buffer.add_pattern(
                 region,
-                offsets_to_l1=head_offsets,
-                offsets_to_l2=tail_offsets,
+                offsets_to_l1=self._stage1_head,
+                offsets_to_l2=self._stage1_tail,
                 exclude_offsets=(trigger_offset, second_offset),
             )
         elif confidence is StreamingConfidence.MODERATE:
             self.prefetch_buffer.add_pattern(
                 region,
                 offsets_to_l1=(),
-                offsets_to_l2=head_offsets,
+                offsets_to_l2=self._stage1_head,
                 exclude_offsets=(trigger_offset, second_offset),
             )
         # StreamingConfidence.NONE: no stage-1 prefetch; the stride flag set
@@ -294,7 +290,7 @@ class GazePrefetcher(Prefetcher):
         LRU eviction from the AT) and is what keeps learning timely when only
         a handful of regions are active concurrently (e.g. pure streaming).
         """
-        region = (block * 64) // self.config.region_size
+        region = self._geometry.region_of_block(block)
         entry = self.accumulation_table.remove(region)
         if entry is not None:
             self._learn(entry)

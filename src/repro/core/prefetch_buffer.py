@@ -11,13 +11,18 @@ already issued are not issued again.
 
 Hardware budget (Table I): 8-way, 32 entries, each storing the region tag
 (36 b), LRU (3 b) and the 64 x 2 b pattern -- 668 B total.
+
+Hot-path note: :meth:`GazePrefetchBuffer.pop_requests` runs on *every*
+access to a tracked region, but almost always finds nothing left to issue.
+Each entry therefore carries a ``pending`` count so the empty case returns
+immediately after the LRU touch, without walking (or sorting) the states.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.prefetchers.tables import LRUTable
 from repro.sim.types import (
@@ -36,13 +41,16 @@ class BlockPrefetchState(enum.IntEnum):
     ISSUED = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchBufferEntry:
     """Prefetch pattern of one region."""
 
     region: int
     states: Dict[int, BlockPrefetchState] = field(default_factory=dict)
     issued: Dict[int, PrefetchHint] = field(default_factory=dict)
+    #: Number of offsets currently in the TO_L1 / TO_L2 states — i.e. how
+    #: many requests :meth:`GazePrefetchBuffer.pop_requests` could emit.
+    pending: int = 0
 
 
 class GazePrefetchBuffer:
@@ -83,19 +91,28 @@ class GazePrefetchBuffer:
         offsets, already demanded) are never added.
         """
         entry = self._entry_for(region)
-        excluded = set(exclude_offsets)
+        excluded = frozenset(exclude_offsets)
+        states = entry.states
+        blocks = self.blocks_per_region
+        none_state = BlockPrefetchState.NONE
+        pending = entry.pending
         for offset in offsets_to_l2:
-            if offset in excluded or not 0 <= offset < self.blocks_per_region:
+            if offset in excluded or not 0 <= offset < blocks:
                 continue
-            current = entry.states.get(offset, BlockPrefetchState.NONE)
-            if current == BlockPrefetchState.NONE:
-                entry.states[offset] = BlockPrefetchState.TO_L2
+            if states.get(offset, none_state) == none_state:
+                states[offset] = BlockPrefetchState.TO_L2
+                pending += 1
+        issued_state = BlockPrefetchState.ISSUED
+        to_l1 = BlockPrefetchState.TO_L1
         for offset in offsets_to_l1:
-            if offset in excluded or not 0 <= offset < self.blocks_per_region:
+            if offset in excluded or not 0 <= offset < blocks:
                 continue
-            current = entry.states.get(offset, BlockPrefetchState.NONE)
-            if current != BlockPrefetchState.ISSUED:
-                entry.states[offset] = BlockPrefetchState.TO_L1
+            current = states.get(offset, none_state)
+            if current != issued_state:
+                states[offset] = to_l1
+                if current == none_state:
+                    pending += 1
+        entry.pending = pending
 
     def promote(self, region: int, offsets) -> List[int]:
         """Stage-2 promotion: upgrade ``offsets`` to L1.
@@ -105,15 +122,22 @@ class GazePrefetchBuffer:
         re-requested at L1.
         """
         entry = self._entry_for(region)
+        states = entry.states
+        issued = entry.issued
+        blocks = self.blocks_per_region
         needs_issue: List[int] = []
+        pending = entry.pending
         for offset in offsets:
-            if not 0 <= offset < self.blocks_per_region:
+            if not 0 <= offset < blocks:
                 continue
-            issued_hint = entry.issued.get(offset)
-            if issued_hint is PrefetchHint.L1:
+            if issued.get(offset) is PrefetchHint.L1:
                 continue
-            entry.states[offset] = BlockPrefetchState.TO_L1
+            previous = states.get(offset, BlockPrefetchState.NONE)
+            if previous in (BlockPrefetchState.NONE, BlockPrefetchState.ISSUED):
+                pending += 1
+            states[offset] = BlockPrefetchState.TO_L1
             needs_issue.append(offset)
+        entry.pending = pending
         return needs_issue
 
     def pop_requests(
@@ -134,26 +158,31 @@ class GazePrefetchBuffer:
         subsequent pattern merges / promotions do not duplicate them.
         """
         entry = self._table.get(region)
-        if entry is None:
+        if entry is None or entry.pending == 0:
             return []
+        states = entry.states
         requests: List[PrefetchRequest] = []
-        for offset in sorted(entry.states):
-            state = entry.states[offset]
-            if state in (BlockPrefetchState.NONE, BlockPrefetchState.ISSUED):
+        issued_state = BlockPrefetchState.ISSUED
+        to_l1 = BlockPrefetchState.TO_L1
+        l1_hint = PrefetchHint.L1
+        l2_hint = PrefetchHint.L2
+        none_state = BlockPrefetchState.NONE
+        for offset in sorted(states):
+            state = states[offset]
+            if state is none_state or state is issued_state:
                 continue
-            hint = (
-                PrefetchHint.L1 if state == BlockPrefetchState.TO_L1 else PrefetchHint.L2
-            )
+            hint = l1_hint if state is to_l1 else l2_hint
             requests.append(
                 PrefetchRequest(
-                    address=address_from_region_offset(region, offset, region_size),
-                    hint=hint,
-                    origin_pc=pc,
-                    metadata=metadata,
+                    address_from_region_offset(region, offset, region_size),
+                    hint,
+                    pc,
+                    metadata,
                 )
             )
-            entry.states[offset] = BlockPrefetchState.ISSUED
+            states[offset] = issued_state
             entry.issued[offset] = hint
+            entry.pending -= 1
             if limit is not None and len(requests) >= limit:
                 break
         return requests

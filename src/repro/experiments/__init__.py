@@ -16,12 +16,16 @@
   (``fig1`` ... ``fig18``) returning structured result rows.
 * :mod:`repro.experiments.tables` -- Table I / IV / V / VI reproductions.
 * :mod:`repro.experiments.sweeps` -- system-configuration sweeps (Fig. 16).
+* :mod:`repro.experiments.bench` -- the kernel-throughput benchmark suite
+  behind ``python -m repro bench`` and the committed ``BENCH_<n>.json``
+  performance trajectory.
 * :mod:`repro.experiments.reporting` -- plain-text rendering of results.
 
 Every figure function accepts a ``scale`` argument so benchmarks can trade
 fidelity for runtime; the default scale is sized for a laptop-class run.
 """
 
+from repro.experiments.bench import compare_bench, run_bench, write_bench_file
 from repro.experiments.cache import ResultCache
 from repro.experiments.engine import ExperimentEngine, build_engine
 from repro.experiments.executors import ParallelExecutor, SerialExecutor, make_executor
@@ -46,11 +50,14 @@ __all__ = [
     "SimulationJob",
     "aggregate_by_suite",
     "build_engine",
+    "compare_bench",
     "execute_job",
     "format_rows",
     "geomean",
     "make_executor",
     "normalize_to_baseline",
     "print_rows",
+    "run_bench",
     "summarize_runs",
+    "write_bench_file",
 ]

@@ -1,0 +1,248 @@
+"""Kernel-throughput benchmark suite and the on-disk BENCH trajectory.
+
+``python -m repro bench`` runs a fixed grid of (trace, prefetcher) cases
+through :func:`repro.experiments.jobs.execute_job` with timing enabled and
+records the simulated-accesses-per-second of each case.  Results are written
+to ``BENCH_<n>.json`` files that are committed to the repository, so the
+performance of the simulation kernel becomes a first-class, regression-
+guarded artifact: every perf-focused PR appends a new snapshot and CI
+compares fresh numbers against the last committed baseline.
+
+Design notes:
+
+* The suite is *fixed* (same traces, seeds, lengths and prefetchers across
+  snapshots) so accesses/sec is comparable between files; ``--quick`` runs a
+  subset of the same cases — identical keys — rather than shorter traces.
+* Each case takes the best of ``repeats`` runs: throughput snapshots should
+  measure the kernel, not scheduler noise.
+* Comparisons are per-case with a generous threshold (machines differ; the
+  guard is for order-of-magnitude regressions, not single-digit drift).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import re
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.jobs import ENGINE_SCHEMA_VERSION, SimulationJob, execute_job
+from repro.workloads.trace import TraceSpec
+
+#: Schema version of the BENCH_*.json files themselves.
+BENCH_SCHEMA = 1
+
+#: File-name pattern of committed benchmark snapshots.
+BENCH_FILE_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Accesses per benchmark trace.  Long enough that per-run constant costs
+#: (trace generation is excluded; simulator construction is not) disappear
+#: into the noise, short enough that the full suite finishes in well under a
+#: minute.
+BENCH_TRACE_LENGTH = 40_000
+
+#: The fixed benchmark grid: (generator, seed) x prefetcher.  ``"none"`` is
+#: the raw kernel (no prefetcher attached); the three designs cover the
+#: paper's main families (Gaze two-access, PMP offset-context, vBerti
+#: per-PC deltas) and exercise different prefetch volumes.
+BENCH_TRACES: Tuple[Tuple[str, int], ...] = (
+    ("spatial", 11),
+    ("streaming", 12),
+    ("cloud", 13),
+)
+BENCH_PREFETCHERS: Tuple[str, ...] = ("none", "gaze", "pmp", "vberti")
+
+#: ``--quick`` subset: one case per prefetcher, still spanning all three
+#: trace kinds.  Keys are identical to the full suite, so quick runs are
+#: directly comparable against full-suite baselines.
+QUICK_CASES: Tuple[Tuple[str, int, str], ...] = (
+    ("spatial", 11, "none"),
+    ("spatial", 11, "gaze"),
+    ("streaming", 12, "pmp"),
+    ("cloud", 13, "vberti"),
+)
+
+
+def _case_key(generator: str, seed: int, prefetcher: str, length: int) -> str:
+    return f"{generator}-s{seed}-L{length}/{prefetcher}"
+
+
+def bench_cases(quick: bool = False) -> List[Tuple[str, int, str]]:
+    """The (generator, seed, prefetcher) triples of the selected suite."""
+    if quick:
+        return list(QUICK_CASES)
+    return [
+        (generator, seed, prefetcher)
+        for generator, seed in BENCH_TRACES
+        for prefetcher in BENCH_PREFETCHERS
+    ]
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: int = 3,
+    trace_length: Optional[int] = None,
+    progress=None,
+) -> Dict[str, object]:
+    """Run the kernel-throughput suite and return a BENCH-file payload.
+
+    ``trace_length`` defaults to :data:`BENCH_TRACE_LENGTH` (resolved at
+    call time so tests can shrink the suite).  ``progress`` is an optional
+    callable receiving one line per finished case (used by the CLI to
+    stream results).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if trace_length is None:
+        trace_length = BENCH_TRACE_LENGTH
+    cases: Dict[str, Dict[str, object]] = {}
+    rates: List[float] = []
+    for generator, seed, prefetcher in bench_cases(quick):
+        spec = TraceSpec(
+            name=f"bench-{generator}-s{seed}",
+            suite="bench",
+            generator=generator,
+            seed=seed,
+            length=trace_length,
+        )
+        job = SimulationJob(
+            spec=spec, prefetcher=prefetcher, trace_length=trace_length
+        )
+        best_rate = 0.0
+        best_wall = math.inf
+        accesses = 0
+        instructions = 0
+        for _ in range(repeats):
+            stats = execute_job(job, record_timing=True)
+            wall = float(stats.extra["wall_time_s"])
+            rate = float(stats.extra["accesses_per_sec"])
+            accesses = stats.demand_accesses
+            instructions = stats.instructions
+            if rate > best_rate:
+                best_rate = rate
+                best_wall = wall
+        key = _case_key(generator, seed, prefetcher, trace_length)
+        cases[key] = {
+            "accesses": accesses,
+            "instructions": instructions,
+            "best_wall_s": round(best_wall, 6),
+            "accesses_per_sec": round(best_rate, 1),
+        }
+        rates.append(best_rate)
+        if progress is not None:
+            progress(f"{key:40s} {best_rate:12,.0f} acc/s")
+    geomean = (
+        math.exp(sum(math.log(rate) for rate in rates) / len(rates))
+        if rates
+        else 0.0
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "kernel-throughput",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "engine_schema_version": ENGINE_SCHEMA_VERSION,
+        "quick": quick,
+        "repeats": repeats,
+        "trace_length": trace_length,
+        "cases": cases,
+        "geomean_accesses_per_sec": round(geomean, 1),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# BENCH_<n>.json trajectory
+# --------------------------------------------------------------------------- #
+def bench_files(directory: str = ".") -> List[Path]:
+    """Committed BENCH files in ``directory``, sorted by snapshot number."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    found = []
+    for path in root.iterdir():
+        match = BENCH_FILE_PATTERN.match(path.name)
+        if match is not None:
+            found.append((int(match.group(1)), path))
+    return [path for _, path in sorted(found)]
+
+
+def latest_bench_file(directory: str = ".") -> Optional[Path]:
+    """The most recent BENCH snapshot in ``directory`` (None when empty)."""
+    files = bench_files(directory)
+    return files[-1] if files else None
+
+
+def next_bench_path(directory: str = ".") -> Path:
+    """The path the next snapshot should be written to (``BENCH_<n+1>``)."""
+    files = bench_files(directory)
+    if not files:
+        return Path(directory) / "BENCH_0.json"
+    last = int(BENCH_FILE_PATTERN.match(files[-1].name).group(1))
+    return Path(directory) / f"BENCH_{last + 1}.json"
+
+
+def write_bench_file(result: Dict[str, object], directory: str = ".") -> Path:
+    """Write ``result`` as the next ``BENCH_<n>.json``; returns the path."""
+    path = next_bench_path(directory)
+    path.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_bench_file(path) -> Dict[str, object]:
+    """Load one BENCH snapshot from disk."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def compare_bench(
+    new: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = 0.40,
+) -> Dict[str, object]:
+    """Compare two snapshots over their shared cases.
+
+    Returns a report with per-case throughput ratios (new/baseline), the
+    geomean ratio, and the list of cases regressing by more than
+    ``threshold`` (e.g. 0.40 = new case is slower than 60% of the baseline
+    rate).  Cases present in only one snapshot are ignored — that is what
+    makes ``--quick`` runs comparable against full-suite baselines.
+    """
+    new_cases = new.get("cases", {})
+    base_cases = baseline.get("cases", {})
+    shared = sorted(set(new_cases) & set(base_cases))
+    ratios: Dict[str, float] = {}
+    regressions: List[str] = []
+    for key in shared:
+        old_rate = float(base_cases[key]["accesses_per_sec"])
+        new_rate = float(new_cases[key]["accesses_per_sec"])
+        ratio = new_rate / old_rate if old_rate > 0 else math.inf
+        ratios[key] = ratio
+        if ratio < 1.0 - threshold:
+            regressions.append(key)
+    geomean_ratio = (
+        math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+        if ratios
+        else 1.0
+    )
+    return {
+        "shared_cases": shared,
+        "ratios": ratios,
+        "geomean_ratio": geomean_ratio,
+        "threshold": threshold,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin wrapper for debugging
+    """Allow ``python -m repro.experiments.bench`` for ad-hoc runs."""
+    result = run_bench(progress=print)
+    json.dump(result, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0

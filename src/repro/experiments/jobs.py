@@ -16,6 +16,7 @@ argument, so ``ProcessPoolExecutor`` can ship it to worker processes.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -134,12 +135,19 @@ def _trace_for_job(job: SimulationJob):
     return build_trace_cached(job.spec, job.trace_length)
 
 
-def execute_job(job: SimulationJob) -> SimulationStats:
+def execute_job(job: SimulationJob, record_timing: bool = False) -> SimulationStats:
     """Run one job to completion and return its statistics.
 
     Pure with respect to ``job``: trace generation is seed-deterministic
     (and file-backed traces are digest-pinned), so any process executing
     the same job produces identical statistics.
+
+    With ``record_timing`` the wall-clock cost of the simulation phase is
+    reported into the result's ``extra`` dict (``wall_time_s`` and
+    ``accesses_per_sec``).  Timing is opt-in — the engine and executors run
+    without it — because cached results must stay bit-identical to fresh
+    runs, and wall time is the one quantity that never is.  The benchmark
+    harness (``python -m repro bench``) is the consumer.
     """
     trace = _trace_for_job(job)
     if job.is_baseline:
@@ -148,7 +156,8 @@ def execute_job(job: SimulationJob) -> SimulationStats:
         prefetcher = create_prefetcher(
             job.prefetcher, **dict(job.prefetcher_params)
         )
-    return simulate_trace(
+    start = time.perf_counter() if record_timing else 0.0
+    stats = simulate_trace(
         trace,
         prefetcher=prefetcher,
         config=job.system,
@@ -156,3 +165,10 @@ def execute_job(job: SimulationJob) -> SimulationStats:
         warmup_instructions=job.warmup_instructions,
         name=job.spec.name,
     )
+    if record_timing:
+        wall = time.perf_counter() - start
+        stats.extra["wall_time_s"] = wall
+        stats.extra["accesses_per_sec"] = (
+            stats.demand_accesses / wall if wall > 0 else 0.0
+        )
+    return stats

@@ -36,15 +36,7 @@ from repro.sim.types import (
 )
 
 
-@dataclass
-class _HistoryEntry:
-    """One recent access kept for timeliness evaluation."""
-
-    block: int
-    cycle: int
-
-
-@dataclass
+@dataclass(slots=True)
 class _DeltaScore:
     """Score of one candidate delta for one PC."""
 
@@ -52,11 +44,15 @@ class _DeltaScore:
     timely: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _PCState:
-    """Per-PC Berti state: recent accesses and delta scores."""
+    """Per-PC Berti state: recent accesses and delta scores.
 
-    history: List[_HistoryEntry] = field(default_factory=list)
+    ``history`` holds plain ``(block, cycle)`` tuples — it is walked once
+    per access, so the entries stay allocation-light.
+    """
+
+    history: List[Tuple[int, int]] = field(default_factory=list)
     deltas: Dict[int, _DeltaScore] = field(default_factory=dict)
     rounds: int = 0
 
@@ -118,9 +114,10 @@ class BertiPrefetcher(Prefetcher):
         latency = result.latency if result is not None else self.fetch_latency
         self._learn_deltas(state, block, cycle, latency)
 
-        state.history.append(_HistoryEntry(block=block, cycle=cycle))
-        if len(state.history) > self.history_per_pc:
-            state.history.pop(0)
+        history = state.history
+        history.append((block, cycle))
+        if len(history) > self.history_per_pc:
+            history.pop(0)
 
         return self._issue(state, block, pc)
 
@@ -130,25 +127,38 @@ class BertiPrefetcher(Prefetcher):
         """Score deltas from past accesses of this PC to the current block."""
         window_blocks = self.page_window * self.blocks_per_page
         seen_this_access = set()
-        for past in state.history:
-            delta = block - past.block
+        deltas = state.deltas
+        rounds = state.rounds
+        max_deltas = self.max_deltas_per_pc
+        for past_block, past_cycle in state.history:
+            delta = block - past_block
             if delta == 0 or abs(delta) > window_blocks or delta in seen_this_access:
                 continue
             seen_this_access.add(delta)
-            score = state.deltas.get(delta)
+            score = deltas.get(delta)
             if score is None:
-                if len(state.deltas) >= self.max_deltas_per_pc:
-                    # Replace the weakest delta.
-                    weakest = min(
-                        state.deltas, key=lambda d: state.confidence(d)
-                    )
-                    del state.deltas[weakest]
+                if len(deltas) >= max_deltas:
+                    # Replace the weakest delta (lowest confidence; first in
+                    # insertion order on ties, matching min() semantics).
+                    weakest = None
+                    weakest_conf = None
+                    if rounds:
+                        for d, s in deltas.items():
+                            conf = s.occurrences / rounds
+                            if conf > 1.0:
+                                conf = 1.0
+                            if weakest_conf is None or conf < weakest_conf:
+                                weakest_conf = conf
+                                weakest = d
+                    else:
+                        weakest = next(iter(deltas))
+                    del deltas[weakest]
                 score = _DeltaScore()
-                state.deltas[delta] = score
+                deltas[delta] = score
             score.occurrences += 1
             # Timely if a prefetch launched at the past access would have
-            # completed (past.cycle + latency) before the demand arrived.
-            if past.cycle + latency <= cycle:
+            # completed (past_cycle + latency) before the demand arrived.
+            if past_cycle + latency <= cycle:
                 score.timely += 1
         state.rounds += 1
         if state.rounds % 64 == 0:
@@ -158,16 +168,27 @@ class BertiPrefetcher(Prefetcher):
                 score.timely //= 2
 
     def _issue(self, state: _PCState, block: int, pc: int) -> List[PrefetchRequest]:
+        rounds = state.rounds
+        if not rounds:
+            return []
         candidates: List[Tuple[float, int]] = []
+        l2_confidence = self.l2_confidence
         for delta, score in state.deltas.items():
-            confidence = state.confidence(delta)
-            if score.occurrences >= 2 and confidence >= self.l2_confidence:
+            occurrences = score.occurrences
+            if occurrences < 2:
+                continue
+            confidence = occurrences / rounds
+            if confidence > 1.0:
+                confidence = 1.0
+            if confidence >= l2_confidence:
                 candidates.append((confidence, delta))
         if not candidates:
             return []
         candidates.sort(reverse=True)
         requests: List[PrefetchRequest] = []
         window_blocks = self.page_window * self.blocks_per_page
+        deltas = state.deltas
+        l1_confidence = self.l1_confidence
         for confidence, delta in candidates[: self.max_prefetches_per_access]:
             target = block + delta
             if target < 0 or abs(delta) > window_blocks:
@@ -175,14 +196,13 @@ class BertiPrefetcher(Prefetcher):
             # High-confidence, timely deltas go to the L1D; accurate but
             # late (or lower-confidence) deltas are demoted to the L2C --
             # Berti's level selection by certainty/timeliness.
-            timely = state.timeliness(delta)
-            hint = (
-                PrefetchHint.L1
-                if confidence >= self.l1_confidence and timely >= 0.5
-                else PrefetchHint.L2
-            )
+            hint = PrefetchHint.L2
+            if confidence >= l1_confidence:
+                score = deltas[delta]
+                if score.timely / score.occurrences >= 0.5:
+                    hint = PrefetchHint.L1
             requests.append(
-                self.request(target * BLOCK_SIZE, hint, pc, "berti")
+                PrefetchRequest(target * BLOCK_SIZE, hint, pc, "berti")
             )
         return requests
 

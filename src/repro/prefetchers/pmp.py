@@ -19,7 +19,6 @@ from repro.sim.types import (
     AccessResult,
     PrefetchHint,
     PrefetchRequest,
-    address_from_region_offset,
 )
 
 
@@ -74,20 +73,35 @@ class PMPPrefetcher(Prefetcher):
             self._merge(event.trigger_offset, event.footprint)
 
     def _merge(self, trigger_offset: int, footprint: int) -> None:
+        blocks = self.blocks
+        max_confidence = self.max_confidence
         pattern = (
-            rotate_footprint(footprint, -trigger_offset, self.blocks)
+            rotate_footprint(footprint, -trigger_offset, blocks)
             if self.anchor_patterns
             else footprint
         )
         counters = self.offset_pattern_table[trigger_offset]
-        self.merge_counts[trigger_offset] = min(
-            self.max_confidence, self.merge_counts[trigger_offset] + 1
-        )
-        for block in range(self.blocks):
-            if pattern & (1 << block):
-                counters[block] = min(self.max_confidence, counters[block] + 1)
-            elif counters[block] > 0 and self.merge_counts[trigger_offset] >= self.max_confidence:
-                counters[block] -= 1
+        merged = min(max_confidence, self.merge_counts[trigger_offset] + 1)
+        self.merge_counts[trigger_offset] = merged
+        if merged >= max_confidence:
+            # Saturated: absent blocks decay, so every position is visited.
+            for block in range(blocks):
+                if pattern & (1 << block):
+                    count = counters[block] + 1
+                    counters[block] = (
+                        count if count < max_confidence else max_confidence
+                    )
+                elif counters[block] > 0:
+                    counters[block] -= 1
+        else:
+            # Warm-up: only present blocks change — walk the set bits.
+            value = pattern & ((1 << blocks) - 1)
+            while value:
+                low = value & -value
+                block = low.bit_length() - 1
+                count = counters[block] + 1
+                counters[block] = count if count < max_confidence else max_confidence
+                value ^= low
 
     def _predict(
         self, region: int, trigger_offset: int, pc: int
@@ -98,28 +112,28 @@ class PMPPrefetcher(Prefetcher):
             return []
         scale = min(observed, self.max_confidence)
         requests: List[PrefetchRequest] = []
-        for block in range(self.blocks):
-            confidence = counters[block] / scale
-            if confidence < self.l2_threshold:
+        blocks = self.blocks
+        anchor = self.anchor_patterns
+        l1_threshold = self.l1_threshold
+        l2_threshold = self.l2_threshold
+        skip_zero = l2_threshold > 0.0
+        region_base = region * self.region_size
+        l1_hint = PrefetchHint.L1
+        l2_hint = PrefetchHint.L2
+        append = requests.append
+        for block, count in enumerate(counters):
+            if not count and skip_zero:
                 continue
-            target_offset = (
-                (block + trigger_offset) % self.blocks
-                if self.anchor_patterns
-                else block
-            )
+            confidence = count / scale
+            if confidence < l2_threshold:
+                continue
+            target_offset = (block + trigger_offset) % blocks if anchor else block
             if target_offset == trigger_offset:
                 continue
-            hint = (
-                PrefetchHint.L1 if confidence >= self.l1_threshold else PrefetchHint.L2
-            )
-            requests.append(
+            hint = l1_hint if confidence >= l1_threshold else l2_hint
+            append(
                 PrefetchRequest(
-                    address=address_from_region_offset(
-                        region, target_offset, self.region_size
-                    ),
-                    hint=hint,
-                    origin_pc=pc,
-                    metadata="pmp",
+                    region_base + (target_offset << 6), hint, pc, "pmp"
                 )
             )
         return requests

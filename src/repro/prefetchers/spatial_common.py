@@ -33,6 +33,7 @@ from repro.sim.types import (
     BLOCK_SIZE,
     PrefetchHint,
     PrefetchRequest,
+    RegionGeometry,
     address_from_region_offset,
     block_offset_in_region,
     blocks_per_region,
@@ -73,7 +74,7 @@ class DeactivationEvent:
     access_count: int
 
 
-@dataclass
+@dataclass(slots=True)
 class FilterTableEntry:
     """FT entry: a region seen exactly once so far."""
 
@@ -82,7 +83,7 @@ class FilterTableEntry:
     trigger_offset: int
 
 
-@dataclass
+@dataclass(slots=True)
 class AccumulationEntry:
     """AT entry: an actively tracked region and its accumulated footprint."""
 
@@ -129,6 +130,7 @@ class RegionTracker:
     ) -> None:
         self.region_size = region_size
         self.blocks_per_region = blocks_per_region(region_size)
+        self.geometry = RegionGeometry(region_size)
         self.filter_table: LRUTable[int, FilterTableEntry] = LRUTable(filter_entries)
         self.accumulation_table: LRUTable[int, AccumulationEntry] = LRUTable(
             accumulation_entries
@@ -150,8 +152,7 @@ class RegionTracker:
         accessed region *after* the access has been recorded (present for
         every access to a tracked region, including the activating one).
         """
-        region = region_number(address, self.region_size)
-        offset = block_offset_in_region(address, self.region_size)
+        region, offset = self.geometry.split(address)
         deactivations: List[DeactivationEvent] = []
 
         at_entry = self.accumulation_table.get(region)
@@ -211,7 +212,7 @@ class RegionTracker:
         cache, which keeps pattern learning timely even when few regions are
         active concurrently.
         """
-        region = (block * 64) // self.region_size
+        region = self.geometry.region_of_block(block)
         entry = self.accumulation_table.pop(region)
         if entry is None:
             return None
@@ -234,8 +235,18 @@ class RegionTracker:
 # Footprint helpers
 # ---------------------------------------------------------------------- #
 def footprint_to_offsets(footprint: int, blocks: int = 64) -> List[int]:
-    """Return the list of set block offsets in a footprint bit vector."""
-    return [i for i in range(blocks) if footprint & (1 << i)]
+    """Return the list of set block offsets in a footprint bit vector.
+
+    Walks only the set bits (ascending), not every offset position.
+    """
+    value = footprint & ((1 << blocks) - 1)
+    offsets: List[int] = []
+    append = offsets.append
+    while value:
+        low = value & -value
+        append(low.bit_length() - 1)
+        value ^= low
+    return offsets
 
 def offsets_to_footprint(offsets) -> int:
     """Build a footprint bit vector from an iterable of block offsets."""

@@ -39,24 +39,31 @@ class LRUTable(Generic[K, V]):
         return key in self._entries
 
     def get(self, key: K, touch: bool = True) -> Optional[V]:
-        """Return the value for ``key`` (refreshing LRU unless ``touch=False``)."""
-        if key not in self._entries:
+        """Return the value for ``key`` (refreshing LRU unless ``touch=False``).
+
+        Stored values must not be ``None`` (``None`` means "absent"); no
+        caller stores ``None`` and the hot path relies on it.
+        """
+        entries = self._entries
+        value = entries.get(key)
+        if value is None:
             return None
         if touch:
-            self._entries.move_to_end(key)
-        return self._entries[key]
+            entries.move_to_end(key)
+        return value
 
     def put(self, key: K, value: V) -> Optional[Tuple[K, V]]:
         """Insert/update ``key``; return the evicted ``(key, value)`` if any."""
-        evicted: Optional[Tuple[K, V]] = None
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self._entries[key] = value
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            entries[key] = value
             return None
-        if len(self._entries) >= self.capacity:
-            evicted = self._entries.popitem(last=False)
+        evicted: Optional[Tuple[K, V]] = None
+        if len(entries) >= self.capacity:
+            evicted = entries.popitem(last=False)
             self.evictions += 1
-        self._entries[key] = value
+        entries[key] = value
         return evicted
 
     def pop(self, key: K) -> Optional[V]:
@@ -114,13 +121,17 @@ class SetAssociativeTable(Generic[V]):
         return self._data[set_index % self.sets]
 
     def get(self, set_index: int, tag: int, touch: bool = True) -> Optional[V]:
-        """Look up ``(set_index, tag)``; refresh LRU on hit unless disabled."""
-        entries = self._set_for(set_index)
-        if tag not in entries:
+        """Look up ``(set_index, tag)``; refresh LRU on hit unless disabled.
+
+        As with :meth:`LRUTable.get`, stored values must not be ``None``.
+        """
+        entries = self._data[set_index % self.sets]
+        value = entries.get(tag)
+        if value is None:
             return None
         if touch:
             entries.move_to_end(tag)
-        return entries[tag]
+        return value
 
     def put(self, set_index: int, tag: int, value: V) -> Optional[Tuple[int, V]]:
         """Insert/update an entry; return the evicted ``(tag, value)`` if any."""

@@ -5,26 +5,42 @@ prefetch and whether it has been demanded since.  This is what lets the
 statistics layer classify prefetches as *useful* (demanded before eviction)
 or *useless* (evicted untouched), which the paper's accuracy metric is built
 on.
+
+Hot-path notes (this module sits under every simulated access):
+
+* Each set is a plain ``dict`` whose *insertion order* is the recency order
+  (least-recently-used first).  A touch re-inserts the block at the end, so
+  choosing a victim is ``next(iter(set))`` — O(1) instead of the historical
+  ``min()`` scan over per-block timestamps, with an identical victim (the
+  timestamps were unique and monotone, so "smallest timestamp" and "first
+  in recency order" name the same block).
+* Set indexing uses a precomputed bitmask when the set count is a power of
+  two (every configuration of the paper) and falls back to modulo otherwise
+  (odd core counts scale the LLC to non-power-of-two set counts).
+* :class:`CacheBlock` is slotted: one is allocated per fill, and the
+  hierarchy reads/writes its flags on every access.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheBlock:
     """Metadata of one resident cache block."""
 
     block: int
-    last_used: int = 0
     prefetched: bool = False
     prefetch_useful: bool = False
     from_dram: bool = False
     dirty: bool = False
+    #: Whether this block's prefetch has already been counted as useful by
+    #: the hierarchy's statistics (at most once per fill).
+    useful_counted: bool = False
 
 
 class Cache:
@@ -39,10 +55,12 @@ class Cache:
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.name = config.name
-        self._sets: List[Dict[int, CacheBlock]] = [
-            {} for _ in range(config.sets)
-        ]
-        self._use_counter = 0
+        sets = config.sets
+        self._set_count = sets
+        #: Bitmask for set indexing, or ``None`` when sets is not 2^k.
+        self._set_mask: Optional[int] = sets - 1 if sets & (sets - 1) == 0 else None
+        self._ways = config.ways
+        self._sets: List[Dict[int, CacheBlock]] = [{} for _ in range(sets)]
         self.eviction_listeners: List[Callable[[CacheBlock], None]] = []
         # Aggregate counters (per-cache, the hierarchy also keeps per-request
         # statistics).
@@ -56,7 +74,10 @@ class Cache:
     # ------------------------------------------------------------------ #
     def set_index(self, block: int) -> int:
         """Return the set index a block maps to."""
-        return block % self.config.sets
+        mask = self._set_mask
+        if mask is not None:
+            return block & mask
+        return block % self._set_count
 
     def __len__(self) -> int:
         return sum(len(s) for s in self._sets)
@@ -75,15 +96,45 @@ class Cache:
         ``update_lru`` controls whether the access refreshes the LRU state
         (demand accesses do; probe-only checks from prefetchers do not).
         """
-        entry = self._sets[self.set_index(block)].get(block)
+        mask = self._set_mask
+        cache_set = self._sets[
+            block & mask if mask is not None else block % self._set_count
+        ]
+        entry = cache_set.get(block)
         if entry is not None and update_lru:
-            self._use_counter += 1
-            entry.last_used = self._use_counter
+            # Move to most-recently-used position (end of the dict).
+            del cache_set[block]
+            cache_set[block] = entry
         return entry
 
     def contains(self, block: int) -> bool:
         """Presence check that does not disturb LRU state."""
-        return block in self._sets[self.set_index(block)]
+        mask = self._set_mask
+        return block in self._sets[
+            block & mask if mask is not None else block % self._set_count
+        ]
+
+    def probe(self, block: int) -> Optional[CacheBlock]:
+        """Demand access returning the entry on a hit, ``None`` on a miss.
+
+        Identical bookkeeping to :meth:`access` (hit/miss counters, LRU
+        refresh, useful-prefetch marking) without building a result tuple —
+        the shape the hierarchy's hot path wants.
+        """
+        mask = self._set_mask
+        cache_set = self._sets[
+            block & mask if mask is not None else block % self._set_count
+        ]
+        entry = cache_set.get(block)
+        if entry is None:
+            self.misses += 1
+            return None
+        del cache_set[block]
+        cache_set[block] = entry
+        self.hits += 1
+        if entry.prefetched and not entry.prefetch_useful:
+            entry.prefetch_useful = True
+        return entry
 
     def access(self, block: int) -> Tuple[bool, Optional[CacheBlock]]:
         """Perform a demand access for ``block``.
@@ -92,14 +143,8 @@ class Cache:
         refreshed and, if the block was prefetched and not yet used, it is
         marked as a useful prefetch.
         """
-        entry = self.lookup(block, update_lru=True)
-        if entry is None:
-            self.misses += 1
-            return False, None
-        self.hits += 1
-        if entry.prefetched and not entry.prefetch_useful:
-            entry.prefetch_useful = True
-        return True, entry
+        entry = self.probe(block)
+        return (entry is not None), entry
 
     def fill(
         self,
@@ -114,17 +159,21 @@ class Cache:
         and merges the ``dirty`` flag without changing its prefetch
         provenance.
         """
-        cache_set = self._sets[self.set_index(block)]
-        self._use_counter += 1
+        mask = self._set_mask
+        cache_set = self._sets[
+            block & mask if mask is not None else block % self._set_count
+        ]
         existing = cache_set.get(block)
         if existing is not None:
-            existing.last_used = self._use_counter
-            existing.dirty = existing.dirty or dirty
+            del cache_set[block]
+            cache_set[block] = existing
+            if dirty:
+                existing.dirty = True
             return None
 
         victim: Optional[CacheBlock] = None
-        if len(cache_set) >= self.config.ways:
-            victim_block = min(cache_set, key=lambda b: cache_set[b].last_used)
+        if len(cache_set) >= self._ways:
+            victim_block = next(iter(cache_set))
             victim = cache_set.pop(victim_block)
             self.evictions += 1
             if victim.prefetched and not victim.prefetch_useful:
@@ -132,14 +181,7 @@ class Cache:
             for listener in self.eviction_listeners:
                 listener(victim)
 
-        cache_set[block] = CacheBlock(
-            block=block,
-            last_used=self._use_counter,
-            prefetched=prefetched,
-            prefetch_useful=False,
-            from_dram=from_dram,
-            dirty=dirty,
-        )
+        cache_set[block] = CacheBlock(block, prefetched, False, from_dram, dirty)
         return victim
 
     def invalidate(self, block: int) -> Optional[CacheBlock]:
@@ -164,14 +206,23 @@ class MSHRFile:
     schedulable to keep the timing model simple).
     """
 
+    __slots__ = ("capacity", "_entries", "_min_ready")
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("MSHR capacity must be positive")
         self.capacity = capacity
         self._entries: Dict[int, "MSHREntry"] = {}
+        # Earliest ready_cycle among outstanding entries; kept conservative
+        # (never later than the true minimum) so expire() can skip its scan
+        # when no entry can possibly be ready yet.
+        self._min_ready = float("inf")
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
 
     def has_free_entry(self, cycle: int) -> bool:
         """True if a new entry can be allocated at ``cycle``."""
@@ -184,15 +235,15 @@ class MSHRFile:
         """Allocate (or merge into) an entry for ``block``."""
         entry = self._entries.get(block)
         if entry is not None:
-            entry.ready_cycle = min(entry.ready_cycle, ready_cycle)
+            if ready_cycle < entry.ready_cycle:
+                entry.ready_cycle = ready_cycle
+            if ready_cycle < self._min_ready:
+                self._min_ready = ready_cycle
             return entry
-        entry = MSHREntry(
-            block=block,
-            ready_cycle=ready_cycle,
-            is_prefetch=is_prefetch,
-            hint_level=hint_level,
-        )
+        entry = MSHREntry(block, ready_cycle, is_prefetch, hint_level)
         self._entries[block] = entry
+        if ready_cycle < self._min_ready:
+            self._min_ready = ready_cycle
         return entry
 
     def lookup(self, block: int) -> Optional["MSHREntry"]:
@@ -205,9 +256,16 @@ class MSHRFile:
 
     def expire(self, cycle: int) -> List["MSHREntry"]:
         """Remove and return all entries whose data has arrived by ``cycle``."""
-        done = [e for e in self._entries.values() if e.ready_cycle <= cycle]
+        entries = self._entries
+        if not entries or cycle < self._min_ready:
+            return []
+        done = [e for e in entries.values() if e.ready_cycle <= cycle]
         for entry in done:
-            del self._entries[entry.block]
+            del entries[entry.block]
+        if entries:
+            self._min_ready = min(e.ready_cycle for e in entries.values())
+        else:
+            self._min_ready = float("inf")
         return done
 
     def outstanding(self) -> List["MSHREntry"]:
@@ -215,7 +273,7 @@ class MSHRFile:
         return list(self._entries.values())
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One outstanding fill tracked by an :class:`MSHRFile`."""
 

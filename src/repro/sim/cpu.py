@@ -50,6 +50,15 @@ class CoreTimingModel:
         # Completion cycles of outstanding *misses* (long-latency loads);
         # bounded by the MSHR count to model the core's MLP limit.
         self._outstanding_misses: List[float] = []
+        # Hot-path constants (read once per simulated access).  The fetch
+        # increment is the same float the historical per-call division
+        # produced, so cycle counts stay bit-identical.
+        self._width = config.width
+        self._fetch_increment = 1.0 / config.width
+        self._rob_size = config.rob_size
+        self._load_queue_size = config.load_queue_size
+        self._miss_limit = config.max_outstanding_misses
+        self._miss_threshold = config.miss_latency_threshold
 
     # ------------------------------------------------------------------ #
     # Trace consumption
@@ -59,7 +68,7 @@ class CoreTimingModel:
         if count <= 0:
             return
         self._instr_count += count
-        self._fetch_cycle += count / self.config.width
+        self._fetch_cycle += count / self._width
 
     def begin_memory_access(self) -> int:
         """Reserve the next memory instruction and return its issue cycle.
@@ -70,39 +79,61 @@ class CoreTimingModel:
         the hierarchy.
         """
         self._instr_count += 1
-        self._fetch_cycle += 1.0 / self.config.width
+        self._fetch_cycle += self._fetch_increment
         issue = self._fetch_cycle
         position = self._instr_count
+        outstanding = self._outstanding
 
         # ROB constraint: the oldest in-flight load must retire before the
-        # window can slide far enough to admit this instruction.
-        rob = self.config.rob_size
-        while self._outstanding and position - self._outstanding[0][0] >= rob:
-            issue = max(issue, self._outstanding[0][1])
-            self._retire_head(issue)
+        # window can slide far enough to admit this instruction.  Retirement
+        # is inlined: pop the head and advance the last-retire clock.
+        rob = self._rob_size
+        last_retire = self._last_retire_cycle
+        popleft = outstanding.popleft
+        while outstanding and position - outstanding[0][0] >= rob:
+            head = outstanding[0][1]
+            if head > issue:
+                issue = head
+            completion = popleft()[1]
+            if completion > last_retire:
+                last_retire = completion
+            if issue > last_retire:
+                last_retire = issue
 
         # Load-queue constraint: bounded memory-level parallelism.
-        lq = self.config.load_queue_size
-        while len(self._outstanding) >= lq:
-            issue = max(issue, self._outstanding[0][1])
-            self._retire_head(issue)
+        lq = self._load_queue_size
+        while len(outstanding) >= lq:
+            head = outstanding[0][1]
+            if head > issue:
+                issue = head
+            completion = popleft()[1]
+            if completion > last_retire:
+                last_retire = completion
+            if issue > last_retire:
+                last_retire = issue
 
         # MSHR constraint: only a limited number of demand *misses* can be
         # outstanding at once.  If the MSHRs are full, this access cannot be
         # sent to the memory system until the oldest miss returns.
-        limit = self.config.max_outstanding_misses
-        if len(self._outstanding_misses) >= limit:
-            self._outstanding_misses.sort()
-            while len(self._outstanding_misses) >= limit:
-                issue = max(issue, self._outstanding_misses.pop(0))
-        self._outstanding_misses = [
-            c for c in self._outstanding_misses if c > issue
-        ]
+        misses = self._outstanding_misses
+        if len(misses) >= self._miss_limit:
+            misses.sort()
+            while len(misses) >= self._miss_limit:
+                completed = misses.pop(0)
+                if completed > issue:
+                    issue = completed
+        if misses and min(misses) <= issue:
+            self._outstanding_misses = [c for c in misses if c > issue]
 
         # Opportunistically retire loads that have already completed.
-        while self._outstanding and self._outstanding[0][1] <= issue:
-            self._retire_head(issue)
+        while outstanding and outstanding[0][1] <= issue:
+            completion = popleft()[1]
+            if completion > last_retire:
+                last_retire = completion
+            if issue > last_retire:
+                last_retire = issue
 
+        self._last_retire_cycle = last_retire
         self._issue_position = position
         self._issue_cycle = issue
         return int(issue)
@@ -110,17 +141,13 @@ class CoreTimingModel:
     def complete_memory_access(self, latency: int) -> None:
         """Record the completion of the access reserved by
         :meth:`begin_memory_access`."""
-        completion = self._issue_cycle + max(1, latency)
+        completion = self._issue_cycle + (latency if latency > 1 else 1)
         self._outstanding.append((self._issue_position, completion))
-        if latency > self.config.miss_latency_threshold:
+        if latency > self._miss_threshold:
             self._outstanding_misses.append(completion)
         # Keep the fetch clock from falling behind an already-stalled window.
         if self._issue_cycle > self._fetch_cycle:
             self._fetch_cycle = self._issue_cycle
-
-    def _retire_head(self, now: float) -> None:
-        position, completion = self._outstanding.popleft()
-        self._last_retire_cycle = max(self._last_retire_cycle, completion, now)
 
     # ------------------------------------------------------------------ #
     # Results

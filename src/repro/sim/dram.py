@@ -20,7 +20,7 @@ from typing import Dict, List
 from repro.sim.config import DRAMConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMStats:
     """Aggregate counters kept by the DRAM model."""
 
@@ -63,23 +63,29 @@ class DRAMModel:
         self.stats = DRAMStats()
         self._blocks_per_row = max(1, config.row_buffer_bytes // 64)
         self._banks_per_channel = config.ranks_per_channel * config.banks_per_rank
+        # Hot-path constants hoisted out of the per-request config properties.
+        self._channels = config.channels
+        self._row_hit_latency = config.row_hit_latency_cycles
+        self._row_miss_latency = config.row_miss_latency_cycles
+        self._transfer_cycles = config.transfer_cycles_per_block
+        self._row_divisor = self._blocks_per_row * config.channels
 
     # ------------------------------------------------------------------ #
     # Address mapping
     # ------------------------------------------------------------------ #
     def channel_of(self, block: int) -> int:
         """Channel a block maps to (block-interleaved)."""
-        return block % self.config.channels
+        return block % self._channels
 
     def bank_of(self, block: int) -> int:
         """Global bank index a block maps to."""
-        channel = self.channel_of(block)
-        bank_in_channel = (block // self.config.channels) % self._banks_per_channel
+        channel = block % self._channels
+        bank_in_channel = (block // self._channels) % self._banks_per_channel
         return channel * self._banks_per_channel + bank_in_channel
 
     def row_of(self, block: int) -> int:
         """Row number (within its bank) a block maps to."""
-        return block // (self._blocks_per_row * self.config.channels)
+        return block // self._row_divisor
 
     # ------------------------------------------------------------------ #
     # Access
@@ -90,17 +96,19 @@ class DRAMModel:
         Returns the total latency in CPU cycles (queueing + array access +
         transfer) and advances the channel/bank state.
         """
-        config = self.config
-        channel = self.channel_of(block)
-        bank = self.bank_of(block)
-        row = self.row_of(block)
+        channels = self._channels
+        banks_per_channel = self._banks_per_channel
+        channel = block % channels
+        bank = channel * banks_per_channel + (block // channels) % banks_per_channel
+        row = block // self._row_divisor
 
+        stats = self.stats
         if self._open_row.get(bank) == row:
-            array_latency = config.row_hit_latency_cycles
-            self.stats.row_hits += 1
+            array_latency = self._row_hit_latency
+            stats.row_hits += 1
         else:
-            array_latency = config.row_miss_latency_cycles
-            self.stats.row_misses += 1
+            array_latency = self._row_miss_latency
+            stats.row_misses += 1
             self._open_row[bank] = row
 
         # The bank is occupied for the array access, the channel data bus
@@ -110,7 +118,7 @@ class DRAMModel:
         array_done = cycle + bank_wait + array_latency
         self._bank_busy_until[bank] = array_done
 
-        transfer = config.transfer_cycles_per_block
+        transfer = self._transfer_cycles
         bus_start = max(array_done, self._channel_busy_until[channel])
         bus_done = bus_start + transfer
         self._channel_busy_until[channel] = bus_done
@@ -118,13 +126,13 @@ class DRAMModel:
         queue_wait = bank_wait + max(0.0, bus_start - array_done)
         total_latency = bus_done - cycle
 
-        self.stats.requests += 1
+        stats.requests += 1
         if is_prefetch:
-            self.stats.prefetch_requests += 1
+            stats.prefetch_requests += 1
         else:
-            self.stats.demand_requests += 1
-        self.stats.total_queue_wait += int(queue_wait)
-        self.stats.total_service_cycles += int(array_latency + transfer)
+            stats.demand_requests += 1
+        stats.total_queue_wait += int(queue_wait)
+        stats.total_service_cycles += int(array_latency + transfer)
 
         return int(round(total_latency))
 

@@ -14,6 +14,11 @@ Responsibilities:
 * fill/evict blocks with prefetch provenance so usefulness can be measured,
 * issue queued prefetch requests, accounting for redundant requests, MSHR
   pressure and DRAM bandwidth.
+
+``demand_access`` is the single hottest function of the simulator: level
+latencies are pre-summed at construction time, the caches and stats object
+are bound to locals, and the common cases (empty MSHR file, empty prefetch
+queue) exit before doing any work.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.dram import DRAMModel
 from repro.sim.prefetch_queue import PrefetchQueue
 from repro.sim.stats import SimulationStats
-from repro.sim.types import AccessResult, PrefetchHint, PrefetchRequest, block_number
+from repro.sim.types import AccessResult, PrefetchHint, PrefetchRequest, BLOCK_SHIFT
 
 
 class CacheHierarchy:
@@ -49,22 +54,27 @@ class CacheHierarchy:
             capacity=config.l1d.prefetch_queue_size,
             drain_per_access=config.l1d.max_prefetch_issue_per_access,
         )
+        # Pre-summed load-to-use latencies per serving level.
+        self._lat_l1 = config.l1d.latency
+        self._lat_l2 = self._lat_l1 + config.l2c.latency
+        self._lat_llc = self._lat_l2 + config.llc.latency
+        self._lat_l2_source = config.l2c.latency
+        self._lat_llc_source = config.l2c.latency + config.llc.latency
         self._register_eviction_listeners()
 
     # ------------------------------------------------------------------ #
     # Setup helpers
     # ------------------------------------------------------------------ #
+    def _count_useless_eviction(self, victim) -> None:
+        """Eviction listener: a prefetched block left L1/L2 untouched."""
+        if victim.prefetched and not victim.prefetch_useful:
+            self.stats.prefetch.useless += 1
+
     def _register_eviction_listeners(self) -> None:
-        def on_l1_evict(victim) -> None:
-            if victim.prefetched and not victim.prefetch_useful:
-                self.stats.prefetch.useless += 1
-
-        def on_l2_evict(victim) -> None:
-            if victim.prefetched and not victim.prefetch_useful:
-                self.stats.prefetch.useless += 1
-
-        self.l1d.eviction_listeners.append(on_l1_evict)
-        self.l2c.eviction_listeners.append(on_l2_evict)
+        # One bound method instead of per-instance closures; it reads
+        # ``self.stats`` dynamically so warm-up stat swaps keep working.
+        self.l1d.eviction_listeners.append(self._count_useless_eviction)
+        self.l2c.eviction_listeners.append(self._count_useless_eviction)
 
     # ------------------------------------------------------------------ #
     # Demand path
@@ -76,19 +86,21 @@ class CacheHierarchy:
         that served the request.  Prefetch bookkeeping (useful / late /
         covered) is updated as a side effect.
         """
-        self._complete_ready_prefetches(cycle)
+        l1_mshr = self.l1_mshr
+        if l1_mshr:
+            self._complete_ready_prefetches(cycle)
 
-        block = block_number(address)
+        block = address >> BLOCK_SHIFT
         stats = self.stats
         stats.demand_accesses += 1
-        l1_latency = self.config.l1d.latency
+        l1_latency = self._lat_l1
 
         # 1. In-flight prefetch (late prefetch) -------------------------- #
-        inflight = self.l1_mshr.lookup(block)
+        inflight = l1_mshr.lookup(block) if l1_mshr else None
         if inflight is not None:
-            remaining = max(0, inflight.ready_cycle - cycle)
-            latency = max(l1_latency, remaining)
-            self.l1_mshr.remove(block)
+            remaining = inflight.ready_cycle - cycle
+            latency = remaining if remaining > l1_latency else l1_latency
+            l1_mshr.remove(block)
             self.l1d.fill(
                 block,
                 prefetched=inflight.is_prefetch,
@@ -96,29 +108,25 @@ class CacheHierarchy:
                 dirty=is_store,
             )
             entry = self.l1d.lookup(block, update_lru=True)
-            result = AccessResult(
-                latency=latency,
-                hit_level="L1D",
-                served_by_prefetch=inflight.is_prefetch,
-                late_prefetch=inflight.is_prefetch,
-            )
+            is_prefetch = inflight.is_prefetch
+            result = AccessResult(latency, "L1D", is_prefetch, is_prefetch)
             stats.l1_hits += 1
-            if inflight.is_prefetch:
+            if is_prefetch:
                 entry.prefetch_useful = True
-                stats.prefetch.useful_l1 += 1
-                stats.prefetch.late += 1
+                prefetch_stats = stats.prefetch
+                prefetch_stats.useful_l1 += 1
+                prefetch_stats.late += 1
                 if inflight.from_dram:
-                    stats.prefetch.covered_llc_misses += 1
+                    prefetch_stats.covered_llc_misses += 1
             stats.total_demand_latency += latency
             return result
 
         # 2. L1D ---------------------------------------------------------- #
-        hit, entry = self.l1d.access(block)
-        if hit:
-            latency = l1_latency
+        entry = self.l1d.probe(block)
+        if entry is not None:
             served_by_prefetch = False
-            if entry.prefetched and not getattr(entry, "_useful_counted", False):
-                entry._useful_counted = True  # type: ignore[attr-defined]
+            if entry.prefetched and not entry.useful_counted:
+                entry.useful_counted = True
                 served_by_prefetch = True
                 stats.prefetch.useful_l1 += 1
                 if entry.from_dram:
@@ -126,20 +134,18 @@ class CacheHierarchy:
             if is_store:
                 entry.dirty = True
             stats.l1_hits += 1
-            stats.total_demand_latency += latency
-            return AccessResult(
-                latency=latency, hit_level="L1D", served_by_prefetch=served_by_prefetch
-            )
+            stats.total_demand_latency += l1_latency
+            return AccessResult(l1_latency, "L1D", served_by_prefetch)
 
         stats.l1_misses += 1
 
         # 3. L2C ---------------------------------------------------------- #
-        hit, entry = self.l2c.access(block)
-        if hit:
-            latency = l1_latency + self.config.l2c.latency
+        entry = self.l2c.probe(block)
+        if entry is not None:
+            latency = self._lat_l2
             served_by_prefetch = False
-            if entry.prefetched and not getattr(entry, "_useful_counted", False):
-                entry._useful_counted = True  # type: ignore[attr-defined]
+            if entry.prefetched and not entry.useful_counted:
+                entry.useful_counted = True
                 served_by_prefetch = True
                 stats.prefetch.useful_l2 += 1
                 if entry.from_dram:
@@ -147,72 +153,86 @@ class CacheHierarchy:
             self.l1d.fill(block, prefetched=False, from_dram=False, dirty=is_store)
             stats.l2_hits += 1
             stats.total_demand_latency += latency
-            return AccessResult(
-                latency=latency, hit_level="L2C", served_by_prefetch=served_by_prefetch
-            )
+            return AccessResult(latency, "L2C", served_by_prefetch)
 
         stats.l2_misses += 1
 
         # 4. LLC ---------------------------------------------------------- #
-        hit, _entry = self.llc.access(block)
-        if hit:
-            latency = (
-                l1_latency + self.config.l2c.latency + self.config.llc.latency
-            )
+        if self.llc.probe(block) is not None:
+            latency = self._lat_llc
             self.l2c.fill(block, prefetched=False, from_dram=False)
             self.l1d.fill(block, prefetched=False, from_dram=False, dirty=is_store)
             stats.llc_hits += 1
             stats.total_demand_latency += latency
-            return AccessResult(latency=latency, hit_level="LLC")
+            return AccessResult(latency, "LLC")
 
         stats.llc_misses += 1
 
         # 5. DRAM --------------------------------------------------------- #
         dram_latency = self.dram.access(block, cycle, is_prefetch=False)
-        latency = (
-            l1_latency
-            + self.config.l2c.latency
-            + self.config.llc.latency
-            + dram_latency
-        )
+        latency = self._lat_llc + dram_latency
         stats.dram_reads += 1
         self.llc.fill(block, prefetched=False, from_dram=True)
         self.l2c.fill(block, prefetched=False, from_dram=True)
         self.l1d.fill(block, prefetched=False, from_dram=True, dirty=is_store)
         stats.total_demand_latency += latency
-        return AccessResult(latency=latency, hit_level="DRAM")
+        return AccessResult(latency, "DRAM")
 
     # ------------------------------------------------------------------ #
     # Prefetch path
     # ------------------------------------------------------------------ #
     def enqueue_prefetches(self, requests, cycle: int) -> int:
-        """Add prefetch requests to the PQ; returns how many were accepted."""
+        """Add prefetch requests to the PQ; returns how many were accepted.
+
+        The generated/dropped statistics are batched: one counter merge per
+        call instead of one per request.
+        """
         accepted = 0
+        total = 0
+        queue_push = self.prefetch_queue.push
         for request in requests:
-            self.stats.prefetch.generated += 1
-            if self.prefetch_queue.push(request, cycle):
+            total += 1
+            if queue_push(request, cycle):
                 accepted += 1
-            else:
-                self.stats.prefetch.dropped_queue_full += 1
+        prefetch_stats = self.stats.prefetch
+        prefetch_stats.generated += total
+        if accepted != total:
+            prefetch_stats.dropped_queue_full += total - accepted
         return accepted
 
     def issue_queued_prefetches(self, cycle: int, limit: Optional[int] = None) -> int:
-        """Drain the PQ and issue requests into the hierarchy."""
+        """Drain the PQ and issue requests into the hierarchy.
+
+        Pops straight off the queue's deque instead of materializing a
+        drained list — same FIFO order and drain limit.
+        """
+        queue = self.prefetch_queue
+        pending = queue._queue
+        if not pending:
+            return 0
+        if limit is None:
+            limit = queue.drain_per_access
         issued = 0
-        for queued in self.prefetch_queue.drain(limit):
-            self._issue_prefetch(queued.request, cycle)
+        issue = self._issue_prefetch
+        popleft = pending.popleft
+        while pending and issued < limit:
+            issue(popleft().request, cycle)
             issued += 1
         return issued
 
     def _issue_prefetch(self, request: PrefetchRequest, cycle: int) -> None:
-        block = request.block
+        block = request.address >> BLOCK_SHIFT
         stats = self.stats.prefetch
+        l2c = self.l2c
+        l1_mshr = self.l1_mshr
+        hint_is_l2 = request.hint is PrefetchHint.L2
 
         # Redundant: already in the L1D (or being filled).
-        if self.l1d.contains(block) or self.l1_mshr.lookup(block) is not None:
+        if self.l1d.contains(block) or l1_mshr.lookup(block) is not None:
             stats.redundant += 1
             return
-        if request.hint is PrefetchHint.L2 and self.l2c.contains(block):
+        l2_resident = l2c.contains(block)
+        if hint_is_l2 and l2_resident:
             stats.redundant += 1
             return
 
@@ -220,29 +240,26 @@ class CacheHierarchy:
 
         # Find where the data currently lives and how long it takes to get it.
         from_dram = False
-        if self.l2c.contains(block):
-            source_latency = self.config.l2c.latency
-            self.l2c.lookup(block, update_lru=True)
-        elif self.llc.contains(block):
-            source_latency = self.config.l2c.latency + self.config.llc.latency
-            self.llc.lookup(block, update_lru=True)
+        if l2_resident:
+            source_latency = self._lat_l2_source
+            l2c.lookup(block, update_lru=True)
+        elif self.llc.lookup(block, update_lru=True) is not None:
+            source_latency = self._lat_llc_source
         else:
             dram_latency = self.dram.access(block, cycle, is_prefetch=True)
-            source_latency = (
-                self.config.l2c.latency + self.config.llc.latency + dram_latency
-            )
+            source_latency = self._lat_llc_source + dram_latency
             from_dram = True
             self.llc.fill(block, prefetched=False, from_dram=True)
 
-        if request.hint is PrefetchHint.L1:
-            if not self.l1_mshr.has_free_entry(cycle):
+        if not hint_is_l2 and request.hint is PrefetchHint.L1:
+            if not l1_mshr.has_free_entry(cycle):
                 stats.dropped_mshr_full += 1
                 # Fall back to an L2 fill so the work done is not wasted.
-                if not self.l2c.contains(block):
-                    self.l2c.fill(block, prefetched=True, from_dram=from_dram)
+                if not l2c.contains(block):
+                    l2c.fill(block, prefetched=True, from_dram=from_dram)
                     stats.filled_l2 += 1
                 return
-            entry = self.l1_mshr.allocate(
+            entry = l1_mshr.allocate(
                 block,
                 ready_cycle=cycle + source_latency,
                 is_prefetch=True,
@@ -251,18 +268,17 @@ class CacheHierarchy:
             entry.from_dram = from_dram
             stats.filled_l1 += 1
         else:
-            if not self.l2c.contains(block):
-                self.l2c.fill(block, prefetched=True, from_dram=from_dram)
+            if not l2c.contains(block):
+                l2c.fill(block, prefetched=True, from_dram=from_dram)
                 stats.filled_l2 += 1
             else:
                 stats.redundant += 1
 
     def _complete_ready_prefetches(self, cycle: int) -> None:
         """Move finished in-flight prefetches from the MSHRs into the L1D."""
+        fill = self.l1d.fill
         for entry in self.l1_mshr.expire(cycle):
-            self.l1d.fill(
-                entry.block, prefetched=entry.is_prefetch, from_dram=entry.from_dram
-            )
+            fill(entry.block, prefetched=entry.is_prefetch, from_dram=entry.from_dram)
 
     def flush_prefetches(self, cycle: int) -> None:
         """Issue everything still queued and complete all in-flight fills."""

@@ -51,9 +51,12 @@ class _CoreContext:
         )
         self.core = CoreTimingModel(config.core)
         if prefetcher is not None and hasattr(prefetcher, "on_cache_eviction"):
-            self.hierarchy.l1d.eviction_listeners.append(
-                lambda victim: prefetcher.on_cache_eviction(victim.block)
-            )
+            listeners = self.hierarchy.l1d.eviction_listeners
+            # Bound method (identity-comparable) instead of a per-instance
+            # lambda; guards against stacking a duplicate listener when a
+            # prefetcher/hierarchy pairing is rewired.
+            if self._notify_prefetcher_eviction not in listeners:
+                listeners.append(self._notify_prefetcher_eviction)
         # Mixes replay traces indefinitely to keep pressuring shared
         # resources, so the source must be replayable: materialized
         # sequences and re-openable handles (TraceFile) are used as-is —
@@ -66,27 +69,34 @@ class _CoreContext:
         self.finished = False
         self.measuring = True
 
+    def _notify_prefetcher_eviction(self, victim) -> None:
+        """Forward an L1D eviction to the prefetcher's region deactivation."""
+        self.prefetcher.on_cache_eviction(victim.block)
+
     def step(self) -> None:
         """Execute one memory access (plus its preceding non-memory gap)."""
-        access = next(self.replayer)
-        self.core.advance_non_memory(access.instr_gap)
-        issue_cycle = self.core.begin_memory_access()
-        self.executed_instructions += access.instr_gap + 1
+        core = self.core
+        hierarchy = self.hierarchy
+        access = self.replayer.next_access(replay=True)
+        gap = access.instr_gap
+        if gap > 0:
+            core.advance_non_memory(gap)
+        issue_cycle = core.begin_memory_access()
+        self.executed_instructions += gap + 1
 
-        self.hierarchy.issue_queued_prefetches(issue_cycle)
-        result = self.hierarchy.demand_access(
-            access.address,
-            issue_cycle,
-            is_store=access.access_type is AccessType.STORE,
+        hierarchy.issue_queued_prefetches(issue_cycle)
+        access_type = access.access_type
+        result = hierarchy.demand_access(
+            access.address, issue_cycle, access_type is AccessType.STORE
         )
-        self.core.complete_memory_access(result.latency)
+        core.complete_memory_access(result.latency)
 
-        if self.prefetcher is not None and access.access_type is AccessType.LOAD:
+        if self.prefetcher is not None and access_type is AccessType.LOAD:
             requests = self.prefetcher.train(
                 access.pc, access.address, issue_cycle, result
             )
             if requests:
-                self.hierarchy.enqueue_prefetches(requests, issue_cycle)
+                hierarchy.enqueue_prefetches(requests, issue_cycle)
 
     def finalize(self) -> SimulationStats:
         """Close the timing model and fill in instruction/cycle totals."""

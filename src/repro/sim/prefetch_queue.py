@@ -20,7 +20,7 @@ from typing import Deque, List, Optional
 from repro.sim.types import PrefetchRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class QueuedPrefetch:
     """A prefetch request waiting in the PQ."""
 
@@ -30,6 +30,8 @@ class QueuedPrefetch:
 
 class PrefetchQueue:
     """Bounded FIFO of pending prefetch requests."""
+
+    __slots__ = ("capacity", "drain_per_access", "_queue", "enqueued", "dropped_full")
 
     def __init__(self, capacity: int, drain_per_access: int = 4) -> None:
         if capacity <= 0:
@@ -45,6 +47,10 @@ class PrefetchQueue:
     def __len__(self) -> int:
         return len(self._queue)
 
+    def __bool__(self) -> bool:
+        """True when at least one request is queued (hot-path fast check)."""
+        return bool(self._queue)
+
     @property
     def is_full(self) -> bool:
         """True when no more requests can be accepted."""
@@ -52,10 +58,11 @@ class PrefetchQueue:
 
     def push(self, request: PrefetchRequest, cycle: int) -> bool:
         """Enqueue ``request``; returns False (and counts a drop) if full."""
-        if self.is_full:
+        queue = self._queue
+        if len(queue) >= self.capacity:
             self.dropped_full += 1
             return False
-        self._queue.append(QueuedPrefetch(request=request, enqueue_cycle=cycle))
+        queue.append(QueuedPrefetch(request, cycle))
         self.enqueued += 1
         return True
 
@@ -63,9 +70,14 @@ class PrefetchQueue:
         """Remove and return up to ``limit`` queued requests (FIFO order)."""
         if limit is None:
             limit = self.drain_per_access
+        queue = self._queue
+        if not queue:
+            return []
+        popleft = queue.popleft
         drained: List[QueuedPrefetch] = []
-        while self._queue and len(drained) < limit:
-            drained.append(self._queue.popleft())
+        append = drained.append
+        while queue and len(drained) < limit:
+            append(popleft())
         return drained
 
     def drain_all(self) -> List[QueuedPrefetch]:

@@ -8,17 +8,27 @@ The driver mirrors the paper's methodology: an optional warm-up phase trains
 the caches and the prefetcher without counting statistics, then a measured
 phase of a configurable number of instructions; traces that end early are
 replayed from the start.
+
+``_execute`` is the innermost loop of every experiment: all hot methods are
+bound to locals once per call, and fully-materialized traces run through a
+dedicated indexing loop that avoids the per-access source-shape branching of
+:meth:`_TraceReplayer.next_access`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from repro.sim.config import SystemConfig, default_system_config
 from repro.sim.cpu import CoreTimingModel
 from repro.sim.hierarchy import CacheHierarchy
 from repro.sim.stats import SimulationStats
 from repro.sim.types import AccessType, MemoryAccess
+
+
+def _count_instructions(accesses: Iterable[MemoryAccess]) -> int:
+    """Total instructions carried by ``accesses`` (memory + gap)."""
+    return sum(a.instr_gap + 1 for a in accesses)
 
 
 class _TraceReplayer:
@@ -42,6 +52,7 @@ class _TraceReplayer:
         self._factory = None
         self._iterator: Optional[Iterator[MemoryAccess]] = None
         self._index = 0
+        self._known_total: Optional[int] = None
         if isinstance(source, (list, tuple)):
             if not source:
                 raise ValueError("cannot simulate an empty trace")
@@ -54,10 +65,16 @@ class _TraceReplayer:
 
     @property
     def known_instruction_total(self) -> Optional[int]:
-        """Total instructions per pass, when the source is materialized."""
-        if self._sequence is not None:
-            return sum(a.instr_gap + 1 for a in self._sequence)
-        return None
+        """Total instructions per pass, when the source is materialized.
+
+        Memoized: the sum over the whole trace is computed at most once per
+        replayer, not once per caller.
+        """
+        if self._sequence is None:
+            return None
+        if self._known_total is None:
+            self._known_total = _count_instructions(self._sequence)
+        return self._known_total
 
     @property
     def reopenable(self) -> bool:
@@ -68,9 +85,13 @@ class _TraceReplayer:
         """One pass's instruction total, via a dedicated counting pass.
 
         Only valid for re-openable sources; the replay position is not
-        disturbed (a fresh iterator is opened just for counting).
+        disturbed (a fresh iterator is opened just for counting).  Memoized
+        alongside :attr:`known_instruction_total` — the source is
+        deterministic, so one counting pass serves every caller.
         """
-        return sum(a.instr_gap + 1 for a in iter(self._factory))
+        if self._known_total is None:
+            self._known_total = _count_instructions(iter(self._factory))
+        return self._known_total
 
     def next_access(self, replay: bool = True) -> Optional[MemoryAccess]:
         """Return the next access, or ``None`` at the end of the trace.
@@ -80,12 +101,13 @@ class _TraceReplayer:
         the end of its current pass — the single-pass semantics used when
         no instruction budget bounds the run.
         """
-        if self._sequence is not None:
+        sequence = self._sequence
+        if sequence is not None:
             if not replay and self.replays > 0:
                 return None
-            access = self._sequence[self._index]
+            access = sequence[self._index]
             self._index += 1
-            if self._index >= len(self._sequence):
+            if self._index >= len(sequence):
                 self._index = 0
                 self.replays += 1
             self.yielded_any = True
@@ -132,9 +154,17 @@ class SingleCoreSimulator:
         self.hierarchy = CacheHierarchy(self.config, stats=self.stats)
         self.core = CoreTimingModel(self.config.core)
         if prefetcher is not None and hasattr(prefetcher, "on_cache_eviction"):
-            self.hierarchy.l1d.eviction_listeners.append(
-                lambda victim: prefetcher.on_cache_eviction(victim.block)
-            )
+            listeners = self.hierarchy.l1d.eviction_listeners
+            # Bound method, not a per-instance lambda: cheaper to call and
+            # comparable by identity, so re-running a simulator (or wiring a
+            # reused prefetcher into a rebuilt hierarchy) can never stack a
+            # second copy of the same listener.
+            if self._notify_prefetcher_eviction not in listeners:
+                listeners.append(self._notify_prefetcher_eviction)
+
+    def _notify_prefetcher_eviction(self, victim) -> None:
+        """Forward an L1D eviction to the prefetcher's region deactivation."""
+        self.prefetcher.on_cache_eviction(victim.block)
 
     # ------------------------------------------------------------------ #
     def run(
@@ -202,30 +232,89 @@ class SingleCoreSimulator:
         """Execute until the budget is spent (``None`` = one full pass)."""
         unbounded = instruction_budget is None
         executed = 0
+
+        # Bind the per-access call chain once.
+        core = self.core
+        hierarchy = self.hierarchy
+        prefetcher = self.prefetcher
+        advance_non_memory = core.advance_non_memory
+        begin_memory_access = core.begin_memory_access
+        complete_memory_access = core.complete_memory_access
+        issue_queued_prefetches = hierarchy.issue_queued_prefetches
+        demand_access = hierarchy.demand_access
+        enqueue_prefetches = hierarchy.enqueue_prefetches
+        # The deque itself is bound so the per-access "anything queued?"
+        # check is a C-level truthiness test, not a method call.
+        pending_prefetches = hierarchy.prefetch_queue._queue
+        train = prefetcher.train if prefetcher is not None else None
+        load = AccessType.LOAD
+        store = AccessType.STORE
+
+        sequence = replayer._sequence
+        if sequence is not None:
+            # Materialized fast path: direct indexing, no per-access source
+            # dispatch.  Replay semantics match next_access(): a bounded run
+            # wraps indefinitely, an unbounded run stops after one pass.
+            index = replayer._index
+            length = len(sequence)
+            yielded = False
+            while unbounded or executed < instruction_budget:
+                if unbounded and replayer.replays > 0:
+                    break
+                access = sequence[index]
+                index += 1
+                if index >= length:
+                    index = 0
+                    replayer.replays += 1
+                yielded = True
+
+                gap = access.instr_gap
+                if gap > 0:
+                    advance_non_memory(gap)
+                issue_cycle = begin_memory_access()
+                executed += gap + 1
+
+                if pending_prefetches:
+                    issue_queued_prefetches(issue_cycle)
+                access_type = access.access_type
+                result = demand_access(
+                    access.address, issue_cycle, access_type is store
+                )
+                complete_memory_access(result.latency)
+
+                if train is not None and access_type is load:
+                    requests = train(
+                        access.pc, access.address, issue_cycle, result
+                    )
+                    if requests:
+                        enqueue_prefetches(requests, issue_cycle)
+            replayer._index = index
+            if yielded:
+                replayer.yielded_any = True
+            return
+
+        next_access = replayer.next_access
+        replay = not unbounded
         while unbounded or executed < instruction_budget:
-            access = replayer.next_access(replay=not unbounded)
+            access = next_access(replay=replay)
             if access is None:
                 break
-            self.core.advance_non_memory(access.instr_gap)
-            executed += access.instr_gap
+            gap = access.instr_gap
+            if gap > 0:
+                advance_non_memory(gap)
+            issue_cycle = begin_memory_access()
+            executed += gap + 1
 
-            issue_cycle = self.core.begin_memory_access()
-            executed += 1
+            if pending_prefetches:
+                issue_queued_prefetches(issue_cycle)
+            access_type = access.access_type
+            result = demand_access(access.address, issue_cycle, access_type is store)
+            complete_memory_access(result.latency)
 
-            self.hierarchy.issue_queued_prefetches(issue_cycle)
-            result = self.hierarchy.demand_access(
-                access.address,
-                issue_cycle,
-                is_store=access.access_type is AccessType.STORE,
-            )
-            self.core.complete_memory_access(result.latency)
-
-            if self.prefetcher is not None and access.access_type is AccessType.LOAD:
-                requests = self.prefetcher.train(
-                    access.pc, access.address, issue_cycle, result
-                )
+            if train is not None and access_type is load:
+                requests = train(access.pc, access.address, issue_cycle, result)
                 if requests:
-                    self.hierarchy.enqueue_prefetches(requests, issue_cycle)
+                    enqueue_prefetches(requests, issue_cycle)
 
     def _reset_measurement_counters(self) -> None:
         """Clear statistics at the warm-up/measurement boundary.

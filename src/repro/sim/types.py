@@ -46,9 +46,12 @@ class PrefetchHint(enum.Enum):
     LLC = 3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryAccess:
     """One demand access observed by the prefetcher / hierarchy.
+
+    Slotted: traces hold millions of these and the simulation kernel reads
+    their fields once per access, so the instances carry no ``__dict__``.
 
     Attributes:
         pc: program counter of the triggering instruction.
@@ -69,7 +72,7 @@ class MemoryAccess:
         return self.address >> BLOCK_SHIFT
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefetchRequest:
     """A prefetch candidate produced by a prefetcher.
 
@@ -94,7 +97,7 @@ class PrefetchRequest:
         return self.address >> BLOCK_SHIFT
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of routing one demand access through the hierarchy.
 
@@ -155,3 +158,75 @@ def address_from_region_offset(
 ) -> int:
     """Compose a block-aligned byte address from a region number and offset."""
     return region * region_size + (offset << BLOCK_SHIFT)
+
+
+class RegionGeometry:
+    """Precomputed shift/mask arithmetic for one spatial-region size.
+
+    The per-access hot path of every spatial prefetcher decomposes each byte
+    address into ``(region, offset)``.  Doing that with the module-level
+    helpers costs a function call plus a division per access; this object
+    precomputes the log2 shift and the offset mask once so the hot path is a
+    pair of shifts.  Region sizes that are not a power of two (none of the
+    paper's configurations, but allowed) fall back to division with
+    identical results.
+
+    Attributes:
+        region_size: region size in bytes.
+        blocks_per_region: number of 64-byte blocks per region.
+        region_shift: ``log2(region_size)`` when it is a power of two,
+            otherwise ``None``.
+        offset_mask: ``blocks_per_region - 1`` when usable as a mask.
+    """
+
+    __slots__ = ("region_size", "blocks_per_region", "region_shift", "offset_mask")
+
+    def __init__(self, region_size: int = DEFAULT_REGION_SIZE) -> None:
+        if region_size < BLOCK_SIZE:
+            raise ValueError("region size must be at least one cache block")
+        self.region_size = region_size
+        self.blocks_per_region = region_size // BLOCK_SIZE
+        if region_size & (region_size - 1) == 0:
+            self.region_shift: Optional[int] = region_size.bit_length() - 1
+            self.offset_mask: Optional[int] = self.blocks_per_region - 1
+        else:
+            self.region_shift = None
+            self.offset_mask = None
+
+    def region_of(self, address: int) -> int:
+        """Region number containing ``address`` (= :func:`region_number`)."""
+        shift = self.region_shift
+        if shift is not None:
+            return address >> shift
+        return address // self.region_size
+
+    def offset_of(self, address: int) -> int:
+        """Block offset of ``address`` (= :func:`block_offset_in_region`)."""
+        mask = self.offset_mask
+        if mask is not None:
+            return (address >> BLOCK_SHIFT) & mask
+        return (address % self.region_size) >> BLOCK_SHIFT
+
+    def split(self, address: int) -> "tuple[int, int]":
+        """Return ``(region, offset)`` of ``address`` in one call."""
+        shift = self.region_shift
+        if shift is not None:
+            return address >> shift, (address >> BLOCK_SHIFT) & self.offset_mask
+        return (
+            address // self.region_size,
+            (address % self.region_size) >> BLOCK_SHIFT,
+        )
+
+    def address_of(self, region: int, offset: int) -> int:
+        """Block-aligned byte address of ``(region, offset)``."""
+        shift = self.region_shift
+        if shift is not None:
+            return (region << shift) | (offset << BLOCK_SHIFT)
+        return region * self.region_size + (offset << BLOCK_SHIFT)
+
+    def region_of_block(self, block: int) -> int:
+        """Region number containing cache block ``block``."""
+        shift = self.region_shift
+        if shift is not None:
+            return block >> (shift - BLOCK_SHIFT)
+        return (block << BLOCK_SHIFT) // self.region_size

@@ -1,0 +1,186 @@
+"""Tests for the kernel-throughput benchmark harness and BENCH trajectory."""
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+from repro.experiments.jobs import SimulationJob, execute_job
+from repro.workloads.trace import TraceSpec
+
+
+def _fake_result(rates):
+    return {
+        "schema": bench.BENCH_SCHEMA,
+        "cases": {
+            key: {"accesses_per_sec": rate, "accesses": 100, "best_wall_s": 0.1}
+            for key, rate in rates.items()
+        },
+        "geomean_accesses_per_sec": 0.0,
+    }
+
+
+class TestBenchSuiteDefinition:
+    def test_full_suite_is_trace_x_prefetcher_grid(self):
+        cases = bench.bench_cases(quick=False)
+        assert len(cases) == len(bench.BENCH_TRACES) * len(bench.BENCH_PREFETCHERS)
+
+    def test_quick_cases_are_a_subset_of_the_full_suite(self):
+        full = set(bench.bench_cases(quick=False))
+        quick = set(bench.bench_cases(quick=True))
+        assert quick < full
+
+    def test_run_bench_smoke(self):
+        # Tiny traces keep this a unit test; the case *keys* then differ
+        # from the committed snapshots, which is fine — comparisons only
+        # consider shared keys.
+        result = bench.run_bench(quick=True, repeats=1, trace_length=400)
+        assert result["schema"] == bench.BENCH_SCHEMA
+        assert len(result["cases"]) == len(bench.QUICK_CASES)
+        for payload in result["cases"].values():
+            assert payload["accesses_per_sec"] > 0
+            assert payload["accesses"] == 400
+        assert result["geomean_accesses_per_sec"] > 0
+
+    def test_run_bench_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            bench.run_bench(repeats=0)
+
+
+class TestBenchFiles:
+    def test_numbering_starts_at_zero_and_increments(self, tmp_path):
+        directory = str(tmp_path)
+        assert bench.latest_bench_file(directory) is None
+        first = bench.write_bench_file(_fake_result({"a/x": 1.0}), directory)
+        assert first.name == "BENCH_0.json"
+        second = bench.write_bench_file(_fake_result({"a/x": 2.0}), directory)
+        assert second.name == "BENCH_1.json"
+        assert bench.latest_bench_file(directory) == second
+        assert [p.name for p in bench.bench_files(directory)] == [
+            "BENCH_0.json",
+            "BENCH_1.json",
+        ]
+
+    def test_round_trip(self, tmp_path):
+        result = _fake_result({"a/x": 123.0})
+        path = bench.write_bench_file(result, str(tmp_path))
+        assert bench.load_bench_file(path) == result
+
+    def test_committed_bench0_is_valid(self):
+        # The repository commits its own trajectory; BENCH_0.json must load
+        # and carry the full suite at the standard trace length.
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        files = bench.bench_files(str(repo_root))
+        assert files, "expected a committed BENCH_0.json at the repo root"
+        snapshot = bench.load_bench_file(files[0])
+        assert snapshot["schema"] == bench.BENCH_SCHEMA
+        expected_keys = {
+            bench._case_key(g, s, p, bench.BENCH_TRACE_LENGTH)
+            for g, s, p in bench.bench_cases(quick=False)
+        }
+        assert set(snapshot["cases"]) == expected_keys
+
+
+class TestBenchComparison:
+    def test_no_regression(self):
+        old = _fake_result({"a/x": 100.0, "a/y": 100.0})
+        new = _fake_result({"a/x": 90.0, "a/y": 130.0})
+        report = bench.compare_bench(new, old, threshold=0.40)
+        assert report["ok"]
+        assert report["regressions"] == []
+        assert report["ratios"]["a/x"] == pytest.approx(0.9)
+
+    def test_regression_detected(self):
+        old = _fake_result({"a/x": 100.0})
+        new = _fake_result({"a/x": 50.0})
+        report = bench.compare_bench(new, old, threshold=0.40)
+        assert not report["ok"]
+        assert report["regressions"] == ["a/x"]
+
+    def test_only_shared_cases_compared(self):
+        old = _fake_result({"a/x": 100.0, "only-old": 1.0})
+        new = _fake_result({"a/x": 100.0, "only-new": 1.0})
+        report = bench.compare_bench(new, old, threshold=0.40)
+        assert report["shared_cases"] == ["a/x"]
+        assert report["geomean_ratio"] == pytest.approx(1.0)
+
+
+class TestExecuteJobTiming:
+    def _job(self):
+        spec = TraceSpec(
+            name="t", suite="test", generator="spatial", seed=5, length=600
+        )
+        return SimulationJob(spec=spec, prefetcher="none", trace_length=600)
+
+    def test_timing_off_by_default(self):
+        stats = execute_job(self._job())
+        assert "wall_time_s" not in stats.extra
+        assert "accesses_per_sec" not in stats.extra
+
+    def test_timing_recorded_on_request(self):
+        stats = execute_job(self._job(), record_timing=True)
+        assert stats.extra["wall_time_s"] > 0
+        assert stats.extra["accesses_per_sec"] == pytest.approx(
+            stats.demand_accesses / stats.extra["wall_time_s"]
+        )
+
+    def test_timed_and_untimed_counters_identical(self):
+        timed = execute_job(self._job(), record_timing=True)
+        untimed = execute_job(self._job())
+        timed_dict = timed.to_dict()
+        timed_dict["extra"] = {}
+        assert timed_dict == untimed.to_dict()
+
+
+class TestBenchCLI:
+    def test_cli_quick_writes_and_compares(self, tmp_path, monkeypatch, capsys):
+        from repro import cli
+
+        # Shrink the suite so the CLI test stays fast.
+        monkeypatch.setattr(bench, "QUICK_CASES", (("spatial", 11, "none"),))
+        monkeypatch.setattr(bench, "BENCH_TRACE_LENGTH", 400)
+        directory = str(tmp_path)
+        code = cli.main(
+            ["bench", "--quick", "--repeats", "1", "--output-dir", directory]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "establishes one" in out
+        written = bench.latest_bench_file(directory)
+        assert written is not None and written.name == "BENCH_0.json"
+
+        # Second run compares against the first and writes BENCH_1.json.
+        code = cli.main(
+            ["bench", "--quick", "--repeats", "1", "--output-dir", directory,
+             "--check"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shared cases" in out
+        assert bench.latest_bench_file(directory).name == "BENCH_1.json"
+
+    def test_cli_check_fails_on_regression(self, tmp_path, monkeypatch, capsys):
+        from repro import cli
+
+        monkeypatch.setattr(bench, "QUICK_CASES", (("spatial", 11, "none"),))
+        monkeypatch.setattr(bench, "BENCH_TRACE_LENGTH", 400)
+        directory = str(tmp_path)
+        key = bench._case_key("spatial", 11, "none", 400)
+        impossible = _fake_result({key: 1e15})
+        (tmp_path / "BENCH_0.json").write_text(
+            json.dumps(impossible), encoding="utf-8"
+        )
+        code = cli.main(
+            ["bench", "--quick", "--repeats", "1", "--output-dir", directory,
+             "--check", "--no-write"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_rejects_bad_flags(self, capsys):
+        from repro import cli
+
+        assert cli.main(["bench", "--repeats", "0"]) == 2
+        assert cli.main(["bench", "--threshold", "0"]) == 2
