@@ -5,10 +5,11 @@ from repro.experiments.figures import fig14_multicore
 from benchmarks.conftest import run_once
 
 
-def test_fig14_multicore(benchmark):
+def test_fig14_multicore(benchmark, runner):
     results = run_once(
         benchmark,
         fig14_multicore,
+        runner,
         core_counts=(1, 2, 4),
         prefetchers=("vberti", "pmp", "gaze"),
         trace_length=2500,

@@ -7,7 +7,7 @@ from repro.experiments.tables import table6_four_core_mixes
 from benchmarks.conftest import run_once
 
 
-def test_fig15_four_core_mixes(benchmark):
+def test_fig15_four_core_mixes(benchmark, runner):
     print("\nTable VI: selected four-core mixes")
     print(format_rows(table6_four_core_mixes()))
     # Run a subset of the mixes at benchmark scale.
@@ -15,6 +15,7 @@ def test_fig15_four_core_mixes(benchmark):
     rows = run_once(
         benchmark,
         fig15_four_core_mixes,
+        runner,
         prefetchers=("vberti", "pmp", "gaze"),
         trace_length=2500,
         max_instructions_per_core=9000,

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro run --figure fig6 --jobs 4
     python -m repro run --figure fig11 --trace-length 4000
+    python -m repro run --figure fig14 --jobs 4 --mix-mode epoch
     python -m repro run --suite spec17 --suite cloud --prefetchers gaze,pmp
     python -m repro run --table table5
     python -m repro run --sweep dram --jobs 8
@@ -62,6 +63,8 @@ _RUNNER_FIGURES: Dict[str, Callable[..., object]] = {
     "fig11": figures.fig11_comparative,
     "fig12": figures.fig12_gap_qmm,
     "fig13": figures.fig13_multilevel,
+    "fig14": figures.fig14_multicore,
+    "fig15": figures.fig15_four_core_mixes,
     "fig17": figures.fig17_gaze_sensitivity,
     "fig18": figures.fig18_vgaze,
 }
@@ -70,11 +73,9 @@ _RUNNER_FIGURES: Dict[str, Callable[..., object]] = {
 #: effect on them (only --trace-length shrinks the run).
 _FIXED_TRACE_FIGURES = ("fig10", "fig11", "fig17", "fig18")
 
-#: Multi-core figures run through ``simulate_mix`` (always in-process).
-_STANDALONE_FIGURES: Dict[str, Callable[[], object]] = {
-    "fig14": figures.fig14_multicore,
-    "fig15": figures.fig15_four_core_mixes,
-}
+#: Multi-core figures: engine-backed mix jobs that honour --jobs / the
+#: cache plus the mix-specific flags (--mix-mode, --epoch-instructions).
+_MIX_FIGURES = ("fig14", "fig15")
 
 _TABLES: Dict[str, Callable[..., object]] = {
     "table1": tables.table1_gaze_storage,
@@ -102,9 +103,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run a figure, table, sweep or ad-hoc grid")
     target = run.add_mutually_exclusive_group()
-    target.add_argument("--figure", choices=sorted(
-        list(_RUNNER_FIGURES) + list(_STANDALONE_FIGURES)
-    ), help="figure to reproduce (fig1..fig18)")
+    target.add_argument("--figure", choices=sorted(_RUNNER_FIGURES),
+                        help="figure to reproduce (fig1..fig18)")
     target.add_argument("--table", choices=sorted(_TABLES), help="table to reproduce")
     target.add_argument("--sweep", choices=sorted(_SWEEPS),
                         help="Fig. 16 system sweep to run")
@@ -125,6 +125,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="accesses per trace (default 12000)")
     run.add_argument("--traces-per-suite", type=int, default=None, metavar="K",
                      help="traces per suite (default 3; 0 = all)")
+    run.add_argument("--mix-mode", choices=("exact", "epoch"), default="exact",
+                     help="multi-core schedule for fig14/fig15: exact "
+                          "access-by-access interleaving (default) or the "
+                          "epoch-sharded approximation")
+    run.add_argument("--epoch-instructions", type=int, default=0, metavar="E",
+                     help="epoch length for --mix-mode epoch "
+                          "(0 = auto: budget/8, at least 500)")
     run.add_argument("--cache-dir", default=None,
                      help="persistent result cache directory (default .repro-cache)")
     run.add_argument("--no-cache", action="store_true",
@@ -355,6 +362,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "--traces-per-suite ignored (use --trace-length to shrink the run)",
             file=sys.stderr,
         )
+    if args.figure in _MIX_FIGURES and args.traces_per_suite is not None:
+        print(
+            f"note: {args.figure} uses fixed mix compositions; "
+            "--traces-per-suite ignored (use --trace-length to shrink the run)",
+            file=sys.stderr,
+        )
     if (args.figure or args.table or args.sweep) and (
         args.suite or args.prefetchers is not None
     ):
@@ -364,16 +377,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{target} defines its own workloads, flags ignored",
             file=sys.stderr,
         )
+    if args.figure not in _MIX_FIGURES and (
+        args.mix_mode != "exact" or args.epoch_instructions
+    ):
+        print(
+            "note: --mix-mode/--epoch-instructions only apply to the "
+            f"multi-core figures ({', '.join(_MIX_FIGURES)}); flags ignored",
+            file=sys.stderr,
+        )
 
     start = time.perf_counter()
     engine_used = True
-    if args.figure in _STANDALONE_FIGURES:
-        _warn_ignored_engine_flags(
-            args, f"{args.figure} runs through the multi-core driver"
-        )
-        engine_used = False
+    if args.figure in _MIX_FIGURES:
         title = args.figure
-        result = _STANDALONE_FIGURES[args.figure]()
+        mix_kwargs: Dict[str, object] = {
+            "mode": args.mix_mode,
+            "epoch_instructions": args.epoch_instructions,
+        }
+        if args.trace_length is not None:
+            # Mixes scale independently of the single-core grids, so the
+            # flag maps onto the mix's own trace length.
+            mix_kwargs["trace_length"] = args.trace_length
+        result = _RUNNER_FIGURES[args.figure](runner, **mix_kwargs)
     elif args.figure:
         title = args.figure
         result = _RUNNER_FIGURES[args.figure](runner)
@@ -442,7 +467,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
 
     suite = "quick subset" if args.quick else "full suite"
-    print(f"== kernel-throughput bench ({suite}, best of {args.repeats}) ==")
+    print(f"== throughput bench ({suite}, best of {args.repeats}) ==")
     result = bench_mod.run_bench(
         quick=args.quick, repeats=args.repeats, progress=print
     )
@@ -464,6 +489,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for key in report["shared_cases"]:
             marker = " <-- REGRESSION" if key in report["regressions"] else ""
             print(f"  {key:38s} {report['ratios'][key]:6.2f}x{marker}")
+        if report["only_in_baseline"]:
+            print(f"# {len(report['only_in_baseline'])} baseline case(s) "
+                  "not measured this run (no regression coverage): "
+                  + ", ".join(report["only_in_baseline"]))
+        if report["only_in_new"]:
+            print(f"# {len(report['only_in_new'])} new case(s) without a "
+                  "baseline: " + ", ".join(report["only_in_new"]))
         if not report["ok"]:
             print(
                 f"\nerror: {len(report['regressions'])} case(s) regressed "
@@ -635,7 +667,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     if args.what == "figures":
-        names: List[str] = sorted(list(_RUNNER_FIGURES) + list(_STANDALONE_FIGURES))
+        names: List[str] = sorted(_RUNNER_FIGURES)
     elif args.what == "tables":
         names = sorted(_TABLES)
     elif args.what == "sweeps":

@@ -1,12 +1,25 @@
-"""Kernel-throughput benchmark suite and the on-disk BENCH trajectory.
+"""Simulation-throughput benchmark suite and the on-disk BENCH trajectory.
 
-``python -m repro bench`` runs a fixed grid of (trace, prefetcher) cases
-through :func:`repro.experiments.jobs.execute_job` with timing enabled and
-records the simulated-accesses-per-second of each case.  Results are written
-to ``BENCH_<n>.json`` files that are committed to the repository, so the
+``python -m repro bench`` runs a fixed set of cases through
+:func:`repro.experiments.jobs.execute_job` and records the
+simulated-accesses-per-second of each.  Results are written to
+``BENCH_<n>.json`` files that are committed to the repository, so the
 performance of the simulation kernel becomes a first-class, regression-
 guarded artifact: every perf-focused PR appends a new snapshot and CI
 compares fresh numbers against the last committed baseline.
+
+Three case kinds cover the perf-relevant execution paths:
+
+* ``kernel`` — the original (generator, seed) x prefetcher grid over the
+  single-core fast path (in-job timing, trace generation excluded via the
+  per-process memo);
+* ``mix`` — a fixed four-core heterogeneous mix through the multi-core
+  driver, in both the ``exact`` interleaved schedule and the epoch-sharded
+  schedule (timed externally; the rate counts *measured* demand accesses
+  across all cores, which undercounts post-budget pressure replay — a
+  consistent definition across snapshots);
+* ``stream`` — a trace-file case that decodes a compressed on-disk trace on
+  every pass, measuring the streaming-ingestion path end to end.
 
 Design notes:
 
@@ -17,6 +30,9 @@ Design notes:
   measure the kernel, not scheduler noise.
 * Comparisons are per-case with a generous threshold (machines differ; the
   guard is for order-of-magnitude regressions, not single-digit drift).
+  Cases present in only one snapshot are *reported* but not compared, so a
+  renamed case surfaces in the ``--check`` output instead of silently
+  dropping out of regression coverage.
 """
 
 from __future__ import annotations
@@ -26,15 +42,25 @@ import math
 import platform
 import re
 import sys
+import tempfile
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.jobs import ENGINE_SCHEMA_VERSION, SimulationJob, execute_job
+from repro.experiments.jobs import (
+    ENGINE_SCHEMA_VERSION,
+    MixSimulationJob,
+    SimulationJob,
+    execute_job,
+)
+from repro.workloads import formats as trace_formats
 from repro.workloads.trace import TraceSpec
 
 #: Schema version of the BENCH_*.json files themselves.
-BENCH_SCHEMA = 1
+#: v2: mix (multi-core) and stream (trace-file) case kinds were added;
+#: kernel case keys are unchanged and stay comparable with v1 snapshots.
+BENCH_SCHEMA = 2
 
 #: File-name pattern of committed benchmark snapshots.
 BENCH_FILE_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
@@ -45,7 +71,7 @@ BENCH_FILE_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
 #: minute.
 BENCH_TRACE_LENGTH = 40_000
 
-#: The fixed benchmark grid: (generator, seed) x prefetcher.  ``"none"`` is
+#: The fixed kernel grid: (generator, seed) x prefetcher.  ``"none"`` is
 #: the raw kernel (no prefetcher attached); the three designs cover the
 #: paper's main families (Gaze two-access, PMP offset-context, vBerti
 #: per-PC deltas) and exercise different prefetch volumes.
@@ -56,14 +82,67 @@ BENCH_TRACES: Tuple[Tuple[str, int], ...] = (
 )
 BENCH_PREFETCHERS: Tuple[str, ...] = ("none", "gaze", "pmp", "vberti")
 
-#: ``--quick`` subset: one case per prefetcher, still spanning all three
-#: trace kinds.  Keys are identical to the full suite, so quick runs are
-#: directly comparable against full-suite baselines.
-QUICK_CASES: Tuple[Tuple[str, int, str], ...] = (
-    ("spatial", 11, "none"),
-    ("spatial", 11, "gaze"),
-    ("streaming", 12, "pmp"),
-    ("cloud", 13, "vberti"),
+#: The fixed four-core heterogeneous mix behind every ``mix`` case: one
+#: (generator, seed) per core.  Each core's trace holds ``trace_length/4``
+#: accesses and its instruction budget is ``trace_length`` instructions.
+MIX_BENCH_SPECS: Tuple[Tuple[str, int], ...] = (
+    ("spatial", 21),
+    ("streaming", 22),
+    ("cloud", 23),
+    ("graph", 24),
+)
+
+#: The (generator, seed) of the ``stream`` trace-file case (written as a
+#: gzip-compressed native trace into a temporary directory per run).
+STREAM_BENCH_TRACE: Tuple[str, int] = ("streaming", 12)
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One fixed benchmark case.
+
+    ``kind`` selects the execution path: ``"kernel"`` (single-core fast
+    path over a generated trace), ``"mix"`` (the fixed four-core mix with
+    ``mode`` = ``exact``/``epoch``) or ``"stream"`` (single-core over a
+    compressed on-disk trace file, decoded on every pass).  ``generator``
+    and ``seed`` are unused for ``mix`` cases (the mix composition is the
+    fixed :data:`MIX_BENCH_SPECS`).
+    """
+
+    kind: str
+    generator: str
+    seed: int
+    prefetcher: str
+    mode: str = "exact"
+
+    def key(self, trace_length: int) -> str:
+        """The stable case key recorded in BENCH files."""
+        if self.kind == "kernel":
+            return _case_key(self.generator, self.seed, self.prefetcher, trace_length)
+        if self.kind == "mix":
+            cores = len(MIX_BENCH_SPECS)
+            return f"mix{cores}-hetero-L{trace_length}-{self.mode}/{self.prefetcher}"
+        return (
+            f"stream-gzt-{self.generator}-s{self.seed}-L{trace_length}"
+            f"/{self.prefetcher}"
+        )
+
+
+def _kernel_case(generator: str, seed: int, prefetcher: str) -> BenchCase:
+    return BenchCase("kernel", generator, seed, prefetcher)
+
+
+#: ``--quick`` subset: one kernel case per prefetcher spanning all three
+#: trace kinds, plus one multi-core and one streamed-trace case.  Keys are
+#: identical to the full suite, so quick runs are directly comparable
+#: against full-suite baselines.
+QUICK_CASES: Tuple[BenchCase, ...] = (
+    _kernel_case("spatial", 11, "none"),
+    _kernel_case("spatial", 11, "gaze"),
+    _kernel_case("streaming", 12, "pmp"),
+    _kernel_case("cloud", 13, "vberti"),
+    BenchCase("mix", "hetero", 0, "gaze", mode="exact"),
+    BenchCase("stream", *STREAM_BENCH_TRACE, "gaze"),
 )
 
 
@@ -71,15 +150,128 @@ def _case_key(generator: str, seed: int, prefetcher: str, length: int) -> str:
     return f"{generator}-s{seed}-L{length}/{prefetcher}"
 
 
-def bench_cases(quick: bool = False) -> List[Tuple[str, int, str]]:
-    """The (generator, seed, prefetcher) triples of the selected suite."""
+def bench_cases(quick: bool = False) -> List[BenchCase]:
+    """The :class:`BenchCase` list of the selected suite."""
     if quick:
         return list(QUICK_CASES)
-    return [
-        (generator, seed, prefetcher)
+    cases = [
+        _kernel_case(generator, seed, prefetcher)
         for generator, seed in BENCH_TRACES
         for prefetcher in BENCH_PREFETCHERS
     ]
+    cases.append(BenchCase("mix", "hetero", 0, "gaze", mode="exact"))
+    cases.append(BenchCase("mix", "hetero", 0, "gaze", mode="epoch"))
+    cases.append(BenchCase("stream", *STREAM_BENCH_TRACE, "gaze"))
+    return cases
+
+
+# --------------------------------------------------------------------------- #
+# Case execution
+# --------------------------------------------------------------------------- #
+def _best_of(repeats: int, run_once) -> Tuple[float, float, object]:
+    """``(best_rate, best_wall, last_result)`` over ``repeats`` runs."""
+    best_rate = 0.0
+    best_wall = math.inf
+    result = None
+    for _ in range(repeats):
+        rate, wall, result = run_once()
+        if rate > best_rate:
+            best_rate = rate
+            best_wall = wall
+    return best_rate, best_wall, result
+
+
+def _run_kernel_case(
+    case: BenchCase, trace_length: int, repeats: int, spec: Optional[TraceSpec] = None
+) -> Dict[str, object]:
+    if spec is None:
+        spec = TraceSpec(
+            name=f"bench-{case.generator}-s{case.seed}",
+            suite="bench",
+            generator=case.generator,
+            seed=case.seed,
+            length=trace_length,
+        )
+    job = SimulationJob(
+        spec=spec, prefetcher=case.prefetcher, trace_length=trace_length
+    )
+
+    def run_once():
+        stats = execute_job(job, record_timing=True)
+        return (
+            float(stats.extra["accesses_per_sec"]),
+            float(stats.extra["wall_time_s"]),
+            stats,
+        )
+
+    best_rate, best_wall, stats = _best_of(repeats, run_once)
+    return {
+        "kind": case.kind,
+        "accesses": stats.demand_accesses,
+        "instructions": stats.instructions,
+        "best_wall_s": round(best_wall, 6),
+        "accesses_per_sec": round(best_rate, 1),
+    }
+
+
+def _run_stream_case(
+    case: BenchCase, trace_length: int, repeats: int, directory: str
+) -> Dict[str, object]:
+    """Stream a compressed on-disk trace: decode cost is part of the case."""
+    generated = TraceSpec(
+        name=f"bench-stream-{case.generator}-s{case.seed}",
+        suite="bench",
+        generator=case.generator,
+        seed=case.seed,
+        length=trace_length,
+    ).build(length=trace_length)
+    path = Path(directory) / f"bench-{case.generator}-s{case.seed}.gzt.gz"
+    trace_formats.save_trace_file(iter(generated), str(path))
+    spec = TraceSpec.from_file(
+        str(path), name=path.name, suite="bench", length=trace_length
+    )
+    return _run_kernel_case(case, trace_length, repeats, spec=spec)
+
+
+def _run_mix_case(
+    case: BenchCase, trace_length: int, repeats: int
+) -> Dict[str, object]:
+    """Run the fixed four-core mix; timed externally around execute_job."""
+    per_core_length = max(1, trace_length // len(MIX_BENCH_SPECS))
+    specs = tuple(
+        TraceSpec(
+            name=f"bench-mix-{generator}-s{seed}",
+            suite="bench",
+            generator=generator,
+            seed=seed,
+            length=per_core_length,
+        )
+        for generator, seed in MIX_BENCH_SPECS
+    )
+    job = MixSimulationJob(
+        specs=specs,
+        prefetcher=case.prefetcher,
+        trace_length=per_core_length,
+        max_instructions_per_core=trace_length,
+        mode=case.mode,
+    )
+
+    def run_once():
+        start = time.perf_counter()
+        result = execute_job(job)
+        wall = time.perf_counter() - start
+        accesses = sum(s.demand_accesses for s in result.per_core.values())
+        return (accesses / wall if wall > 0 else 0.0, wall, result)
+
+    best_rate, best_wall, result = _best_of(repeats, run_once)
+    return {
+        "kind": case.kind,
+        "cores": len(specs),
+        "accesses": sum(s.demand_accesses for s in result.per_core.values()),
+        "instructions": sum(s.instructions for s in result.per_core.values()),
+        "best_wall_s": round(best_wall, 6),
+        "accesses_per_sec": round(best_rate, 1),
+    }
 
 
 def run_bench(
@@ -88,7 +280,7 @@ def run_bench(
     trace_length: Optional[int] = None,
     progress=None,
 ) -> Dict[str, object]:
-    """Run the kernel-throughput suite and return a BENCH-file payload.
+    """Run the throughput suite and return a BENCH-file payload.
 
     ``trace_length`` defaults to :data:`BENCH_TRACE_LENGTH` (resolved at
     call time so tests can shrink the suite).  ``progress`` is an optional
@@ -101,40 +293,19 @@ def run_bench(
         trace_length = BENCH_TRACE_LENGTH
     cases: Dict[str, Dict[str, object]] = {}
     rates: List[float] = []
-    for generator, seed, prefetcher in bench_cases(quick):
-        spec = TraceSpec(
-            name=f"bench-{generator}-s{seed}",
-            suite="bench",
-            generator=generator,
-            seed=seed,
-            length=trace_length,
-        )
-        job = SimulationJob(
-            spec=spec, prefetcher=prefetcher, trace_length=trace_length
-        )
-        best_rate = 0.0
-        best_wall = math.inf
-        accesses = 0
-        instructions = 0
-        for _ in range(repeats):
-            stats = execute_job(job, record_timing=True)
-            wall = float(stats.extra["wall_time_s"])
-            rate = float(stats.extra["accesses_per_sec"])
-            accesses = stats.demand_accesses
-            instructions = stats.instructions
-            if rate > best_rate:
-                best_rate = rate
-                best_wall = wall
-        key = _case_key(generator, seed, prefetcher, trace_length)
-        cases[key] = {
-            "accesses": accesses,
-            "instructions": instructions,
-            "best_wall_s": round(best_wall, 6),
-            "accesses_per_sec": round(best_rate, 1),
-        }
-        rates.append(best_rate)
-        if progress is not None:
-            progress(f"{key:40s} {best_rate:12,.0f} acc/s")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp_dir:
+        for case in bench_cases(quick):
+            if case.kind == "mix":
+                payload = _run_mix_case(case, trace_length, repeats)
+            elif case.kind == "stream":
+                payload = _run_stream_case(case, trace_length, repeats, tmp_dir)
+            else:
+                payload = _run_kernel_case(case, trace_length, repeats)
+            key = case.key(trace_length)
+            cases[key] = payload
+            rates.append(float(payload["accesses_per_sec"]))
+            if progress is not None:
+                progress(f"{key:40s} {payload['accesses_per_sec']:12,.0f} acc/s")
     geomean = (
         math.exp(sum(math.log(rate) for rate in rates) / len(rates))
         if rates
@@ -210,12 +381,18 @@ def compare_bench(
     Returns a report with per-case throughput ratios (new/baseline), the
     geomean ratio, and the list of cases regressing by more than
     ``threshold`` (e.g. 0.40 = new case is slower than 60% of the baseline
-    rate).  Cases present in only one snapshot are ignored — that is what
-    makes ``--quick`` runs comparable against full-suite baselines.
+    rate).  Cases present in only one snapshot are excluded from the
+    comparison — that is what makes ``--quick`` runs comparable against
+    full-suite baselines — but they are *named* in the report
+    (``only_in_new`` / ``only_in_baseline``), so a renamed or dropped case
+    shows up in the ``--check`` output instead of silently losing its
+    regression coverage.
     """
     new_cases = new.get("cases", {})
     base_cases = baseline.get("cases", {})
     shared = sorted(set(new_cases) & set(base_cases))
+    only_in_new = sorted(set(new_cases) - set(base_cases))
+    only_in_baseline = sorted(set(base_cases) - set(new_cases))
     ratios: Dict[str, float] = {}
     regressions: List[str] = []
     for key in shared:
@@ -232,6 +409,8 @@ def compare_bench(
     )
     return {
         "shared_cases": shared,
+        "only_in_new": only_in_new,
+        "only_in_baseline": only_in_baseline,
         "ratios": ratios,
         "geomean_ratio": geomean_ratio,
         "threshold": threshold,

@@ -20,8 +20,8 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro.experiments.jobs import ENGINE_SCHEMA_VERSION
-from repro.sim.stats import SimulationStats
+from repro.experiments.jobs import ENGINE_SCHEMA_VERSION, JobResult
+from repro.sim.stats import MultiCoreStats, SimulationStats
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -55,17 +55,23 @@ class ResultCache:
         """File path storing the entry for ``key``."""
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[SimulationStats]:
+    def get(self, key: str) -> Optional[JobResult]:
         """Load the cached result for ``key``, or ``None`` on a miss.
 
-        Corrupt or unreadable entries are treated as misses and removed so
-        a damaged cache heals itself instead of failing every run.
+        Entries are kind-tagged: single-core jobs round-trip through
+        :class:`SimulationStats`, multi-core mix jobs through
+        :class:`MultiCoreStats`.  Corrupt or unreadable entries are treated
+        as misses and removed so a damaged cache heals itself instead of
+        failing every run.
         """
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-            stats = SimulationStats.from_dict(payload["stats"])
+            if payload.get("kind", "single") == "mix":
+                stats = MultiCoreStats.from_dict(payload["stats"])
+            else:
+                stats = SimulationStats.from_dict(payload["stats"])
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -79,12 +85,13 @@ class ResultCache:
         self.hits += 1
         return stats
 
-    def put(self, key: str, stats: SimulationStats) -> None:
+    def put(self, key: str, stats: JobResult) -> None:
         """Store ``stats`` under ``key`` (atomic write, best effort)."""
         path = self.path_for(key)
         payload = {
             "schema": ENGINE_SCHEMA_VERSION,
             "key": key,
+            "kind": "mix" if isinstance(stats, MultiCoreStats) else "single",
             "stats": stats.to_dict(),
         }
         try:

@@ -20,12 +20,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.cache import ResultCache, cache_enabled_by_default
 from repro.experiments.executors import Executor, SerialExecutor, make_executor
-from repro.experiments.jobs import SimulationJob
-from repro.sim.stats import SimulationStats
+from repro.experiments.jobs import AnyJob, JobResult
 
 
 class ExperimentEngine:
-    """Runs simulation jobs through memo → persistent cache → executor."""
+    """Runs simulation jobs (single-core or mix) through memo → persistent
+    cache → executor."""
 
     def __init__(
         self,
@@ -36,23 +36,23 @@ class ExperimentEngine:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.salt = salt
-        self._memo: Dict[str, SimulationStats] = {}
+        self._memo: Dict[str, JobResult] = {}
         #: Number of jobs actually simulated (executor dispatches).
         self.simulations_run = 0
         #: Number of jobs answered by the in-process memo (incl. duplicates).
         self.memo_hits = 0
 
     # ------------------------------------------------------------------ #
-    def run_job(self, job: SimulationJob) -> SimulationStats:
+    def run_job(self, job: AnyJob) -> JobResult:
         """Run a single job (convenience wrapper around :meth:`run_jobs`)."""
         return self.run_jobs([job])[0]
 
-    def run_jobs(self, jobs: Sequence[SimulationJob]) -> List[SimulationStats]:
+    def run_jobs(self, jobs: Sequence[AnyJob]) -> List[JobResult]:
         """Run a batch of jobs; result ``i`` corresponds to ``jobs[i]``."""
         jobs = list(jobs)
         keys = [job.key(self.salt) for job in jobs]
 
-        pending_jobs: List[SimulationJob] = []
+        pending_jobs: List[AnyJob] = []
         pending_keys: List[str] = []
         scheduled = set()
         for job, key in zip(jobs, keys):

@@ -1,10 +1,15 @@
 """Execution strategies for batches of :class:`SimulationJob`.
 
-Both executors share one contract: given a sequence of jobs, return the
-corresponding :class:`~repro.sim.stats.SimulationStats` *in submission
-order*.  Because :func:`~repro.experiments.jobs.execute_job` is pure and
-every workload generator is seed-deterministic, the parallel executor is
-bit-identical to the serial one — only wall-clock time differs.
+Both executors share one contract: given a sequence of jobs (single-core
+:class:`~repro.experiments.jobs.SimulationJob` or multi-core
+:class:`~repro.experiments.jobs.MixSimulationJob`), return the
+corresponding statistics *in submission order*.  Because
+:func:`~repro.experiments.jobs.execute_job` is pure and every workload
+generator is seed-deterministic, the parallel executor is bit-identical to
+the serial one — only wall-clock time differs.  Mix jobs are sharded
+across workers exactly like single-core jobs: one worker process runs one
+whole mix (fig. 14 runs its 2-core and 4-core mixes concurrently under
+``--jobs``).
 """
 
 from __future__ import annotations
@@ -15,14 +20,13 @@ import sys
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Protocol, Sequence
 
-from repro.experiments.jobs import SimulationJob, execute_job
-from repro.sim.stats import SimulationStats
+from repro.experiments.jobs import AnyJob, JobResult, execute_job
 
 
 class Executor(Protocol):
     """Anything that can run a batch of jobs in submission order."""
 
-    def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationStats]:
+    def run(self, jobs: Sequence[AnyJob]) -> List[JobResult]:
         """Execute ``jobs`` and return their stats, order preserved."""
         ...
 
@@ -32,7 +36,7 @@ class SerialExecutor:
 
     jobs = 1
 
-    def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationStats]:
+    def run(self, jobs: Sequence[AnyJob]) -> List[JobResult]:
         """Execute ``jobs`` sequentially in the calling process."""
         return [execute_job(job) for job in jobs]
 
@@ -60,7 +64,7 @@ class ParallelExecutor:
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
-    def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationStats]:
+    def run(self, jobs: Sequence[AnyJob]) -> List[JobResult]:
         """Execute ``jobs`` across worker processes, order preserved."""
         jobs = list(jobs)
         if len(jobs) <= 1 or self.jobs == 1:

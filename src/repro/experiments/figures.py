@@ -31,8 +31,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.metrics import aggregate_by_suite, geomean, summarize_runs
 from repro.experiments.runner import ExperimentRunner, RunScale
 from repro.prefetchers.registry import create_prefetcher
-from repro.sim.config import default_system_config
-from repro.sim.multicore import simulate_mix
 from repro.workloads.suites import MAIN_SUITES, trace_specs_for_suite
 from repro.workloads.trace import TraceSpec
 
@@ -313,9 +311,10 @@ def fig13_multilevel(
 
 
 # --------------------------------------------------------------------------- #
-# Fig. 14 / 15: multi-core
+# Fig. 14 / 15: multi-core (engine-backed mix jobs)
 # --------------------------------------------------------------------------- #
 def fig14_multicore(
+    runner: Optional[ExperimentRunner] = None,
     core_counts: Sequence[int] = (1, 2, 4),
     prefetchers: Sequence[str] = ("vberti", "pmp", "bingo", "gaze"),
     trace_length: int = 8_000,
@@ -331,79 +330,121 @@ def fig14_multicore(
         "facesim-like",
         "xalancbmk_s-like",
     ),
+    mode: str = "exact",
+    epoch_instructions: int = 0,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """Multi-core speedups for homogeneous and heterogeneous mixes.
 
+    Every mix — baselines included — is submitted to the runner's engine as
+    one :class:`~repro.experiments.jobs.MixSimulationJob` batch, so
+    ``--jobs N`` shards mixes across worker processes and warm re-runs are
+    answered from the persistent cache.  ``mode`` selects the execution
+    schedule (``"exact"`` interleaving or the epoch-sharded approximation).
+
     Returns ``{"homogeneous"|"heterogeneous": {prefetcher: {cores: speedup}}}``.
     """
+    runner = _default_runner(runner)
+    homo_spec = _spec_by_name(homogeneous_trace)
+    hetero_specs = [_spec_by_name(name) for name in heterogeneous_traces]
+
+    def mix_job(specs, prefetcher):
+        return runner.mix_job_for(
+            specs,
+            prefetcher,
+            trace_length=trace_length,
+            max_instructions_per_core=max_instructions_per_core,
+            mode=mode,
+            epoch_instructions=epoch_instructions,
+            workers=workers,
+        )
+
+    jobs = []
+    layout: List = []
+    for cores in core_counts:
+        for kind, specs in (
+            ("homogeneous", (homo_spec,) * cores),
+            ("heterogeneous", tuple(hetero_specs[:cores])),
+        ):
+            jobs.append(mix_job(specs, "none"))
+            layout.append((kind, None, cores))
+            for prefetcher in prefetchers:
+                jobs.append(mix_job(specs, prefetcher))
+                layout.append((kind, prefetcher, cores))
+    stats_list = runner.engine.run_jobs(jobs)
+
     results: Dict[str, Dict[str, Dict[int, float]]] = {
         "homogeneous": {p: {} for p in prefetchers},
         "heterogeneous": {p: {} for p in prefetchers},
     }
-    homo_spec = _spec_by_name(homogeneous_trace)
-    homo_trace = homo_spec.build(length=trace_length)
-    hetero_traces = [
-        _spec_by_name(name).build(length=trace_length)
-        for name in heterogeneous_traces
-    ]
-
-    for cores in core_counts:
-        config = default_system_config(cores)
-        homo_mix = [homo_trace] * cores
-        hetero_mix = hetero_traces[:cores]
-        baselines = {
-            "homogeneous": simulate_mix(
-                homo_mix, None, config, max_instructions_per_core, name="homo-base"
-            ),
-            "heterogeneous": simulate_mix(
-                hetero_mix, None, config, max_instructions_per_core, name="hetero-base"
-            ),
-        }
-        for prefetcher in prefetchers:
-            for kind, mix in (("homogeneous", homo_mix), ("heterogeneous", hetero_mix)):
-                run = simulate_mix(
-                    mix,
-                    lambda p=prefetcher: create_prefetcher(p),
-                    config,
-                    max_instructions_per_core,
-                    name=f"{kind}-{prefetcher}-{cores}c",
-                )
-                results[kind][prefetcher][cores] = run.geomean_speedup(baselines[kind])
+    baselines: Dict = {}
+    for (kind, prefetcher, cores), stats in zip(layout, stats_list):
+        if prefetcher is None:
+            baselines[(kind, cores)] = stats
+        else:
+            results[kind][prefetcher][cores] = stats.geomean_speedup(
+                baselines[(kind, cores)]
+            )
     return results
 
 
 def fig15_four_core_mixes(
+    runner: Optional[ExperimentRunner] = None,
     prefetchers: Sequence[str] = ("vberti", "pmp", "gaze"),
     trace_length: int = 8_000,
     max_instructions_per_core: int = 30_000,
     mixes: Optional[Dict[str, Sequence[str]]] = None,
+    mode: str = "exact",
+    epoch_instructions: int = 0,
+    workers: int = 1,
 ) -> List[Dict[str, object]]:
-    """Per-core and average speedups on the selected four-core mixes (Table VI)."""
+    """Per-core and average speedups on the selected four-core mixes (Table VI).
+
+    Like :func:`fig14_multicore`, the whole table — five mixes times
+    (baseline + prefetchers) — is one engine batch of mix jobs:
+    parallelizable across worker processes and persistently cacheable.
+    """
+    runner = _default_runner(runner)
     mixes = mixes if mixes is not None else FOUR_CORE_MIXES
-    config = default_system_config(4)
-    rows: List[Dict[str, object]] = []
-    for mix_name, trace_names in mixes.items():
-        traces = [_spec_by_name(name).build(length=trace_length) for name in trace_names]
-        baseline = simulate_mix(
-            traces, None, config, max_instructions_per_core, name=f"{mix_name}-base"
+
+    def mix_job(specs, prefetcher):
+        return runner.mix_job_for(
+            specs,
+            prefetcher,
+            trace_length=trace_length,
+            max_instructions_per_core=max_instructions_per_core,
+            mode=mode,
+            epoch_instructions=epoch_instructions,
+            workers=workers,
         )
+
+    jobs = []
+    layout: List = []
+    for mix_name, trace_names in mixes.items():
+        specs = tuple(_spec_by_name(name) for name in trace_names)
+        jobs.append(mix_job(specs, "none"))
+        layout.append((mix_name, None))
         for prefetcher in prefetchers:
-            run = simulate_mix(
-                traces,
-                lambda p=prefetcher: create_prefetcher(p),
-                config,
-                max_instructions_per_core,
-                name=f"{mix_name}-{prefetcher}",
+            jobs.append(mix_job(specs, prefetcher))
+            layout.append((mix_name, prefetcher))
+    stats_list = runner.engine.run_jobs(jobs)
+
+    rows: List[Dict[str, object]] = []
+    baselines: Dict[str, object] = {}
+    for (mix_name, prefetcher), stats in zip(layout, stats_list):
+        if prefetcher is None:
+            baselines[mix_name] = stats
+            continue
+        baseline = baselines[mix_name]
+        row: Dict[str, object] = {"mix": mix_name, "prefetcher": prefetcher}
+        for core in sorted(stats.per_core):
+            base_core = baseline.per_core[core]
+            run_core = stats.per_core[core]
+            row[f"c{core}"] = (
+                run_core.ipc / base_core.ipc if base_core.ipc else 0.0
             )
-            row: Dict[str, object] = {"mix": mix_name, "prefetcher": prefetcher}
-            for core in range(4):
-                base_core = baseline.per_core[core]
-                run_core = run.per_core[core]
-                row[f"c{core}"] = (
-                    run_core.ipc / base_core.ipc if base_core.ipc else 0.0
-                )
-            row["avg"] = run.geomean_speedup(baseline)
-            rows.append(row)
+        row["avg"] = stats.geomean_speedup(baseline)
+        rows.append(row)
     return rows
 
 

@@ -10,8 +10,16 @@ membership) that is stable across processes — the foundation for both the para
 (bit-identical results regardless of worker placement) and the persistent
 result cache (warm re-runs skip simulation entirely).
 
-:func:`execute_job` is the pure top-level worker: it depends only on its
-argument, so ``ProcessPoolExecutor`` can ship it to worker processes.
+:class:`MixSimulationJob` is the multi-core counterpart: one frozen
+description of an ``n``-core mix (a content-hashed *tuple* of trace specs,
+one per core) plus the execution schedule (``exact`` or epoch-sharded).
+Mix jobs flow through the same engine/executor/cache machinery, which is
+what shards fig. 14 / Table VI mixes across worker processes and lets warm
+re-runs answer them from the persistent cache.
+
+:func:`execute_job` is the pure top-level worker for both job kinds: it
+depends only on its argument, so ``ProcessPoolExecutor`` can ship it to
+worker processes.
 """
 
 from __future__ import annotations
@@ -19,20 +27,25 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.hashing import content_hash
 from repro.prefetchers.registry import create_prefetcher
 from repro.sim.config import SystemConfig
+from repro.sim.multicore import MIX_MODES, MultiCoreSimulator
 from repro.sim.simulator import simulate_trace
-from repro.sim.stats import SimulationStats
+from repro.sim.stats import MultiCoreStats, SimulationStats
 from repro.sim.types import MemoryAccess
 from repro.workloads.trace import TraceSpec
 
 #: Version salt mixed into every job key.  Bump this whenever the simulator,
 #: a prefetcher, or a workload generator changes behaviour: old cache
 #: entries become unreachable instead of silently stale.
-ENGINE_SCHEMA_VERSION = 1
+#:
+#: v2: multi-core stat gating — a core that exhausts its instruction budget
+#: now snapshots its instruction/cycle totals and stops accumulating
+#: statistics, so every multi-core counter changed; mix jobs were added.
+ENGINE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -93,6 +106,98 @@ class SimulationJob:
         )
 
 
+@dataclass(frozen=True)
+class MixSimulationJob:
+    """One multi-core mix simulation request (fig. 14 / fig. 15 / Table VI).
+
+    ``specs`` holds one :class:`~repro.workloads.trace.TraceSpec` per core
+    (a homogeneous mix repeats one spec), so the job key covers the
+    content-hashed trace tuple; ``mode``/``epoch_instructions`` select the
+    execution schedule (see :mod:`repro.sim.multicore`) and participate in
+    the key because they affect results.  ``workers`` — the thread count
+    for epoch-sharded core execution — is deliberately *excluded* from the
+    key: results are identical for any worker count.
+
+    ``system`` is the per-core base configuration; the simulator scales the
+    shared LLC/DRAM for ``len(specs)`` cores exactly as the paper's Table
+    II does.
+    """
+
+    specs: Tuple[TraceSpec, ...]
+    prefetcher: str = "none"
+    system: SystemConfig = field(default_factory=SystemConfig)
+    trace_length: int = 8_000
+    max_instructions_per_core: int = 30_000
+    mode: str = "exact"
+    epoch_instructions: int = 0
+    prefetcher_params: Tuple[Tuple[str, object], ...] = ()
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError("a mix needs at least one trace spec")
+        if self.mode not in MIX_MODES:
+            raise ValueError(
+                f"unknown mix mode {self.mode!r}; expected one of {MIX_MODES}"
+            )
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores in the mix (one per trace spec)."""
+        return len(self.specs)
+
+    @property
+    def is_baseline(self) -> bool:
+        """True when this job simulates without any prefetcher."""
+        return self.prefetcher in ("none", "", None)
+
+    @property
+    def name(self) -> str:
+        """Deterministic mix name derived from the job's content.
+
+        Derived (not free-form) so that a cached result carries the same
+        name a fresh simulation would produce.
+        """
+        prefetcher = "none" if self.is_baseline else self.prefetcher.lower()
+        return f"mix{self.num_cores}[{'+'.join(s.name for s in self.specs)}]/{prefetcher}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data representation of every result-affecting input.
+
+        ``workers`` is omitted on purpose (execution detail, not identity).
+        """
+        return {
+            "kind": "mix",
+            "specs": [spec.identity_dict() for spec in self.specs],
+            "prefetcher": "none" if self.is_baseline else self.prefetcher.lower(),
+            "prefetcher_params": {
+                key: value for key, value in sorted(self.prefetcher_params)
+            },
+            "system": self.system.to_dict(),
+            "trace_length": self.trace_length,
+            "max_instructions_per_core": self.max_instructions_per_core,
+            "mode": self.mode,
+            "epoch_instructions": self.epoch_instructions,
+        }
+
+    def key(self, salt: str = "") -> str:
+        """Deterministic content-hash key (schema- and salt-folded)."""
+        return content_hash(
+            {
+                "schema": ENGINE_SCHEMA_VERSION,
+                "salt": salt,
+                "job": self.to_dict(),
+            }
+        )
+
+
+#: Either job kind accepted by the engine and executors.
+AnyJob = Union[SimulationJob, MixSimulationJob]
+
+#: What one executed job yields: single-core or multi-core statistics.
+JobResult = Union[SimulationStats, MultiCoreStats]
+
+
 # --------------------------------------------------------------------------- #
 # Worker-side trace memoization
 # --------------------------------------------------------------------------- #
@@ -135,8 +240,45 @@ def _trace_for_job(job: SimulationJob):
     return build_trace_cached(job.spec, job.trace_length)
 
 
-def execute_job(job: SimulationJob, record_timing: bool = False) -> SimulationStats:
-    """Run one job to completion and return its statistics.
+def _execute_mix_job(job: MixSimulationJob) -> MultiCoreStats:
+    """Run one multi-core mix job to completion and return its statistics.
+
+    Pure with respect to ``job`` for any ``workers`` value: trace specs are
+    seed-deterministic or digest-pinned, and the epoch-sharded schedule is
+    deterministic under concurrency (see :mod:`repro.sim.multicore`).
+    """
+    traces = []
+    for spec in job.specs:
+        if spec.source is not None:
+            # Re-openable streaming handle: the mix replays it by
+            # re-opening, so file-backed cores run in O(1) memory.
+            traces.append(spec.replayable(length=job.trace_length))
+        else:
+            traces.append(build_trace_cached(spec, job.trace_length))
+    if job.is_baseline:
+        prefetcher_factory = None
+    else:
+        params = dict(job.prefetcher_params)
+        prefetcher_factory = lambda: create_prefetcher(job.prefetcher, **params)  # noqa: E731
+    simulator = MultiCoreSimulator(
+        num_cores=job.num_cores,
+        prefetcher_factory=prefetcher_factory,
+        config=job.system,
+        name=job.name,
+    )
+    return simulator.run(
+        traces,
+        max_instructions_per_core=job.max_instructions_per_core,
+        mode=job.mode,
+        epoch_instructions=job.epoch_instructions,
+        workers=job.workers,
+    )
+
+
+def execute_job(
+    job: AnyJob, record_timing: bool = False
+) -> Union[SimulationStats, MultiCoreStats]:
+    """Run one job (single-core or mix) to completion and return its stats.
 
     Pure with respect to ``job``: trace generation is seed-deterministic
     (and file-backed traces are digest-pinned), so any process executing
@@ -147,8 +289,12 @@ def execute_job(job: SimulationJob, record_timing: bool = False) -> SimulationSt
     ``accesses_per_sec``).  Timing is opt-in — the engine and executors run
     without it — because cached results must stay bit-identical to fresh
     runs, and wall time is the one quantity that never is.  The benchmark
-    harness (``python -m repro bench``) is the consumer.
+    harness (``python -m repro bench``) is the consumer.  Mix jobs ignore
+    ``record_timing`` (:class:`~repro.sim.stats.MultiCoreStats` carries no
+    ``extra`` dict; the bench harness times them externally).
     """
+    if isinstance(job, MixSimulationJob):
+        return _execute_mix_job(job)
     trace = _trace_for_job(job)
     if job.is_baseline:
         prefetcher = None

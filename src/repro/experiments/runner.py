@@ -19,7 +19,11 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments.engine import ExperimentEngine, build_engine
-from repro.experiments.jobs import SimulationJob, build_trace_cached
+from repro.experiments.jobs import (
+    MixSimulationJob,
+    SimulationJob,
+    build_trace_cached,
+)
 from repro.sim.config import SystemConfig, default_system_config
 from repro.sim.stats import SimulationStats
 from repro.sim.types import MemoryAccess
@@ -156,6 +160,37 @@ class ExperimentRunner:
             prefetcher=prefetcher_name if prefetcher_name else "none",
             system=system if system is not None else self.system,
             trace_length=self.scale.trace_length,
+            prefetcher_params=_normalize_params(prefetcher_params),
+        )
+
+    def mix_job_for(
+        self,
+        specs: Sequence[TraceSpec],
+        prefetcher_name: str = "none",
+        trace_length: int = 8_000,
+        max_instructions_per_core: int = 30_000,
+        mode: str = "exact",
+        epoch_instructions: int = 0,
+        workers: int = 1,
+        prefetcher_params: Optional[PrefetcherParams] = None,
+    ) -> MixSimulationJob:
+        """Build the :class:`MixSimulationJob` for one multi-core mix.
+
+        ``specs`` holds one trace spec per core; the runner's base system
+        configuration is scaled for the core count inside the simulator.
+        Unlike single-core jobs, mixes keep their own ``trace_length`` /
+        ``max_instructions_per_core`` knobs (the paper's multi-core runs
+        are scaled independently of the single-core grids).
+        """
+        return MixSimulationJob(
+            specs=tuple(specs),
+            prefetcher=prefetcher_name if prefetcher_name else "none",
+            system=self.system,
+            trace_length=trace_length,
+            max_instructions_per_core=max_instructions_per_core,
+            mode=mode,
+            epoch_instructions=epoch_instructions,
+            workers=workers,
             prefetcher_params=_normalize_params(prefetcher_params),
         )
 

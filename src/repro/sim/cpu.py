@@ -161,6 +161,21 @@ class CoreTimingModel:
         cycles = max(1, int(round(final_cycle)))
         return self._instr_count, cycles
 
+    def progress_totals(self) -> Tuple[int, int]:
+        """``(instructions, cycles)`` as :meth:`finalize` would report them now.
+
+        Non-destructive: outstanding loads stay queued, so the model keeps
+        running afterwards.  The multi-core driver uses this to snapshot a
+        core's measured totals the moment its instruction budget is
+        exhausted, while the core itself keeps replaying its trace to exert
+        shared-resource pressure.
+        """
+        final_cycle = max(self._fetch_cycle, self._last_retire_cycle)
+        for _, completion in self._outstanding:
+            if completion > final_cycle:
+                final_cycle = completion
+        return self._instr_count, max(1, int(round(final_cycle)))
+
     def snapshot(self) -> CoreSnapshot:
         """Return the current progress of the model."""
         return CoreSnapshot(

@@ -76,6 +76,18 @@ class CacheHierarchy:
         self.l1d.eviction_listeners.append(self._count_useless_eviction)
         self.l2c.eviction_listeners.append(self._count_useless_eviction)
 
+    def rebind_shared(self, llc, dram) -> None:
+        """Point this hierarchy at different shared LLC/DRAM objects.
+
+        The demand and prefetch paths read ``self.llc``/``self.dram``
+        dynamically, so rebinding takes effect on the next access.  The
+        epoch-sharded multi-core driver uses this to swap in per-epoch
+        recording shadows (anything duck-typing the ``probe``/``fill``/
+        ``lookup``/``contains`` and ``access`` surfaces is accepted).
+        """
+        self.llc = llc
+        self.dram = dram
+
     # ------------------------------------------------------------------ #
     # Demand path
     # ------------------------------------------------------------------ #

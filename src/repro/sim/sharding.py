@@ -1,0 +1,184 @@
+"""Shared-resource shadows for epoch-sharded multi-core execution.
+
+The exact multi-core schedule interleaves cores access-by-access against one
+shared LLC and one shared DRAM model, which forces the whole mix into a
+single sequential loop.  Epoch sharding breaks that dependency: each core
+runs one *epoch* (a fixed slice of its instruction budget) against a private
+**shadow** of the shared state, recording every operation it performs on the
+shared resources.  Because core-epochs touch no common mutable state, they
+are independent tasks — they can run in any order, or concurrently, and
+produce identical results.
+
+Between epochs the master state is **reconciled**:
+
+* **LLC** — each core's fills, demand probes and prefetch-source touches
+  are replayed onto the master in ascending core-id order, so the master's
+  contents and recency order reflect every core's traffic; blocks a core
+  brought in become visible to the other cores at the next epoch boundary.
+* **DRAM** — requests are merged across cores by issue cycle (stable:
+  ties resolve by core id, then per-core request order) and replayed, so a
+  request from a slow-clocked core can still use an idle bus gap between a
+  fast-clocked core's transfers, as it would under exact interleaving.  A
+  contended channel's busy-until backlog is thereby carried into the next
+  epoch.
+
+Cross-core queueing *within* an epoch is approximated with **ghost
+traffic**: each core's shadow DRAM is pre-loaded with the other cores'
+previous-epoch request logs, cycle-shifted forward by one epoch (each
+core's own measured cycle span), and applies them lazily as the core's own
+requests advance through the epoch.  Ghosts disturb busy-until times and
+row-buffer state exactly like concurrent traffic would, one epoch stale;
+they are never logged, so reconciliation replays each real request exactly
+once.
+
+The approximation error relative to the exact interleaving is bounded by
+the epoch length and pinned by ``tests/test_multicore.py`` on golden mixes;
+single-core mixes are bit-identical by construction (no cross-core traffic
+exists, so shadows behave exactly like the master).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.sim.cache import Cache
+from repro.sim.dram import DRAMModel
+
+#: LLC log opcodes.
+LLC_FILL = 0
+LLC_PROBE = 1
+LLC_TOUCH = 2
+
+#: A logged DRAM request: ``(cycle, block, is_prefetch)``.
+DRAMRequest = Tuple[int, int, bool]
+
+
+class RecordingCache:
+    """Shadow of a shared cache that logs every state-affecting operation.
+
+    Exposes exactly the surface :class:`~repro.sim.hierarchy.CacheHierarchy`
+    uses on its LLC (``probe``/``fill``/``lookup``/``contains``).  Reads
+    that cannot change state (``contains``, ``lookup`` without an LRU
+    update) are not logged.
+    """
+
+    __slots__ = ("base", "log")
+
+    def __init__(self, base: Cache) -> None:
+        self.base = base
+        self.log: List[Tuple] = []
+
+    def probe(self, block: int):
+        self.log.append((LLC_PROBE, block))
+        return self.base.probe(block)
+
+    def lookup(self, block: int, update_lru: bool = True):
+        if update_lru:
+            self.log.append((LLC_TOUCH, block))
+        return self.base.lookup(block, update_lru)
+
+    def contains(self, block: int) -> bool:
+        return self.base.contains(block)
+
+    def fill(
+        self,
+        block: int,
+        prefetched: bool = False,
+        from_dram: bool = False,
+        dirty: bool = False,
+    ):
+        self.log.append((LLC_FILL, block, prefetched, from_dram, dirty))
+        return self.base.fill(block, prefetched, from_dram, dirty)
+
+
+class RecordingDRAM:
+    """Shadow of the shared DRAM model with ghost cross-traffic.
+
+    ``ghosts`` is a cycle-sorted sequence of the other cores'
+    previous-epoch requests; before serving each real request, every ghost
+    whose cycle has been reached is applied to the underlying model
+    (advancing busy-until times and row-buffer state) without being logged.
+    Real requests are logged as ``(cycle, block, is_prefetch)`` for the
+    reconciliation replay.
+    """
+
+    __slots__ = ("base", "log", "ghosts", "_ghost_pos")
+
+    def __init__(self, base: DRAMModel, ghosts: Sequence[DRAMRequest] = ()) -> None:
+        self.base = base
+        self.log: List[DRAMRequest] = []
+        self.ghosts = ghosts
+        self._ghost_pos = 0
+
+    def access(self, block: int, cycle: int, is_prefetch: bool = False) -> int:
+        ghosts = self.ghosts
+        position = self._ghost_pos
+        if position < len(ghosts):
+            base_access = self.base.access
+            while position < len(ghosts) and ghosts[position][0] <= cycle:
+                ghost_cycle, ghost_block, ghost_prefetch = ghosts[position]
+                base_access(ghost_block, ghost_cycle, ghost_prefetch)
+                position += 1
+            self._ghost_pos = position
+        self.log.append((cycle, block, is_prefetch))
+        return self.base.access(block, cycle, is_prefetch)
+
+
+def replay_llc_log(master: Cache, log: List[Tuple]) -> None:
+    """Re-apply one core's LLC operations onto the master cache.
+
+    The replayed hit results are irrelevant (the core already consumed its
+    shadow's answers); only the state transitions — contents, recency
+    order, prefetch-provenance flags — matter.  The master LLC has no
+    eviction listeners, so replay fires no per-core statistics.
+    """
+    for op in log:
+        code = op[0]
+        if code == LLC_FILL:
+            master.fill(op[1], prefetched=op[2], from_dram=op[3], dirty=op[4])
+        elif code == LLC_PROBE:
+            master.probe(op[1])
+        else:
+            master.lookup(op[1], update_lru=True)
+
+
+def replay_dram_logs(
+    master: DRAMModel, logs: Sequence[List[DRAMRequest]]
+) -> None:
+    """Re-apply every core's real DRAM requests onto the master model.
+
+    ``logs[i]`` is core ``i``'s request log; requests are merged by issue
+    cycle (stable tie-break: core id, then per-core order) before being
+    re-applied, mirroring the arrival order exact interleaving would have
+    produced.  The replayed latencies are discarded — only the busy-until /
+    open-row state transitions and the master's aggregate counters matter.
+    """
+    merged: List[Tuple[int, int, int, int, bool]] = []
+    for core_id, log in enumerate(logs):
+        for index, (cycle, block, is_prefetch) in enumerate(log):
+            merged.append((cycle, core_id, index, block, is_prefetch))
+    merged.sort(key=lambda item: item[:3])
+    for cycle, _core_id, _index, block, is_prefetch in merged:
+        master.access(block, cycle, is_prefetch)
+
+
+def shifted_ghosts(
+    logs: Sequence[List[DRAMRequest]],
+    spans: Sequence[int],
+    exclude_core: int,
+) -> List[DRAMRequest]:
+    """Cycle-sorted ghost traffic for one core's next epoch.
+
+    Every other core's previous-epoch log is shifted forward by that core's
+    measured cycle span (so the traffic pattern repeats in the cycle window
+    the next epoch will traverse) and the union is sorted by cycle.
+    """
+    ghosts: List[DRAMRequest] = []
+    for core_id, log in enumerate(logs):
+        if core_id == exclude_core:
+            continue
+        shift = spans[core_id]
+        for cycle, block, is_prefetch in log:
+            ghosts.append((cycle + shift, block, is_prefetch))
+    ghosts.sort()
+    return ghosts

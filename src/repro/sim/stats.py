@@ -192,6 +192,33 @@ class MultiCoreStats:
         """Number of simulated cores."""
         return len(self.per_core)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (core ids become string keys).
+
+        Round-trips exactly through :meth:`from_dict`, which is what lets
+        multi-core mixes participate in the persistent result cache.
+        """
+        return {
+            "name": self.name,
+            "prefetcher": self.prefetcher,
+            "per_core": {
+                str(core_id): stats.to_dict()
+                for core_id, stats in sorted(self.per_core.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MultiCoreStats":
+        """Rebuild a :class:`MultiCoreStats` from :meth:`to_dict` output."""
+        return cls(
+            name=data.get("name", ""),
+            prefetcher=data.get("prefetcher", ""),
+            per_core={
+                int(core_id): SimulationStats.from_dict(stats)
+                for core_id, stats in data.get("per_core", {}).items()
+            },
+        )
+
     def geomean_speedup(self, baseline: "MultiCoreStats") -> float:
         """Geometric-mean per-core speedup against a baseline run."""
         if not self.per_core:

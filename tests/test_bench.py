@@ -21,14 +21,28 @@ def _fake_result(rates):
 
 
 class TestBenchSuiteDefinition:
-    def test_full_suite_is_trace_x_prefetcher_grid(self):
+    def test_full_suite_covers_every_case_kind(self):
         cases = bench.bench_cases(quick=False)
-        assert len(cases) == len(bench.BENCH_TRACES) * len(bench.BENCH_PREFETCHERS)
+        kernel = [c for c in cases if c.kind == "kernel"]
+        mixes = [c for c in cases if c.kind == "mix"]
+        streams = [c for c in cases if c.kind == "stream"]
+        assert len(kernel) == len(bench.BENCH_TRACES) * len(bench.BENCH_PREFETCHERS)
+        assert {c.mode for c in mixes} == {"exact", "epoch"}
+        assert len(streams) == 1
 
     def test_quick_cases_are_a_subset_of_the_full_suite(self):
         full = set(bench.bench_cases(quick=False))
         quick = set(bench.bench_cases(quick=True))
         assert quick < full
+        # The quick lane must exercise the multi-core and streamed paths.
+        assert any(c.kind == "mix" for c in quick)
+        assert any(c.kind == "stream" for c in quick)
+
+    def test_kernel_case_keys_are_stable(self):
+        # Kernel keys must stay byte-identical to v1 snapshots (BENCH_0)
+        # so the trajectory remains comparable across schema versions.
+        case = bench.BenchCase("kernel", "spatial", 11, "gaze")
+        assert case.key(40_000) == "spatial-s11-L40000/gaze"
 
     def test_run_bench_smoke(self):
         # Tiny traces keep this a unit test; the case *keys* then differ
@@ -39,7 +53,11 @@ class TestBenchSuiteDefinition:
         assert len(result["cases"]) == len(bench.QUICK_CASES)
         for payload in result["cases"].values():
             assert payload["accesses_per_sec"] > 0
-            assert payload["accesses"] == 400
+            if payload["kind"] in ("kernel", "stream"):
+                assert payload["accesses"] == 400
+            else:  # mix: measured accesses across all cores
+                assert payload["cores"] == len(bench.MIX_BENCH_SPECS)
+                assert payload["accesses"] > 0
         assert result["geomean_accesses_per_sec"] > 0
 
     def test_run_bench_rejects_zero_repeats(self):
@@ -66,21 +84,26 @@ class TestBenchFiles:
         path = bench.write_bench_file(result, str(tmp_path))
         assert bench.load_bench_file(path) == result
 
-    def test_committed_bench0_is_valid(self):
-        # The repository commits its own trajectory; BENCH_0.json must load
-        # and carry the full suite at the standard trace length.
+    def test_committed_trajectory_is_valid(self):
+        # The repository commits its own trajectory; the latest snapshot
+        # must carry the *current* full suite at the standard trace length
+        # (earlier snapshots may predate newer case kinds).
         from pathlib import Path
 
         repo_root = Path(__file__).resolve().parent.parent
         files = bench.bench_files(str(repo_root))
-        assert files, "expected a committed BENCH_0.json at the repo root"
-        snapshot = bench.load_bench_file(files[0])
-        assert snapshot["schema"] == bench.BENCH_SCHEMA
+        assert files, "expected committed BENCH_<n>.json files at the repo root"
+        latest = bench.load_bench_file(files[-1])
+        assert latest["schema"] == bench.BENCH_SCHEMA
         expected_keys = {
-            bench._case_key(g, s, p, bench.BENCH_TRACE_LENGTH)
-            for g, s, p in bench.bench_cases(quick=False)
+            case.key(bench.BENCH_TRACE_LENGTH)
+            for case in bench.bench_cases(quick=False)
         }
-        assert set(snapshot["cases"]) == expected_keys
+        assert set(latest["cases"]) == expected_keys
+        # Kernel keys are stable across schema versions: every kernel case
+        # of the first snapshot must still be part of the current suite.
+        first = bench.load_bench_file(files[0])
+        assert set(first["cases"]) <= expected_keys
 
 
 class TestBenchComparison:
@@ -105,6 +128,15 @@ class TestBenchComparison:
         report = bench.compare_bench(new, old, threshold=0.40)
         assert report["shared_cases"] == ["a/x"]
         assert report["geomean_ratio"] == pytest.approx(1.0)
+
+    def test_unshared_cases_are_reported_by_name(self):
+        # A renamed case must not silently lose regression coverage: it
+        # shows up as uncovered-in-baseline plus new-without-baseline.
+        old = _fake_result({"a/x": 100.0, "renamed-old": 50.0})
+        new = _fake_result({"a/x": 100.0, "renamed-new": 50.0})
+        report = bench.compare_bench(new, old, threshold=0.40)
+        assert report["only_in_baseline"] == ["renamed-old"]
+        assert report["only_in_new"] == ["renamed-new"]
 
 
 class TestExecuteJobTiming:
@@ -139,7 +171,9 @@ class TestBenchCLI:
         from repro import cli
 
         # Shrink the suite so the CLI test stays fast.
-        monkeypatch.setattr(bench, "QUICK_CASES", (("spatial", 11, "none"),))
+        monkeypatch.setattr(
+            bench, "QUICK_CASES", (bench.BenchCase("kernel", "spatial", 11, "none"),)
+        )
         monkeypatch.setattr(bench, "BENCH_TRACE_LENGTH", 400)
         directory = str(tmp_path)
         code = cli.main(
@@ -164,7 +198,9 @@ class TestBenchCLI:
     def test_cli_check_fails_on_regression(self, tmp_path, monkeypatch, capsys):
         from repro import cli
 
-        monkeypatch.setattr(bench, "QUICK_CASES", (("spatial", 11, "none"),))
+        monkeypatch.setattr(
+            bench, "QUICK_CASES", (bench.BenchCase("kernel", "spatial", 11, "none"),)
+        )
         monkeypatch.setattr(bench, "BENCH_TRACE_LENGTH", 400)
         directory = str(tmp_path)
         key = bench._case_key("spatial", 11, "none", 400)
@@ -178,6 +214,29 @@ class TestBenchCLI:
         )
         assert code == 1
         assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_reports_uncovered_baseline_cases(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro import cli
+
+        monkeypatch.setattr(
+            bench, "QUICK_CASES", (bench.BenchCase("kernel", "spatial", 11, "none"),)
+        )
+        monkeypatch.setattr(bench, "BENCH_TRACE_LENGTH", 400)
+        key = bench._case_key("spatial", 11, "none", 400)
+        baseline = _fake_result({key: 1.0, "vanished-case/gaze": 1.0})
+        (tmp_path / "BENCH_0.json").write_text(
+            json.dumps(baseline), encoding="utf-8"
+        )
+        code = cli.main(
+            ["bench", "--quick", "--repeats", "1", "--output-dir",
+             str(tmp_path), "--check", "--no-write"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # uncovered cases are reported, not failed
+        assert "not measured this run" in out
+        assert "vanished-case/gaze" in out
 
     def test_cli_rejects_bad_flags(self, capsys):
         from repro import cli

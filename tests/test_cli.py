@@ -102,22 +102,29 @@ class TestRunCommand:
         assert code == 2
         assert "no prefetchers" in err
 
-    def test_standalone_figure_warns_about_ignored_flags(
-        self, tmp_path, capsys, monkeypatch
-    ):
+    def test_mix_figure_is_engine_backed(self, tmp_path, capsys, monkeypatch):
         # Stub the expensive multi-core figure: this test covers CLI flag
-        # handling, not the simulation itself.
+        # plumbing (runner + mix kwargs), not the simulation itself.
         import repro.cli as cli
 
-        monkeypatch.setitem(
-            cli._STANDALONE_FIGURES, "fig15", lambda: [{"mix": "stub"}]
-        )
-        code = main(["run", "--figure", "fig15", "--jobs", "4",
-                     "--cache-dir", str(tmp_path)])
+        seen = {}
+
+        def stub(runner, **kwargs):
+            seen["runner"] = runner
+            seen.update(kwargs)
+            return [{"mix": "stub"}]
+
+        monkeypatch.setitem(cli._RUNNER_FIGURES, "fig15", stub)
+        code = main(["run", "--figure", "fig15", "--jobs", "2",
+                     "--cache-dir", str(tmp_path), "--mix-mode", "epoch",
+                     "--epoch-instructions", "1000", "--trace-length", "2000"])
         captured = capsys.readouterr()
         assert code == 0
-        assert "--jobs, --cache-dir ignored" in captured.err
-        assert "simulated" not in captured.out  # no misleading engine summary
+        assert seen["mode"] == "epoch"
+        assert seen["epoch_instructions"] == 1000
+        assert seen["trace_length"] == 2000
+        assert seen["runner"].engine.executor.jobs == 2
+        assert "simulated" in captured.out  # engine summary is printed
 
 
 class TestTraceCommands:
