@@ -132,6 +132,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epoch-instructions", type=int, default=0, metavar="E",
                      help="epoch length for --mix-mode epoch "
                           "(0 = auto: budget/8, at least 500)")
+    run.add_argument("--batch", choices=("auto", "on", "off"), default="auto",
+                     help="simulation kernel for single-core jobs: batched "
+                          "over array-decoded traces when decodable (auto, "
+                          "default), always decode incl. file traces (on), "
+                          "or the scalar kernel (off); statistics are "
+                          "bit-identical either way")
     run.add_argument("--cache-dir", default=None,
                      help="persistent result cache directory (default .repro-cache)")
     run.add_argument("--no-cache", action="store_true",
@@ -354,7 +360,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 trace_length=max(spec.length for spec in file_specs),
                 traces_per_suite=base.traces_per_suite,
             )
-    runner = ExperimentRunner(scale=scale, engine=engine)
+    runner = ExperimentRunner(scale=scale, engine=engine, batch=args.batch)
 
     if args.figure in _FIXED_TRACE_FIGURES and args.traces_per_suite is not None:
         print(
@@ -472,6 +478,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         quick=args.quick, repeats=args.repeats, progress=print
     )
     print(f"{'geomean':40s} {result['geomean_accesses_per_sec']:12,.0f} acc/s")
+    for kind, value in result.get("geomean_by_kind", {}).items():
+        print(f"{'geomean/' + kind:40s} {value:12,.0f} acc/s")
 
     baseline_path = args.baseline
     if baseline_path is None:
@@ -486,6 +494,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"\n# vs {baseline_path} "
               f"({len(report['shared_cases'])} shared cases): "
               f"geomean {report['geomean_ratio']:.2f}x")
+        # Per-kind geomeans: a mix/stream regression cannot hide behind a
+        # kernel-case win (each kind is checked against the threshold).
+        for kind, value in report.get("geomean_ratio_by_kind", {}).items():
+            marker = (
+                " <-- REGRESSION"
+                if kind in report.get("kind_regressions", ())
+                else ""
+            )
+            print(f"#   geomean[{kind}] {value:.2f}x{marker}")
         for key in report["shared_cases"]:
             marker = " <-- REGRESSION" if key in report["regressions"] else ""
             print(f"  {key:38s} {report['ratios'][key]:6.2f}x{marker}")
@@ -497,9 +514,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"# {len(report['only_in_new'])} new case(s) without a "
                   "baseline: " + ", ".join(report["only_in_new"]))
         if not report["ok"]:
+            kind_note = (
+                f" + {len(report['kind_regressions'])} kind geomean(s)"
+                if report.get("kind_regressions")
+                else ""
+            )
             print(
-                f"\nerror: {len(report['regressions'])} case(s) regressed "
-                f"beyond {args.threshold:.0f}%",
+                f"\nerror: {len(report['regressions'])} case(s){kind_note} "
+                f"regressed beyond {args.threshold:.0f}%",
                 file=sys.stderr,
             )
             if args.check:

@@ -107,6 +107,17 @@ class GazePrefetcher(Prefetcher):
         )
         # Precomputed shift/mask address decomposition for the hot path.
         self._geometry = RegionGeometry(self.config.region_size)
+        # Hot-path bindings: train() runs once per demand load and its
+        # common cases (tracked region / known-region second access / new
+        # region) are one ordered-dict operation each — going through the
+        # LRUTable wrappers costs three call layers per access.  The
+        # underlying OrderedDicts are stable objects (``clear`` empties
+        # them in place), so binding them once is safe.
+        self._split = self._geometry.split
+        self._at_entries = self.accumulation_table._table._entries
+        self._ft_entries = self.filter_table._table._entries
+        self._pb_entries = self.prefetch_buffer._table._entries
+        self._stride_backup = self.config.enable_stride_backup
         # Stage-1 offset lists are the same for every activation; build the
         # head/tail split once.
         head = min(self.config.streaming_head_blocks, blocks)
@@ -124,12 +135,30 @@ class GazePrefetcher(Prefetcher):
     def train(
         self, pc: int, address: int, cycle: int, result: Optional[AccessResult] = None
     ) -> List[PrefetchRequest]:
-        region, offset = self._geometry.split(address)
+        region, offset = self._split(address)
 
-        at_entry = self.accumulation_table.lookup(region)
+        # Tracked region: inlined AT lookup (dict get + LRU re-order), then
+        # the PB's nothing-pending fast path inlined the same way — the
+        # overwhelmingly common outcome is "no requests".
+        at_entries = self._at_entries
+        at_entry = at_entries.get(region)
         if at_entry is not None:
-            self._handle_tracked_access(at_entry, offset)
-            at_entry.record(offset)
+            at_entries.move_to_end(region)
+            if at_entry.stride_flag and self._stride_backup:
+                self._handle_tracked_access(at_entry, offset)
+            # Inlined GazeRegionEntry.record (runs on every tracked access).
+            at_entry.footprint |= 1 << offset
+            if offset != at_entry.last_offset:
+                at_entry.penultimate_offset = at_entry.last_offset
+                at_entry.last_offset = offset
+            at_entry.access_count += 1
+            pb_entries = self._pb_entries
+            pb_entry = pb_entries.get(region)
+            if pb_entry is None:
+                return []
+            pb_entries.move_to_end(region)
+            if pb_entry.pending == 0:
+                return []
             return self.prefetch_buffer.pop_requests(
                 region,
                 self.config.region_size,
@@ -138,11 +167,13 @@ class GazePrefetcher(Prefetcher):
                 limit=self.config.pb_issue_per_access,
             )
 
-        ft_entry = self.filter_table.lookup(region)
+        ft_entries = self._ft_entries
+        ft_entry = ft_entries.get(region)
         if ft_entry is not None:
+            ft_entries.move_to_end(region)
             if ft_entry.trigger_offset == offset:
                 return []
-            self.filter_table.remove(region)
+            del ft_entries[region]
             return self._activate_region(region, ft_entry, offset, pc)
 
         self.filter_table.insert(region, trigger_pc=pc, trigger_offset=offset)

@@ -60,7 +60,11 @@ from repro.workloads.trace import TraceSpec
 #: Schema version of the BENCH_*.json files themselves.
 #: v2: mix (multi-core) and stream (trace-file) case kinds were added;
 #: kernel case keys are unchanged and stay comparable with v1 snapshots.
-BENCH_SCHEMA = 2
+#: v3: per-kind geomeans (``geomean_by_kind``) and scalar-kernel reference
+#: cases (``…@scalar``, ``batch="off"``) were added; all previous case keys
+#: are unchanged — the default kernel cases now measure the batched kernel,
+#: which produces bit-identical statistics.
+BENCH_SCHEMA = 3
 
 #: File-name pattern of committed benchmark snapshots.
 BENCH_FILE_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
@@ -107,6 +111,13 @@ class BenchCase:
     compressed on-disk trace file, decoded on every pass).  ``generator``
     and ``seed`` are unused for ``mix`` cases (the mix composition is the
     fixed :data:`MIX_BENCH_SPECS`).
+
+    ``batch`` is the kernel knob of single-core cases: the default
+    ``"auto"`` measures the batched kernel (the engine default; key
+    unchanged from earlier snapshots), ``"off"`` pins the scalar kernel
+    under a distinct ``…@scalar`` key so the batched-vs-scalar delta is
+    recorded in every snapshot and the scalar path keeps regression
+    coverage.
     """
 
     kind: str
@@ -114,11 +125,15 @@ class BenchCase:
     seed: int
     prefetcher: str
     mode: str = "exact"
+    batch: str = "auto"
 
     def key(self, trace_length: int) -> str:
         """The stable case key recorded in BENCH files."""
         if self.kind == "kernel":
-            return _case_key(self.generator, self.seed, self.prefetcher, trace_length)
+            key = _case_key(self.generator, self.seed, self.prefetcher, trace_length)
+            if self.batch == "off":
+                key += "@scalar"
+            return key
         if self.kind == "mix":
             cores = len(MIX_BENCH_SPECS)
             return f"mix{cores}-hetero-L{trace_length}-{self.mode}/{self.prefetcher}"
@@ -133,14 +148,16 @@ def _kernel_case(generator: str, seed: int, prefetcher: str) -> BenchCase:
 
 
 #: ``--quick`` subset: one kernel case per prefetcher spanning all three
-#: trace kinds, plus one multi-core and one streamed-trace case.  Keys are
-#: identical to the full suite, so quick runs are directly comparable
-#: against full-suite baselines.
+#: trace kinds, one scalar-kernel reference case (so the quick lane covers
+#: the batched-vs-scalar pair), plus one multi-core and one streamed-trace
+#: case.  Keys are identical to the full suite, so quick runs are directly
+#: comparable against full-suite baselines.
 QUICK_CASES: Tuple[BenchCase, ...] = (
     _kernel_case("spatial", 11, "none"),
     _kernel_case("spatial", 11, "gaze"),
     _kernel_case("streaming", 12, "pmp"),
     _kernel_case("cloud", 13, "vberti"),
+    BenchCase("kernel", "spatial", 11, "none", batch="off"),
     BenchCase("mix", "hetero", 0, "gaze", mode="exact"),
     BenchCase("stream", *STREAM_BENCH_TRACE, "gaze"),
 )
@@ -159,6 +176,11 @@ def bench_cases(quick: bool = False) -> List[BenchCase]:
         for generator, seed in BENCH_TRACES
         for prefetcher in BENCH_PREFETCHERS
     ]
+    # Scalar-kernel reference cases: one prefetcher-less and one trained
+    # case pinned to batch="off", so every snapshot records the
+    # batched-vs-scalar delta and the scalar path cannot silently regress.
+    cases.append(BenchCase("kernel", "spatial", 11, "none", batch="off"))
+    cases.append(BenchCase("kernel", "spatial", 11, "gaze", batch="off"))
     cases.append(BenchCase("mix", "hetero", 0, "gaze", mode="exact"))
     cases.append(BenchCase("mix", "hetero", 0, "gaze", mode="epoch"))
     cases.append(BenchCase("stream", *STREAM_BENCH_TRACE, "gaze"))
@@ -193,7 +215,10 @@ def _run_kernel_case(
             length=trace_length,
         )
     job = SimulationJob(
-        spec=spec, prefetcher=case.prefetcher, trace_length=trace_length
+        spec=spec,
+        prefetcher=case.prefetcher,
+        trace_length=trace_length,
+        batch=case.batch,
     )
 
     def run_once():
@@ -306,11 +331,11 @@ def run_bench(
             rates.append(float(payload["accesses_per_sec"]))
             if progress is not None:
                 progress(f"{key:40s} {payload['accesses_per_sec']:12,.0f} acc/s")
-    geomean = (
-        math.exp(sum(math.log(rate) for rate in rates) / len(rates))
-        if rates
-        else 0.0
-    )
+    by_kind: Dict[str, List[float]] = {}
+    for payload in cases.values():
+        by_kind.setdefault(str(payload["kind"]), []).append(
+            float(payload["accesses_per_sec"])
+        )
     return {
         "schema": BENCH_SCHEMA,
         "kind": "kernel-throughput",
@@ -322,8 +347,19 @@ def run_bench(
         "repeats": repeats,
         "trace_length": trace_length,
         "cases": cases,
-        "geomean_accesses_per_sec": round(geomean, 1),
+        "geomean_accesses_per_sec": round(_geomean(rates), 1),
+        "geomean_by_kind": {
+            kind: round(_geomean(values), 1)
+            for kind, values in sorted(by_kind.items())
+        },
     }
+
+
+def _geomean(values: List[float]) -> float:
+    """Geometric mean of ``values`` (0.0 when empty)."""
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))
 
 
 # --------------------------------------------------------------------------- #
@@ -379,14 +415,20 @@ def compare_bench(
     """Compare two snapshots over their shared cases.
 
     Returns a report with per-case throughput ratios (new/baseline), the
-    geomean ratio, and the list of cases regressing by more than
-    ``threshold`` (e.g. 0.40 = new case is slower than 60% of the baseline
-    rate).  Cases present in only one snapshot are excluded from the
-    comparison — that is what makes ``--quick`` runs comparable against
-    full-suite baselines — but they are *named* in the report
-    (``only_in_new`` / ``only_in_baseline``), so a renamed or dropped case
-    shows up in the ``--check`` output instead of silently losing its
-    regression coverage.
+    geomean ratio — both overall and *per case kind* — and the list of
+    cases regressing by more than ``threshold`` (e.g. 0.40 = new case is
+    slower than 60% of the baseline rate).  Cases present in only one
+    snapshot are excluded from the comparison — that is what makes
+    ``--quick`` runs comparable against full-suite baselines — but they
+    are *named* in the report (``only_in_new`` / ``only_in_baseline``), so
+    a renamed or dropped case shows up in the ``--check`` output instead
+    of silently losing its regression coverage.
+
+    Geomeans are evaluated per kind (kernel / mix / stream), not just
+    globally: a mix-path regression cannot hide behind a kernel-path win.
+    A kind whose geomean ratio falls below ``1 - threshold`` is reported
+    in ``kind_regressions`` and fails the check like a per-case
+    regression.
     """
     new_cases = new.get("cases", {})
     base_cases = baseline.get("cases", {})
@@ -394,28 +436,40 @@ def compare_bench(
     only_in_new = sorted(set(new_cases) - set(base_cases))
     only_in_baseline = sorted(set(base_cases) - set(new_cases))
     ratios: Dict[str, float] = {}
+    ratios_by_kind: Dict[str, List[float]] = {}
     regressions: List[str] = []
     for key in shared:
+        new_payload = new_cases[key]
         old_rate = float(base_cases[key]["accesses_per_sec"])
-        new_rate = float(new_cases[key]["accesses_per_sec"])
+        new_rate = float(new_payload["accesses_per_sec"])
         ratio = new_rate / old_rate if old_rate > 0 else math.inf
         ratios[key] = ratio
+        kind = str(
+            new_payload.get("kind", base_cases[key].get("kind", "kernel"))
+        )
+        ratios_by_kind.setdefault(kind, []).append(ratio)
         if ratio < 1.0 - threshold:
             regressions.append(key)
-    geomean_ratio = (
-        math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
-        if ratios
-        else 1.0
-    )
+    geomean_ratio = _geomean(list(ratios.values())) if ratios else 1.0
+    geomean_ratio_by_kind = {
+        kind: _geomean(values) for kind, values in sorted(ratios_by_kind.items())
+    }
+    kind_regressions = [
+        kind
+        for kind, value in geomean_ratio_by_kind.items()
+        if value < 1.0 - threshold
+    ]
     return {
         "shared_cases": shared,
         "only_in_new": only_in_new,
         "only_in_baseline": only_in_baseline,
         "ratios": ratios,
         "geomean_ratio": geomean_ratio,
+        "geomean_ratio_by_kind": geomean_ratio_by_kind,
         "threshold": threshold,
         "regressions": regressions,
-        "ok": not regressions,
+        "kind_regressions": kind_regressions,
+        "ok": not regressions and not kind_regressions,
     }
 
 

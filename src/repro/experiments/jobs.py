@@ -31,9 +31,10 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.hashing import content_hash
 from repro.prefetchers.registry import create_prefetcher
+from repro.sim.batch import BatchedTrace
 from repro.sim.config import SystemConfig
 from repro.sim.multicore import MIX_MODES, MultiCoreSimulator
-from repro.sim.simulator import simulate_trace
+from repro.sim.simulator import BATCH_MODES, simulate_trace
 from repro.sim.stats import MultiCoreStats, SimulationStats
 from repro.sim.types import MemoryAccess
 from repro.workloads.trace import TraceSpec
@@ -56,6 +57,15 @@ class SimulationJob:
     baseline) and ``prefetcher_params`` an ordered tuple of ``(key, value)``
     pairs forwarded to the factory, so configured designs (e.g. Gaze with a
     512 B region for Fig. 17) are expressed by value and stay picklable.
+
+    ``batch`` selects the simulation kernel (see
+    :meth:`repro.sim.simulator.SingleCoreSimulator.run`): ``"auto"`` (the
+    default) runs generated traces through the batched kernel with a
+    per-process decoded-trace memo, ``"off"`` forces the scalar kernel and
+    ``"on"`` additionally decodes file-backed traces.  Like
+    :attr:`MixSimulationJob.workers` it is an *execution* detail — results
+    are bit-identical for every value — so it is deliberately excluded
+    from :meth:`to_dict` and :meth:`key`.
     """
 
     spec: TraceSpec
@@ -65,6 +75,13 @@ class SimulationJob:
     warmup_instructions: int = 0
     max_instructions: Optional[int] = None
     prefetcher_params: Tuple[Tuple[str, object], ...] = ()
+    batch: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.batch not in BATCH_MODES:
+            raise ValueError(
+                f"unknown batch mode {self.batch!r}; expected one of {BATCH_MODES}"
+            )
 
     @property
     def is_baseline(self) -> bool:
@@ -208,6 +225,12 @@ JobResult = Union[SimulationStats, MultiCoreStats]
 _TRACE_CACHE: "OrderedDict[Tuple[str, int], List[MemoryAccess]]" = OrderedDict()
 _TRACE_CACHE_LIMIT = 64
 
+#: Per-process memo of array-decoded traces (see :mod:`repro.sim.batch`),
+#: keyed like :data:`_TRACE_CACHE`.  Decode is pure, so this is — like the
+#: trace memo — an optimization that can never change results; it keeps
+#: repeated jobs over one trace (grids, bench repeats) from re-decoding.
+_BATCHED_CACHE: "OrderedDict[Tuple[str, int], BatchedTrace]" = OrderedDict()
+
 
 def build_trace_cached(spec: TraceSpec, length: int) -> List[MemoryAccess]:
     """Build (or fetch from the per-process memo) the trace for ``spec``.
@@ -227,17 +250,51 @@ def build_trace_cached(spec: TraceSpec, length: int) -> List[MemoryAccess]:
     return cached
 
 
+def batched_trace_cached(spec: TraceSpec, length: int) -> BatchedTrace:
+    """The array-decoded form of ``spec``'s trace, memoized per process.
+
+    Decodes from the materialized-trace memo when that entry already
+    exists (free), but otherwise from a *transient* build that is not
+    inserted into :data:`_TRACE_CACHE` — default ``batch="auto"``
+    single-core jobs only ever read the decoded arrays, and pinning the
+    much larger access-object list next to them would roughly triple the
+    steady-state trace memory of every worker process.  Consumers that
+    need the list (mix jobs, the runner's baseline helpers) populate the
+    trace memo on demand as before.
+    """
+    key = (spec.content_key(), length)
+    cached = _BATCHED_CACHE.get(key)
+    if cached is None:
+        materialized = _TRACE_CACHE.get(key)
+        if materialized is None:
+            materialized = spec.build(length=length)
+        cached = BatchedTrace.from_accesses(materialized)
+        _BATCHED_CACHE[key] = cached
+        while len(_BATCHED_CACHE) > _TRACE_CACHE_LIMIT:
+            _BATCHED_CACHE.popitem(last=False)
+    else:
+        _BATCHED_CACHE.move_to_end(key)
+    return cached
+
+
 def _trace_for_job(job: SimulationJob):
     """The job's trace in the shape the simulator should consume.
 
-    File-backed specs return a re-openable streaming handle so the
-    simulation runs in O(1) memory whatever the trace length (the content
-    digest in the job key keeps cache identity exact); generator specs
-    return the per-process memoized materialized list.
+    Generator specs return the per-process memoized *decoded* trace (the
+    batched kernel's input) unless the job opts out with ``batch="off"``,
+    which falls back to the materialized list.  File-backed specs return a
+    re-openable streaming handle so the simulation runs in O(1) memory
+    whatever the trace length (the content digest in the job key keeps
+    cache identity exact); ``batch="on"`` decodes them instead, trading the
+    O(1) memory for the batched kernel's throughput.
     """
     if job.spec.source is not None:
+        if job.batch == "on":
+            return job.spec.batched(length=job.trace_length)
         return job.spec.replayable(length=job.trace_length)
-    return build_trace_cached(job.spec, job.trace_length)
+    if job.batch == "off":
+        return build_trace_cached(job.spec, job.trace_length)
+    return batched_trace_cached(job.spec, job.trace_length)
 
 
 def _execute_mix_job(job: MixSimulationJob) -> MultiCoreStats:
@@ -310,6 +367,7 @@ def execute_job(
         max_instructions=job.max_instructions,
         warmup_instructions=job.warmup_instructions,
         name=job.spec.name,
+        batch=job.batch,
     )
     if record_timing:
         wall = time.perf_counter() - start

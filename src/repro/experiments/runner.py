@@ -124,6 +124,7 @@ class ExperimentRunner:
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
         use_cache: Optional[bool] = None,
+        batch: str = "auto",
     ) -> None:
         """Create a runner.
 
@@ -137,9 +138,14 @@ class ExperimentRunner:
                 or ``$REPRO_CACHE_DIR``).
             use_cache: force the persistent cache on/off; defaults to on
                 unless ``REPRO_CACHE=0``.
+            batch: simulation-kernel selection forwarded to every
+                single-core job (``"auto"``/``"on"``/``"off"``, see
+                :class:`~repro.experiments.jobs.SimulationJob`); results
+                are bit-identical for every value.
         """
         self.scale = scale if scale is not None else RunScale()
         self.system = system if system is not None else default_system_config(1)
+        self.batch = batch
         if engine is None:
             engine = build_engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
         self.engine = engine
@@ -161,6 +167,7 @@ class ExperimentRunner:
             system=system if system is not None else self.system,
             trace_length=self.scale.trace_length,
             prefetcher_params=_normalize_params(prefetcher_params),
+            batch=self.batch,
         )
 
     def mix_job_for(

@@ -99,6 +99,11 @@ class BertiPrefetcher(Prefetcher):
         self.region_size = region_size
         self.blocks_per_page = region_size // 64
         self.fetch_latency = fetch_latency
+        # Hot-path constant: the +-page window expressed in blocks.
+        self._window_blocks = page_window * self.blocks_per_page
+        # Hot-path binding (train() hits the PC table once per load; the
+        # dict is a stable object — ``clear`` empties it in place).
+        self._pc_entries = self.pc_table._entries
 
     # ------------------------------------------------------------------ #
     def train(
@@ -106,10 +111,13 @@ class BertiPrefetcher(Prefetcher):
     ) -> List[PrefetchRequest]:
         block = block_number(address)
         key = pc & 0xFFFF
-        state = self.pc_table.get(key)
+        pc_entries = self._pc_entries
+        state = pc_entries.get(key)
         if state is None:
             state = _PCState()
             self.pc_table.put(key, state)
+        else:
+            pc_entries.move_to_end(key)
 
         latency = result.latency if result is not None else self.fetch_latency
         self._learn_deltas(state, block, cycle, latency)
@@ -124,18 +132,34 @@ class BertiPrefetcher(Prefetcher):
     def _learn_deltas(
         self, state: _PCState, block: int, cycle: int, latency: int
     ) -> None:
-        """Score deltas from past accesses of this PC to the current block."""
-        window_blocks = self.page_window * self.blocks_per_page
+        """Score deltas from past accesses of this PC to the current block.
+
+        This loop runs over the full per-PC history on *every* demand load,
+        which makes it vBerti's single hottest function — everything is
+        bound to locals and the window/timeliness tests are plain integer
+        comparisons (``past_cycle + latency <= cycle`` rewritten as a
+        precomputed threshold; ``abs`` unrolled into a two-sided compare).
+        """
+        window_blocks = self._window_blocks
+        neg_window = -window_blocks
+        timely_threshold = cycle - latency
         seen_this_access = set()
+        seen_add = seen_this_access.add
         deltas = state.deltas
+        deltas_get = deltas.get
         rounds = state.rounds
         max_deltas = self.max_deltas_per_pc
         for past_block, past_cycle in state.history:
             delta = block - past_block
-            if delta == 0 or abs(delta) > window_blocks or delta in seen_this_access:
+            if (
+                delta == 0
+                or delta > window_blocks
+                or delta < neg_window
+                or delta in seen_this_access
+            ):
                 continue
-            seen_this_access.add(delta)
-            score = deltas.get(delta)
+            seen_add(delta)
+            score = deltas_get(delta)
             if score is None:
                 if len(deltas) >= max_deltas:
                     # Replace the weakest delta (lowest confidence; first in
@@ -158,7 +182,7 @@ class BertiPrefetcher(Prefetcher):
             score.occurrences += 1
             # Timely if a prefetch launched at the past access would have
             # completed (past_cycle + latency) before the demand arrived.
-            if past_cycle + latency <= cycle:
+            if past_cycle <= timely_threshold:
                 score.timely += 1
         state.rounds += 1
         if state.rounds % 64 == 0:
@@ -186,7 +210,7 @@ class BertiPrefetcher(Prefetcher):
             return []
         candidates.sort(reverse=True)
         requests: List[PrefetchRequest] = []
-        window_blocks = self.page_window * self.blocks_per_page
+        window_blocks = self._window_blocks
         deltas = state.deltas
         l1_confidence = self.l1_confidence
         for confidence, delta in candidates[: self.max_prefetches_per_access]:

@@ -41,7 +41,7 @@ from repro.sim.types import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class TriggerEvent:
     """First access to a region not currently tracked."""
 
@@ -51,7 +51,7 @@ class TriggerEvent:
     address: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ActivationEvent:
     """Second access to a region: it is now tracked by the AT."""
 
@@ -62,7 +62,7 @@ class ActivationEvent:
     second_offset: int
 
 
-@dataclass
+@dataclass(slots=True)
 class DeactivationEvent:
     """A region's tracking ended; its footprint is ready for learning."""
 
@@ -135,6 +135,12 @@ class RegionTracker:
         self.accumulation_table: LRUTable[int, AccumulationEntry] = LRUTable(
             accumulation_entries
         )
+        # Hot-path bindings (observe() runs once per demand load of every
+        # spatial prefetcher); the dicts are stable objects — ``clear``
+        # empties them in place.
+        self._split = self.geometry.split
+        self._at_entries = self.accumulation_table._entries
+        self._ft_entries = self.filter_table._entries
 
     # ------------------------------------------------------------------ #
     def observe(
@@ -151,21 +157,34 @@ class RegionTracker:
         element may be ``None``/empty.  ``at_entry`` is the AT entry of the
         accessed region *after* the access has been recorded (present for
         every access to a tracked region, including the activating one).
+
+        ``deactivations`` is an empty tuple on the paths that cannot
+        deactivate anything (no per-access list allocation — this runs on
+        every demand load of every spatial prefetcher).
         """
-        region, offset = self.geometry.split(address)
-        deactivations: List[DeactivationEvent] = []
+        region, offset = self._split(address)
 
-        at_entry = self.accumulation_table.get(region)
+        at_entries = self._at_entries
+        at_entry = at_entries.get(region)
         if at_entry is not None:
-            at_entry.record(offset)
-            return None, None, deactivations, at_entry
+            at_entries.move_to_end(region)
+            # Inlined AccumulationEntry.record (runs on every tracked access).
+            at_entry.footprint |= 1 << offset
+            if offset != at_entry.last_offset:
+                at_entry.penultimate_offset = at_entry.last_offset
+                at_entry.last_offset = offset
+            at_entry.access_count += 1
+            return None, None, (), at_entry
 
-        ft_entry = self.filter_table.get(region)
+        ft_entries = self._ft_entries
+        ft_entry = ft_entries.get(region)
         if ft_entry is not None:
+            ft_entries.move_to_end(region)
             if ft_entry.trigger_offset == offset:
                 # Same block touched again: still a one-bit footprint.
-                return None, None, deactivations, None
-            self.filter_table.pop(region)
+                return None, None, (), None
+            deactivations: List[DeactivationEvent] = []
+            del ft_entries[region]
             new_entry = AccumulationEntry(
                 region=region,
                 trigger_pc=ft_entry.trigger_pc,
@@ -192,7 +211,7 @@ class RegionTracker:
             region,
             FilterTableEntry(region=region, trigger_pc=pc, trigger_offset=offset),
         )
-        return trigger, None, deactivations, None
+        return trigger, None, (), None
 
     def _deactivate(self, entry: AccumulationEntry) -> DeactivationEvent:
         return DeactivationEvent(

@@ -25,6 +25,8 @@ V = TypeVar("V")
 class LRUTable(Generic[K, V]):
     """Fully-associative table with LRU replacement."""
 
+    __slots__ = ("capacity", "_entries", "evictions")
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("table capacity must be positive")
@@ -100,6 +102,8 @@ class SetAssociativeTable(Generic[V]):
     enforces ``sets * ways`` total capacity with at most ``ways`` entries per
     set.
     """
+
+    __slots__ = ("sets", "ways", "_data", "evictions")
 
     def __init__(self, sets: int, ways: int) -> None:
         if sets <= 0 or ways <= 0:

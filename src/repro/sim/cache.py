@@ -50,7 +50,24 @@ class Cache:
     addresses; callers are expected to convert first.  Timing is handled by
     the hierarchy -- this class only answers presence questions and manages
     replacement state.
+
+    Slotted: every simulated access reads several of these attributes, and
+    slot descriptors are measurably cheaper than instance-dict lookups.
     """
+
+    __slots__ = (
+        "config",
+        "name",
+        "_set_count",
+        "_set_mask",
+        "_ways",
+        "_sets",
+        "eviction_listeners",
+        "hits",
+        "misses",
+        "evictions",
+        "useless_prefetch_evictions",
+    )
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
@@ -136,6 +153,63 @@ class Cache:
             entry.prefetch_useful = True
         return entry
 
+    def demand_hit_run(
+        self,
+        blocks,
+        kinds,
+        gaps,
+        start: int,
+        stop: int,
+        instruction_limit: Optional[int],
+    ) -> Tuple[int, int]:
+        """Run-length residency probe with batched LRU touches.
+
+        Scans ``blocks[start:stop]`` (parallel to the ``kinds``/``gaps``
+        arrays of a :class:`~repro.sim.batch.BatchedTrace`) for the longest
+        prefix of *plain* demand hits and retires their cache-side effects
+        in one pass: every hit block is LRU-touched (dict re-insertion,
+        exactly what :meth:`probe` does), stores merge their dirty bit, and
+        the aggregate hit counter is bumped once by the run length.
+
+        The run ends — *without* touching the terminating access — at:
+
+        * the first non-resident block (the scalar kernel will count the
+          miss via :meth:`probe`, so the failed residency check here is
+          deliberately side-effect free);
+        * the first resident block with un-counted prefetch provenance
+          (``prefetched and not useful_counted``): serving it updates
+          prefetch statistics, which stays the scalar kernel's job;
+        * ``instruction_limit`` (``None`` = unlimited): an access is
+          included only while the instructions executed so far in this run
+          are below the limit, mirroring the scalar kernel's budget check.
+
+        Returns ``(count, instructions)``: how many accesses were retired
+        and how many instructions (memory + gap) they carried.  Requires a
+        power-of-two set count (callers gate on it).
+        """
+        sets = self._sets
+        mask = self._set_mask
+        count = 0
+        instructions = 0
+        index = start
+        while index < stop:
+            if instruction_limit is not None and instructions >= instruction_limit:
+                break
+            block = blocks[index]
+            cache_set = sets[block & mask]
+            entry = cache_set.get(block)
+            if entry is None or (entry.prefetched and not entry.useful_counted):
+                break
+            del cache_set[block]
+            cache_set[block] = entry
+            if kinds[index] == 1:
+                entry.dirty = True
+            instructions += gaps[index] + 1
+            count += 1
+            index += 1
+        self.hits += count
+        return count, instructions
+
     def access(self, block: int) -> Tuple[bool, Optional[CacheBlock]]:
         """Perform a demand access for ``block``.
 
@@ -183,6 +257,45 @@ class Cache:
 
         cache_set[block] = CacheBlock(block, prefetched, False, from_dram, dirty)
         return victim
+
+    def fill_absent(
+        self,
+        block: int,
+        prefetched: bool = False,
+        from_dram: bool = False,
+        dirty: bool = False,
+    ) -> None:
+        """Fill for a block the caller has just proven non-resident.
+
+        Identical state transitions and listener behaviour to :meth:`fill`
+        minus the already-resident check, plus one extra liberty: the victim
+        object is *recycled* into the new entry after the listeners return
+        (listeners only read the victim synchronously, and — unlike
+        :meth:`fill` — nothing is returned), so the hot fill paths of the
+        hierarchy allocate no :class:`CacheBlock` once their sets are warm.
+        """
+        mask = self._set_mask
+        cache_set = self._sets[
+            block & mask if mask is not None else block % self._set_count
+        ]
+        if len(cache_set) >= self._ways:
+            victim = cache_set.pop(next(iter(cache_set)))
+            self.evictions += 1
+            if victim.prefetched and not victim.prefetch_useful:
+                self.useless_prefetch_evictions += 1
+            listeners = self.eviction_listeners
+            if listeners:
+                for listener in listeners:
+                    listener(victim)
+            victim.block = block
+            victim.prefetched = prefetched
+            victim.prefetch_useful = False
+            victim.from_dram = from_dram
+            victim.dirty = dirty
+            victim.useful_counted = False
+            cache_set[block] = victim
+        else:
+            cache_set[block] = CacheBlock(block, prefetched, False, from_dram, dirty)
 
     def invalidate(self, block: int) -> Optional[CacheBlock]:
         """Remove ``block`` from the cache (no listeners fired)."""
@@ -282,10 +395,15 @@ class MSHRFile:
         return self._entries.pop(block, None)
 
     def expire(self, cycle: int) -> List["MSHREntry"]:
-        """Remove and return all entries whose data has arrived by ``cycle``."""
+        """Remove and return all entries whose data has arrived by ``cycle``.
+
+        The nothing-ready fast path returns a shared empty tuple: this runs
+        once per demand access while any fill is outstanding, and callers
+        only iterate the result.
+        """
         entries = self._entries
         if not entries or cycle < self._min_ready:
-            return []
+            return _NO_ENTRIES
         done = [e for e in entries.values() if e.ready_cycle <= cycle]
         for entry in done:
             del entries[entry.block]
@@ -298,6 +416,10 @@ class MSHRFile:
     def outstanding(self) -> List["MSHREntry"]:
         """Return a snapshot of all outstanding entries."""
         return list(self._entries.values())
+
+
+#: Shared empty result of :meth:`MSHRFile.expire`'s fast path.
+_NO_ENTRIES = ()
 
 
 @dataclass(slots=True)

@@ -37,7 +37,28 @@ class CoreSnapshot:
 
 
 class CoreTimingModel:
-    """Tracks fetch, issue and retirement timing for one core."""
+    """Tracks fetch, issue and retirement timing for one core.
+
+    Slotted: the begin/complete pair runs once per simulated memory access
+    and touches most of these attributes each time.
+    """
+
+    __slots__ = (
+        "config",
+        "_fetch_cycle",
+        "_instr_count",
+        "_last_retire_cycle",
+        "_outstanding",
+        "_outstanding_misses",
+        "_width",
+        "_fetch_increment",
+        "_rob_size",
+        "_load_queue_size",
+        "_miss_limit",
+        "_miss_threshold",
+        "_issue_position",
+        "_issue_cycle",
+    )
 
     def __init__(self, config: CoreConfig) -> None:
         self.config = config
@@ -148,6 +169,109 @@ class CoreTimingModel:
         # Keep the fetch clock from falling behind an already-stalled window.
         if self._issue_cycle > self._fetch_cycle:
             self._fetch_cycle = self._issue_cycle
+
+    def advance_hit_run(self, gaps, start: int, count: int, latency: int) -> None:
+        """Aggregate timing advance over a run of same-latency accesses.
+
+        Equivalent to calling ``advance_non_memory(gaps[i])`` /
+        :meth:`begin_memory_access` / :meth:`complete_memory_access`
+        (``latency``) for each of the ``count`` accesses beginning at
+        ``gaps[start]`` — the batched kernel's L1-hit runs — but in one
+        tight loop with every constant and container bound to a local.
+
+        This is the *reference implementation* of the run-retirement
+        timing: the batched driver
+        (:meth:`repro.sim.simulator.SingleCoreSimulator._execute_batched`)
+        inlines the identical loop so the model state can live in its own
+        local variables across runs, and the two copies are pinned against
+        each other by the batched-vs-scalar golden/equivalence suite plus
+        this method's direct unit test.  Any timing change must be applied
+        to both (they are line-for-line the same logic).
+
+        Bit-identicality contract: the float additions happen in the same
+        order with the same operands as the scalar calls (``gap / width``
+        then ``+= fetch_increment`` per access), and the ROB / load-queue /
+        outstanding-miss constraints run the identical logic, so the model
+        state after a run is indistinguishable from the scalar kernel's.
+        The constraint checks stay inside the loop because a run can begin
+        with long-latency completions still outstanding.
+        """
+        if count <= 0:
+            return
+        width = self._width
+        inc = self._fetch_increment
+        rob = self._rob_size
+        lq = self._load_queue_size
+        miss_limit = self._miss_limit
+        records_miss = latency > self._miss_threshold
+        completion_delta = latency if latency > 1 else 1
+        instr = self._instr_count
+        fetch = self._fetch_cycle
+        last_retire = self._last_retire_cycle
+        outstanding = self._outstanding
+        popleft = outstanding.popleft
+        append = outstanding.append
+        issue = fetch
+        for index in range(start, start + count):
+            gap = gaps[index]
+            if gap > 0:
+                instr += gap
+                fetch += gap / width
+            instr += 1
+            fetch += inc
+            issue = fetch
+
+            while outstanding and instr - outstanding[0][0] >= rob:
+                head = outstanding[0][1]
+                if head > issue:
+                    issue = head
+                completion = popleft()[1]
+                if completion > last_retire:
+                    last_retire = completion
+                if issue > last_retire:
+                    last_retire = issue
+
+            while len(outstanding) >= lq:
+                head = outstanding[0][1]
+                if head > issue:
+                    issue = head
+                completion = popleft()[1]
+                if completion > last_retire:
+                    last_retire = completion
+                if issue > last_retire:
+                    last_retire = issue
+
+            misses = self._outstanding_misses
+            if len(misses) >= miss_limit:
+                misses.sort()
+                while len(misses) >= miss_limit:
+                    completed = misses.pop(0)
+                    if completed > issue:
+                        issue = completed
+            if misses and min(misses) <= issue:
+                self._outstanding_misses = misses = [
+                    c for c in misses if c > issue
+                ]
+
+            while outstanding and outstanding[0][1] <= issue:
+                completion = popleft()[1]
+                if completion > last_retire:
+                    last_retire = completion
+                if issue > last_retire:
+                    last_retire = issue
+
+            completion = issue + completion_delta
+            append((instr, completion))
+            if records_miss:
+                misses.append(completion)
+            if issue > fetch:
+                fetch = issue
+
+        self._instr_count = instr
+        self._fetch_cycle = fetch
+        self._last_retire_cycle = last_retire
+        self._issue_position = instr
+        self._issue_cycle = issue
 
     # ------------------------------------------------------------------ #
     # Results

@@ -53,7 +53,25 @@ class DRAMModel:
     The address is decomposed into (channel, bank, row) by simple bit
     slicing of the block number; the per-channel busy-until timestamp models
     bandwidth, the per-bank open row models row-buffer locality.
+
+    Slotted: :meth:`access` runs once per LLC miss (and once per DRAM-bound
+    prefetch) and reads most of these attributes each time.
     """
+
+    __slots__ = (
+        "config",
+        "_channel_busy_until",
+        "_bank_busy_until",
+        "_open_row",
+        "stats",
+        "_blocks_per_row",
+        "_banks_per_channel",
+        "_channels",
+        "_row_hit_latency",
+        "_row_miss_latency",
+        "_transfer_cycles",
+        "_row_divisor",
+    )
 
     def __init__(self, config: DRAMConfig) -> None:
         self.config = config
@@ -96,6 +114,11 @@ class DRAMModel:
         Returns the total latency in CPU cycles (queueing + array access +
         transfer) and advances the channel/bank state.
         """
+        # Everything is bound to locals and the ``max`` builtins are
+        # unrolled into comparisons — this function runs once per LLC miss
+        # and once per DRAM-bound prefetch, which makes it one of the
+        # hottest leaves of the simulator.  The arithmetic (and therefore
+        # every returned latency) is unchanged operation-for-operation.
         channels = self._channels
         banks_per_channel = self._banks_per_channel
         channel = block % channels
@@ -103,27 +126,35 @@ class DRAMModel:
         row = block // self._row_divisor
 
         stats = self.stats
-        if self._open_row.get(bank) == row:
+        open_row = self._open_row
+        if open_row.get(bank) == row:
             array_latency = self._row_hit_latency
             stats.row_hits += 1
         else:
             array_latency = self._row_miss_latency
             stats.row_misses += 1
-            self._open_row[bank] = row
+            open_row[bank] = row
 
         # The bank is occupied for the array access, the channel data bus
         # only for the burst transfer; queueing reflects whichever resource
         # the request has to wait for.
-        bank_wait = max(0.0, self._bank_busy_until.get(bank, 0.0) - cycle)
+        bank_busy = self._bank_busy_until
+        bank_wait = bank_busy.get(bank, 0.0) - cycle
+        if bank_wait < 0.0:
+            bank_wait = 0.0
         array_done = cycle + bank_wait + array_latency
-        self._bank_busy_until[bank] = array_done
+        bank_busy[bank] = array_done
 
         transfer = self._transfer_cycles
-        bus_start = max(array_done, self._channel_busy_until[channel])
+        channel_busy = self._channel_busy_until
+        bus_start = channel_busy[channel]
+        if array_done > bus_start:
+            bus_start = array_done
         bus_done = bus_start + transfer
-        self._channel_busy_until[channel] = bus_done
+        channel_busy[channel] = bus_done
 
-        queue_wait = bank_wait + max(0.0, bus_start - array_done)
+        bus_wait = bus_start - array_done
+        queue_wait = bank_wait + (bus_wait if bus_wait > 0.0 else 0.0)
         total_latency = bus_done - cycle
 
         stats.requests += 1

@@ -34,7 +34,30 @@ from repro.sim.types import AccessResult, PrefetchHint, PrefetchRequest, BLOCK_S
 
 
 class CacheHierarchy:
-    """L1D + L2C + LLC + DRAM with prefetch support for one core."""
+    """L1D + L2C + LLC + DRAM with prefetch support for one core.
+
+    Slotted: ``demand_access`` and ``_issue_prefetch`` read these attributes
+    on every simulated access.  ``stats``/``llc``/``dram`` stay assignable
+    (warm-up stat swaps, epoch-sharded shadow rebinding) — slots only pin
+    the attribute *set*, not mutability.
+    """
+
+    __slots__ = (
+        "config",
+        "stats",
+        "l1d",
+        "l2c",
+        "llc",
+        "dram",
+        "l1_mshr",
+        "prefetch_queue",
+        "_lat_l1",
+        "_lat_l2",
+        "_lat_llc",
+        "_lat_l2_source",
+        "_lat_llc_source",
+        "_llc_plain",
+    )
 
     def __init__(
         self,
@@ -60,6 +83,10 @@ class CacheHierarchy:
         self._lat_llc = self._lat_l2 + config.llc.latency
         self._lat_l2_source = config.l2c.latency
         self._lat_llc_source = config.l2c.latency + config.llc.latency
+        # Plain-Cache LLCs (private single-core, or the shared exact-mode
+        # LLC) can take the listener-free fast fill for blocks that just
+        # missed; recording shadows and other duck-typed stand-ins cannot.
+        self._llc_plain = type(self.llc) is Cache and not self.llc.eviction_listeners
         self._register_eviction_listeners()
 
     # ------------------------------------------------------------------ #
@@ -87,6 +114,7 @@ class CacheHierarchy:
         """
         self.llc = llc
         self.dram = dram
+        self._llc_plain = type(llc) is Cache and not llc.eviction_listeners
 
     # ------------------------------------------------------------------ #
     # Demand path
@@ -113,11 +141,10 @@ class CacheHierarchy:
             remaining = inflight.ready_cycle - cycle
             latency = remaining if remaining > l1_latency else l1_latency
             l1_mshr.remove(block)
-            self.l1d.fill(
-                block,
-                prefetched=inflight.is_prefetch,
-                from_dram=inflight.from_dram,
-                dirty=is_store,
+            # In-flight blocks are never L1-resident (the MSHR entry would
+            # have been consumed by the demand that filled them).
+            self.l1d.fill_absent(
+                block, inflight.is_prefetch, inflight.from_dram, is_store
             )
             entry = self.l1d.lookup(block, update_lru=True)
             is_prefetch = inflight.is_prefetch
@@ -134,46 +161,74 @@ class CacheHierarchy:
             return result
 
         # 2. L1D ---------------------------------------------------------- #
-        entry = self.l1d.probe(block)
+        # The probe is inlined (set-dict get + LRU re-insertion + counters,
+        # exactly Cache.probe): the L1D/L2C are always this hierarchy's
+        # private plain caches, so going through the method adds nothing
+        # but call overhead to the hottest branch of the simulator.
+        l1d = self.l1d
+        mask = l1d._set_mask
+        l1_set = l1d._sets[
+            block & mask if mask is not None else block % l1d._set_count
+        ]
+        entry = l1_set.get(block)
         if entry is not None:
+            del l1_set[block]
+            l1_set[block] = entry
+            l1d.hits += 1
             served_by_prefetch = False
-            if entry.prefetched and not entry.useful_counted:
-                entry.useful_counted = True
-                served_by_prefetch = True
-                stats.prefetch.useful_l1 += 1
-                if entry.from_dram:
-                    stats.prefetch.covered_llc_misses += 1
+            if entry.prefetched:
+                if not entry.prefetch_useful:
+                    entry.prefetch_useful = True
+                if not entry.useful_counted:
+                    entry.useful_counted = True
+                    served_by_prefetch = True
+                    stats.prefetch.useful_l1 += 1
+                    if entry.from_dram:
+                        stats.prefetch.covered_llc_misses += 1
             if is_store:
                 entry.dirty = True
             stats.l1_hits += 1
             stats.total_demand_latency += l1_latency
             return AccessResult(l1_latency, "L1D", served_by_prefetch)
 
+        l1d.misses += 1
         stats.l1_misses += 1
 
         # 3. L2C ---------------------------------------------------------- #
-        entry = self.l2c.probe(block)
+        l2c = self.l2c
+        mask = l2c._set_mask
+        l2_set = l2c._sets[
+            block & mask if mask is not None else block % l2c._set_count
+        ]
+        entry = l2_set.get(block)
         if entry is not None:
+            del l2_set[block]
+            l2_set[block] = entry
+            l2c.hits += 1
             latency = self._lat_l2
             served_by_prefetch = False
-            if entry.prefetched and not entry.useful_counted:
-                entry.useful_counted = True
-                served_by_prefetch = True
-                stats.prefetch.useful_l2 += 1
-                if entry.from_dram:
-                    stats.prefetch.covered_llc_misses += 1
-            self.l1d.fill(block, prefetched=False, from_dram=False, dirty=is_store)
+            if entry.prefetched:
+                if not entry.prefetch_useful:
+                    entry.prefetch_useful = True
+                if not entry.useful_counted:
+                    entry.useful_counted = True
+                    served_by_prefetch = True
+                    stats.prefetch.useful_l2 += 1
+                    if entry.from_dram:
+                        stats.prefetch.covered_llc_misses += 1
+            l1d.fill_absent(block, False, False, is_store)
             stats.l2_hits += 1
             stats.total_demand_latency += latency
             return AccessResult(latency, "L2C", served_by_prefetch)
 
+        l2c.misses += 1
         stats.l2_misses += 1
 
         # 4. LLC ---------------------------------------------------------- #
         if self.llc.probe(block) is not None:
             latency = self._lat_llc
-            self.l2c.fill(block, prefetched=False, from_dram=False)
-            self.l1d.fill(block, prefetched=False, from_dram=False, dirty=is_store)
+            l2c.fill_absent(block, False, False)
+            l1d.fill_absent(block, False, False, is_store)
             stats.llc_hits += 1
             stats.total_demand_latency += latency
             return AccessResult(latency, "LLC")
@@ -184,9 +239,12 @@ class CacheHierarchy:
         dram_latency = self.dram.access(block, cycle, is_prefetch=False)
         latency = self._lat_llc + dram_latency
         stats.dram_reads += 1
-        self.llc.fill(block, prefetched=False, from_dram=True)
-        self.l2c.fill(block, prefetched=False, from_dram=True)
-        self.l1d.fill(block, prefetched=False, from_dram=True, dirty=is_store)
+        if self._llc_plain:
+            self.llc.fill_absent(block, False, True)
+        else:
+            self.llc.fill(block, prefetched=False, from_dram=True)
+        l2c.fill_absent(block, False, True)
+        l1d.fill_absent(block, False, True, is_store)
         stats.total_demand_latency += latency
         return AccessResult(latency, "DRAM")
 
@@ -228,23 +286,38 @@ class CacheHierarchy:
         issue = self._issue_prefetch
         popleft = pending.popleft
         while pending and issued < limit:
-            issue(popleft().request, cycle)
+            issue(popleft()[0], cycle)
             issued += 1
         return issued
 
     def _issue_prefetch(self, request: PrefetchRequest, cycle: int) -> None:
+        # Hot for aggressive designs (PMP issues more prefetches than it
+        # sees demand accesses), so the L1D/L2C membership checks and the
+        # L2C LRU touch are inlined set-dict operations — same rationale as
+        # in :meth:`demand_access`.  The LLC and DRAM stay behind their
+        # methods (they may be recording shadows in multi-core runs).
         block = request.address >> BLOCK_SHIFT
         stats = self.stats.prefetch
-        l2c = self.l2c
+        l1d = self.l1d
+        mask = l1d._set_mask
+        l1_set = l1d._sets[
+            block & mask if mask is not None else block % l1d._set_count
+        ]
         l1_mshr = self.l1_mshr
-        hint_is_l2 = request.hint is PrefetchHint.L2
+        hint = request.hint
+        hint_is_l2 = hint is PrefetchHint.L2
 
         # Redundant: already in the L1D (or being filled).
-        if self.l1d.contains(block) or l1_mshr.lookup(block) is not None:
+        if block in l1_set or block in l1_mshr._entries:
             stats.redundant += 1
             return
-        l2_resident = l2c.contains(block)
-        if hint_is_l2 and l2_resident:
+        l2c = self.l2c
+        mask = l2c._set_mask
+        l2_set = l2c._sets[
+            block & mask if mask is not None else block % l2c._set_count
+        ]
+        l2_entry = l2_set.get(block)
+        if hint_is_l2 and l2_entry is not None:
             stats.redundant += 1
             return
 
@@ -252,23 +325,27 @@ class CacheHierarchy:
 
         # Find where the data currently lives and how long it takes to get it.
         from_dram = False
-        if l2_resident:
+        if l2_entry is not None:
             source_latency = self._lat_l2_source
-            l2c.lookup(block, update_lru=True)
+            del l2_set[block]
+            l2_set[block] = l2_entry
         elif self.llc.lookup(block, update_lru=True) is not None:
             source_latency = self._lat_llc_source
         else:
             dram_latency = self.dram.access(block, cycle, is_prefetch=True)
             source_latency = self._lat_llc_source + dram_latency
             from_dram = True
-            self.llc.fill(block, prefetched=False, from_dram=True)
+            if self._llc_plain:
+                self.llc.fill_absent(block, False, True)
+            else:
+                self.llc.fill(block, prefetched=False, from_dram=True)
 
-        if not hint_is_l2 and request.hint is PrefetchHint.L1:
+        if not hint_is_l2 and hint is PrefetchHint.L1:
             if not l1_mshr.has_free_entry(cycle):
                 stats.dropped_mshr_full += 1
                 # Fall back to an L2 fill so the work done is not wasted.
-                if not l2c.contains(block):
-                    l2c.fill(block, prefetched=True, from_dram=from_dram)
+                if block not in l2_set:
+                    l2c.fill_absent(block, True, from_dram)
                     stats.filled_l2 += 1
                 return
             entry = l1_mshr.allocate(
@@ -280,17 +357,21 @@ class CacheHierarchy:
             entry.from_dram = from_dram
             stats.filled_l1 += 1
         else:
-            if not l2c.contains(block):
-                l2c.fill(block, prefetched=True, from_dram=from_dram)
+            if block not in l2_set:
+                l2c.fill_absent(block, True, from_dram)
                 stats.filled_l2 += 1
             else:
                 stats.redundant += 1
 
     def _complete_ready_prefetches(self, cycle: int) -> None:
-        """Move finished in-flight prefetches from the MSHRs into the L1D."""
-        fill = self.l1d.fill
+        """Move finished in-flight prefetches from the MSHRs into the L1D.
+
+        In-flight blocks are never L1-resident (see the in-flight branch of
+        :meth:`demand_access`), so the fills skip the residency check.
+        """
+        fill_absent = self.l1d.fill_absent
         for entry in self.l1_mshr.expire(cycle):
-            fill(entry.block, prefetched=entry.is_prefetch, from_dram=entry.from_dram)
+            fill_absent(entry.block, entry.is_prefetch, entry.from_dram)
 
     def flush_prefetches(self, cycle: int) -> None:
         """Issue everything still queued and complete all in-flight fills."""

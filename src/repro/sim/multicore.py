@@ -40,6 +40,7 @@ from repro.sim.cpu import CoreTimingModel
 from repro.sim.dram import DRAMModel
 from repro.sim.hierarchy import CacheHierarchy
 from repro.sim.sharding import (
+    CowCacheShadow,
     RecordingCache,
     RecordingDRAM,
     replay_dram_logs,
@@ -295,7 +296,12 @@ class MultiCoreSimulator:
                 shadows = []
                 cycle_starts = []
                 for context in contexts:
-                    shadow_llc = RecordingCache(master_llc.clone())
+                    # Copy-on-write LLC deltas instead of a full
+                    # Cache.clone per core per epoch: an epoch touches a
+                    # small fraction of a large LLC's sets, and the shadow
+                    # copies exactly those (see sharding.CowCacheShadow —
+                    # behaviourally indistinguishable from a clone).
+                    shadow_llc = RecordingCache(CowCacheShadow(master_llc))
                     shadow_dram = RecordingDRAM(
                         master_dram.clone(),
                         ghosts=shifted_ghosts(

@@ -29,7 +29,13 @@ class QueuedPrefetch:
 
 
 class PrefetchQueue:
-    """Bounded FIFO of pending prefetch requests."""
+    """Bounded FIFO of pending prefetch requests.
+
+    Internally the FIFO holds plain ``(request, enqueue_cycle)`` tuples —
+    the hot push/pop pair then allocates no wrapper objects — and the
+    :class:`QueuedPrefetch` view is materialized lazily by the drain
+    helpers that return entries to callers.
+    """
 
     __slots__ = ("capacity", "drain_per_access", "_queue", "enqueued", "dropped_full")
 
@@ -40,7 +46,7 @@ class PrefetchQueue:
             raise ValueError("drain_per_access must be positive")
         self.capacity = capacity
         self.drain_per_access = drain_per_access
-        self._queue: Deque[QueuedPrefetch] = deque()
+        self._queue: Deque[tuple] = deque()
         self.enqueued = 0
         self.dropped_full = 0
 
@@ -56,13 +62,35 @@ class PrefetchQueue:
         """True when no more requests can be accepted."""
         return len(self._queue) >= self.capacity
 
+    @property
+    def quiescent(self) -> bool:
+        """True when no request is queued — nothing can issue this access.
+
+        This is the public spelling of the quiescence condition the
+        batched kernel's chunked fast path requires (a queued request
+        would have to issue mid-run).  The kernels themselves bind
+        :attr:`pending` once and test the deque's truthiness per access —
+        same condition, no property call on the hot path.
+        """
+        return not self._queue
+
+    @property
+    def pending(self) -> Deque[QueuedPrefetch]:
+        """The underlying FIFO, exposed for hot-path truthiness checks.
+
+        Drivers bind this deque once and test it per access (or per chunk)
+        instead of calling a method; mutation stays this class's job.  The
+        deque object is stable for the queue's lifetime (never rebound).
+        """
+        return self._queue
+
     def push(self, request: PrefetchRequest, cycle: int) -> bool:
         """Enqueue ``request``; returns False (and counts a drop) if full."""
         queue = self._queue
         if len(queue) >= self.capacity:
             self.dropped_full += 1
             return False
-        queue.append(QueuedPrefetch(request, cycle))
+        queue.append((request, cycle))
         self.enqueued += 1
         return True
 
@@ -77,12 +105,12 @@ class PrefetchQueue:
         drained: List[QueuedPrefetch] = []
         append = drained.append
         while queue and len(drained) < limit:
-            append(popleft())
+            append(QueuedPrefetch(*popleft()))
         return drained
 
     def drain_all(self) -> List[QueuedPrefetch]:
         """Remove and return every queued request."""
-        drained = list(self._queue)
+        drained = [QueuedPrefetch(request, cycle) for request, cycle in self._queue]
         self._queue.clear()
         return drained
 

@@ -39,9 +39,9 @@ exists, so shadows behave exactly like the master).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.cache import Cache
+from repro.sim.cache import Cache, CacheBlock
 from repro.sim.dram import DRAMModel
 
 #: LLC log opcodes.
@@ -51,6 +51,155 @@ LLC_TOUCH = 2
 
 #: A logged DRAM request: ``(cycle, block, is_prefetch)``.
 DRAMRequest = Tuple[int, int, bool]
+
+
+class CowCacheShadow:
+    """Copy-on-write view of a shared :class:`Cache` for one core-epoch.
+
+    The historical shadow was a full :meth:`Cache.clone` per core per epoch
+    — for a many-megabyte LLC that copies every resident block even though
+    one epoch touches a small fraction of the sets.  This shadow instead
+    shares the master's per-set dicts read-only and deep-copies a set (dict
+    *and* its :class:`~repro.sim.cache.CacheBlock` entries, preserving the
+    recency order) the first time the epoch needs to mutate it: LRU-touch
+    on a hit, a fill, or a flag update.  Pure reads — ``contains``,
+    ``lookup(update_lru=False)``, and the miss outcome of ``probe`` — never
+    copy.
+
+    Behaviour is indistinguishable from running against a clone: the
+    copied sets evolve exactly as the clone's would, master state is never
+    mutated (reconciliation replays the recorded logs afterwards), and the
+    aggregate counters start from the master's values exactly as
+    :meth:`Cache.clone` carries them (they are read by nothing during the
+    epoch and discarded with the shadow).  Like clones, shadows have no
+    eviction listeners — the shared LLC never has any.
+
+    Concurrent core-epochs on threads are safe: every shadow only *reads*
+    the master's sets, which are not mutated until the serial
+    reconciliation step.
+    """
+
+    __slots__ = (
+        "base",
+        "_sets",
+        "_base_sets",
+        "_set_mask",
+        "_set_count",
+        "_ways",
+        "hits",
+        "misses",
+        "evictions",
+        "useless_prefetch_evictions",
+    )
+
+    def __init__(self, base: Cache) -> None:
+        self.base = base
+        self._base_sets = base._sets
+        self._set_mask = base._set_mask
+        self._set_count = base._set_count
+        self._ways = base._ways
+        #: Privately-copied sets, keyed by set index.
+        self._sets: Dict[int, Dict[int, CacheBlock]] = {}
+        self.hits = base.hits
+        self.misses = base.misses
+        self.evictions = base.evictions
+        self.useless_prefetch_evictions = base.useless_prefetch_evictions
+
+    def _index_of(self, block: int) -> int:
+        mask = self._set_mask
+        if mask is not None:
+            return block & mask
+        return block % self._set_count
+
+    def _owned_set(self, index: int) -> Dict[int, CacheBlock]:
+        """The private copy of set ``index``, copying it on first use."""
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = {
+                block: CacheBlock(
+                    entry.block,
+                    entry.prefetched,
+                    entry.prefetch_useful,
+                    entry.from_dram,
+                    entry.dirty,
+                    entry.useful_counted,
+                )
+                for block, entry in self._base_sets[index].items()
+            }
+            self._sets[index] = cache_set
+        return cache_set
+
+    # ------------------------------------------------------------------ #
+    # The Cache surface the hierarchy uses on its LLC
+    # ------------------------------------------------------------------ #
+    def probe(self, block: int) -> Optional[CacheBlock]:
+        index = self._index_of(block)
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            # A miss needs no copy: only the (discarded) counter changes.
+            if block not in self._base_sets[index]:
+                self.misses += 1
+                return None
+            cache_set = self._owned_set(index)
+        entry = cache_set.get(block)
+        if entry is None:
+            self.misses += 1
+            return None
+        del cache_set[block]
+        cache_set[block] = entry
+        self.hits += 1
+        if entry.prefetched and not entry.prefetch_useful:
+            entry.prefetch_useful = True
+        return entry
+
+    def lookup(self, block: int, update_lru: bool = True) -> Optional[CacheBlock]:
+        index = self._index_of(block)
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            base_set = self._base_sets[index]
+            if block not in base_set:
+                return None
+            if not update_lru:
+                # Read-only peek: serving the master's entry is safe (the
+                # hierarchy only reads presence on this path).
+                return base_set[block]
+            cache_set = self._owned_set(index)
+        entry = cache_set.get(block)
+        if entry is not None and update_lru:
+            del cache_set[block]
+            cache_set[block] = entry
+        return entry
+
+    def contains(self, block: int) -> bool:
+        index = self._index_of(block)
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            return block in self._base_sets[index]
+        return block in cache_set
+
+    def fill(
+        self,
+        block: int,
+        prefetched: bool = False,
+        from_dram: bool = False,
+        dirty: bool = False,
+    ) -> Optional[CacheBlock]:
+        cache_set = self._owned_set(self._index_of(block))
+        existing = cache_set.get(block)
+        if existing is not None:
+            del cache_set[block]
+            cache_set[block] = existing
+            if dirty:
+                existing.dirty = True
+            return None
+        victim: Optional[CacheBlock] = None
+        if len(cache_set) >= self._ways:
+            victim = cache_set.pop(next(iter(cache_set)))
+            self.evictions += 1
+            if victim.prefetched and not victim.prefetch_useful:
+                self.useless_prefetch_evictions += 1
+        cache_set[block] = CacheBlock(block, prefetched, False, from_dram, dirty)
+        return victim
 
 
 class RecordingCache:

@@ -13,17 +13,39 @@ replayed from the start.
 bound to locals once per call, and fully-materialized traces run through a
 dedicated indexing loop that avoids the per-access source-shape branching of
 :meth:`_TraceReplayer.next_access`.
+
+On top of the scalar kernel sits the **batched** kernel
+(:meth:`SingleCoreSimulator._execute_batched`): traces decoded into parallel
+arrays (:class:`~repro.sim.batch.BatchedTrace`) are driven in chunks — the
+run of consecutive pure L1 hits with a quiescent hierarchy (MSHR empty,
+prefetch queue empty, no prefetch provenance to account) is detected by
+:meth:`~repro.sim.cache.Cache.demand_hit_run` and retired with per-run
+arithmetic (the run-timing loop of
+:meth:`~repro.sim.cpu.CoreTimingModel.advance_hit_run`, inlined so the core
+state stays in driver locals, plus batched statistics updates), falling
+back to the scalar per-access path at
+the first access that misses or needs prefetch bookkeeping.  Prefetcher
+training order is preserved exactly: with a prefetcher attached, every
+demand access still runs through the per-access path (over the decoded
+arrays, with the hierarchy's L1-hit branch inlined), because ``train`` must
+observe every access in order.  Both kernels produce bit-identical
+statistics — the golden-stats suite pins this.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
+from repro.sim.batch import BatchedTrace, decode_trace
+from repro.sim.cache import Cache, CacheBlock
 from repro.sim.config import SystemConfig, default_system_config
 from repro.sim.cpu import CoreTimingModel
 from repro.sim.hierarchy import CacheHierarchy
 from repro.sim.stats import SimulationStats
-from repro.sim.types import AccessType, MemoryAccess
+from repro.sim.types import AccessResult, AccessType, MemoryAccess
+
+#: Accepted values of the ``batch`` execution knob.
+BATCH_MODES = ("auto", "on", "off")
 
 
 def _count_instructions(accesses: Iterable[MemoryAccess]) -> int:
@@ -49,11 +71,20 @@ class _TraceReplayer:
         self.replays = 0
         self.yielded_any = False
         self._sequence: Optional[Sequence[MemoryAccess]] = None
+        self._batched: Optional[BatchedTrace] = None
         self._factory = None
         self._iterator: Optional[Iterator[MemoryAccess]] = None
         self._index = 0
         self._known_total: Optional[int] = None
-        if isinstance(source, (list, tuple)):
+        if isinstance(source, BatchedTrace):
+            # Decoded arrays: the batched kernel drives these directly; the
+            # sequence view keeps every scalar code path working unchanged.
+            if not len(source):
+                raise ValueError("cannot simulate an empty trace")
+            self._batched = source
+            self._sequence = source
+            self._known_total = source.instruction_total
+        elif isinstance(source, (list, tuple)):
             if not source:
                 raise ValueError("cannot simulate an empty trace")
             self._sequence = source
@@ -172,12 +203,25 @@ class SingleCoreSimulator:
         trace: Union[Sequence[MemoryAccess], Iterable[MemoryAccess]],
         max_instructions: Optional[int] = None,
         warmup_instructions: int = 0,
+        batch: str = "auto",
     ) -> SimulationStats:
         """Simulate ``trace`` and return the collected statistics.
 
-        ``trace`` may be a materialized sequence, a re-openable streaming
+        ``trace`` may be a materialized sequence, a pre-decoded
+        :class:`~repro.sim.batch.BatchedTrace`, a re-openable streaming
         handle (:class:`repro.workloads.formats.TraceFile`) or a one-shot
         iterator; streamed sources are consumed lazily in O(1) memory.
+
+        ``batch`` selects the execution kernel — statistics are
+        bit-identical either way:
+
+        * ``"auto"`` (default): the batched kernel for array-decodable
+          sources (pre-decoded traces as-is, materialized sequences decoded
+          here), the scalar kernel for streamed sources (which keep their
+          O(1)-memory property);
+        * ``"on"``: additionally materializes + decodes streamed sources
+          (trading the O(1) memory for the batched kernel's throughput);
+        * ``"off"``: always the scalar kernel.
 
         ``max_instructions`` bounds the measured phase (counting both memory
         and non-memory instructions), replaying the trace as needed; when
@@ -186,11 +230,28 @@ class SingleCoreSimulator:
         cache/prefetcher training but without resetting the cycle clock
         (statistics counters are cleared at the boundary).
         """
+        if batch not in BATCH_MODES:
+            raise ValueError(
+                f"unknown batch mode {batch!r}; expected one of {BATCH_MODES}"
+            )
         if max_instructions is not None and hasattr(trace, "__next__"):
             # An explicit budget may require replaying past the end of the
             # trace, which a one-shot iterator cannot do — materialize it
             # (the historical behaviour).  Re-openable handles replay by
             # re-opening and stay O(1)-memory.
+            trace = list(trace)
+        if batch != "off" and self.hierarchy.l1d._set_mask is not None:
+            # The batched kernel requires the mask-based set geometry (every
+            # configuration of the paper); odd set counts stay scalar.
+            decoded = decode_trace(trace)
+            if decoded is None and batch == "on":
+                decoded = BatchedTrace.from_accesses(iter(trace))
+            if decoded is not None:
+                trace = decoded
+        elif isinstance(trace, BatchedTrace):
+            # batch="off" (or a non-power-of-two L1): the scalar kernel runs
+            # over a materialized copy so a pre-decoded trace cannot
+            # silently re-enter the batched kernel.
             trace = list(trace)
         replayer = _TraceReplayer(trace)
 
@@ -230,6 +291,9 @@ class SingleCoreSimulator:
         self, replayer: _TraceReplayer, instruction_budget: Optional[int]
     ) -> None:
         """Execute until the budget is spent (``None`` = one full pass)."""
+        if replayer._batched is not None:
+            self._execute_batched(replayer, instruction_budget)
+            return
         unbounded = instruction_budget is None
         executed = 0
 
@@ -316,6 +380,802 @@ class SingleCoreSimulator:
                 if requests:
                     enqueue_prefetches(requests, issue_cycle)
 
+    def _execute_batched(
+        self, replayer: _TraceReplayer, instruction_budget: Optional[int]
+    ) -> None:
+        """The batched kernel: chunked L1-hit runs over decoded arrays.
+
+        Replay/budget semantics are identical to the scalar kernel's
+        materialized fast path — a bounded run wraps the arrays
+        indefinitely, an unbounded run stops after one pass, and the access
+        that exhausts the budget still executes in full.
+
+        Two driver loops, both bit-identical to the scalar kernel (the
+        golden-stats suite pins this):
+
+        * **No prefetcher** (and a default-shaped hierarchy): the chunked
+          fast path.  While the hierarchy is quiescent (MSHR file empty,
+          prefetch queue empty), the longest run of plain L1 hits within
+          budget is detected and retired wholesale
+          (:meth:`Cache.demand_hit_run` for residency + batched LRU
+          touches; the timing is
+          :meth:`CoreTimingModel.advance_hit_run`'s loop inlined against
+          the local core state, pinned to the reference method by the
+          equivalence suite; per-run statistics arithmetic); the access
+          that breaks the run —
+          a miss, or a block with prefetch provenance to account — executes
+          through a fully fused per-access path (the entire
+          ``demand_access`` chain inlined as set-dict operations, with
+          victim recycling as in :meth:`Cache.fill_absent`).
+
+        * **Prefetcher attached**: every access takes the per-access path —
+          training order must be preserved exactly, so ``train`` observes
+          every demand load in order — but over the decoded arrays, with
+          the demand chain inlined the same way (eviction listeners are
+          invoked exactly as ``Cache.fill`` would) and the ``train`` result
+          delivered through per-level preallocated mutable
+          :class:`AccessResult` objects (no prefetcher retains the result
+          beyond the call).
+
+        In both loops the core timing model's scalar state lives in local
+        variables for the duration of the call — the inlined begin/complete
+        logic performs the identical float operations in the identical
+        order — and is written back to the model at every point where a
+        :class:`CoreTimingModel` method runs (run retirement, non-fusable
+        fallbacks) and at exit.
+        """
+        batched = replayer._batched
+        blocks = batched.blocks
+        gaps = batched.gaps
+        kinds = batched.kinds
+        addresses = batched.addresses
+        pcs = batched.pcs
+        length = len(addresses)
+        unbounded = instruction_budget is None
+        executed = 0
+
+        core = self.core
+        hierarchy = self.hierarchy
+        prefetcher = self.prefetcher
+        issue_queued_prefetches = hierarchy.issue_queued_prefetches
+        demand_access = hierarchy.demand_access
+        enqueue_prefetches = hierarchy.enqueue_prefetches
+        complete_ready = hierarchy._complete_ready_prefetches
+        l1d = hierarchy.l1d
+        l2c = hierarchy.l2c
+        llc = hierarchy.llc
+        demand_hit_run = l1d.demand_hit_run
+        l1_sets = l1d._sets
+        l1_mask = l1d._set_mask
+        l1_ways = l1d._ways
+        l1_listeners = l1d.eviction_listeners
+        l2_sets = l2c._sets
+        l2_mask = l2c._set_mask
+        l2_ways = l2c._ways
+        l2_listeners = l2c.eviction_listeners
+        llc_plain = type(llc) is Cache
+        llc_sets = llc._sets if llc_plain else None
+        llc_mask = llc._set_mask if llc_plain else None
+        llc_ways = llc._ways if llc_plain else None
+        llc_listeners = llc.eviction_listeners if llc_plain else None
+        # Stable containers, bound for C-level truthiness tests (neither is
+        # ever rebound by its owner).
+        pending_prefetches = hierarchy.prefetch_queue.pending
+        mshr_entries = hierarchy.l1_mshr._entries
+        stats = hierarchy.stats
+        prefetch_stats = stats.prefetch
+        l1_latency = hierarchy._lat_l1
+        lat_l2 = hierarchy._lat_l2
+        lat_llc = hierarchy._lat_llc
+        dram_access = hierarchy.dram.access
+        train = prefetcher.train if prefetcher is not None else None
+
+        # The full demand chain can only be inlined against plain
+        # power-of-two-set caches (every configuration of the paper).
+        inline_ok = (
+            l2_mask is not None and llc_plain and llc_mask is not None
+        )
+
+        # Core timing state, held in locals for the whole call (see the
+        # docstring); the inlined arithmetic replicates begin_memory_access
+        # / complete_memory_access operation-for-operation.
+        width = core._width
+        fetch_inc = core._fetch_increment
+        rob = core._rob_size
+        lq = core._load_queue_size
+        miss_limit = core._miss_limit
+        miss_threshold = core._miss_threshold
+        instr = core._instr_count
+        fetch = core._fetch_cycle
+        last_retire = core._last_retire_cycle
+        outstanding = core._outstanding
+        out_popleft = outstanding.popleft
+        out_append = outstanding.append
+        misses_list = core._outstanding_misses
+        # Cached minimum of ``misses_list`` (INF when empty): the original
+        # per-access ``min()`` scan is replaced by constant-time updates on
+        # append/filter — the comparison outcomes are identical.
+        INF = float("inf")
+        misses_min = min(misses_list) if misses_list else INF
+        try:
+            issue = core._issue_cycle
+        except AttributeError:
+            issue = fetch
+
+        index = replayer._index
+        yielded = False
+
+        default_listener = hierarchy._count_useless_eviction
+        fused = (
+            train is None
+            and inline_ok
+            and l1_listeners == [default_listener]
+            and l2_listeners == [default_listener]
+            and not llc_listeners
+        )
+
+        if fused:
+            # Constants of the inlined hit-run retirement (L1 hits have one
+            # fixed latency).
+            hit_completion_delta = l1_latency if l1_latency > 1 else 1
+            hit_records_miss = l1_latency > miss_threshold
+            while True:
+                if unbounded:
+                    if replayer.replays > 0:
+                        break
+                elif executed >= instruction_budget:
+                    break
+                block = blocks[index]
+                l1_set = l1_sets[block & l1_mask]
+                if not mshr_entries and not pending_prefetches:
+                    if block in l1_set:
+                        # Chunked fast path: retire the whole pure-hit run.
+                        remaining = (
+                            None if unbounded else instruction_budget - executed
+                        )
+                        run, instructions = demand_hit_run(
+                            blocks, kinds, gaps, index, length, remaining
+                        )
+                        if run:
+                            # Timing of the whole run, inlined against the
+                            # local core state (the same per-access float
+                            # operations CoreTimingModel.advance_hit_run
+                            # performs — no sync round-trip).
+                            for run_index in range(index, index + run):
+                                gap = gaps[run_index]
+                                if gap > 0:
+                                    instr += gap
+                                    fetch += gap / width
+                                instr += 1
+                                fetch += fetch_inc
+                                issue = fetch
+                                while (
+                                    outstanding
+                                    and instr - outstanding[0][0] >= rob
+                                ):
+                                    head = outstanding[0][1]
+                                    if head > issue:
+                                        issue = head
+                                    completion = out_popleft()[1]
+                                    if completion > last_retire:
+                                        last_retire = completion
+                                    if issue > last_retire:
+                                        last_retire = issue
+                                while len(outstanding) >= lq:
+                                    head = outstanding[0][1]
+                                    if head > issue:
+                                        issue = head
+                                    completion = out_popleft()[1]
+                                    if completion > last_retire:
+                                        last_retire = completion
+                                    if issue > last_retire:
+                                        last_retire = issue
+                                if len(misses_list) >= miss_limit:
+                                    misses_list.sort()
+                                    while len(misses_list) >= miss_limit:
+                                        completed = misses_list.pop(0)
+                                        if completed > issue:
+                                            issue = completed
+                                    misses_min = (
+                                        misses_list[0] if misses_list else INF
+                                    )
+                                if misses_list and misses_min <= issue:
+                                    misses_list = [
+                                        c for c in misses_list if c > issue
+                                    ]
+                                    misses_min = (
+                                        min(misses_list) if misses_list else INF
+                                    )
+                                while (
+                                    outstanding and outstanding[0][1] <= issue
+                                ):
+                                    completion = out_popleft()[1]
+                                    if completion > last_retire:
+                                        last_retire = completion
+                                    if issue > last_retire:
+                                        last_retire = issue
+                                completion = issue + hit_completion_delta
+                                out_append((instr, completion))
+                                if hit_records_miss:
+                                    misses_list.append(completion)
+                                    if completion < misses_min:
+                                        misses_min = completion
+                                if issue > fetch:
+                                    fetch = issue
+                            stats.demand_accesses += run
+                            stats.l1_hits += run
+                            stats.total_demand_latency += run * l1_latency
+                            executed += instructions
+                            index += run
+                            yielded = True
+                            if index >= length:
+                                index = 0
+                                replayer.replays += 1
+                            continue
+                    # Fused per-access demand path (inlined demand_access,
+                    # bit-identical bookkeeping, no intermediate objects).
+                    gap = gaps[index]
+                    is_store = kinds[index] == 1
+                    index += 1
+                    if index >= length:
+                        index = 0
+                        replayer.replays += 1
+                    yielded = True
+
+                    # Inlined begin_memory_access.
+                    if gap > 0:
+                        instr += gap
+                        fetch += gap / width
+                    instr += 1
+                    fetch += fetch_inc
+                    issue = fetch
+                    while outstanding and instr - outstanding[0][0] >= rob:
+                        head = outstanding[0][1]
+                        if head > issue:
+                            issue = head
+                        completion = out_popleft()[1]
+                        if completion > last_retire:
+                            last_retire = completion
+                        if issue > last_retire:
+                            last_retire = issue
+                    while len(outstanding) >= lq:
+                        head = outstanding[0][1]
+                        if head > issue:
+                            issue = head
+                        completion = out_popleft()[1]
+                        if completion > last_retire:
+                            last_retire = completion
+                        if issue > last_retire:
+                            last_retire = issue
+                    if len(misses_list) >= miss_limit:
+                        misses_list.sort()
+                        while len(misses_list) >= miss_limit:
+                            completed = misses_list.pop(0)
+                            if completed > issue:
+                                issue = completed
+                        misses_min = misses_list[0] if misses_list else INF
+                    if misses_list and misses_min <= issue:
+                        misses_list = [c for c in misses_list if c > issue]
+                        misses_min = min(misses_list) if misses_list else INF
+                    while outstanding and outstanding[0][1] <= issue:
+                        completion = out_popleft()[1]
+                        if completion > last_retire:
+                            last_retire = completion
+                        if issue > last_retire:
+                            last_retire = issue
+                    executed += gap + 1
+                    stats.demand_accesses += 1
+
+                    entry = l1_set.get(block)
+                    if entry is not None:
+                        # L1 hit that the run scan refused (prefetch
+                        # provenance to account).
+                        del l1_set[block]
+                        l1_set[block] = entry
+                        l1d.hits += 1
+                        if entry.prefetched:
+                            if not entry.prefetch_useful:
+                                entry.prefetch_useful = True
+                            if not entry.useful_counted:
+                                entry.useful_counted = True
+                                prefetch_stats.useful_l1 += 1
+                                if entry.from_dram:
+                                    prefetch_stats.covered_llc_misses += 1
+                        if is_store:
+                            entry.dirty = True
+                        stats.l1_hits += 1
+                        stats.total_demand_latency += l1_latency
+                        latency = l1_latency
+                    else:
+                        l1d.misses += 1
+                        stats.l1_misses += 1
+
+                        l2_set = l2_sets[block & l2_mask]
+                        entry = l2_set.get(block)
+                        if entry is not None:
+                            del l2_set[block]
+                            l2_set[block] = entry
+                            l2c.hits += 1
+                            if entry.prefetched:
+                                if not entry.prefetch_useful:
+                                    entry.prefetch_useful = True
+                                if not entry.useful_counted:
+                                    entry.useful_counted = True
+                                    prefetch_stats.useful_l2 += 1
+                                    if entry.from_dram:
+                                        prefetch_stats.covered_llc_misses += 1
+                            # Inlined L1 fill (block is guaranteed absent);
+                            # the victim object is recycled — nothing else
+                            # can hold a reference to it here.
+                            if len(l1_set) >= l1_ways:
+                                victim = l1_set.pop(next(iter(l1_set)))
+                                l1d.evictions += 1
+                                if victim.prefetched and not victim.prefetch_useful:
+                                    l1d.useless_prefetch_evictions += 1
+                                    prefetch_stats.useless += 1
+                                victim.block = block
+                                victim.prefetched = False
+                                victim.prefetch_useful = False
+                                victim.from_dram = False
+                                victim.dirty = is_store
+                                victim.useful_counted = False
+                                l1_set[block] = victim
+                            else:
+                                l1_set[block] = CacheBlock(
+                                    block, False, False, False, is_store
+                                )
+                            stats.l2_hits += 1
+                            stats.total_demand_latency += lat_l2
+                            latency = lat_l2
+                        else:
+                            l2c.misses += 1
+                            stats.l2_misses += 1
+
+                            llc_set = llc_sets[block & llc_mask]
+                            entry = llc_set.get(block)
+                            if entry is not None:
+                                del llc_set[block]
+                                llc_set[block] = entry
+                                llc.hits += 1
+                                if entry.prefetched and not entry.prefetch_useful:
+                                    entry.prefetch_useful = True
+                                from_dram = False
+                                latency = lat_llc
+                                stats.llc_hits += 1
+                            else:
+                                llc.misses += 1
+                                stats.llc_misses += 1
+                                latency = lat_llc + dram_access(
+                                    block, int(issue), False
+                                )
+                                stats.dram_reads += 1
+                                from_dram = True
+                                # Inlined LLC fill (no listeners here).
+                                if len(llc_set) >= llc_ways:
+                                    victim = llc_set.pop(next(iter(llc_set)))
+                                    llc.evictions += 1
+                                    if victim.prefetched and not victim.prefetch_useful:
+                                        llc.useless_prefetch_evictions += 1
+                                    victim.block = block
+                                    victim.prefetched = False
+                                    victim.prefetch_useful = False
+                                    victim.from_dram = True
+                                    victim.dirty = False
+                                    victim.useful_counted = False
+                                    llc_set[block] = victim
+                                else:
+                                    llc_set[block] = CacheBlock(
+                                        block, False, False, True
+                                    )
+
+                            # Inlined L2 + L1 fills (block absent from both).
+                            if len(l2_set) >= l2_ways:
+                                victim = l2_set.pop(next(iter(l2_set)))
+                                l2c.evictions += 1
+                                if victim.prefetched and not victim.prefetch_useful:
+                                    l2c.useless_prefetch_evictions += 1
+                                    prefetch_stats.useless += 1
+                                victim.block = block
+                                victim.prefetched = False
+                                victim.prefetch_useful = False
+                                victim.from_dram = from_dram
+                                victim.dirty = False
+                                victim.useful_counted = False
+                                l2_set[block] = victim
+                            else:
+                                l2_set[block] = CacheBlock(
+                                    block, False, False, from_dram
+                                )
+                            if len(l1_set) >= l1_ways:
+                                victim = l1_set.pop(next(iter(l1_set)))
+                                l1d.evictions += 1
+                                if victim.prefetched and not victim.prefetch_useful:
+                                    l1d.useless_prefetch_evictions += 1
+                                    prefetch_stats.useless += 1
+                                victim.block = block
+                                victim.prefetched = False
+                                victim.prefetch_useful = False
+                                victim.from_dram = from_dram
+                                victim.dirty = is_store
+                                victim.useful_counted = False
+                                l1_set[block] = victim
+                            else:
+                                l1_set[block] = CacheBlock(
+                                    block, False, False, from_dram, is_store
+                                )
+                            stats.total_demand_latency += latency
+
+                    # Inlined complete_memory_access.
+                    completion = issue + (latency if latency > 1 else 1)
+                    out_append((instr, completion))
+                    if latency > miss_threshold:
+                        misses_list.append(completion)
+                        if completion < misses_min:
+                            misses_min = completion
+                    if issue > fetch:
+                        fetch = issue
+                    continue
+                # Non-quiescent hierarchy (in-flight or queued prefetches,
+                # impossible without a prefetcher but kept for safety):
+                # generic scalar access through the model's methods.
+                core._instr_count = instr
+                core._fetch_cycle = fetch
+                core._last_retire_cycle = last_retire
+                core._outstanding_misses = misses_list
+                gap = gaps[index]
+                kind = kinds[index]
+                address = addresses[index]
+                index += 1
+                if index >= length:
+                    index = 0
+                    replayer.replays += 1
+                yielded = True
+                if gap > 0:
+                    core.advance_non_memory(gap)
+                issue_cycle = core.begin_memory_access()
+                executed += gap + 1
+                if pending_prefetches:
+                    issue_queued_prefetches(issue_cycle)
+                result = demand_access(address, issue_cycle, kind == 1)
+                core.complete_memory_access(result.latency)
+                instr = core._instr_count
+                fetch = core._fetch_cycle
+                last_retire = core._last_retire_cycle
+                misses_list = core._outstanding_misses
+                misses_min = min(misses_list) if misses_list else INF
+                issue = core._issue_cycle
+        else:
+            # Per-access loop: the prefetcher observes every demand load in
+            # program order (and the same loop serves prefetcher-less runs
+            # on non-default hierarchies, where ``fused`` is False).
+            result_l1 = AccessResult(l1_latency, "L1D", False, False)
+            result_l2 = AccessResult(lat_l2, "L2C", False, False)
+            result_llc = AccessResult(lat_llc, "LLC", False, False)
+            result_dram = AccessResult(0, "DRAM", False, False)
+            result_inflight = AccessResult(0, "L1D", False, False)
+            l1_mshr = hierarchy.l1_mshr
+            issue_one = hierarchy._issue_prefetch
+            pq_popleft = pending_prefetches.popleft
+            drain_limit = hierarchy.prefetch_queue.drain_per_access
+            while unbounded or executed < instruction_budget:
+                if unbounded and replayer.replays > 0:
+                    break
+                gap = gaps[index]
+                kind = kinds[index]
+                address = addresses[index]
+                block = blocks[index]
+                pc = pcs[index]
+                index += 1
+                if index >= length:
+                    index = 0
+                    replayer.replays += 1
+                yielded = True
+
+                # Inlined begin_memory_access.
+                if gap > 0:
+                    instr += gap
+                    fetch += gap / width
+                instr += 1
+                fetch += fetch_inc
+                issue = fetch
+                while outstanding and instr - outstanding[0][0] >= rob:
+                    head = outstanding[0][1]
+                    if head > issue:
+                        issue = head
+                    completion = out_popleft()[1]
+                    if completion > last_retire:
+                        last_retire = completion
+                    if issue > last_retire:
+                        last_retire = issue
+                while len(outstanding) >= lq:
+                    head = outstanding[0][1]
+                    if head > issue:
+                        issue = head
+                    completion = out_popleft()[1]
+                    if completion > last_retire:
+                        last_retire = completion
+                    if issue > last_retire:
+                        last_retire = issue
+                if len(misses_list) >= miss_limit:
+                    misses_list.sort()
+                    while len(misses_list) >= miss_limit:
+                        completed = misses_list.pop(0)
+                        if completed > issue:
+                            issue = completed
+                    misses_min = misses_list[0] if misses_list else INF
+                if misses_list and misses_min <= issue:
+                    misses_list = [c for c in misses_list if c > issue]
+                    misses_min = min(misses_list) if misses_list else INF
+                while outstanding and outstanding[0][1] <= issue:
+                    completion = out_popleft()[1]
+                    if completion > last_retire:
+                        last_retire = completion
+                    if issue > last_retire:
+                        last_retire = issue
+                issue_cycle = int(issue)
+                executed += gap + 1
+
+                if pending_prefetches:
+                    # Inlined issue_queued_prefetches (same FIFO order and
+                    # per-access drain limit).
+                    issued = 0
+                    while pending_prefetches and issued < drain_limit:
+                        issue_one(pq_popleft()[0], issue_cycle)
+                        issued += 1
+
+                is_store = kind == 1
+                if not inline_ok:
+                    result = demand_access(address, issue_cycle, is_store)
+                    latency = result.latency
+                else:
+                    # Inlined demand_access (bit-identical bookkeeping; the
+                    # eviction listeners run exactly as Cache.fill would
+                    # invoke them).
+                    stats.demand_accesses += 1
+                    if mshr_entries:
+                        # expire()'s nothing-ready fast path, hoisted: skip
+                        # the call chain entirely until a fill can be due.
+                        if issue_cycle >= l1_mshr._min_ready:
+                            complete_ready(issue_cycle)
+                        inflight = mshr_entries.get(block)
+                    else:
+                        inflight = None
+                    if inflight is not None:
+                        remaining = inflight.ready_cycle - issue_cycle
+                        latency = (
+                            remaining if remaining > l1_latency else l1_latency
+                        )
+                        del mshr_entries[block]
+                        is_pf = inflight.is_prefetch
+                        inflight_dram = inflight.from_dram
+                        l1_set = l1_sets[block & l1_mask]
+                        if len(l1_set) >= l1_ways:
+                            victim = l1_set.pop(next(iter(l1_set)))
+                            l1d.evictions += 1
+                            if victim.prefetched and not victim.prefetch_useful:
+                                l1d.useless_prefetch_evictions += 1
+                            for listener in l1_listeners:
+                                listener(victim)
+                            victim.block = block
+                            victim.prefetched = is_pf
+                            victim.prefetch_useful = False
+                            victim.from_dram = inflight_dram
+                            victim.dirty = is_store
+                            victim.useful_counted = False
+                            l1_set[block] = victim
+                            entry = victim
+                        else:
+                            entry = CacheBlock(
+                                block, is_pf, False, inflight_dram, is_store
+                            )
+                            l1_set[block] = entry
+                        stats.l1_hits += 1
+                        if is_pf:
+                            entry.prefetch_useful = True
+                            prefetch_stats.useful_l1 += 1
+                            prefetch_stats.late += 1
+                            if inflight_dram:
+                                prefetch_stats.covered_llc_misses += 1
+                        stats.total_demand_latency += latency
+                        result = result_inflight
+                        result.latency = latency
+                        result.served_by_prefetch = is_pf
+                        result.late_prefetch = is_pf
+                    else:
+                        l1_set = l1_sets[block & l1_mask]
+                        entry = l1_set.get(block)
+                        if entry is not None:
+                            del l1_set[block]
+                            l1_set[block] = entry
+                            l1d.hits += 1
+                            served = False
+                            if entry.prefetched:
+                                if not entry.prefetch_useful:
+                                    entry.prefetch_useful = True
+                                if not entry.useful_counted:
+                                    entry.useful_counted = True
+                                    served = True
+                                    prefetch_stats.useful_l1 += 1
+                                    if entry.from_dram:
+                                        prefetch_stats.covered_llc_misses += 1
+                            if is_store:
+                                entry.dirty = True
+                            stats.l1_hits += 1
+                            stats.total_demand_latency += l1_latency
+                            latency = l1_latency
+                            result = result_l1
+                            result.served_by_prefetch = served
+                        else:
+                            l1d.misses += 1
+                            stats.l1_misses += 1
+
+                            l2_set = l2_sets[block & l2_mask]
+                            entry = l2_set.get(block)
+                            if entry is not None:
+                                del l2_set[block]
+                                l2_set[block] = entry
+                                l2c.hits += 1
+                                served = False
+                                if entry.prefetched:
+                                    if not entry.prefetch_useful:
+                                        entry.prefetch_useful = True
+                                    if not entry.useful_counted:
+                                        entry.useful_counted = True
+                                        served = True
+                                        prefetch_stats.useful_l2 += 1
+                                        if entry.from_dram:
+                                            prefetch_stats.covered_llc_misses += 1
+                                # Inlined L1 fill (absent).
+                                if len(l1_set) >= l1_ways:
+                                    victim = l1_set.pop(next(iter(l1_set)))
+                                    l1d.evictions += 1
+                                    if (
+                                        victim.prefetched
+                                        and not victim.prefetch_useful
+                                    ):
+                                        l1d.useless_prefetch_evictions += 1
+                                    for listener in l1_listeners:
+                                        listener(victim)
+                                    victim.block = block
+                                    victim.prefetched = False
+                                    victim.prefetch_useful = False
+                                    victim.from_dram = False
+                                    victim.dirty = is_store
+                                    victim.useful_counted = False
+                                    l1_set[block] = victim
+                                else:
+                                    l1_set[block] = CacheBlock(
+                                        block, False, False, False, is_store
+                                    )
+                                stats.l2_hits += 1
+                                stats.total_demand_latency += lat_l2
+                                latency = lat_l2
+                                result = result_l2
+                                result.served_by_prefetch = served
+                            else:
+                                l2c.misses += 1
+                                stats.l2_misses += 1
+
+                                llc_set = llc_sets[block & llc_mask]
+                                entry = llc_set.get(block)
+                                if entry is not None:
+                                    del llc_set[block]
+                                    llc_set[block] = entry
+                                    llc.hits += 1
+                                    if (
+                                        entry.prefetched
+                                        and not entry.prefetch_useful
+                                    ):
+                                        entry.prefetch_useful = True
+                                    from_dram = False
+                                    latency = lat_llc
+                                    stats.llc_hits += 1
+                                    result = result_llc
+                                else:
+                                    llc.misses += 1
+                                    stats.llc_misses += 1
+                                    latency = lat_llc + dram_access(
+                                        block, issue_cycle, False
+                                    )
+                                    stats.dram_reads += 1
+                                    from_dram = True
+                                    # Inlined LLC fill (absent).
+                                    if len(llc_set) >= llc_ways:
+                                        victim = llc_set.pop(
+                                            next(iter(llc_set))
+                                        )
+                                        llc.evictions += 1
+                                        if (
+                                            victim.prefetched
+                                            and not victim.prefetch_useful
+                                        ):
+                                            llc.useless_prefetch_evictions += 1
+                                        for listener in llc_listeners:
+                                            listener(victim)
+                                        victim.block = block
+                                        victim.prefetched = False
+                                        victim.prefetch_useful = False
+                                        victim.from_dram = True
+                                        victim.dirty = False
+                                        victim.useful_counted = False
+                                        llc_set[block] = victim
+                                    else:
+                                        llc_set[block] = CacheBlock(
+                                            block, False, False, True
+                                        )
+                                    result = result_dram
+                                    result.latency = latency
+
+                                # Inlined L2 + L1 fills (absent from both).
+                                if len(l2_set) >= l2_ways:
+                                    victim = l2_set.pop(next(iter(l2_set)))
+                                    l2c.evictions += 1
+                                    if (
+                                        victim.prefetched
+                                        and not victim.prefetch_useful
+                                    ):
+                                        l2c.useless_prefetch_evictions += 1
+                                    for listener in l2_listeners:
+                                        listener(victim)
+                                    victim.block = block
+                                    victim.prefetched = False
+                                    victim.prefetch_useful = False
+                                    victim.from_dram = from_dram
+                                    victim.dirty = False
+                                    victim.useful_counted = False
+                                    l2_set[block] = victim
+                                else:
+                                    l2_set[block] = CacheBlock(
+                                        block, False, False, from_dram
+                                    )
+                                if len(l1_set) >= l1_ways:
+                                    victim = l1_set.pop(next(iter(l1_set)))
+                                    l1d.evictions += 1
+                                    if (
+                                        victim.prefetched
+                                        and not victim.prefetch_useful
+                                    ):
+                                        l1d.useless_prefetch_evictions += 1
+                                    for listener in l1_listeners:
+                                        listener(victim)
+                                    victim.block = block
+                                    victim.prefetched = False
+                                    victim.prefetch_useful = False
+                                    victim.from_dram = from_dram
+                                    victim.dirty = is_store
+                                    victim.useful_counted = False
+                                    l1_set[block] = victim
+                                else:
+                                    l1_set[block] = CacheBlock(
+                                        block, False, False, from_dram, is_store
+                                    )
+                                stats.total_demand_latency += latency
+
+                # Inlined complete_memory_access.
+                completion = issue + (latency if latency > 1 else 1)
+                out_append((instr, completion))
+                if latency > miss_threshold:
+                    misses_list.append(completion)
+                    if completion < misses_min:
+                        misses_min = completion
+                if issue > fetch:
+                    fetch = issue
+
+                if kind == 0 and train is not None:
+                    requests = train(pc, address, issue_cycle, result)
+                    if requests:
+                        enqueue_prefetches(requests, issue_cycle)
+
+        core._instr_count = instr
+        core._fetch_cycle = fetch
+        core._last_retire_cycle = last_retire
+        core._outstanding_misses = misses_list
+        core._issue_position = instr
+        core._issue_cycle = issue
+        replayer._index = index
+        if yielded:
+            replayer.yielded_any = True
+
     def _reset_measurement_counters(self) -> None:
         """Clear statistics at the warm-up/measurement boundary.
 
@@ -336,6 +1196,7 @@ def simulate_trace(
     max_instructions: Optional[int] = None,
     warmup_instructions: int = 0,
     name: str = "",
+    batch: str = "auto",
 ) -> SimulationStats:
     """Convenience wrapper: build a simulator, run it, return the stats."""
     simulator = SingleCoreSimulator(config=config, prefetcher=prefetcher, name=name)
@@ -343,4 +1204,5 @@ def simulate_trace(
         trace,
         max_instructions=max_instructions,
         warmup_instructions=warmup_instructions,
+        batch=batch,
     )

@@ -267,6 +267,18 @@ class TraceFile:
         clone._digest = self._digest
         return clone
 
+    def decode_batched(self):
+        """Decode one full (transformed) pass into parallel arrays.
+
+        Returns a :class:`repro.sim.batch.BatchedTrace` for the batched
+        simulation kernel.  Unlike iteration, which streams in O(1) memory,
+        the decoded arrays hold the entire trace — callers opt into the
+        trade explicitly (``batch="on"`` at the job/simulator level).
+        """
+        from repro.sim.batch import BatchedTrace
+
+        return BatchedTrace.from_accesses(iter(self))
+
     def digest(self) -> str:
         """Cached SHA-256 digest of the underlying file."""
         if self._digest is None:

@@ -216,6 +216,21 @@ class TraceSpec:
             return slice_accesses(iter(self.source.open()), 0, length)
         return iter(self._generate(length))
 
+    def batched(self, length: Optional[int] = None):
+        """The trace decoded into parallel arrays for the batched kernel.
+
+        Returns a :class:`repro.sim.batch.BatchedTrace`.  File-backed specs
+        decode in one streaming pass (the arrays hold the whole trace, so
+        this trades the O(1) memory of :meth:`replayable` for the batched
+        kernel's throughput); generator specs decode the generated list.
+        """
+        from repro.sim.batch import BatchedTrace
+
+        length = length if length is not None else self.length
+        if self.source is not None:
+            return BatchedTrace.from_accesses(self.stream(length=length))
+        return BatchedTrace.from_accesses(self._generate(length))
+
     def replayable(self, length: Optional[int] = None):
         """The trace as a replayer-friendly source.
 

@@ -155,6 +155,42 @@ def test_golden_stats(trace_key, prefetcher_name):
     )
 
 
+#: Subset of the grid re-checked under the scalar kernel: the committed
+#: golden rows are produced by the default batched kernel, so matching them
+#: with ``batch="off"`` proves both kernels byte-identical on every
+#: snapshotted counter without doubling the whole grid's runtime.
+SCALAR_CHECK_PREFETCHERS = ("gaze", "pmp", "vberti", "bingo")
+
+
+@pytest.mark.parametrize("prefetcher_name", SCALAR_CHECK_PREFETCHERS)
+def test_golden_stats_scalar_kernel(prefetcher_name):
+    trace_key = "spatial-s3"
+    stats = simulate_trace(
+        _trace(trace_key),
+        prefetcher=create_prefetcher(prefetcher_name),
+        batch="off",
+    )
+    baseline = _baseline(trace_key)
+    row = {
+        "instructions": stats.instructions,
+        "cycles": stats.cycles,
+        "l1_hits": stats.l1_hits,
+        "llc_misses": stats.llc_misses,
+        "issued_prefetches": stats.prefetch.issued,
+        "useful_prefetches": stats.prefetch.useful,
+        "late_prefetches": stats.prefetch.late,
+        "ipc": round(stats.ipc, 9),
+        "accuracy": round(stats.prefetch.accuracy, 9),
+        "coverage": round(stats.coverage(baseline), 9),
+    }
+    golden = _load_golden(trace_key)
+    assert prefetcher_name in golden
+    assert row == golden[prefetcher_name], (
+        f"scalar kernel diverged from the committed golden for "
+        f"{trace_key}/{prefetcher_name} (the batched kernel matches it)"
+    )
+
+
 def test_golden_files_have_no_orphan_entries():
     """Every snapshotted entry corresponds to a current grid cell."""
     grid_by_trace = {}

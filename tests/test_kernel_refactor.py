@@ -128,11 +128,13 @@ class TestMSHRMinReady:
         mshr = MSHRFile(capacity=4)
         mshr.allocate(1, ready_cycle=100, is_prefetch=True)
         mshr.allocate(2, ready_cycle=50, is_prefetch=True)
-        assert mshr.expire(cycle=49) == []
+        # The nothing-ready fast path returns a shared empty sequence
+        # (an allocation-free tuple); callers only iterate it.
+        assert list(mshr.expire(cycle=49)) == []
         done = mshr.expire(cycle=60)
         assert [e.block for e in done] == [2]
         # min_ready recomputed: entry 1 still pending until cycle 100.
-        assert mshr.expire(cycle=99) == []
+        assert list(mshr.expire(cycle=99)) == []
         assert [e.block for e in mshr.expire(cycle=100)] == [1]
 
     def test_merge_lowers_min_ready(self):
