@@ -1,5 +1,24 @@
-"""Legacy setup shim so editable installs work without the ``wheel`` package."""
+"""Setup shim: editable installs plus the *optional* compiled kernel tier.
 
-from setuptools import setup
+The C extension ``repro._kernels`` accelerates the flat prefetcher train
+loops (see ``src/repro/prefetchers/compiled.py``).  It is strictly
+optional — ``Extension(..., optional=True)`` makes a missing compiler or
+headers a warning rather than a build failure, and every consumer falls
+back to the pure-Python flat tier when the artifact is absent.
 
-setup()
+Build it in place with::
+
+    python setup.py build_ext --inplace
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro._kernels",
+            sources=["src/repro/_kernels.c"],
+            optional=True,
+        )
+    ]
+)

@@ -1,0 +1,1252 @@
+/* Compiled kernel tier: C twins of the flat prefetcher train loops.
+ *
+ * This module re-hosts the state machines of
+ * ``repro.prefetchers.arrays.FlatBertiPrefetcher`` and
+ * ``FlatGazePrefetcher`` in C.  It is an *optional* accelerator: the
+ * Python flat implementations remain the bit-exact oracle, and
+ * ``repro.prefetchers.compiled`` falls back to them when this extension
+ * has not been built (``python setup.py build_ext --inplace``).
+ *
+ * Bit-exactness contract
+ * ----------------------
+ * Every LRU touch point, eviction order, tie-break and threshold
+ * comparison of the flat Python implementations is replicated operation
+ * for operation.  All float thresholds are precomputed on the Python
+ * side (with the exact float comparisons the object implementations
+ * perform) and passed in as integer tables, so this file is pure integer
+ * code.  The all-tier equality suite (``tests/test_flat_state.py``) pins
+ * the equivalence on every registered prefetcher.
+ *
+ * Geometry limits: the Gaze kernel requires ``blocks_per_region <= 64``
+ * (region footprints are single uint64 masks); the wrapper falls back to
+ * the Python flat implementation otherwise.  Table lookups are linear
+ * scans over the capacity, sized for the paper's 32..64-entry tables.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* Stamp ceiling of FlatSetAssociativeTable (arrays.DEFAULT_STAMP_LIMIT). */
+#define STAMP_LIMIT (1LL << 60)
+
+static inline uint64_t
+mask_n(int n)
+{
+    return n >= 64 ? ~(uint64_t)0 : (((uint64_t)1 << n) - 1);
+}
+
+/* ------------------------------------------------------------------ */
+/* Fully-associative LRU table: key -> slot, linked-list recency.      */
+/* Mirrors arrays.FlatLRUTable: dict insertion order == LRU order,     */
+/* victim is the list head.  Payload columns live in the caller.       */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    int cap;
+    int size;
+    long long *keys;
+    unsigned char *used;
+    int *prev;
+    int *next;
+    int head; /* LRU */
+    int tail; /* MRU */
+    int *free_slots;
+    int free_count;
+} FTable;
+
+static int
+ft_init(FTable *t, int cap)
+{
+    t->cap = cap;
+    t->size = 0;
+    t->keys = PyMem_Malloc(sizeof(long long) * cap);
+    t->used = PyMem_Malloc(cap);
+    t->prev = PyMem_Malloc(sizeof(int) * cap);
+    t->next = PyMem_Malloc(sizeof(int) * cap);
+    t->free_slots = PyMem_Malloc(sizeof(int) * cap);
+    if (!t->keys || !t->used || !t->prev || !t->next || !t->free_slots)
+        return -1;
+    memset(t->used, 0, cap);
+    t->head = t->tail = -1;
+    /* Free slots popped highest-first, matching FlatLRUTable.free. */
+    for (int i = 0; i < cap; i++)
+        t->free_slots[i] = cap - 1 - i;
+    t->free_count = cap;
+    return 0;
+}
+
+static void
+ft_dealloc(FTable *t)
+{
+    PyMem_Free(t->keys);
+    PyMem_Free(t->used);
+    PyMem_Free(t->prev);
+    PyMem_Free(t->next);
+    PyMem_Free(t->free_slots);
+}
+
+static void
+ft_clear(FTable *t)
+{
+    memset(t->used, 0, t->cap);
+    t->head = t->tail = -1;
+    t->size = 0;
+    for (int i = 0; i < t->cap; i++)
+        t->free_slots[i] = t->cap - 1 - i;
+    t->free_count = t->cap;
+}
+
+static inline int
+ft_find(FTable *t, long long key)
+{
+    const long long *keys = t->keys;
+    const unsigned char *used = t->used;
+    for (int i = 0; i < t->cap; i++)
+        if (used[i] && keys[i] == key)
+            return i;
+    return -1;
+}
+
+static inline void
+ft_unlink(FTable *t, int s)
+{
+    int p = t->prev[s], n = t->next[s];
+    if (p >= 0) t->next[p] = n; else t->head = n;
+    if (n >= 0) t->prev[n] = p; else t->tail = p;
+}
+
+static inline void
+ft_append(FTable *t, int s)
+{
+    t->prev[s] = t->tail;
+    t->next[s] = -1;
+    if (t->tail >= 0) t->next[t->tail] = s; else t->head = s;
+    t->tail = s;
+}
+
+static inline void
+ft_touch(FTable *t, int s)
+{
+    if (t->tail == s)
+        return;
+    ft_unlink(t, s);
+    ft_append(t, s);
+}
+
+/* Claim a slot for a key known to be absent.  *evicted is set when the
+ * LRU entry was displaced (its payload is still intact at the returned
+ * slot so the caller can learn from / clear it). */
+static inline int
+ft_insert(FTable *t, long long key, int *evicted)
+{
+    int s;
+    *evicted = 0;
+    if (t->free_count > 0) {
+        s = t->free_slots[--t->free_count];
+    } else {
+        s = t->head;
+        ft_unlink(t, s);
+        *evicted = 1;
+        t->size--;
+    }
+    t->keys[s] = key;
+    t->used[s] = 1;
+    ft_append(t, s);
+    t->size++;
+    return s;
+}
+
+/* Drop a specific occupied slot (FT activation path; AT deactivation). */
+static inline void
+ft_drop_slot(FTable *t, int s)
+{
+    ft_unlink(t, s);
+    t->used[s] = 0;
+    t->free_slots[t->free_count++] = s;
+    t->size--;
+}
+
+/* ================================================================== */
+/* BertiKernel: C twin of FlatBertiPrefetcher.train_flat               */
+/* ================================================================== */
+typedef struct {
+    PyObject_HEAD
+    int pc_entries;
+    int hist_cap;
+    int max_deltas;
+    int max_prefetches;
+    long long window_blocks;
+    long long cand_off;
+    int cand_shift;
+    long long l1_thr[64];
+    long long l2_thr[64];
+    FTable table;
+    long long *hist_block;
+    long long *hist_cycle;
+    int *hist_start;
+    int *hist_len;
+    long long *d_val;
+    long long *d_occ;
+    long long *d_tim;
+    int *d_cnt;
+    long long *rounds;
+} BertiKernel;
+
+static void
+Berti_dealloc(BertiKernel *self)
+{
+    ft_dealloc(&self->table);
+    PyMem_Free(self->hist_block);
+    PyMem_Free(self->hist_cycle);
+    PyMem_Free(self->hist_start);
+    PyMem_Free(self->hist_len);
+    PyMem_Free(self->d_val);
+    PyMem_Free(self->d_occ);
+    PyMem_Free(self->d_tim);
+    PyMem_Free(self->d_cnt);
+    PyMem_Free(self->rounds);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+load_thr_table(PyObject *seq, long long *out, const char *name)
+{
+    PyObject *fast = PySequence_Fast(seq, "threshold table must be a sequence");
+    if (!fast)
+        return -1;
+    if (PySequence_Fast_GET_SIZE(fast) != 64) {
+        Py_DECREF(fast);
+        PyErr_Format(PyExc_ValueError, "%s must have 64 entries", name);
+        return -1;
+    }
+    for (int i = 0; i < 64; i++) {
+        out[i] = PyLong_AsLongLong(PySequence_Fast_GET_ITEM(fast, i));
+        if (out[i] == -1 && PyErr_Occurred()) {
+            Py_DECREF(fast);
+            return -1;
+        }
+    }
+    Py_DECREF(fast);
+    return 0;
+}
+
+static int
+Berti_init(BertiKernel *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {
+        "pc_entries", "history_per_pc", "max_deltas_per_pc", "window_blocks",
+        "max_prefetches", "l2_occ_thr", "l1_occ_thr", "cand_off", "cand_shift",
+        NULL,
+    };
+    PyObject *l2_thr, *l1_thr;
+    if (!PyArg_ParseTupleAndKeywords(
+            args, kwds, "iiiLiOOLi", kwlist,
+            &self->pc_entries, &self->hist_cap, &self->max_deltas,
+            &self->window_blocks, &self->max_prefetches,
+            &l2_thr, &l1_thr, &self->cand_off, &self->cand_shift))
+        return -1;
+    if (self->pc_entries <= 0 || self->hist_cap <= 0 || self->max_deltas <= 0) {
+        PyErr_SetString(PyExc_ValueError, "table sizes must be positive");
+        return -1;
+    }
+    if (self->hist_cap > 64 || self->max_deltas > 64) {
+        /* Stack scratch buffers in train() are sized for the paper's
+         * 16-entry tables; the wrapper falls back to Python beyond 64. */
+        PyErr_SetString(PyExc_ValueError,
+                        "BertiKernel supports at most 64 history/delta entries");
+        return -1;
+    }
+    if (load_thr_table(l2_thr, self->l2_thr, "l2_occ_thr") < 0)
+        return -1;
+    if (load_thr_table(l1_thr, self->l1_thr, "l1_occ_thr") < 0)
+        return -1;
+    int n = self->pc_entries;
+    if (ft_init(&self->table, n) < 0)
+        goto nomem;
+    self->hist_block = PyMem_Malloc(sizeof(long long) * n * self->hist_cap);
+    self->hist_cycle = PyMem_Malloc(sizeof(long long) * n * self->hist_cap);
+    self->hist_start = PyMem_Malloc(sizeof(int) * n);
+    self->hist_len = PyMem_Malloc(sizeof(int) * n);
+    self->d_val = PyMem_Malloc(sizeof(long long) * n * self->max_deltas);
+    self->d_occ = PyMem_Malloc(sizeof(long long) * n * self->max_deltas);
+    self->d_tim = PyMem_Malloc(sizeof(long long) * n * self->max_deltas);
+    self->d_cnt = PyMem_Malloc(sizeof(int) * n);
+    self->rounds = PyMem_Malloc(sizeof(long long) * n);
+    if (!self->hist_block || !self->hist_cycle || !self->hist_start ||
+        !self->hist_len || !self->d_val || !self->d_occ || !self->d_tim ||
+        !self->d_cnt || !self->rounds)
+        goto nomem;
+    memset(self->hist_start, 0, sizeof(int) * n);
+    memset(self->hist_len, 0, sizeof(int) * n);
+    memset(self->d_cnt, 0, sizeof(int) * n);
+    memset(self->rounds, 0, sizeof(long long) * n);
+    return 0;
+nomem:
+    PyErr_NoMemory();
+    return -1;
+}
+
+static PyObject *
+Berti_reset(BertiKernel *self, PyObject *Py_UNUSED(ignored))
+{
+    ft_clear(&self->table);
+    memset(self->hist_start, 0, sizeof(int) * self->pc_entries);
+    memset(self->hist_len, 0, sizeof(int) * self->pc_entries);
+    memset(self->d_cnt, 0, sizeof(int) * self->pc_entries);
+    memset(self->rounds, 0, sizeof(long long) * self->pc_entries);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Berti_train(BertiKernel *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError, "train(pc, address, cycle, latency)");
+        return NULL;
+    }
+    long long pc = PyLong_AsLongLong(args[0]);
+    long long address = PyLong_AsLongLong(args[1]);
+    long long cycle = PyLong_AsLongLong(args[2]);
+    long long latency = PyLong_AsLongLong(args[3]);
+    if (PyErr_Occurred())
+        return NULL;
+
+    long long block = address >> 6;
+    long long key = pc & 0xFFFF;
+    FTable *t = &self->table;
+    int slot = ft_find(t, key);
+    if (slot < 0) {
+        int evicted;
+        slot = ft_insert(t, key, &evicted);
+        if (evicted) {
+            self->hist_len[slot] = 0;
+            self->hist_start[slot] = 0;
+            self->d_cnt[slot] = 0;
+            self->rounds[slot] = 0;
+        }
+    } else {
+        ft_touch(t, slot);
+    }
+
+    const int hcap = self->hist_cap;
+    const int dmax = self->max_deltas;
+    long long *hblock = self->hist_block + (size_t)slot * hcap;
+    long long *hcycle = self->hist_cycle + (size_t)slot * hcap;
+    long long *dval = self->d_val + (size_t)slot * dmax;
+    long long *docc = self->d_occ + (size_t)slot * dmax;
+    long long *dtim = self->d_tim + (size_t)slot * dmax;
+    int hstart = self->hist_start[slot];
+    int hlen = self->hist_len[slot];
+    int dcnt = self->d_cnt[slot];
+    long long rounds = self->rounds[slot];
+
+    /* ---- learn (exact port of the flat learn loop) ---- */
+    if (hlen > 0) {
+        const long long window = self->window_blocks;
+        const long long thr = cycle - latency;
+        long long seen[64]; /* <= hist_cap distinct deltas per call */
+        int seen_n = 0;
+        for (int h = 0; h < hlen; h++) {
+            int pos = hstart + h;
+            if (pos >= hcap)
+                pos -= hcap;
+            long long delta = block - hblock[pos];
+            if (delta == 0 || delta > window || delta < -window)
+                continue;
+            int dup = 0;
+            for (int s = 0; s < seen_n; s++)
+                if (seen[s] == delta) { dup = 1; break; }
+            if (dup)
+                continue;
+            seen[seen_n++] = delta;
+            long long past_cycle = hcycle[pos];
+            int di = -1;
+            for (int d = 0; d < dcnt; d++)
+                if (dval[d] == delta) { di = d; break; }
+            if (di < 0) {
+                if (dcnt >= dmax) {
+                    /* Replace the weakest delta: lowest min(occ, rounds),
+                     * first in insertion order on ties (break at k <= 1 --
+                     * nothing later can be smaller). */
+                    int victim = 0;
+                    if (rounds) {
+                        long long weakest_key = 1LL << 60;
+                        for (int d = 0; d < dcnt; d++) {
+                            long long k = docc[d] < rounds ? docc[d] : rounds;
+                            if (k < weakest_key) {
+                                weakest_key = k;
+                                victim = d;
+                                if (k <= 1)
+                                    break;
+                            }
+                        }
+                    }
+                    int tail = dcnt - victim - 1;
+                    if (tail > 0) {
+                        memmove(dval + victim, dval + victim + 1,
+                                sizeof(long long) * tail);
+                        memmove(docc + victim, docc + victim + 1,
+                                sizeof(long long) * tail);
+                        memmove(dtim + victim, dtim + victim + 1,
+                                sizeof(long long) * tail);
+                    }
+                    dcnt--;
+                }
+                dval[dcnt] = delta;
+                docc[dcnt] = 1;
+                dtim[dcnt] = (past_cycle <= thr);
+                dcnt++;
+            } else {
+                docc[di] += 1;
+                dtim[di] += (past_cycle <= thr);
+            }
+        }
+    }
+    rounds += 1;
+    if (!(rounds & 63)) {
+        rounds >>= 1;
+        for (int d = 0; d < dcnt; d++) {
+            long long occ = docc[d] >> 1;
+            docc[d] = occ ? occ : 1;
+            dtim[d] >>= 1;
+        }
+    }
+
+    /* History append (drop oldest beyond capacity). */
+    if (hlen < hcap) {
+        int pos = hstart + hlen;
+        if (pos >= hcap)
+            pos -= hcap;
+        hblock[pos] = block;
+        hcycle[pos] = cycle;
+        hlen++;
+    } else {
+        hblock[hstart] = block;
+        hcycle[hstart] = cycle;
+        hstart++;
+        if (hstart >= hcap)
+            hstart = 0;
+    }
+    self->hist_start[slot] = hstart;
+    self->hist_len[slot] = hlen;
+    self->d_cnt[slot] = dcnt;
+    self->rounds[slot] = rounds;
+
+    /* ---- issue (exact port of the flat issue scan) ---- */
+    if (!rounds)
+        Py_RETURN_NONE;
+    const long long thr_l2 = self->l2_thr[rounds];
+    const long long cand_off = self->cand_off;
+    const int cand_shift = self->cand_shift;
+    long long cand[64];
+    int cand_n = 0;
+    for (int d = 0; d < dcnt; d++) {
+        long long occ = docc[d];
+        if (occ < 2 || occ < thr_l2)
+            continue;
+        long long k = occ < rounds ? occ : rounds;
+        long long ck = (k << cand_shift) | (dval[d] + cand_off);
+        /* Descending insertion sort (distinct keys: delta is unique). */
+        int j = cand_n;
+        while (j > 0 && cand[j - 1] < ck) {
+            cand[j] = cand[j - 1];
+            j--;
+        }
+        cand[j] = ck;
+        cand_n++;
+    }
+    if (!cand_n)
+        Py_RETURN_NONE;
+    const long long thr_l1 = self->l1_thr[rounds];
+    const long long cand_mask = ((long long)1 << cand_shift) - 1;
+    const long long window = self->window_blocks;
+    int limit = cand_n < self->max_prefetches ? cand_n : self->max_prefetches;
+    PyObject *out = PyList_New(0);
+    if (!out)
+        return NULL;
+    for (int c = 0; c < limit; c++) {
+        long long delta = (cand[c] & cand_mask) - cand_off;
+        long long target = block + delta;
+        if (target < 0 || llabs(delta) > window)
+            continue;
+        long long occ = 0, tim = 0;
+        for (int d = 0; d < dcnt; d++)
+            if (dval[d] == delta) { occ = docc[d]; tim = dtim[d]; break; }
+        long long hint_bit = (occ >= thr_l1 && 2 * tim >= occ) ? 1 : 0;
+        PyObject *v = PyLong_FromLongLong((target << 1) | hint_bit);
+        if (!v || PyList_Append(out, v) < 0) {
+            Py_XDECREF(v);
+            Py_DECREF(out);
+            return NULL;
+        }
+        Py_DECREF(v);
+    }
+    return out;
+}
+
+static PyMethodDef Berti_methods[] = {
+    {"train", (PyCFunction)(void (*)(void))Berti_train, METH_FASTCALL,
+     "One train step; returns a list of packed prefetches or None."},
+    {"reset", (PyCFunction)Berti_reset, METH_NOARGS, "Clear all state."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject BertiKernelType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernels.BertiKernel",
+    .tp_basicsize = sizeof(BertiKernel),
+    .tp_dealloc = (destructor)Berti_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "C twin of FlatBertiPrefetcher's train_flat state machine.",
+    .tp_methods = Berti_methods,
+    .tp_init = (initproc)Berti_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ================================================================== */
+/* GazeKernel: C twin of FlatGazePrefetcher                            */
+/* ================================================================== */
+typedef struct {
+    PyObject_HEAD
+    /* geometry / config */
+    int blocks;
+    long long region_size;
+    int region_shift; /* -1 when region_size is not a power of two */
+    uint64_t offset_mask;
+    uint64_t full_mask;
+    uint64_t head_mask;
+    uint64_t tail_mask;
+    int enable_streaming;
+    int enable_pht;
+    int stride_backup;
+    int pb_limit;
+    int promo_start;
+    int promo_count;
+    /* filter table */
+    FTable ft;
+    long long *ft_pc;
+    long long *ft_off;
+    /* accumulation table */
+    FTable at;
+    long long *at_pc;
+    long long *at_trig;
+    long long *at_second;
+    uint64_t *at_foot;
+    long long *at_last;
+    long long *at_penult;
+    unsigned char *at_stride;
+    /* pattern history table (set-associative, stamp LRU) */
+    int pht_sets;
+    int pht_ways;
+    unsigned char *pht_valid;
+    long long *pht_tag;
+    long long *pht_stamp;
+    uint64_t *pht_foot;
+    long long pht_clock;
+    /* prefetch buffer */
+    FTable pb;
+    uint64_t *pb_l1;
+    uint64_t *pb_l2;
+    uint64_t *pb_issued;
+    uint64_t *pb_issued_l1;
+    long long *pb_pending;
+    /* streaming module */
+    FTable dpct;
+    int dc_value;
+    int dc_max;
+    /* origin of the latest emission: (pc, 0="gaze" / 1="gaze-promo") */
+    long long last_pc;
+    int last_meta;
+    /* introspection counters */
+    long long pht_lookups;
+    long long pht_hits;
+    long long pht_updates;
+    long long pht_predictions;
+    long long streaming_predictions;
+    long long backup_activations;
+    long long promotions;
+} GazeKernel;
+
+static void
+Gaze_dealloc(GazeKernel *self)
+{
+    ft_dealloc(&self->ft);
+    ft_dealloc(&self->at);
+    ft_dealloc(&self->pb);
+    ft_dealloc(&self->dpct);
+    PyMem_Free(self->ft_pc);
+    PyMem_Free(self->ft_off);
+    PyMem_Free(self->at_pc);
+    PyMem_Free(self->at_trig);
+    PyMem_Free(self->at_second);
+    PyMem_Free(self->at_foot);
+    PyMem_Free(self->at_last);
+    PyMem_Free(self->at_penult);
+    PyMem_Free(self->at_stride);
+    PyMem_Free(self->pht_valid);
+    PyMem_Free(self->pht_tag);
+    PyMem_Free(self->pht_stamp);
+    PyMem_Free(self->pht_foot);
+    PyMem_Free(self->pb_l1);
+    PyMem_Free(self->pb_l2);
+    PyMem_Free(self->pb_issued);
+    PyMem_Free(self->pb_issued_l1);
+    PyMem_Free(self->pb_pending);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+Gaze_init(GazeKernel *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {
+        "blocks", "region_size", "filter_entries", "accumulation_entries",
+        "pht_sets", "pht_ways", "prefetch_buffer_entries", "pb_limit",
+        "promo_start", "promo_count", "head_blocks", "dpct_entries",
+        "dc_bits", "enable_streaming", "enable_pht", "stride_backup",
+        NULL,
+    };
+    int ft_entries, at_entries, pb_entries, head_blocks, dpct_entries, dc_bits;
+    if (!PyArg_ParseTupleAndKeywords(
+            args, kwds, "iLiiiiiiiiiiiiii", kwlist,
+            &self->blocks, &self->region_size, &ft_entries, &at_entries,
+            &self->pht_sets, &self->pht_ways, &pb_entries, &self->pb_limit,
+            &self->promo_start, &self->promo_count, &head_blocks,
+            &dpct_entries, &dc_bits, &self->enable_streaming,
+            &self->enable_pht, &self->stride_backup))
+        return -1;
+    if (self->blocks <= 0 || self->blocks > 64) {
+        PyErr_SetString(PyExc_ValueError,
+                        "GazeKernel requires 1 <= blocks_per_region <= 64");
+        return -1;
+    }
+    if ((self->region_size & (self->region_size - 1)) == 0) {
+        int shift = 0;
+        long long r = self->region_size;
+        while (r > 1) { r >>= 1; shift++; }
+        self->region_shift = shift;
+        self->offset_mask = (uint64_t)(self->blocks - 1);
+    } else {
+        self->region_shift = -1;
+        self->offset_mask = 0;
+    }
+    self->full_mask = mask_n(self->blocks);
+    int head = head_blocks < self->blocks ? head_blocks : self->blocks;
+    self->head_mask = mask_n(head);
+    self->tail_mask = self->full_mask ^ self->head_mask;
+    self->dc_max = (1 << dc_bits) - 1;
+    self->dc_value = 0;
+    self->pht_clock = 0;
+    self->last_pc = 0;
+    self->last_meta = 0;
+    self->pht_lookups = self->pht_hits = self->pht_updates = 0;
+    self->pht_predictions = self->streaming_predictions = 0;
+    self->backup_activations = self->promotions = 0;
+
+    if (ft_init(&self->ft, ft_entries) < 0 ||
+        ft_init(&self->at, at_entries) < 0 ||
+        ft_init(&self->pb, pb_entries) < 0 ||
+        ft_init(&self->dpct, dpct_entries) < 0)
+        goto nomem;
+    self->ft_pc = PyMem_Malloc(sizeof(long long) * ft_entries);
+    self->ft_off = PyMem_Malloc(sizeof(long long) * ft_entries);
+    self->at_pc = PyMem_Malloc(sizeof(long long) * at_entries);
+    self->at_trig = PyMem_Malloc(sizeof(long long) * at_entries);
+    self->at_second = PyMem_Malloc(sizeof(long long) * at_entries);
+    self->at_foot = PyMem_Malloc(sizeof(uint64_t) * at_entries);
+    self->at_last = PyMem_Malloc(sizeof(long long) * at_entries);
+    self->at_penult = PyMem_Malloc(sizeof(long long) * at_entries);
+    self->at_stride = PyMem_Malloc(at_entries);
+    int pht_size = self->pht_sets * self->pht_ways;
+    self->pht_valid = PyMem_Malloc(pht_size);
+    self->pht_tag = PyMem_Malloc(sizeof(long long) * pht_size);
+    self->pht_stamp = PyMem_Malloc(sizeof(long long) * pht_size);
+    self->pht_foot = PyMem_Malloc(sizeof(uint64_t) * pht_size);
+    self->pb_l1 = PyMem_Malloc(sizeof(uint64_t) * pb_entries);
+    self->pb_l2 = PyMem_Malloc(sizeof(uint64_t) * pb_entries);
+    self->pb_issued = PyMem_Malloc(sizeof(uint64_t) * pb_entries);
+    self->pb_issued_l1 = PyMem_Malloc(sizeof(uint64_t) * pb_entries);
+    self->pb_pending = PyMem_Malloc(sizeof(long long) * pb_entries);
+    if (!self->ft_pc || !self->ft_off || !self->at_pc || !self->at_trig ||
+        !self->at_second || !self->at_foot || !self->at_last ||
+        !self->at_penult || !self->at_stride || !self->pht_valid ||
+        !self->pht_tag || !self->pht_stamp || !self->pht_foot ||
+        !self->pb_l1 || !self->pb_l2 || !self->pb_issued ||
+        !self->pb_issued_l1 || !self->pb_pending)
+        goto nomem;
+    memset(self->pht_valid, 0, pht_size);
+    memset(self->pb_l1, 0, sizeof(uint64_t) * pb_entries);
+    memset(self->pb_l2, 0, sizeof(uint64_t) * pb_entries);
+    memset(self->pb_issued, 0, sizeof(uint64_t) * pb_entries);
+    memset(self->pb_issued_l1, 0, sizeof(uint64_t) * pb_entries);
+    memset(self->pb_pending, 0, sizeof(long long) * pb_entries);
+    return 0;
+nomem:
+    PyErr_NoMemory();
+    return -1;
+}
+
+/* ---- streaming module (DPCT + DC) -------------------------------- */
+static inline long long
+hash_pc12(unsigned long long pc)
+{
+    unsigned long long mask = 0xFFF, result = 0;
+    while (pc) {
+        result ^= pc & mask;
+        pc >>= 12;
+    }
+    return (long long)(result & mask);
+}
+
+/* LRUTable.get default-touches, so DensePCTable.contains refreshes the
+ * entry's recency on hit -- replicated here. */
+static inline int
+dpct_contains(GazeKernel *self, long long pc)
+{
+    int slot = ft_find(&self->dpct, hash_pc12((unsigned long long)pc));
+    if (slot < 0)
+        return 0;
+    ft_touch(&self->dpct, slot);
+    return 1;
+}
+
+static inline void
+dpct_record(GazeKernel *self, long long pc)
+{
+    long long h = hash_pc12((unsigned long long)pc);
+    int slot = ft_find(&self->dpct, h);
+    if (slot >= 0) {
+        ft_touch(&self->dpct, slot);
+        return;
+    }
+    int evicted;
+    ft_insert(&self->dpct, h, &evicted);
+}
+
+static inline void
+streaming_learn(GazeKernel *self, long long pc, int fully_dense)
+{
+    if (fully_dense) {
+        dpct_record(self, pc);
+        if (self->dc_value < self->dc_max)
+            self->dc_value++;
+    } else {
+        if (self->dc_value > 2)
+            self->dc_value /= 2;
+        else if (self->dc_value > 0)
+            self->dc_value--;
+    }
+}
+
+/* StreamingConfidence: 2=HIGH, 1=MODERATE, 0=NONE. */
+static inline int
+streaming_confidence(GazeKernel *self, long long pc)
+{
+    if (dpct_contains(self, pc) || self->dc_value == self->dc_max)
+        return 2;
+    if (self->dc_value > 2)
+        return 1;
+    return 0;
+}
+
+/* ---- PHT (stamp-LRU set-associative) ----------------------------- */
+static long long
+pht_tick(GazeKernel *self)
+{
+    long long clock = self->pht_clock;
+    if (clock >= STAMP_LIMIT) {
+        /* Renormalise valid stamps to 0..n-1 in LRU order (unreachable
+         * in practice; mirrors FlatSetAssociativeTable._renormalize). */
+        int size = self->pht_sets * self->pht_ways;
+        long long rank = 0;
+        for (;;) {
+            int best = -1;
+            long long best_stamp = STAMP_LIMIT + 1;
+            for (int i = 0; i < size; i++)
+                if (self->pht_valid[i] && self->pht_stamp[i] >= rank &&
+                    self->pht_stamp[i] < best_stamp) {
+                    best_stamp = self->pht_stamp[i];
+                    best = i;
+                }
+            if (best < 0)
+                break;
+            self->pht_stamp[best] = rank++;
+        }
+        self->pht_clock = clock = rank;
+    }
+    self->pht_clock = clock + 1;
+    return clock;
+}
+
+/* ---- prefetch buffer helpers ------------------------------------- */
+static inline int
+pb_slot(GazeKernel *self, long long region)
+{
+    int slot = ft_find(&self->pb, region);
+    if (slot >= 0) {
+        ft_touch(&self->pb, slot);
+        return slot;
+    }
+    int evicted;
+    slot = ft_insert(&self->pb, region, &evicted);
+    if (evicted) {
+        self->pb_l1[slot] = 0;
+        self->pb_l2[slot] = 0;
+        self->pb_issued[slot] = 0;
+        self->pb_issued_l1[slot] = 0;
+        self->pb_pending[slot] = 0;
+    }
+    return slot;
+}
+
+static void
+pb_add(GazeKernel *self, long long region, uint64_t l1_mask, uint64_t l2_mask,
+       uint64_t exclude)
+{
+    int slot = pb_slot(self, region);
+    uint64_t m1 = self->pb_l1[slot];
+    uint64_t m2 = self->pb_l2[slot];
+    uint64_t issued = self->pb_issued[slot];
+    long long pending = self->pb_pending[slot];
+    if (l2_mask) {
+        uint64_t new_l2 = l2_mask & ~exclude & ~(m1 | m2 | issued);
+        if (new_l2) {
+            m2 |= new_l2;
+            pending += __builtin_popcountll(new_l2);
+        }
+    }
+    if (l1_mask) {
+        uint64_t el1 = l1_mask & ~exclude & ~issued;
+        if (el1) {
+            pending += __builtin_popcountll(el1 & ~(m1 | m2));
+            m1 |= el1;
+            m2 &= ~el1;
+        }
+    }
+    self->pb_l1[slot] = m1;
+    self->pb_l2[slot] = m2;
+    self->pb_pending[slot] = pending;
+}
+
+/* pop_requests: ascending offsets, bounded by pb_limit; returns a new
+ * list, or None when nothing was pending. */
+static PyObject *
+pb_pop_requests(GazeKernel *self, int slot, long long region)
+{
+    uint64_t m1 = self->pb_l1[slot];
+    uint64_t pending_mask = m1 | self->pb_l2[slot];
+    long long base_block = (region * self->region_size) >> 6;
+    uint64_t taken = 0, taken_l1 = 0;
+    int count = 0;
+    const int limit = self->pb_limit;
+    PyObject *out = PyList_New(0);
+    if (!out)
+        return NULL;
+    while (pending_mask && count < limit) {
+        uint64_t low = pending_mask & (~pending_mask + 1);
+        pending_mask ^= low;
+        taken |= low;
+        int bit = __builtin_ctzll(low);
+        long long packed;
+        if (m1 & low) {
+            taken_l1 |= low;
+            packed = ((base_block + bit) << 1) | 1;
+        } else {
+            packed = (base_block + bit) << 1;
+        }
+        PyObject *v = PyLong_FromLongLong(packed);
+        if (!v || PyList_Append(out, v) < 0) {
+            Py_XDECREF(v);
+            Py_DECREF(out);
+            return NULL;
+        }
+        Py_DECREF(v);
+        count++;
+    }
+    if (!count) {
+        Py_DECREF(out);
+        Py_RETURN_NONE;
+    }
+    self->pb_l1[slot] = m1 & ~taken;
+    self->pb_l2[slot] &= ~taken;
+    self->pb_issued[slot] |= taken;
+    self->pb_issued_l1[slot] = (self->pb_issued_l1[slot] & ~taken) | taken_l1;
+    self->pb_pending[slot] -= count;
+    return out;
+}
+
+/* ---- PHT predict / learn ----------------------------------------- */
+static int
+pht_predict(GazeKernel *self, long long region, long long trigger_offset,
+            long long second_offset)
+{
+    self->pht_lookups++;
+    int set_index = (int)(trigger_offset % self->pht_sets);
+    int base = set_index * self->pht_ways;
+    int slot = -1;
+    for (int w = base; w < base + self->pht_ways; w++)
+        if (self->pht_valid[w] && self->pht_tag[w] == second_offset) {
+            slot = w;
+            break;
+        }
+    if (slot < 0)
+        return 0;
+    self->pht_stamp[slot] = pht_tick(self);
+    self->pht_hits++;
+    self->pht_predictions++;
+    uint64_t footprint = self->pht_foot[slot];
+    uint64_t exclude =
+        ((uint64_t)1 << trigger_offset) | ((uint64_t)1 << second_offset);
+    pb_add(self, region, footprint & self->full_mask, 0, exclude);
+    return 1;
+}
+
+static void
+pht_learn(GazeKernel *self, long long trigger_offset, long long second_offset,
+          uint64_t footprint)
+{
+    self->pht_updates++;
+    int set_index = (int)(trigger_offset % self->pht_sets);
+    int base = set_index * self->pht_ways;
+    int slot = -1;
+    for (int w = base; w < base + self->pht_ways; w++)
+        if (self->pht_valid[w] && self->pht_tag[w] == second_offset) {
+            slot = w;
+            break;
+        }
+    if (slot < 0) {
+        for (int w = base; w < base + self->pht_ways; w++)
+            if (!self->pht_valid[w]) {
+                slot = w;
+                break;
+            }
+        if (slot < 0) {
+            /* Min-stamp victim; strict < keeps the first minimum. */
+            slot = base;
+            long long best = self->pht_stamp[base];
+            for (int w = base + 1; w < base + self->pht_ways; w++)
+                if (self->pht_stamp[w] < best) {
+                    best = self->pht_stamp[w];
+                    slot = w;
+                }
+        }
+        self->pht_tag[slot] = second_offset;
+        self->pht_valid[slot] = 1;
+    }
+    self->pht_stamp[slot] = pht_tick(self);
+    self->pht_foot[slot] = footprint;
+}
+
+/* ---- learning / deactivation ------------------------------------- */
+static void
+learn_slot(GazeKernel *self, int slot)
+{
+    long long trigger_offset = self->at_trig[slot];
+    long long second_offset = self->at_second[slot];
+    if (trigger_offset == 0 && second_offset == 1 && self->enable_streaming) {
+        uint64_t footprint = self->at_foot[slot] & self->full_mask;
+        streaming_learn(self, self->at_pc[slot],
+                        footprint == self->full_mask);
+        return;
+    }
+    if (self->enable_pht)
+        pht_learn(self, trigger_offset, second_offset, self->at_foot[slot]);
+}
+
+/* ---- stage-2 promotion / stride backup --------------------------- */
+static void
+promote_tracked(GazeKernel *self, int slot, long long offset)
+{
+    long long last = self->at_last[slot];
+    long long penult = self->at_penult[slot];
+    if (last < 0 || penult < 0 || offset == last)
+        return;
+    long long stride = last - penult;
+    if (stride != offset - last || stride == 0)
+        return;
+    const int blocks = self->blocks;
+    uint64_t mask = 0;
+    for (int i = 0; i < self->promo_count; i++) {
+        long long target = offset + stride * (self->promo_start + i);
+        if (target >= 0 && target < blocks)
+            mask |= (uint64_t)1 << target;
+    }
+    if (!mask)
+        return;
+    /* The AT slot's key is its region (at_region column in Python). */
+    int pslot = pb_slot(self, self->at.keys[slot]);
+    uint64_t cand = mask & ~self->pb_issued_l1[pslot];
+    if (!cand)
+        return;
+    uint64_t m1 = self->pb_l1[pslot];
+    uint64_t m2 = self->pb_l2[pslot];
+    self->pb_pending[pslot] += __builtin_popcountll(cand & ~(m1 | m2));
+    self->pb_l1[pslot] = m1 | cand;
+    self->pb_l2[pslot] = m2 & ~cand;
+    self->pb_issued[pslot] &= ~cand;
+    self->promotions++;
+    if ((self->at_foot[slot] & self->full_mask) != self->full_mask)
+        self->backup_activations++;
+}
+
+/* ---- region activation (second access) --------------------------- */
+static PyObject *
+gaze_activate(GazeKernel *self, long long region, long long trigger_pc,
+              long long trigger_offset, long long second_offset,
+              long long second_pc)
+{
+    (void)second_pc;
+    int stride_flag = 0;
+    if (trigger_offset == 0 && second_offset == 1) {
+        if (self->enable_streaming) {
+            stride_flag = 1;
+            int confidence = streaming_confidence(self, trigger_pc);
+            uint64_t exclude = ((uint64_t)1 << trigger_offset) |
+                               ((uint64_t)1 << second_offset);
+            if (confidence == 2)
+                pb_add(self, region, self->head_mask, self->tail_mask, exclude);
+            else if (confidence == 1)
+                pb_add(self, region, 0, self->head_mask, exclude);
+            if (confidence != 0)
+                self->streaming_predictions++;
+        } else if (self->enable_pht) {
+            stride_flag = !pht_predict(self, region, trigger_offset,
+                                       second_offset);
+        } else {
+            stride_flag = 1;
+        }
+    } else if (self->enable_pht) {
+        int matched = pht_predict(self, region, trigger_offset, second_offset);
+        stride_flag = !matched && self->stride_backup;
+    } else {
+        stride_flag = self->stride_backup;
+    }
+
+    int evicted;
+    int slot = ft_insert(&self->at, region, &evicted);
+    if (evicted) {
+        /* ft_insert already displaced the victim's key, but its payload
+         * is intact at `slot` -- but learn_slot needs the payload BEFORE
+         * the overwrite below, which is exactly now. */
+        learn_slot(self, slot);
+    }
+    self->at_pc[slot] = trigger_pc;
+    self->at_trig[slot] = trigger_offset;
+    self->at_second[slot] = second_offset;
+    self->at_foot[slot] = ((uint64_t)1 << trigger_offset) |
+                          ((uint64_t)1 << second_offset);
+    self->at_penult[slot] = trigger_offset;
+    self->at_last[slot] = second_offset;
+    self->at_stride[slot] = stride_flag ? 1 : 0;
+
+    int pslot = ft_find(&self->pb, region);
+    if (pslot < 0)
+        Py_RETURN_NONE;
+    ft_touch(&self->pb, pslot);
+    if (!self->pb_pending[pslot])
+        Py_RETURN_NONE;
+    self->last_pc = trigger_pc;
+    self->last_meta = 0; /* "gaze" */
+    return pb_pop_requests(self, pslot, region);
+}
+
+/* ---- train ------------------------------------------------------- */
+static PyObject *
+Gaze_train(GazeKernel *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "train(pc, address)");
+        return NULL;
+    }
+    long long pc = PyLong_AsLongLong(args[0]);
+    long long address = PyLong_AsLongLong(args[1]);
+    if (PyErr_Occurred())
+        return NULL;
+
+    long long region, offset;
+    if (self->region_shift >= 0) {
+        region = address >> self->region_shift;
+        offset = (address >> 6) & (long long)self->offset_mask;
+    } else {
+        region = address / self->region_size;
+        offset = (address % self->region_size) >> 6;
+    }
+
+    int slot = ft_find(&self->at, region);
+    if (slot >= 0) {
+        ft_touch(&self->at, slot);
+        if (self->at_stride[slot] && self->stride_backup)
+            promote_tracked(self, slot, offset);
+        self->at_foot[slot] |= (uint64_t)1 << offset;
+        long long last = self->at_last[slot];
+        if (offset != last) {
+            self->at_penult[slot] = last;
+            self->at_last[slot] = offset;
+        }
+        int pslot = ft_find(&self->pb, region);
+        if (pslot < 0)
+            Py_RETURN_NONE;
+        ft_touch(&self->pb, pslot);
+        if (!self->pb_pending[pslot])
+            Py_RETURN_NONE;
+        self->last_pc = pc;
+        self->last_meta = 1; /* "gaze-promo" */
+        return pb_pop_requests(self, pslot, region);
+    }
+
+    int fslot = ft_find(&self->ft, region);
+    if (fslot >= 0) {
+        long long trigger_offset = self->ft_off[fslot];
+        if (trigger_offset == offset) {
+            ft_touch(&self->ft, fslot);
+            Py_RETURN_NONE;
+        }
+        long long trigger_pc = self->ft_pc[fslot];
+        ft_drop_slot(&self->ft, fslot);
+        return gaze_activate(self, region, trigger_pc, trigger_offset,
+                             offset, pc);
+    }
+
+    /* First touch of an unknown region: silent LRU allocation. */
+    int evicted;
+    fslot = ft_insert(&self->ft, region, &evicted);
+    self->ft_pc[fslot] = pc;
+    self->ft_off[fslot] = offset;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Gaze_evict(GazeKernel *self, PyObject *arg)
+{
+    long long block = PyLong_AsLongLong(arg);
+    if (block == -1 && PyErr_Occurred())
+        return NULL;
+    long long region;
+    if (self->region_shift >= 0)
+        region = block >> (self->region_shift - 6);
+    else
+        region = (block << 6) / self->region_size;
+    int slot = ft_find(&self->at, region);
+    if (slot >= 0) {
+        learn_slot(self, slot);
+        ft_drop_slot(&self->at, slot);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Gaze_drain(GazeKernel *self, PyObject *Py_UNUSED(ignored))
+{
+    /* Deactivate in LRU -> MRU order, matching FlatGazePrefetcher.drain
+     * (dict insertion order). */
+    while (self->at.head >= 0) {
+        int slot = self->at.head;
+        learn_slot(self, slot);
+        ft_drop_slot(&self->at, slot);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Gaze_origin(GazeKernel *self, PyObject *Py_UNUSED(ignored))
+{
+    return Py_BuildValue("(Li)", self->last_pc, self->last_meta);
+}
+
+static PyObject *
+Gaze_counters(GazeKernel *self, PyObject *Py_UNUSED(ignored))
+{
+    return Py_BuildValue(
+        "(LLLLLLL)", self->pht_lookups, self->pht_hits, self->pht_updates,
+        self->pht_predictions, self->streaming_predictions,
+        self->backup_activations, self->promotions);
+}
+
+static PyObject *
+Gaze_reset(GazeKernel *self, PyObject *Py_UNUSED(ignored))
+{
+    ft_clear(&self->ft);
+    ft_clear(&self->at);
+    ft_clear(&self->pb);
+    ft_clear(&self->dpct);
+    int pb_entries = self->pb.cap;
+    memset(self->pb_l1, 0, sizeof(uint64_t) * pb_entries);
+    memset(self->pb_l2, 0, sizeof(uint64_t) * pb_entries);
+    memset(self->pb_issued, 0, sizeof(uint64_t) * pb_entries);
+    memset(self->pb_issued_l1, 0, sizeof(uint64_t) * pb_entries);
+    memset(self->pb_pending, 0, sizeof(long long) * pb_entries);
+    memset(self->pht_valid, 0, self->pht_sets * self->pht_ways);
+    self->pht_clock = 0;
+    self->dc_value = 0;
+    self->pht_lookups = self->pht_hits = self->pht_updates = 0;
+    self->pht_predictions = self->streaming_predictions = 0;
+    self->backup_activations = self->promotions = 0;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef Gaze_methods[] = {
+    {"train", (PyCFunction)(void (*)(void))Gaze_train, METH_FASTCALL,
+     "One train step; returns a list of packed prefetches or None."},
+    {"evict", (PyCFunction)Gaze_evict, METH_O,
+     "Deactivate the region of an evicted block."},
+    {"drain", (PyCFunction)Gaze_drain, METH_NOARGS,
+     "Deactivate all tracked regions (learns their footprints)."},
+    {"origin", (PyCFunction)Gaze_origin, METH_NOARGS,
+     "(pc, meta_code) of the most recent emission; 1 means gaze-promo."},
+    {"counters", (PyCFunction)Gaze_counters, METH_NOARGS,
+     "(pht_lookups, pht_hits, pht_updates, pht_predictions, "
+     "streaming_predictions, backup_activations, promotions)."},
+    {"reset", (PyCFunction)Gaze_reset, METH_NOARGS, "Clear all state."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject GazeKernelType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernels.GazeKernel",
+    .tp_basicsize = sizeof(GazeKernel),
+    .tp_dealloc = (destructor)Gaze_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "C twin of FlatGazePrefetcher's state machine.",
+    .tp_methods = Gaze_methods,
+    .tp_init = (initproc)Gaze_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ================================================================== */
+static PyModuleDef kernels_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro._kernels",
+    .m_doc = "Compiled twins of the flat prefetcher train loops.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__kernels(void)
+{
+    PyObject *m;
+    if (PyType_Ready(&BertiKernelType) < 0 ||
+        PyType_Ready(&GazeKernelType) < 0)
+        return NULL;
+    m = PyModule_Create(&kernels_module);
+    if (!m)
+        return NULL;
+    Py_INCREF(&BertiKernelType);
+    if (PyModule_AddObject(m, "BertiKernel",
+                           (PyObject *)&BertiKernelType) < 0) {
+        Py_DECREF(&BertiKernelType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    Py_INCREF(&GazeKernelType);
+    if (PyModule_AddObject(m, "GazeKernel", (PyObject *)&GazeKernelType) < 0) {
+        Py_DECREF(&GazeKernelType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    if (PyModule_AddIntConstant(m, "KERNELS_ABI", 1) < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

@@ -138,6 +138,14 @@ def _build_parser() -> argparse.ArgumentParser:
                           "default), always decode incl. file traces (on), "
                           "or the scalar kernel (off); statistics are "
                           "bit-identical either way")
+    run.add_argument("--kernel", choices=("auto", "python", "compiled"),
+                     default="auto",
+                     help="prefetcher-state tier for single-core jobs: "
+                          "engine default (auto), pure Python (python), or "
+                          "the optional C extension with silent fallback "
+                          "when it is not built (compiled; build it with "
+                          "`python setup.py build_ext --inplace`); "
+                          "statistics are bit-identical either way")
     run.add_argument("--cache-dir", default=None,
                      help="persistent result cache directory (default .repro-cache)")
     run.add_argument("--no-cache", action="store_true",
@@ -177,6 +185,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="PCT",
                        help="regression threshold in percent (default 40; "
                             "generous on purpose — machines differ)")
+    bench.add_argument("--kind", action="append", default=None,
+                       choices=("kernel", "mix", "stream"), metavar="KIND",
+                       help="restrict the run to one case kind (repeatable: "
+                            "kernel, mix, stream); filtered runs keep their "
+                            "case keys and compare against full baselines "
+                            "over the shared cases")
+    bench.add_argument("--kernel", choices=("auto", "python", "compiled"),
+                       default="auto",
+                       help="prefetcher-state tier for single-core cases "
+                            "(mix cases keep the engine default); case keys "
+                            "are tier-independent, so a compiled-tier run's "
+                            "per-case ratios against a pure-Python baseline "
+                            "read directly as the compiled speedup")
 
     trace = sub.add_parser(
         "trace", help="export, convert and inspect trace files"
@@ -360,7 +381,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 trace_length=max(spec.length for spec in file_specs),
                 traces_per_suite=base.traces_per_suite,
             )
-    runner = ExperimentRunner(scale=scale, engine=engine, batch=args.batch)
+    runner = ExperimentRunner(
+        scale=scale, engine=engine, batch=args.batch, kernel=args.kernel
+    )
 
     if args.figure in _FIXED_TRACE_FIGURES and args.traces_per_suite is not None:
         print(
@@ -472,11 +495,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("error: --threshold must be in (0, 100)", file=sys.stderr)
         return 2
 
+    kinds = tuple(dict.fromkeys(args.kind)) if args.kind else None
     suite = "quick subset" if args.quick else "full suite"
+    if kinds is not None:
+        suite += f", kinds: {','.join(kinds)}"
+    if args.kernel != "auto":
+        suite += f", kernel={args.kernel}"
     print(f"== throughput bench ({suite}, best of {args.repeats}) ==")
     result = bench_mod.run_bench(
-        quick=args.quick, repeats=args.repeats, progress=print
+        quick=args.quick,
+        repeats=args.repeats,
+        progress=print,
+        kernel=args.kernel,
+        kinds=kinds,
     )
+    if args.kernel == "compiled" and not result.get("compiled_kernel_available"):
+        print(
+            "note: compiled kernel extension not built; single-core cases "
+            "fell back to the pure-Python flat tier "
+            "(`python setup.py build_ext --inplace` to build it)",
+            file=sys.stderr,
+        )
     print(f"{'geomean':40s} {result['geomean_accesses_per_sec']:12,.0f} acc/s")
     for kind, value in result.get("geomean_by_kind", {}).items():
         print(f"{'geomean/' + kind:40s} {value:12,.0f} acc/s")

@@ -44,7 +44,7 @@ import re
 import sys
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
@@ -54,6 +54,8 @@ from repro.experiments.jobs import (
     SimulationJob,
     execute_job,
 )
+from repro.prefetchers.compiled import compiled_available
+from repro.sim.simulator import KERNEL_MODES
 from repro.workloads import formats as trace_formats
 from repro.workloads.trace import TraceSpec
 
@@ -64,7 +66,11 @@ from repro.workloads.trace import TraceSpec
 #: cases (``…@scalar``, ``batch="off"``) were added; all previous case keys
 #: are unchanged — the default kernel cases now measure the batched kernel,
 #: which produces bit-identical statistics.
-BENCH_SCHEMA = 3
+#: v4: the prefetcher-state tier is recorded (top-level ``kernel`` +
+#: ``compiled_kernel_available``, per-case ``kernel``).  Purely additive:
+#: case keys are tier-independent, so v4 snapshots compare case-by-case
+#: against v3 and earlier baselines.
+BENCH_SCHEMA = 4
 
 #: File-name pattern of committed benchmark snapshots.
 BENCH_FILE_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
@@ -118,6 +124,14 @@ class BenchCase:
     under a distinct ``…@scalar`` key so the batched-vs-scalar delta is
     recorded in every snapshot and the scalar path keeps regression
     coverage.
+
+    ``kernel`` is the prefetcher-state tier (``"auto"``/``"python"``/
+    ``"compiled"``) of single-core cases.  It is deliberately *not* part
+    of the case key: a snapshot taken under ``--kernel compiled``
+    carries the same keys as a pure-Python one, so ``compare_bench``
+    lines the tiers up case-by-case and the compiled lane's ratios read
+    directly as its speedup.  The tier is recorded in the case payload
+    and at snapshot top level instead.
     """
 
     kind: str
@@ -126,6 +140,7 @@ class BenchCase:
     prefetcher: str
     mode: str = "exact"
     batch: str = "auto"
+    kernel: str = "auto"
 
     def key(self, trace_length: int) -> str:
         """The stable case key recorded in BENCH files."""
@@ -167,23 +182,45 @@ def _case_key(generator: str, seed: int, prefetcher: str, length: int) -> str:
     return f"{generator}-s{seed}-L{length}/{prefetcher}"
 
 
-def bench_cases(quick: bool = False) -> List[BenchCase]:
-    """The :class:`BenchCase` list of the selected suite."""
+#: Valid values of the ``kinds`` filter (``repro bench --kind …``).
+BENCH_KINDS = ("kernel", "mix", "stream")
+
+
+def bench_cases(
+    quick: bool = False, kinds: Optional[Tuple[str, ...]] = None
+) -> List[BenchCase]:
+    """The :class:`BenchCase` list of the selected suite.
+
+    ``kinds`` restricts the suite to the named case kinds (any subset of
+    :data:`BENCH_KINDS`); ``None`` keeps every case.  Filtering drops
+    cases rather than renaming them, so a ``--kind kernel`` run stays
+    comparable against full-suite baselines over the shared keys.
+    """
+    if kinds is not None:
+        unknown = sorted(set(kinds) - set(BENCH_KINDS))
+        if unknown:
+            raise ValueError(
+                f"unknown bench kind(s) {', '.join(unknown)}; "
+                f"known: {', '.join(BENCH_KINDS)}"
+            )
     if quick:
-        return list(QUICK_CASES)
-    cases = [
-        _kernel_case(generator, seed, prefetcher)
-        for generator, seed in BENCH_TRACES
-        for prefetcher in BENCH_PREFETCHERS
-    ]
-    # Scalar-kernel reference cases: one prefetcher-less and one trained
-    # case pinned to batch="off", so every snapshot records the
-    # batched-vs-scalar delta and the scalar path cannot silently regress.
-    cases.append(BenchCase("kernel", "spatial", 11, "none", batch="off"))
-    cases.append(BenchCase("kernel", "spatial", 11, "gaze", batch="off"))
-    cases.append(BenchCase("mix", "hetero", 0, "gaze", mode="exact"))
-    cases.append(BenchCase("mix", "hetero", 0, "gaze", mode="epoch"))
-    cases.append(BenchCase("stream", *STREAM_BENCH_TRACE, "gaze"))
+        cases = list(QUICK_CASES)
+    else:
+        cases = [
+            _kernel_case(generator, seed, prefetcher)
+            for generator, seed in BENCH_TRACES
+            for prefetcher in BENCH_PREFETCHERS
+        ]
+        # Scalar-kernel reference cases: one prefetcher-less and one trained
+        # case pinned to batch="off", so every snapshot records the
+        # batched-vs-scalar delta and the scalar path cannot silently regress.
+        cases.append(BenchCase("kernel", "spatial", 11, "none", batch="off"))
+        cases.append(BenchCase("kernel", "spatial", 11, "gaze", batch="off"))
+        cases.append(BenchCase("mix", "hetero", 0, "gaze", mode="exact"))
+        cases.append(BenchCase("mix", "hetero", 0, "gaze", mode="epoch"))
+        cases.append(BenchCase("stream", *STREAM_BENCH_TRACE, "gaze"))
+    if kinds is not None:
+        cases = [case for case in cases if case.kind in kinds]
     return cases
 
 
@@ -219,6 +256,7 @@ def _run_kernel_case(
         prefetcher=case.prefetcher,
         trace_length=trace_length,
         batch=case.batch,
+        kernel=case.kernel,
     )
 
     def run_once():
@@ -232,6 +270,7 @@ def _run_kernel_case(
     best_rate, best_wall, stats = _best_of(repeats, run_once)
     return {
         "kind": case.kind,
+        "kernel": case.kernel,
         "accesses": stats.demand_accesses,
         "instructions": stats.instructions,
         "best_wall_s": round(best_wall, 6),
@@ -304,22 +343,35 @@ def run_bench(
     repeats: int = 3,
     trace_length: Optional[int] = None,
     progress=None,
+    kernel: str = "auto",
+    kinds: Optional[Tuple[str, ...]] = None,
 ) -> Dict[str, object]:
     """Run the throughput suite and return a BENCH-file payload.
 
     ``trace_length`` defaults to :data:`BENCH_TRACE_LENGTH` (resolved at
     call time so tests can shrink the suite).  ``progress`` is an optional
     callable receiving one line per finished case (used by the CLI to
-    stream results).
+    stream results).  ``kernel`` selects the prefetcher-state tier of
+    every single-core case (mix cases drive the multi-core scheduler and
+    keep the engine default); case keys are tier-independent, so a
+    compiled-tier run compares case-by-case against pure-Python
+    baselines.  ``kinds`` restricts the run to the named case kinds (see
+    :func:`bench_cases`).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if kernel not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {kernel!r}; known: {', '.join(KERNEL_MODES)}"
+        )
     if trace_length is None:
         trace_length = BENCH_TRACE_LENGTH
     cases: Dict[str, Dict[str, object]] = {}
     rates: List[float] = []
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp_dir:
-        for case in bench_cases(quick):
+        for case in bench_cases(quick, kinds=kinds):
+            if case.kind != "mix" and kernel != "auto":
+                case = replace(case, kernel=kernel)
             if case.kind == "mix":
                 payload = _run_mix_case(case, trace_length, repeats)
             elif case.kind == "stream":
@@ -346,6 +398,8 @@ def run_bench(
         "quick": quick,
         "repeats": repeats,
         "trace_length": trace_length,
+        "kernel": kernel,
+        "compiled_kernel_available": compiled_available(),
         "cases": cases,
         "geomean_accesses_per_sec": round(_geomean(rates), 1),
         "geomean_by_kind": {

@@ -34,7 +34,7 @@ from repro.prefetchers.registry import create_prefetcher
 from repro.sim.batch import BatchedTrace
 from repro.sim.config import SystemConfig
 from repro.sim.multicore import MIX_MODES, MultiCoreSimulator
-from repro.sim.simulator import BATCH_MODES, simulate_trace
+from repro.sim.simulator import BATCH_MODES, KERNEL_MODES, simulate_trace
 from repro.sim.stats import MultiCoreStats, SimulationStats
 from repro.sim.types import MemoryAccess
 from repro.workloads.trace import TraceSpec
@@ -66,6 +66,13 @@ class SimulationJob:
     :attr:`MixSimulationJob.workers` it is an *execution* detail — results
     are bit-identical for every value — so it is deliberately excluded
     from :meth:`to_dict` and :meth:`key`.
+
+    ``kernel`` selects the prefetcher-state tier the same way (see
+    :data:`repro.sim.simulator.KERNEL_MODES`): ``"compiled"`` swaps
+    flat-state prefetchers for their C twins when the optional
+    :mod:`repro._kernels` extension is built, falling back silently
+    otherwise.  Also bit-identical by contract, also excluded from the
+    key.
     """
 
     spec: TraceSpec
@@ -76,11 +83,17 @@ class SimulationJob:
     max_instructions: Optional[int] = None
     prefetcher_params: Tuple[Tuple[str, object], ...] = ()
     batch: str = "auto"
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.batch not in BATCH_MODES:
             raise ValueError(
                 f"unknown batch mode {self.batch!r}; expected one of {BATCH_MODES}"
+            )
+        if self.kernel not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernel mode {self.kernel!r}; "
+                f"expected one of {KERNEL_MODES}"
             )
 
     @property
@@ -368,6 +381,7 @@ def execute_job(
         warmup_instructions=job.warmup_instructions,
         name=job.spec.name,
         batch=job.batch,
+        kernel=job.kernel,
     )
     if record_timing:
         wall = time.perf_counter() - start

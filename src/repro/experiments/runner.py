@@ -125,6 +125,7 @@ class ExperimentRunner:
         cache_dir: Optional[str] = None,
         use_cache: Optional[bool] = None,
         batch: str = "auto",
+        kernel: str = "auto",
     ) -> None:
         """Create a runner.
 
@@ -142,10 +143,17 @@ class ExperimentRunner:
                 single-core job (``"auto"``/``"on"``/``"off"``, see
                 :class:`~repro.experiments.jobs.SimulationJob`); results
                 are bit-identical for every value.
+            kernel: prefetcher-state tier forwarded to every single-core
+                job (``"auto"``/``"python"``/``"compiled"``, see
+                :class:`~repro.experiments.jobs.SimulationJob`); like
+                ``batch``, results are bit-identical for every value and
+                ``"compiled"`` silently falls back when the extension is
+                not built.
         """
         self.scale = scale if scale is not None else RunScale()
         self.system = system if system is not None else default_system_config(1)
         self.batch = batch
+        self.kernel = kernel
         if engine is None:
             engine = build_engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
         self.engine = engine
@@ -168,6 +176,7 @@ class ExperimentRunner:
             trace_length=self.scale.trace_length,
             prefetcher_params=_normalize_params(prefetcher_params),
             batch=self.batch,
+            kernel=self.kernel,
         )
 
     def mix_job_for(

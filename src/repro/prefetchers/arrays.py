@@ -1,0 +1,1053 @@
+"""Array-backed ("flat") prefetcher state and the packed-request protocol.
+
+The object implementations of Gaze (:mod:`repro.core.gaze`) and vBerti
+(:mod:`repro.prefetchers.berti`) keep one small object per table entry
+(dataclasses inside ``OrderedDict``-backed LRU tables).  After the kernel
+refactors of PRs 3 and 5, those per-entry objects are where the remaining
+per-access time goes: every train step pays attribute loads/stores on
+dataclass entries plus a :class:`~repro.sim.types.PrefetchRequest`
+allocation per emitted prefetch.
+
+This module re-hosts the same state machines on *flat* storage:
+
+* :class:`FlatSetAssociativeTable` — a fixed-geometry set-associative table
+  whose tags and LRU stamps live in preallocated ``array('q')`` columns and
+  whose payload lives in caller-registered parallel columns.  There is no
+  per-entry object; a lookup returns a *slot index* into the columns.
+* :class:`FlatLRUTable` — the fully-associative companion used for the
+  64-entry tables (FT/AT/PB/per-PC).  A Python ``dict`` preserves insertion
+  order, so ``key → slot`` in a plain dict *is* the LRU order: a touch is a
+  delete + re-insert and the victim is ``next(iter(index))``.  Payload again
+  lives in parallel columns indexed by slot.  (A stamp column plus a min
+  scan — what the hardware does — costs O(ways) Python work per miss; the
+  dict gives the same order O(1) in C.)
+* :class:`FlatGazePrefetcher` / :class:`FlatBertiPrefetcher` — bit-exact
+  ports of the two hottest prefetchers onto those tables, registered behind
+  the existing ``"gaze"`` / ``"vberti"`` names via the registry's
+  ``state="flat"`` knob (default ``auto``).
+
+Packed-request protocol
+-----------------------
+
+Flat prefetchers expose ``train_flat(pc, address, cycle, latency)``
+returning ``None`` (nothing to prefetch) or a list of packed integers::
+
+    packed = (target_block << 1) | (1 if L1-hint else 0)
+
+The batched kernel consumes these directly — no ``PrefetchRequest``
+allocation on the hot path.  The inherited ``train()`` entry point is kept
+as a thin compatibility wrapper that rebuilds full ``PrefetchRequest``
+objects (same addresses, hints, PCs and metadata as the object
+implementations), so every scalar consumer — the scalar kernel, the
+multi-core driver, composite prefetchers — behaves identically.
+
+Bit-exactness contract
+----------------------
+
+Every LRU touch point, eviction order, tie-break and floating-point
+comparison of the object implementations is replicated operation for
+operation; the golden grid (``tests/test_goldens.py``) and the all-tier
+equality suite (``tests/test_flat_state.py``) pin the equivalence for every
+registered prefetcher.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from repro.prefetchers.base import Prefetcher
+from repro.sim.types import (
+    AccessResult,
+    BLOCK_SIZE,
+    PrefetchHint,
+    PrefetchRequest,
+)
+
+#: Packed delta-score layout of :class:`FlatBertiPrefetcher`:
+#: ``occurrences << 20 | timely`` (both counters stay far below 2**20 —
+#: they are halved at the latest every 64 accesses).
+_OCC_ONE = 1 << 20
+_TIMELY_MASK = _OCC_ONE - 1
+
+#: Default stamp ceiling of :class:`FlatSetAssociativeTable`; far beyond any
+#: realistic run, but finite so wraparound renormalisation is a tested code
+#: path rather than dead code.
+DEFAULT_STAMP_LIMIT = 1 << 60
+
+
+def pack_prefetch(block: int, to_l1: bool) -> int:
+    """Pack one prefetch target into the flat-kernel integer format."""
+    return (block << 1) | (1 if to_l1 else 0)
+
+
+def unpack_prefetch(packed: int) -> Tuple[int, PrefetchHint]:
+    """Inverse of :func:`pack_prefetch`: ``(block, hint)``."""
+    return packed >> 1, (PrefetchHint.L1 if packed & 1 else PrefetchHint.L2)
+
+
+class FlatSetAssociativeTable:
+    """Set-associative table over preallocated columns (no per-entry objects).
+
+    Geometry is fixed at construction: ``sets * ways`` slots.  Slot ``s`` of
+    set ``i`` lives at column index ``i * ways + s``.  ``tags`` and
+    ``stamps`` are ``array('q')`` columns, ``valid`` is a bytearray; payload
+    columns are registered with :meth:`add_column` and indexed by the slot
+    numbers this class hands out.  A shared ``(set, tag) → slot`` dict
+    accelerates lookups; replacement is true LRU via monotonically
+    increasing stamps (min-stamp scan over the set's ways on eviction,
+    which is why this class suits small associativities — the fully
+    associative tables use :class:`FlatLRUTable` instead).
+
+    Replacement order is identical to the ``OrderedDict`` tables in
+    :mod:`repro.prefetchers.tables`: every touch assigns a fresh, strictly
+    larger stamp, so "minimum stamp" is exactly "least recently used".
+    When the stamp clock reaches ``stamp_limit`` the stamps of all valid
+    slots are renormalised to ``0..n-1`` in LRU order (wraparound safety;
+    exercised by the unit tests with a tiny limit).
+    """
+
+    __slots__ = (
+        "sets", "ways", "size", "tags", "valid", "stamps",
+        "_index", "_clock", "_stamp_limit", "evictions", "columns",
+    )
+
+    def __init__(self, sets: int, ways: int,
+                 stamp_limit: int = DEFAULT_STAMP_LIMIT) -> None:
+        if sets <= 0 or ways <= 0:
+            raise ValueError("sets and ways must be positive")
+        self.sets = sets
+        self.ways = ways
+        self.size = sets * ways
+        self.tags = array("q", bytes(8 * self.size))
+        self.valid = bytearray(self.size)
+        self.stamps = array("q", bytes(8 * self.size))
+        self._index: Dict[Tuple[int, int], int] = {}
+        self._clock = 0
+        self._stamp_limit = stamp_limit
+        self.evictions = 0
+        self.columns: Dict[str, list] = {}
+
+    # ------------------------------------------------------------------ #
+    def add_column(self, name: str, fill=0) -> list:
+        """Register (and return) a payload column initialised to ``fill``."""
+        column = [fill] * self.size
+        self.columns[name] = column
+        return column
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def _tick(self) -> int:
+        clock = self._clock
+        if clock >= self._stamp_limit:
+            self._renormalize()
+            clock = self._clock
+        self._clock = clock + 1
+        return clock
+
+    def _renormalize(self) -> None:
+        """Re-stamp all valid slots to ``0..n-1`` preserving LRU order."""
+        stamps = self.stamps
+        live = sorted(
+            (slot for slot in range(self.size) if self.valid[slot]),
+            key=stamps.__getitem__,
+        )
+        for rank, slot in enumerate(live):
+            stamps[slot] = rank
+        self._clock = len(live)
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, set_index: int, tag: int, touch: bool = True) -> int:
+        """Slot of ``(set_index, tag)``, or -1; refreshes LRU unless told not to."""
+        slot = self._index.get((set_index, tag), -1)
+        if slot >= 0 and touch:
+            self.stamps[slot] = self._tick()
+        return slot
+
+    def touch(self, slot: int) -> None:
+        """Mark ``slot`` most recently used."""
+        self.stamps[slot] = self._tick()
+
+    def insert(self, set_index: int, tag: int) -> Tuple[int, Optional[int]]:
+        """Claim a slot for ``(set_index, tag)``; return ``(slot, evicted_tag)``.
+
+        Payload columns are *not* cleared: on eviction the caller reads the
+        victim's payload from the returned slot before overwriting it.
+        Inserting an existing tag refreshes its LRU position and returns
+        its current slot (payload again untouched — caller overwrites).
+        """
+        index = self._index
+        key = (set_index, tag)
+        slot = index.get(key, -1)
+        if slot >= 0:
+            self.stamps[slot] = self._tick()
+            return slot, None
+        base = set_index * self.ways
+        valid = self.valid
+        evicted_tag: Optional[int] = None
+        victim = -1
+        for slot in range(base, base + self.ways):
+            if not valid[slot]:
+                victim = slot
+                break
+        if victim < 0:
+            stamps = self.stamps
+            victim = base
+            best = stamps[base]
+            for slot in range(base + 1, base + self.ways):
+                if stamps[slot] < best:
+                    best = stamps[slot]
+                    victim = slot
+            evicted_tag = self.tags[victim]
+            del index[(set_index, evicted_tag)]
+            self.evictions += 1
+        self.tags[victim] = tag
+        valid[victim] = 1
+        index[key] = victim
+        self.stamps[victim] = self._tick()
+        return victim, evicted_tag
+
+    def remove(self, set_index: int, tag: int) -> int:
+        """Invalidate ``(set_index, tag)``; returns its old slot or -1."""
+        slot = self._index.pop((set_index, tag), -1)
+        if slot >= 0:
+            self.valid[slot] = 0
+        return slot
+
+    def lru_tag(self, set_index: int) -> Optional[int]:
+        """Tag of the set's least recently used valid slot (None when empty)."""
+        base = set_index * self.ways
+        stamps = self.stamps
+        victim = -1
+        best = None
+        for slot in range(base, base + self.ways):
+            if self.valid[slot] and (best is None or stamps[slot] < best):
+                best = stamps[slot]
+                victim = slot
+        return None if victim < 0 else self.tags[victim]
+
+    def clear(self) -> None:
+        """Invalidate every slot (payload columns left stale, as on evict)."""
+        self._index.clear()
+        self.valid[:] = bytearray(self.size)
+        self._clock = 0
+
+
+class FlatLRUTable:
+    """Fully-associative LRU table over parallel payload columns.
+
+    ``index`` maps key → slot and its *insertion order is the LRU order*
+    (Python dicts preserve insertion; a touch deletes and re-inserts the
+    key, the victim is ``next(iter(index))``) — the exact order
+    :class:`repro.prefetchers.tables.LRUTable` maintains via
+    ``OrderedDict``.  Hot paths bind ``index`` and the columns directly and
+    inline the few dict operations; the methods here serve cold paths and
+    tests.
+    """
+
+    __slots__ = ("capacity", "index", "free", "columns", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("table capacity must be positive")
+        self.capacity = capacity
+        self.index: Dict[int, int] = {}
+        #: Unused slots, popped on insert; refilled by remove()/clear().
+        self.free: List[int] = list(range(capacity - 1, -1, -1))
+        self.columns: Dict[str, list] = {}
+        self.evictions = 0
+
+    def add_column(self, name: str, fill=0) -> list:
+        """Register (and return) a payload column initialised to ``fill``."""
+        column = [fill] * self.capacity
+        self.columns[name] = column
+        return column
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self.index
+
+    def lookup(self, key: int, touch: bool = True) -> int:
+        """Slot of ``key`` or -1; refreshes LRU on hit unless ``touch=False``."""
+        index = self.index
+        slot = index.get(key, -1)
+        if slot >= 0 and touch:
+            del index[key]
+            index[key] = slot
+        return slot
+
+    def insert(self, key: int) -> Tuple[int, Optional[int]]:
+        """Claim a slot for a *new* ``key``; return ``(slot, evicted_key)``.
+
+        Payload columns are not cleared — on eviction the caller reads the
+        victim's payload from the returned slot before overwriting.
+        """
+        free = self.free
+        index = self.index
+        if free:
+            slot = free.pop()
+            index[key] = slot
+            return slot, None
+        evicted_key = next(iter(index))
+        slot = index.pop(evicted_key)
+        self.evictions += 1
+        index[key] = slot
+        return slot, evicted_key
+
+    def remove(self, key: int) -> int:
+        """Drop ``key``; returns its slot (recycled onto the free list) or -1."""
+        slot = self.index.pop(key, -1)
+        if slot >= 0:
+            self.free.append(slot)
+        return slot
+
+    def keys_lru_to_mru(self) -> List[int]:
+        """Keys in LRU → MRU order (dict insertion order)."""
+        return list(self.index)
+
+    def clear(self) -> None:
+        """Drop every entry and rebuild the free list (both in place, so
+        hot-path bindings of ``index``/``free`` stay valid)."""
+        self.index.clear()
+        free = self.free
+        free.clear()
+        free.extend(range(self.capacity - 1, -1, -1))
+
+
+# ===================================================================== #
+# vBerti on flat state
+# ===================================================================== #
+class FlatBertiPrefetcher(Prefetcher):
+    """Bit-exact vBerti on a :class:`FlatLRUTable` with packed delta scores.
+
+    Differences from :class:`repro.prefetchers.berti.BertiPrefetcher` are
+    purely representational: per-PC state lives in table columns instead of
+    ``_PCState`` dataclasses, each delta score is one packed int
+    (``occurrences << 20 | timely``) instead of a ``_DeltaScore`` object,
+    and ``train_flat`` emits packed prefetch integers.  A per-slot cached
+    maximum packed score lets the issue scan exit early when no delta can
+    clear the L2 confidence threshold — the skip condition evaluates the
+    same float comparison the object implementation would, on the maximal
+    score, so the emitted request stream is identical.
+    """
+
+    name = "vberti"
+
+    def __init__(
+        self,
+        pc_entries: int = 64,
+        history_per_pc: int = 16,
+        max_deltas_per_pc: int = 16,
+        page_window: int = 4,
+        l1_confidence: float = 0.65,
+        l2_confidence: float = 0.35,
+        max_prefetches_per_access: int = 4,
+        region_size: int = 4096,
+        fetch_latency: int = 60,
+    ) -> None:
+        self.pc_entries = pc_entries
+        self.history_per_pc = history_per_pc
+        self.max_deltas_per_pc = max_deltas_per_pc
+        self.page_window = page_window
+        self.l1_confidence = l1_confidence
+        self.l2_confidence = l2_confidence
+        self.max_prefetches_per_access = max_prefetches_per_access
+        self.region_size = region_size
+        self.blocks_per_page = region_size // 64
+        self.fetch_latency = fetch_latency
+        self._window_blocks = page_window * self.blocks_per_page
+        self.table = FlatLRUTable(pc_entries)
+        self._pc_index = self.table.index
+        self._pc_free = self.table.free
+        #: (block, cycle) tuples, chronological — same shape as the object
+        #: implementation's history (tuple iteration unpacks without
+        #: allocating, which parallel lists cannot beat in Python).
+        self._hist = self.table.add_column("history")
+        self._deltas = self.table.add_column("deltas")
+        self._rounds = self.table.add_column("rounds")
+        #: Max packed score per slot (occurrences dominate the packing, so
+        #: ``maxp >> 20`` is the maximal occurrence count).  Upper bound —
+        #: refreshed exactly on decay and weakest-eviction scans.
+        self._maxp = self.table.add_column("maxp")
+        for slot in range(pc_entries):
+            self._hist[slot] = []
+            self._deltas[slot] = {}
+        # Per-``rounds`` occurrence thresholds: the smallest occurrence
+        # count whose clamped confidence ``min(occ/rounds, 1.0)`` passes
+        # each threshold, found with the exact float comparisons the object
+        # implementation applies per delta.  Confidence is monotone in the
+        # occurrence count, so ``occ >= threshold[rounds]`` is equivalent to
+        # the per-delta division — the issue scan then runs entirely on
+        # ints.  ``rounds`` stays below 64 (it is halved when it reaches
+        # 64), and occurrences above ``rounds`` clamp to confidence 1.0, so
+        # scanning 0..rounds is exhaustive.
+        unreachable = 1 << 60
+        self._l2_occ_thr = l2_thr = [unreachable] * 64
+        self._l1_occ_thr = l1_thr = [unreachable] * 64
+        for r in range(1, 64):
+            for occ in range(r + 1):
+                conf = occ / r
+                if conf > 1.0:
+                    conf = 1.0
+                if l2_thr[r] == unreachable and conf >= l2_confidence:
+                    l2_thr[r] = occ
+                if l1_thr[r] == unreachable and conf >= l1_confidence:
+                    l1_thr[r] = occ
+        # Packed sort keys for issue candidates: ``min(occ, rounds)`` above
+        # an offset-biased delta.  The offset strictly exceeds the delta
+        # window, so keys order by (clamped confidence, delta) descending —
+        # exactly the float tuple sort's order (see train_flat).
+        self._cand_off = off = 1 << max(10, (self._window_blocks + 1).bit_length())
+        self._cand_shift = off.bit_length()
+        self._cand_mask = (1 << self._cand_shift) - 1
+
+    # ------------------------------------------------------------------ #
+    def train(
+        self, pc: int, address: int, cycle: int, result: Optional[AccessResult] = None
+    ) -> List[PrefetchRequest]:
+        latency = result.latency if result is not None else self.fetch_latency
+        packed = self.train_flat(pc, address, cycle, latency)
+        if not packed:
+            return []
+        l1 = PrefetchHint.L1
+        l2 = PrefetchHint.L2
+        return [
+            PrefetchRequest((p >> 1) * BLOCK_SIZE, l1 if p & 1 else l2, pc, "berti")
+            for p in packed
+        ]
+
+    def train_flat(
+        self, pc: int, address: int, cycle: int, latency: int
+    ) -> Optional[List[int]]:
+        """One train step; returns packed prefetches or None (see module doc)."""
+        block = address >> 6
+        key = pc & 0xFFFF
+        index = self._pc_index
+        slot = index.get(key, -1)
+        if slot < 0:
+            free = self._pc_free
+            if free:
+                slot = free.pop()
+            else:
+                evicted = next(iter(index))
+                slot = index.pop(evicted)
+                self._hist[slot].clear()
+                self._deltas[slot].clear()
+                self._rounds[slot] = 0
+                self._maxp[slot] = 0
+            index[key] = slot
+        else:
+            del index[key]
+            index[key] = slot
+
+        history = self._hist[slot]
+        deltas = self._deltas[slot]
+        rounds = self._rounds[slot]
+        maxp = self._maxp[slot]
+
+        # ---- learn (exact port of BertiPrefetcher._learn_deltas) ----- #
+        if history:
+            window_blocks = self._window_blocks
+            neg_window = -window_blocks
+            timely_threshold = cycle - latency
+            seen = set()
+            seen_add = seen.add
+            deltas_get = deltas.get
+            max_deltas = self.max_deltas_per_pc
+            for past_block, past_cycle in history:
+                delta = block - past_block
+                if (
+                    delta == 0
+                    or delta > window_blocks
+                    or delta < neg_window
+                    or delta in seen
+                ):
+                    continue
+                seen_add(delta)
+                packed_score = deltas_get(delta)
+                if packed_score is None:
+                    if len(deltas) >= max_deltas:
+                        # Replace the weakest delta (lowest confidence;
+                        # first in insertion order on ties) — and refresh
+                        # the cached max while we walk the table anyway.
+                        # ``rounds`` is constant across the scan, so the
+                        # clamped confidence ``min(occ/rounds, 1.0)`` is
+                        # order-isomorphic to ``min(occ, rounds)`` (equal
+                        # confidences have equal clamped occurrence counts
+                        # and vice versa): the victim from this pure-int
+                        # scan is identical, float divisions and all.
+                        # Keys are never below 1 (occurrences start at 1),
+                        # so the first entry reaching key 1 is the victim
+                        # outright — ties break to the earliest insertion,
+                        # and nothing later can be smaller.  ``maxp`` is
+                        # only an upper bound and is refreshed exactly at
+                        # decay, so the scan need not maintain it.
+                        if rounds:
+                            weakest = None
+                            weakest_key = unreachable = 1 << 60
+                            for d, s in deltas.items():
+                                occ = s >> 20
+                                k = occ if occ < rounds else rounds
+                                if k < weakest_key:
+                                    weakest_key = k
+                                    weakest = d
+                                    if k <= 1:
+                                        break
+                        else:
+                            weakest = next(iter(deltas))
+                        del deltas[weakest]
+                    new_score = _OCC_ONE + (past_cycle <= timely_threshold)
+                else:
+                    new_score = (
+                        packed_score + _OCC_ONE + (past_cycle <= timely_threshold)
+                    )
+                deltas[delta] = new_score
+                if new_score > maxp:
+                    maxp = new_score
+        rounds += 1
+        if not rounds & 63:
+            rounds >>= 1
+            maxp = 0
+            for d, p in deltas.items():
+                occ = (p >> 20) >> 1
+                p = ((occ if occ else 1) << 20) | ((p & _TIMELY_MASK) >> 1)
+                deltas[d] = p
+                if p > maxp:
+                    maxp = p
+        self._rounds[slot] = rounds
+        self._maxp[slot] = maxp
+
+        history.append((block, cycle))
+        if len(history) > self.history_per_pc:
+            del history[0]
+
+        # ---- issue (exact port of BertiPrefetcher._issue) ------------ #
+        if not rounds:
+            return None
+        # Early exit: the maximal score cannot clear the L2 threshold — the
+        # same test _issue applies to every delta, applied to the best one
+        # (via the precomputed occurrence threshold, see __init__).
+        max_occ = maxp >> 20
+        thr_l2 = self._l2_occ_thr[rounds]
+        if max_occ < 2 or max_occ < thr_l2:
+            return None
+        cand_off = self._cand_off
+        cand_shift = self._cand_shift
+        candidates: List[int] = []
+        cand_append = candidates.append
+        for delta, p in deltas.items():
+            occurrences = p >> 20
+            if occurrences < 2 or occurrences < thr_l2:
+                continue
+            k = occurrences if occurrences < rounds else rounds
+            cand_append((k << cand_shift) | (delta + cand_off))
+        if not candidates:
+            return None
+        candidates.sort(reverse=True)
+        out: List[int] = []
+        out_append = out.append
+        window_blocks = self._window_blocks
+        thr_l1 = self._l1_occ_thr[rounds]
+        cand_mask = self._cand_mask
+        for ck in candidates[: self.max_prefetches_per_access]:
+            delta = (ck & cand_mask) - cand_off
+            target = block + delta
+            if target < 0 or abs(delta) > window_blocks:
+                continue
+            hint_bit = 0
+            p = deltas[delta]
+            occurrences = p >> 20
+            # ``timely/occ >= 0.5`` is exactly ``2*timely >= occ``: 0.5 is
+            # a power of two and the true ratio is at least 1/(2*occ) away
+            # from it whenever the integer test disagrees, far outside
+            # rounding range.
+            if occurrences >= thr_l1 and 2 * (p & _TIMELY_MASK) >= occurrences:
+                hint_bit = 1
+            out_append((target << 1) | hint_bit)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def storage_bits(self) -> int:
+        # Identical accounting to BertiPrefetcher.storage_bits().
+        per_pc = 16 + self.history_per_pc * (7 + 12) + self.max_deltas_per_pc * 16
+        return self.pc_entries * per_pc
+
+    def reset(self) -> None:
+        self.table.clear()
+        for slot in range(self.pc_entries):
+            self._hist[slot].clear()
+            self._deltas[slot].clear()
+            self._rounds[slot] = 0
+            self._maxp[slot] = 0
+
+
+# ===================================================================== #
+# Gaze on flat state
+# ===================================================================== #
+class FlatGazePrefetcher(Prefetcher):
+    """Bit-exact Gaze on flat tables with bitmask prefetch-buffer patterns.
+
+    FT/AT live in :class:`FlatLRUTable` columns; the PHT is a
+    :class:`FlatSetAssociativeTable` (4-way, stamp LRU); the PB keeps three
+    exclusive per-slot bitmasks (TO_L1 / TO_L2 / ISSUED) plus an
+    issued-to-L1 mask, so pattern merges and stage-1 application are O(1)
+    mask operations and ``pop_requests`` walks set bits in ascending order
+    — exactly the order (and state transitions) of
+    :class:`repro.core.prefetch_buffer.GazePrefetchBuffer`.  The streaming
+    module (DPCT/DC) is reused as-is: it only runs on region activation
+    and deactivation.
+
+    Only power-of-two-friendly geometries take the flat path (the registry
+    falls back to the object implementation otherwise): ``region_size``
+    must be a multiple of 64 so packed block numbers reconstruct the exact
+    byte addresses ``address_from_region_offset`` would produce.
+    """
+
+    name = "gaze"
+
+    def __init__(self, config=None) -> None:
+        from repro.core.gaze import GazeConfig
+
+        self.config = config if config is not None else GazeConfig()
+        cfg = self.config
+        if cfg.region_size % BLOCK_SIZE:
+            raise ValueError(
+                "FlatGazePrefetcher requires region_size to be a multiple of "
+                f"the {BLOCK_SIZE}-byte block size; got {cfg.region_size}"
+            )
+        blocks = cfg.blocks_per_region
+        self._blocks = blocks
+        self._region_size = cfg.region_size
+        if cfg.region_size & (cfg.region_size - 1) == 0:
+            self._region_shift = cfg.region_size.bit_length() - 1
+            self._offset_mask = blocks - 1
+        else:
+            self._region_shift = None
+            self._offset_mask = None
+        self._full_mask = (1 << blocks) - 1
+        self._enable_streaming = cfg.enable_streaming_module
+        self._enable_pht = cfg.enable_pht
+        self._stride_backup = cfg.enable_stride_backup
+        self._pb_limit = cfg.pb_issue_per_access
+        self._promo_steps = tuple(
+            range(cfg.promotion_skip + 1, cfg.promotion_skip + cfg.promotion_degree + 1)
+        )
+        head = min(cfg.streaming_head_blocks, blocks)
+        self._head_mask = (1 << head) - 1
+        self._tail_mask = self._full_mask ^ self._head_mask
+
+        # Filter table: regions touched once.
+        self.filter_table = FlatLRUTable(cfg.filter_entries)
+        self._ft_index = self.filter_table.index
+        self._ft_free = self.filter_table.free
+        self._ft_pc = self.filter_table.add_column("trigger_pc")
+        self._ft_off = self.filter_table.add_column("trigger_offset")
+
+        # Accumulation table: actively tracked regions.
+        self.accumulation_table = FlatLRUTable(cfg.accumulation_entries)
+        self._at_index = self.accumulation_table.index
+        self._at_free = self.accumulation_table.free
+        self._at_region = self.accumulation_table.add_column("region")
+        self._at_pc = self.accumulation_table.add_column("trigger_pc")
+        self._at_trig = self.accumulation_table.add_column("trigger_offset")
+        self._at_second = self.accumulation_table.add_column("second_offset")
+        self._at_foot = self.accumulation_table.add_column("footprint")
+        self._at_last = self.accumulation_table.add_column("last_offset", -1)
+        self._at_penult = self.accumulation_table.add_column("penultimate_offset", -1)
+        self._at_stride = self.accumulation_table.add_column("stride_flag")
+
+        # Pattern history table: 4-way set-associative, stamp LRU.
+        if cfg.pht_entries % cfg.pht_ways:
+            raise ValueError("PHT entries must be a multiple of the associativity")
+        self._pht_sets = cfg.pht_entries // cfg.pht_ways
+        self.pht = FlatSetAssociativeTable(self._pht_sets, cfg.pht_ways)
+        self._pht_foot = self.pht.add_column("footprint")
+        self.pht_lookups = 0
+        self.pht_hits = 0
+        self.pht_updates = 0
+
+        # Prefetch buffer: per-region pattern bitmasks.
+        self.prefetch_buffer = FlatLRUTable(cfg.prefetch_buffer_entries)
+        self._pb_index = self.prefetch_buffer.index
+        self._pb_free = self.prefetch_buffer.free
+        self._pb_l1 = self.prefetch_buffer.add_column("to_l1")
+        self._pb_l2 = self.prefetch_buffer.add_column("to_l2")
+        self._pb_issued = self.prefetch_buffer.add_column("issued")
+        self._pb_issued_l1 = self.prefetch_buffer.add_column("issued_l1")
+        self._pb_pending = self.prefetch_buffer.add_column("pending")
+
+        from repro.core.dense_tracker import StreamingModule
+
+        self.streaming = StreamingModule(
+            dpct_entries=cfg.dpct_entries, dc_bits=cfg.dense_counter_bits
+        )
+
+        # (pc, metadata) of the most recent train_flat() emission, read by
+        # the train() compatibility wrapper — each call emits requests from
+        # exactly one source path, so one pair per call suffices.
+        self._req_pc = 0
+        self._req_meta = ""
+
+        # Introspection counters used by the analysis figures/tests.
+        self.pht_predictions = 0
+        self.streaming_predictions = 0
+        self.backup_activations = 0
+        self.promotions = 0
+
+    # ------------------------------------------------------------------ #
+    def train(
+        self, pc: int, address: int, cycle: int, result: Optional[AccessResult] = None
+    ) -> List[PrefetchRequest]:
+        packed = self.train_flat(pc, address, cycle, 0)
+        if not packed:
+            return []
+        l1 = PrefetchHint.L1
+        l2 = PrefetchHint.L2
+        req_pc = self._req_pc
+        meta = self._req_meta
+        return [
+            PrefetchRequest((p >> 1) * BLOCK_SIZE, l1 if p & 1 else l2, req_pc, meta)
+            for p in packed
+        ]
+
+    def train_flat(
+        self, pc: int, address: int, cycle: int, latency: int
+    ) -> Optional[List[int]]:
+        """One train step; returns packed prefetches or None (see module doc)."""
+        region_shift = self._region_shift
+        if region_shift is not None:
+            region = address >> region_shift
+            offset = (address >> 6) & self._offset_mask
+        else:
+            region = address // self._region_size
+            offset = (address % self._region_size) >> 6
+
+        at_index = self._at_index
+        slot = at_index.get(region, -1)
+        if slot >= 0:
+            del at_index[region]
+            at_index[region] = slot
+            if self._at_stride[slot] and self._stride_backup:
+                self._promote_tracked(slot, offset)
+            self._at_foot[slot] |= 1 << offset
+            at_last = self._at_last
+            last = at_last[slot]
+            if offset != last:
+                self._at_penult[slot] = last
+                at_last[slot] = offset
+            pb_index = self._pb_index
+            pslot = pb_index.get(region, -1)
+            if pslot < 0:
+                return None
+            del pb_index[region]
+            pb_index[region] = pslot
+            if not self._pb_pending[pslot]:
+                return None
+            self._req_pc = pc
+            self._req_meta = "gaze-promo"
+            return self._pop_requests(pslot, region)
+
+        ft_index = self._ft_index
+        fslot = ft_index.get(region, -1)
+        if fslot >= 0:
+            del ft_index[region]
+            trigger_offset = self._ft_off[fslot]
+            if trigger_offset == offset:
+                ft_index[region] = fslot
+                return None
+            self._ft_free.append(fslot)
+            return self._activate(region, self._ft_pc[fslot], trigger_offset,
+                                  offset, pc)
+
+        # First touch of an unknown region: allocate an FT entry (silent
+        # LRU eviction, matching GazeFilterTable.insert).
+        free = self._ft_free
+        if free:
+            fslot = free.pop()
+        else:
+            evicted = next(iter(ft_index))
+            fslot = ft_index.pop(evicted)
+        ft_index[region] = fslot
+        self._ft_pc[fslot] = pc
+        self._ft_off[fslot] = offset
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Region activation (second access)
+    # ------------------------------------------------------------------ #
+    def _activate(
+        self, region: int, trigger_pc: int, trigger_offset: int,
+        second_offset: int, second_pc: int,
+    ) -> Optional[List[int]]:
+        from repro.core.dense_tracker import StreamingConfidence
+
+        stride_flag = False
+        if trigger_offset == 0 and second_offset == 1:
+            if self._enable_streaming:
+                stride_flag = True
+                confidence = self.streaming.confidence(trigger_pc)
+                exclude = (1 << trigger_offset) | (1 << second_offset)
+                if confidence is StreamingConfidence.HIGH:
+                    self._pb_add(region, self._head_mask, self._tail_mask, exclude)
+                elif confidence is StreamingConfidence.MODERATE:
+                    self._pb_add(region, 0, self._head_mask, exclude)
+                if confidence is not StreamingConfidence.NONE:
+                    self.streaming_predictions += 1
+            elif self._enable_pht:
+                stride_flag = not self._pht_predict(
+                    region, trigger_offset, second_offset
+                )
+            else:
+                stride_flag = True
+        elif self._enable_pht:
+            matched = self._pht_predict(region, trigger_offset, second_offset)
+            stride_flag = not matched and self._stride_backup
+        else:
+            stride_flag = self._stride_backup
+
+        at_index = self._at_index
+        free = self._at_free
+        if free:
+            slot = free.pop()
+        else:
+            evicted = next(iter(at_index))
+            slot = at_index.pop(evicted)
+            self._learn_slot(slot)
+        at_index[region] = slot
+        self._at_region[slot] = region
+        self._at_pc[slot] = trigger_pc
+        self._at_trig[slot] = trigger_offset
+        self._at_second[slot] = second_offset
+        # record(trigger) then record(second); the offsets always differ.
+        self._at_foot[slot] = (1 << trigger_offset) | (1 << second_offset)
+        self._at_penult[slot] = trigger_offset
+        self._at_last[slot] = second_offset
+        self._at_stride[slot] = 1 if stride_flag else 0
+
+        pb_index = self._pb_index
+        pslot = pb_index.get(region, -1)
+        if pslot < 0:
+            return None
+        del pb_index[region]
+        pb_index[region] = pslot
+        if not self._pb_pending[pslot]:
+            return None
+        self._req_pc = trigger_pc
+        self._req_meta = "gaze"
+        return self._pop_requests(pslot, region)
+
+    def _pht_predict(
+        self, region: int, trigger_offset: int, second_offset: int
+    ) -> bool:
+        self.pht_lookups += 1
+        pht = self.pht
+        slot = pht._index.get((trigger_offset % self._pht_sets, second_offset), -1)
+        if slot < 0:
+            return False
+        pht.touch(slot)
+        self.pht_hits += 1
+        self.pht_predictions += 1
+        footprint = self._pht_foot[slot]
+        exclude = (1 << trigger_offset) | (1 << second_offset)
+        self._pb_add(region, footprint & self._full_mask, 0, exclude)
+        return True
+
+    def _pht_learn(
+        self, trigger_offset: int, second_offset: int, footprint: int
+    ) -> None:
+        self.pht_updates += 1
+        slot, _evicted = self.pht.insert(
+            trigger_offset % self._pht_sets, second_offset
+        )
+        self._pht_foot[slot] = footprint
+
+    # ------------------------------------------------------------------ #
+    # Prefetch buffer (bitmask patterns)
+    # ------------------------------------------------------------------ #
+    def _pb_slot(self, region: int) -> int:
+        """Get-or-create the PB slot of ``region`` (LRU touch / eviction)."""
+        pb_index = self._pb_index
+        pslot = pb_index.get(region, -1)
+        if pslot >= 0:
+            del pb_index[region]
+            pb_index[region] = pslot
+            return pslot
+        free = self._pb_free
+        if free:
+            pslot = free.pop()
+        else:
+            evicted = next(iter(pb_index))
+            pslot = pb_index.pop(evicted)
+            self._pb_l1[pslot] = 0
+            self._pb_l2[pslot] = 0
+            self._pb_issued[pslot] = 0
+            self._pb_issued_l1[pslot] = 0
+            self._pb_pending[pslot] = 0
+        pb_index[region] = pslot
+        return pslot
+
+    def _pb_add(
+        self, region: int, l1_mask: int, l2_mask: int, exclude: int
+    ) -> None:
+        """Mask form of GazePrefetchBuffer.add_pattern (L2 merge, then L1)."""
+        pslot = self._pb_slot(region)
+        m1 = self._pb_l1[pslot]
+        m2 = self._pb_l2[pslot]
+        issued = self._pb_issued[pslot]
+        pending = self._pb_pending[pslot]
+        if l2_mask:
+            new_l2 = l2_mask & ~exclude & ~(m1 | m2 | issued)
+            if new_l2:
+                m2 |= new_l2
+                pending += new_l2.bit_count()
+        if l1_mask:
+            el1 = l1_mask & ~exclude & ~issued
+            if el1:
+                pending += (el1 & ~(m1 | m2)).bit_count()
+                m1 |= el1
+                m2 &= ~el1
+        self._pb_l1[pslot] = m1
+        self._pb_l2[pslot] = m2
+        self._pb_pending[pslot] = pending
+
+    def _pop_requests(self, pslot: int, region: int) -> Optional[List[int]]:
+        """Mask form of GazePrefetchBuffer.pop_requests: ascending offsets."""
+        m1 = self._pb_l1[pslot]
+        pending_mask = m1 | self._pb_l2[pslot]
+        base_block = (region * self._region_size) >> 6
+        out: List[int] = []
+        out_append = out.append
+        taken = 0
+        taken_l1 = 0
+        limit = self._pb_limit
+        count = 0
+        while pending_mask and count < limit:
+            low = pending_mask & -pending_mask
+            pending_mask ^= low
+            taken |= low
+            if m1 & low:
+                taken_l1 |= low
+                out_append(((base_block + low.bit_length() - 1) << 1) | 1)
+            else:
+                out_append((base_block + low.bit_length() - 1) << 1)
+            count += 1
+        if not count:
+            return None
+        self._pb_l1[pslot] = m1 & ~taken
+        self._pb_l2[pslot] &= ~taken
+        self._pb_issued[pslot] |= taken
+        self._pb_issued_l1[pslot] = (self._pb_issued_l1[pslot] & ~taken) | taken_l1
+        self._pb_pending[pslot] -= count
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Stage-2 promotion / stride backup
+    # ------------------------------------------------------------------ #
+    def _promote_tracked(self, slot: int, offset: int) -> None:
+        last = self._at_last[slot]
+        penult = self._at_penult[slot]
+        if last < 0 or penult < 0 or offset == last:
+            return
+        stride = last - penult
+        if stride != offset - last or stride == 0:
+            return
+        blocks = self._blocks
+        mask = 0
+        for step in self._promo_steps:
+            target = offset + stride * step
+            if 0 <= target < blocks:
+                mask |= 1 << target
+        if not mask:
+            return
+        pslot = self._pb_slot(self._at_region[slot])
+        # promote(): skip offsets whose last issue was to the L1; everything
+        # else upgrades to TO_L1 (clearing ISSUED), counting toward pending
+        # when the previous state was NONE or ISSUED.
+        cand = mask & ~self._pb_issued_l1[pslot]
+        if not cand:
+            return
+        m1 = self._pb_l1[pslot]
+        m2 = self._pb_l2[pslot]
+        self._pb_pending[pslot] += (cand & ~(m1 | m2)).bit_count()
+        self._pb_l1[pslot] = m1 | cand
+        self._pb_l2[pslot] = m2 & ~cand
+        self._pb_issued[pslot] &= ~cand
+        self.promotions += 1
+        if (self._at_foot[slot] & self._full_mask) != self._full_mask:
+            self.backup_activations += 1
+
+    # ------------------------------------------------------------------ #
+    # Learning / deactivation
+    # ------------------------------------------------------------------ #
+    def _learn_slot(self, slot: int) -> None:
+        trigger_offset = self._at_trig[slot]
+        second_offset = self._at_second[slot]
+        if trigger_offset == 0 and second_offset == 1 and self._enable_streaming:
+            footprint = self._at_foot[slot] & self._full_mask
+            self.streaming.learn(
+                self._at_pc[slot], fully_dense=footprint == self._full_mask
+            )
+            return
+        if self._enable_pht:
+            self._pht_learn(trigger_offset, second_offset, self._at_foot[slot])
+
+    def on_cache_eviction(self, block: int) -> None:
+        """Deactivate the block's region when one of its lines leaves the L1D."""
+        region_shift = self._region_shift
+        if region_shift is not None:
+            region = block >> (region_shift - 6)
+        else:
+            region = (block << 6) // self._region_size
+        slot = self._at_index.pop(region, -1)
+        if slot >= 0:
+            self._learn_slot(slot)
+            self._at_free.append(slot)
+
+    def drain(self) -> None:
+        """Deactivate all tracked regions (learns their footprints)."""
+        for region in list(self._at_index):
+            slot = self._at_index.pop(region)
+            self._learn_slot(slot)
+            self._at_free.append(slot)
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def pht_hit_rate(self) -> float:
+        """Fraction of PHT lookups that found a strictly-matching pattern."""
+        if not self.pht_lookups:
+            return 0.0
+        return self.pht_hits / self.pht_lookups
+
+    def storage_bits(self) -> int:
+        """Identical accounting to GazePrefetcher.storage_bits (Table I)."""
+        cfg = self.config
+        blocks = cfg.blocks_per_region
+        ft = cfg.filter_entries * (36 + 3 + 12 + 6)
+        at = cfg.accumulation_entries * (36 + 3 + 12 + 1 + 1 + 4 * 6 + blocks)
+        pht = cfg.pht_entries * (6 + 2 + blocks)
+        streaming = self.streaming.storage_bits()
+        pb = cfg.prefetch_buffer_entries * (36 + 3 + blocks * 2)
+        return ft + at + pht + streaming + pb
+
+    def reset(self) -> None:
+        """Clear all internal state."""
+        self.filter_table.clear()
+        self.accumulation_table.clear()
+        self.prefetch_buffer.clear()
+        for column in self.prefetch_buffer.columns.values():
+            for i in range(len(column)):
+                column[i] = 0
+        self.pht.clear()
+        self.streaming.reset()
+        self.pht_lookups = 0
+        self.pht_hits = 0
+        self.pht_updates = 0
+        self.pht_predictions = 0
+        self.streaming_predictions = 0
+        self.backup_activations = 0
+        self.promotions = 0

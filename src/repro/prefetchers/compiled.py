@@ -1,0 +1,186 @@
+"""Compiled-kernel wrappers around the flat prefetchers.
+
+When the optional C extension :mod:`repro._kernels` has been built
+(``python setup.py build_ext --inplace``), this module exposes twins of
+:class:`~repro.prefetchers.arrays.FlatBertiPrefetcher` and
+:class:`~repro.prefetchers.arrays.FlatGazePrefetcher` whose ``train_flat``
+hot path runs entirely in C.  The Python flat implementations remain the
+bit-exact oracle; the C kernels replicate every LRU touch, eviction order
+and threshold comparison (all float thresholds are precomputed here with
+the exact float comparisons and passed to C as integer tables).
+
+Selection is *opt-in* via the ``kernel="compiled"`` knob on
+:func:`repro.sim.simulator.simulate_trace` / the ``--kernel`` CLI flag;
+:func:`compiled_twin` returns ``None`` whenever no compiled artifact
+exists or the prefetcher/geometry is not supported, so callers always
+fall back gracefully to the pure-Python tiers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.prefetchers.arrays import FlatBertiPrefetcher, FlatGazePrefetcher
+from repro.sim.types import BLOCK_SIZE, PrefetchHint, PrefetchRequest
+
+try:  # pragma: no cover - exercised only when the extension is built
+    from repro import _kernels
+except ImportError:  # plain source checkouts: pure-Python tiers only
+    _kernels = None
+
+
+def compiled_available() -> bool:
+    """Whether the :mod:`repro._kernels` extension is importable."""
+    return _kernels is not None
+
+
+class CompiledBertiPrefetcher(FlatBertiPrefetcher):
+    """vBerti whose train loop runs in the C kernel (bit-exact)."""
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if _kernels is None:
+            raise RuntimeError("repro._kernels extension is not built")
+        self._kernel = _kernels.BertiKernel(
+            pc_entries=self.pc_entries,
+            history_per_pc=self.history_per_pc,
+            max_deltas_per_pc=self.max_deltas_per_pc,
+            window_blocks=self._window_blocks,
+            max_prefetches=self.max_prefetches_per_access,
+            l2_occ_thr=self._l2_occ_thr,
+            l1_occ_thr=self._l1_occ_thr,
+            cand_off=self._cand_off,
+            cand_shift=self._cand_shift,
+        )
+        self.train_flat = self._kernel.train  # type: ignore[method-assign]
+
+    def reset(self) -> None:
+        super().reset()
+        self._kernel.reset()
+
+
+class CompiledGazePrefetcher(FlatGazePrefetcher):
+    """Gaze whose train/evict/drain paths run in the C kernel (bit-exact).
+
+    Requires ``blocks_per_region <= 64`` (region footprints are single
+    64-bit masks in C); :func:`compiled_twin` enforces the limit.
+
+    The introspection counters (``pht_lookups`` … ``promotions``) live on
+    the C side while training runs and sync onto the instance attributes
+    at the documented points: :meth:`drain` and ``pht_hit_rate`` access —
+    read them through either, not mid-stream.
+    """
+
+    _META = ("gaze", "gaze-promo")
+
+    def __init__(self, config=None) -> None:
+        super().__init__(config)
+        if _kernels is None:
+            raise RuntimeError("repro._kernels extension is not built")
+        cfg = self.config
+        if cfg.blocks_per_region > 64:
+            raise ValueError(
+                "CompiledGazePrefetcher requires blocks_per_region <= 64"
+            )
+        self._kernel = _kernels.GazeKernel(
+            blocks=cfg.blocks_per_region,
+            region_size=cfg.region_size,
+            filter_entries=cfg.filter_entries,
+            accumulation_entries=cfg.accumulation_entries,
+            pht_sets=self._pht_sets,
+            pht_ways=cfg.pht_ways,
+            prefetch_buffer_entries=cfg.prefetch_buffer_entries,
+            pb_limit=cfg.pb_issue_per_access,
+            promo_start=cfg.promotion_skip + 1,
+            promo_count=cfg.promotion_degree,
+            head_blocks=cfg.streaming_head_blocks,
+            dpct_entries=cfg.dpct_entries,
+            dc_bits=cfg.dense_counter_bits,
+            enable_streaming=int(cfg.enable_streaming_module),
+            enable_pht=int(cfg.enable_pht),
+            stride_backup=int(cfg.enable_stride_backup),
+        )
+        self._ktrain = self._kernel.train
+
+    def train_flat(
+        self, pc: int, address: int, cycle: int, latency: int
+    ) -> Optional[List[int]]:
+        return self._ktrain(pc, address)
+
+    def train(self, pc, address, cycle, result=None) -> List[PrefetchRequest]:
+        packed = self._ktrain(pc, address)
+        if not packed:
+            return []
+        req_pc, meta_code = self._kernel.origin()
+        meta = self._META[meta_code]
+        l1 = PrefetchHint.L1
+        l2 = PrefetchHint.L2
+        return [
+            PrefetchRequest((p >> 1) * BLOCK_SIZE, l1 if p & 1 else l2, req_pc, meta)
+            for p in packed
+        ]
+
+    def on_cache_eviction(self, block: int) -> None:
+        self._kernel.evict(block)
+
+    def drain(self) -> None:
+        self._kernel.drain()
+        self._sync_counters()
+
+    def _sync_counters(self) -> None:
+        """Copy the C-side introspection counters onto the instance."""
+        (
+            self.pht_lookups,
+            self.pht_hits,
+            self.pht_updates,
+            self.pht_predictions,
+            self.streaming_predictions,
+            self.backup_activations,
+            self.promotions,
+        ) = self._kernel.counters()
+
+    @property
+    def pht_hit_rate(self) -> float:
+        self._sync_counters()
+        if not self.pht_lookups:
+            return 0.0
+        return self.pht_hits / self.pht_lookups
+
+    def reset(self) -> None:
+        super().reset()
+        self._kernel.reset()
+
+
+def compiled_twin(prefetcher):
+    """A compiled twin of ``prefetcher``, or ``None`` when unavailable.
+
+    Returns a *fresh* instance configured identically (kernel selection
+    happens before any training, so no state transfer is needed).  The
+    compiled classes themselves pass through unchanged.
+    """
+    if _kernels is None:
+        return None
+    if isinstance(prefetcher, (CompiledBertiPrefetcher, CompiledGazePrefetcher)):
+        return prefetcher
+    if isinstance(prefetcher, FlatGazePrefetcher):
+        if prefetcher.config.blocks_per_region > 64:
+            return None
+        return CompiledGazePrefetcher(prefetcher.config)
+    if isinstance(prefetcher, FlatBertiPrefetcher):
+        if (
+            prefetcher.history_per_pc > 64
+            or prefetcher.max_deltas_per_pc > 64
+        ):
+            return None
+        return CompiledBertiPrefetcher(
+            pc_entries=prefetcher.pc_entries,
+            history_per_pc=prefetcher.history_per_pc,
+            max_deltas_per_pc=prefetcher.max_deltas_per_pc,
+            page_window=prefetcher.page_window,
+            l1_confidence=prefetcher.l1_confidence,
+            l2_confidence=prefetcher.l2_confidence,
+            max_prefetches_per_access=prefetcher.max_prefetches_per_access,
+            region_size=prefetcher.region_size,
+            fetch_latency=prefetcher.fetch_latency,
+        )
+    return None

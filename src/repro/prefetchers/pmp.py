@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.prefetchers.base import Prefetcher
-from repro.prefetchers.spatial_common import RegionTracker, rotate_footprint
+from repro.prefetchers.spatial_common import RegionTracker
 from repro.sim.types import (
     AccessResult,
     PrefetchHint,
@@ -53,12 +53,37 @@ class PMPPrefetcher(Prefetcher):
             [0] * self.blocks for _ in range(self.blocks)
         ]
         self.merge_counts: List[int] = [0] * self.blocks
+        self._block_mask = (1 << self.blocks) - 1
+        self._observe = self.tracker.observe
+        # Integer confidence thresholds: ``_l1_min[s]``/``_l2_min[s]`` is the
+        # smallest counter value whose confidence ``count / s`` clears the
+        # corresponding float threshold (computed here with the exact float
+        # comparison the prediction loop used to perform per block, so the
+        # all-integer hot loop below reproduces it bit-for-bit; counters
+        # never exceed the merge count, so scanning 0..max_confidence is
+        # exhaustive).
+        unreachable = 1 << 60
+        self._l1_min = [unreachable] * (max_confidence + 1)
+        self._l2_min = [unreachable] * (max_confidence + 1)
+        for scale in range(1, max_confidence + 1):
+            for count in range(max_confidence + 1):
+                confidence = count / scale
+                if (
+                    self._l2_min[scale] == unreachable
+                    and confidence >= l2_threshold
+                ):
+                    self._l2_min[scale] = count
+                if (
+                    self._l1_min[scale] == unreachable
+                    and confidence >= l1_threshold
+                ):
+                    self._l1_min[scale] = count
 
     # ------------------------------------------------------------------ #
     def train(
         self, pc: int, address: int, cycle: int, result: Optional[AccessResult] = None
     ) -> List[PrefetchRequest]:
-        trigger, _activation, deactivations, _entry = self.tracker.observe(pc, address)
+        trigger, _activation, deactivations, _entry = self._observe(pc, address)
 
         for event in deactivations:
             self._merge(event.trigger_offset, event.footprint)
@@ -66,6 +91,48 @@ class PMPPrefetcher(Prefetcher):
         if trigger is None:
             return []
         return self._predict(trigger.region, trigger.offset, trigger.pc)
+
+    def train_flat(
+        self, pc: int, address: int, cycle: int, latency: int
+    ) -> Optional[List[int]]:
+        """Packed-protocol twin of :meth:`train`.
+
+        Returns ``(block << 1) | to_l1`` ints (or ``None``) instead of
+        :class:`PrefetchRequest` objects — PMP emits several requests per
+        trigger, so skipping the object construction matters.  Identical
+        decisions in identical order.
+        """
+        trigger, _activation, deactivations, _entry = self._observe(pc, address)
+
+        for event in deactivations:
+            self._merge(event.trigger_offset, event.footprint)
+
+        if trigger is None:
+            return None
+        trigger_offset = trigger.offset
+        observed = self.merge_counts[trigger_offset]
+        if observed == 0:
+            return None
+        counters = self.offset_pattern_table[trigger_offset]
+        max_confidence = self.max_confidence
+        scale = observed if observed < max_confidence else max_confidence
+        l1_min = self._l1_min[scale]
+        l2_min = self._l2_min[scale]
+        blocks = self.blocks
+        anchor = self.anchor_patterns
+        base = trigger.region * blocks
+        packed: List[int] = []
+        append = packed.append
+        for block, count in enumerate(counters):
+            if count < l2_min:
+                continue
+            target_offset = (block + trigger_offset) % blocks if anchor else block
+            if target_offset == trigger_offset:
+                continue
+            append(
+                (base + target_offset) << 1 | (1 if count >= l1_min else 0)
+            )
+        return packed
 
     def on_cache_eviction(self, block: int) -> None:
         event = self.tracker.on_block_eviction(block)
@@ -75,32 +142,36 @@ class PMPPrefetcher(Prefetcher):
     def _merge(self, trigger_offset: int, footprint: int) -> None:
         blocks = self.blocks
         max_confidence = self.max_confidence
-        pattern = (
-            rotate_footprint(footprint, -trigger_offset, blocks)
-            if self.anchor_patterns
-            else footprint
-        )
+        block_mask = self._block_mask
+        # Inlined rotate_footprint(footprint, -trigger_offset): patterns are
+        # stored relative to their trigger.
+        pattern = footprint & block_mask
+        if self.anchor_patterns and trigger_offset:
+            pattern = (
+                (pattern << (blocks - trigger_offset))
+                | (pattern >> trigger_offset)
+            ) & block_mask
         counters = self.offset_pattern_table[trigger_offset]
-        merged = min(max_confidence, self.merge_counts[trigger_offset] + 1)
+        merged = self.merge_counts[trigger_offset] + 1
+        if merged > max_confidence:
+            merged = max_confidence
         self.merge_counts[trigger_offset] = merged
+        # Present blocks gain confidence — walk the set bits.
+        value = pattern
+        while value:
+            low = value & -value
+            block = low.bit_length() - 1
+            count = counters[block] + 1
+            counters[block] = count if count < max_confidence else max_confidence
+            value ^= low
         if merged >= max_confidence:
-            # Saturated: absent blocks decay, so every position is visited.
-            for block in range(blocks):
-                if pattern & (1 << block):
-                    count = counters[block] + 1
-                    counters[block] = (
-                        count if count < max_confidence else max_confidence
-                    )
-                elif counters[block] > 0:
-                    counters[block] -= 1
-        else:
-            # Warm-up: only present blocks change — walk the set bits.
-            value = pattern & ((1 << blocks) - 1)
+            # Saturated: absent blocks decay — walk the clear bits.
+            value = ~pattern & block_mask
             while value:
                 low = value & -value
                 block = low.bit_length() - 1
-                count = counters[block] + 1
-                counters[block] = count if count < max_confidence else max_confidence
+                if counters[block] > 0:
+                    counters[block] -= 1
                 value ^= low
 
     def _predict(
@@ -110,27 +181,24 @@ class PMPPrefetcher(Prefetcher):
         observed = self.merge_counts[trigger_offset]
         if observed == 0:
             return []
-        scale = min(observed, self.max_confidence)
+        max_confidence = self.max_confidence
+        scale = observed if observed < max_confidence else max_confidence
+        l1_min = self._l1_min[scale]
+        l2_min = self._l2_min[scale]
         requests: List[PrefetchRequest] = []
         blocks = self.blocks
         anchor = self.anchor_patterns
-        l1_threshold = self.l1_threshold
-        l2_threshold = self.l2_threshold
-        skip_zero = l2_threshold > 0.0
         region_base = region * self.region_size
         l1_hint = PrefetchHint.L1
         l2_hint = PrefetchHint.L2
         append = requests.append
         for block, count in enumerate(counters):
-            if not count and skip_zero:
-                continue
-            confidence = count / scale
-            if confidence < l2_threshold:
+            if count < l2_min:
                 continue
             target_offset = (block + trigger_offset) % blocks if anchor else block
             if target_offset == trigger_offset:
                 continue
-            hint = l1_hint if confidence >= l1_threshold else l2_hint
+            hint = l1_hint if count >= l1_min else l2_hint
             append(
                 PrefetchRequest(
                     region_base + (target_offset << 6), hint, pc, "pmp"

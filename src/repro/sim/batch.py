@@ -130,6 +130,83 @@ class BatchedTrace(Sequence):
         )
 
 
+#: Default accesses per chunk of :class:`ChunkedTraceStream`.  Each decoded
+#: access costs five ints plus a byte, so the default bounds the decode
+#: working set to well under a megabyte regardless of trace length.
+DEFAULT_CHUNK_ACCESSES = 8192
+
+
+class ChunkedTraceStream:
+    """Re-openable access source decoded into bounded-size batched chunks.
+
+    Bridges streamed traces (e.g. :class:`repro.workloads.formats.TraceFile`)
+    and the batched kernel: instead of materializing the whole trace (the
+    ``batch="on"`` trade) or falling back to the scalar kernel (the old
+    ``batch="auto"`` behaviour for files), the simulator pulls successive
+    :class:`BatchedTrace` chunks of at most ``chunk_accesses`` accesses —
+    the batched kernel's throughput at O(chunk) memory.
+
+    One pass = one iteration of ``source``; :meth:`next_chunk` returns
+    ``None`` at the end of a pass and re-opens the source on the following
+    call, so replay semantics (for bounded instruction budgets) match the
+    scalar streamed path exactly.
+    """
+
+    __slots__ = ("source", "chunk_accesses", "_iterator")
+
+    def __init__(self, source, chunk_accesses: int = DEFAULT_CHUNK_ACCESSES) -> None:
+        if chunk_accesses <= 0:
+            raise ValueError("chunk_accesses must be positive")
+        self.source = source
+        self.chunk_accesses = chunk_accesses
+        self._iterator: Optional[Iterator[MemoryAccess]] = None
+
+    def next_chunk(self) -> Optional[BatchedTrace]:
+        """Decode and return the next chunk of the current pass.
+
+        Returns ``None`` exactly once at the end of each pass (also for an
+        empty source); the next call starts a fresh pass.
+        """
+        if self._iterator is None:
+            self._iterator = iter(self.source)
+        iterator = self._iterator
+        addresses: List[int] = []
+        pcs: List[int] = []
+        gaps: List[int] = []
+        kinds = bytearray()
+        blocks: List[int] = []
+        total = 0
+        count = 0
+        limit = self.chunk_accesses
+        load = AccessType.LOAD
+        store = AccessType.STORE
+        for access in iterator:
+            address = access.address
+            gap = access.instr_gap
+            access_type = access.access_type
+            addresses.append(address)
+            pcs.append(access.pc)
+            gaps.append(gap)
+            kinds.append(
+                KIND_LOAD
+                if access_type is load
+                else (KIND_STORE if access_type is store else KIND_OTHER)
+            )
+            blocks.append(address >> BLOCK_SHIFT)
+            total += gap + 1
+            count += 1
+            if count >= limit:
+                break
+        if not count:
+            self._iterator = None
+            return None
+        return BatchedTrace(addresses, pcs, gaps, kinds, blocks, total)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        """A fresh scalar pass over the underlying source (for counting)."""
+        return iter(self.source)
+
+
 def decode_trace(source) -> Optional[BatchedTrace]:
     """Decode ``source`` into a :class:`BatchedTrace`, or ``None``.
 

@@ -36,16 +36,51 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
-from repro.sim.batch import BatchedTrace, decode_trace
-from repro.sim.cache import Cache, CacheBlock
+from repro.sim.batch import BatchedTrace, ChunkedTraceStream, decode_trace
+from repro.sim.cache import Cache, CacheBlock, MSHREntry
 from repro.sim.config import SystemConfig, default_system_config
 from repro.sim.cpu import CoreTimingModel
+from repro.sim.dram import DRAMModel
 from repro.sim.hierarchy import CacheHierarchy
 from repro.sim.stats import SimulationStats
-from repro.sim.types import AccessResult, AccessType, MemoryAccess
+from repro.sim.types import (
+    AccessResult,
+    AccessType,
+    MemoryAccess,
+    PrefetchHint,
+    PrefetchRequest,
+)
 
 #: Accepted values of the ``batch`` execution knob.
 BATCH_MODES = ("auto", "on", "off")
+
+#: Accepted values of the ``kernel`` execution knob: the prefetcher-state
+#: tier.  ``"auto"``/``"python"`` run the (pure-Python) tier the registry
+#: selected; ``"compiled"`` swaps flat-state prefetchers for their C twins
+#: when the optional :mod:`repro._kernels` extension is built, falling
+#: back silently otherwise.  All tiers are bit-exact, so this is purely a
+#: performance knob (and is excluded from job cache keys, like ``batch``).
+KERNEL_MODES = ("auto", "python", "compiled")
+
+
+def resolve_kernel(prefetcher, kernel: str):
+    """Apply the ``kernel`` knob to ``prefetcher`` (graceful fallback).
+
+    Returns the prefetcher to simulate with: the compiled twin under
+    ``kernel="compiled"`` when one is available (flat-state prefetcher,
+    supported geometry, extension built), the input unchanged otherwise.
+    """
+    if kernel not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}"
+        )
+    if kernel == "compiled" and prefetcher is not None:
+        from repro.prefetchers.compiled import compiled_twin
+
+        twin = compiled_twin(prefetcher)
+        if twin is not None:
+            return twin
+    return prefetcher
 
 
 def _count_instructions(accesses: Iterable[MemoryAccess]) -> int:
@@ -72,11 +107,21 @@ class _TraceReplayer:
         self.yielded_any = False
         self._sequence: Optional[Sequence[MemoryAccess]] = None
         self._batched: Optional[BatchedTrace] = None
+        self._chunked: Optional[ChunkedTraceStream] = None
+        self._chunk_replayer: "Optional[_TraceReplayer]" = None
+        self._chunk_remaining = 0
         self._factory = None
         self._iterator: Optional[Iterator[MemoryAccess]] = None
         self._index = 0
         self._known_total: Optional[int] = None
-        if isinstance(source, BatchedTrace):
+        if isinstance(source, ChunkedTraceStream):
+            # Chunk-wise batched execution of a re-openable stream; the
+            # underlying source doubles as the counting-pass factory.
+            # next_access() is never used on this shape (the chunked
+            # executor owns consumption), so no scalar iterator is opened.
+            self._chunked = source
+            self._factory = source.source
+        elif isinstance(source, BatchedTrace):
             # Decoded arrays: the batched kernel drives these directly; the
             # sequence view keeps every scalar code path working unchanged.
             if not len(source):
@@ -248,6 +293,12 @@ class SingleCoreSimulator:
                 decoded = BatchedTrace.from_accesses(iter(trace))
             if decoded is not None:
                 trace = decoded
+            elif batch == "auto" and not hasattr(trace, "__next__"):
+                # Re-openable streamed source (e.g. a TraceFile): run the
+                # batched kernel chunk-wise at bounded memory instead of
+                # falling back to the scalar kernel.  One-shot iterators
+                # keep the scalar path (they cannot replay).
+                trace = ChunkedTraceStream(trace)
         elif isinstance(trace, BatchedTrace):
             # batch="off" (or a non-power-of-two L1): the scalar kernel runs
             # over a materialized copy so a pre-decoded trace cannot
@@ -291,6 +342,9 @@ class SingleCoreSimulator:
         self, replayer: _TraceReplayer, instruction_budget: Optional[int]
     ) -> None:
         """Execute until the budget is spent (``None`` = one full pass)."""
+        if replayer._chunked is not None:
+            self._execute_chunked(replayer, instruction_budget)
+            return
         if replayer._batched is not None:
             self._execute_batched(replayer, instruction_budget)
             return
@@ -380,6 +434,62 @@ class SingleCoreSimulator:
                 if requests:
                     enqueue_prefetches(requests, issue_cycle)
 
+    def _execute_chunked(
+        self, replayer: _TraceReplayer, instruction_budget: Optional[int]
+    ) -> None:
+        """Streamed batched execution: the batched kernel at O(chunk) memory.
+
+        Pulls successive :class:`BatchedTrace` chunks from the replayer's
+        :class:`~repro.sim.batch.ChunkedTraceStream` and drives each through
+        :meth:`_execute_batched`.  Semantics are identical to the scalar
+        streamed path: a bounded run replays by re-opening the source at
+        end-of-pass, an unbounded run stops after one pass, and the access
+        that exhausts the budget executes in full (the inner kernel applies
+        the same per-access stopping rule, and the chunk cap equals the
+        chunk's exact remaining instructions so it can never wrap within a
+        chunk).
+
+        A partially consumed chunk (warmup boundary, budget exhaustion)
+        persists on the replayer — ``_chunk_replayer`` holds the inner
+        position and ``_chunk_remaining`` its exact instruction remainder —
+        so consecutive ``_execute`` calls resume mid-chunk, exactly like
+        the scalar iterator resumes mid-stream.
+        """
+        stream = replayer._chunked
+        core = self.core
+        unbounded = instruction_budget is None
+        executed = 0
+        while unbounded or executed < instruction_budget:
+            inner = replayer._chunk_replayer
+            if inner is None:
+                chunk = stream.next_chunk()
+                if chunk is None:
+                    # End of one pass over the source.
+                    replayer.replays += 1
+                    if not replayer.yielded_any:
+                        break  # empty source: run() raises
+                    if unbounded:
+                        break  # single-pass semantics
+                    continue  # bounded: the next next_chunk() re-opens
+                replayer.yielded_any = True
+                inner = _TraceReplayer(chunk)
+                replayer._chunk_replayer = inner
+                replayer._chunk_remaining = chunk.instruction_total
+            remaining = replayer._chunk_remaining
+            if unbounded:
+                step = remaining
+            else:
+                left = instruction_budget - executed
+                step = remaining if remaining < left else left
+            before = core._instr_count
+            self._execute_batched(inner, step)
+            done = core._instr_count - before
+            executed += done
+            remaining -= done
+            replayer._chunk_remaining = remaining
+            if remaining <= 0:
+                replayer._chunk_replayer = None
+
     def _execute_batched(
         self, replayer: _TraceReplayer, instruction_budget: Optional[int]
     ) -> None:
@@ -467,8 +577,26 @@ class SingleCoreSimulator:
         l1_latency = hierarchy._lat_l1
         lat_l2 = hierarchy._lat_l2
         lat_llc = hierarchy._lat_llc
-        dram_access = hierarchy.dram.access
+        dram = hierarchy.dram
+        dram_access = dram.access
         train = prefetcher.train if prefetcher is not None else None
+
+        # DRAM timing state, bound once for the whole call so the per-miss
+        # arithmetic of :meth:`DRAMModel.access` can run inline (subclasses
+        # keep the method call).  ``reset`` — the only thing that rebinds
+        # these attributes — never runs mid-kernel.
+        dram_plain = type(dram) is DRAMModel
+        if dram_plain:
+            dram_channels = dram._channels
+            dram_banks = dram._banks_per_channel
+            dram_row_div = dram._row_divisor
+            dram_hit_lat = dram._row_hit_latency
+            dram_miss_lat = dram._row_miss_latency
+            dram_transfer = dram._transfer_cycles
+            dram_open_row = dram._open_row
+            dram_bank_busy = dram._bank_busy_until
+            dram_channel_busy = dram._channel_busy_until
+            dram_stats = dram.stats
 
         # The full demand chain can only be inlined against plain
         # power-of-two-set caches (every configuration of the paper).
@@ -745,9 +873,51 @@ class SingleCoreSimulator:
                             else:
                                 llc.misses += 1
                                 stats.llc_misses += 1
-                                latency = lat_llc + dram_access(
-                                    block, int(issue), False
-                                )
+                                if dram_plain:
+                                    # Inlined DRAMModel.access (demand).
+                                    cyc = int(issue)
+                                    channel = block % dram_channels
+                                    bank = (
+                                        channel * dram_banks
+                                        + (block // dram_channels) % dram_banks
+                                    )
+                                    row = block // dram_row_div
+                                    if dram_open_row.get(bank) == row:
+                                        array_latency = dram_hit_lat
+                                        dram_stats.row_hits += 1
+                                    else:
+                                        array_latency = dram_miss_lat
+                                        dram_stats.row_misses += 1
+                                        dram_open_row[bank] = row
+                                    bank_wait = (
+                                        dram_bank_busy.get(bank, 0.0) - cyc
+                                    )
+                                    if bank_wait < 0.0:
+                                        bank_wait = 0.0
+                                    array_done = cyc + bank_wait + array_latency
+                                    dram_bank_busy[bank] = array_done
+                                    bus_start = dram_channel_busy[channel]
+                                    if array_done > bus_start:
+                                        bus_start = array_done
+                                    bus_done = bus_start + dram_transfer
+                                    dram_channel_busy[channel] = bus_done
+                                    bus_wait = bus_start - array_done
+                                    dram_stats.requests += 1
+                                    dram_stats.demand_requests += 1
+                                    dram_stats.total_queue_wait += int(
+                                        bank_wait
+                                        + (bus_wait if bus_wait > 0.0 else 0.0)
+                                    )
+                                    dram_stats.total_service_cycles += int(
+                                        array_latency + dram_transfer
+                                    )
+                                    latency = lat_llc + int(
+                                        round(bus_done - cyc)
+                                    )
+                                else:
+                                    latency = lat_llc + dram_access(
+                                        block, int(issue), False
+                                    )
                                 stats.dram_reads += 1
                                 from_dram = True
                                 # Inlined LLC fill (no listeners here).
@@ -856,7 +1026,41 @@ class SingleCoreSimulator:
             l1_mshr = hierarchy.l1_mshr
             issue_one = hierarchy._issue_prefetch
             pq_popleft = pending_prefetches.popleft
-            drain_limit = hierarchy.prefetch_queue.drain_per_access
+            pq_append = pending_prefetches.append
+            prefetch_queue = hierarchy.prefetch_queue
+            drain_limit = prefetch_queue.drain_per_access
+            pq_capacity = prefetch_queue.capacity
+            mshr_capacity = l1_mshr.capacity
+            lat_l2_source = hierarchy._lat_l2_source
+            lat_llc_source = hierarchy._lat_llc_source
+            hint_l1 = PrefetchHint.L1
+            hint_l2 = PrefetchHint.L2
+            # Packed-protocol prefetch path.  With the demand chain inlined
+            # (``inline_ok``) and a prefetcher attached, queued prefetches
+            # are stored as packed ints — ``block << 1 | to_l1`` — and
+            # issued through :meth:`CacheHierarchy._issue_prefetch`'s body
+            # inlined below against the already-bound cache locals, so no
+            # :class:`PrefetchRequest` travels through the hot path.  Flat
+            # prefetchers (``train_flat``) produce packed ints natively;
+            # object prefetchers' requests are packed at enqueue (the sim
+            # layer only ever reads ``address`` and ``hint``, and every
+            # non-L1 hint takes the L2 fill branch, so the single to-L1 bit
+            # is behaviourally lossless).  Leftover entries are converted
+            # back to ``(request, cycle)`` tuples at exit, preserving the
+            # PQ representation every other code path uses.
+            train_flat = (
+                getattr(prefetcher, "train_flat", None)
+                if train is not None
+                else None
+            )
+            use_packed = inline_ok and train is not None
+            if use_packed and pending_prefetches:
+                for _ in range(len(pending_prefetches)):
+                    request, _enq_cycle = pq_popleft()
+                    pq_append(
+                        (request.address >> 6) << 1
+                        | (1 if request.hint is hint_l1 else 0)
+                    )
             while unbounded or executed < instruction_budget:
                 if unbounded and replayer.replays > 0:
                     break
@@ -916,12 +1120,220 @@ class SingleCoreSimulator:
                 executed += gap + 1
 
                 if pending_prefetches:
-                    # Inlined issue_queued_prefetches (same FIFO order and
-                    # per-access drain limit).
-                    issued = 0
-                    while pending_prefetches and issued < drain_limit:
-                        issue_one(pq_popleft()[0], issue_cycle)
-                        issued += 1
+                    if not use_packed:
+                        # Inlined issue_queued_prefetches (same FIFO order
+                        # and per-access drain limit).
+                        issued = 0
+                        while pending_prefetches and issued < drain_limit:
+                            issue_one(pq_popleft()[0], issue_cycle)
+                            issued += 1
+                    else:
+                        # Packed drain: _issue_prefetch inlined over packed
+                        # ints (identical branch structure and statistics).
+                        issued = 0
+                        while pending_prefetches and issued < drain_limit:
+                            p = pq_popleft()
+                            issued += 1
+                            pblock = p >> 1
+                            p_l1_set = l1_sets[pblock & l1_mask]
+                            if pblock in p_l1_set or pblock in mshr_entries:
+                                prefetch_stats.redundant += 1
+                                continue
+                            p_l2_set = l2_sets[pblock & l2_mask]
+                            l2_entry = p_l2_set.get(pblock)
+                            to_l1 = p & 1
+                            if not to_l1 and l2_entry is not None:
+                                prefetch_stats.redundant += 1
+                                continue
+                            prefetch_stats.issued += 1
+
+                            # Locate the data (LRU-touching as lookup does).
+                            from_dram = False
+                            if l2_entry is not None:
+                                source_latency = lat_l2_source
+                                del p_l2_set[pblock]
+                                p_l2_set[pblock] = l2_entry
+                            else:
+                                p_llc_set = llc_sets[pblock & llc_mask]
+                                llc_entry = p_llc_set.get(pblock)
+                                if llc_entry is not None:
+                                    del p_llc_set[pblock]
+                                    p_llc_set[pblock] = llc_entry
+                                    source_latency = lat_llc_source
+                                else:
+                                    if dram_plain:
+                                        # Inlined DRAMModel.access (prefetch).
+                                        channel = pblock % dram_channels
+                                        bank = (
+                                            channel * dram_banks
+                                            + (pblock // dram_channels)
+                                            % dram_banks
+                                        )
+                                        row = pblock // dram_row_div
+                                        if dram_open_row.get(bank) == row:
+                                            array_latency = dram_hit_lat
+                                            dram_stats.row_hits += 1
+                                        else:
+                                            array_latency = dram_miss_lat
+                                            dram_stats.row_misses += 1
+                                            dram_open_row[bank] = row
+                                        bank_wait = (
+                                            dram_bank_busy.get(bank, 0.0)
+                                            - issue_cycle
+                                        )
+                                        if bank_wait < 0.0:
+                                            bank_wait = 0.0
+                                        array_done = (
+                                            issue_cycle
+                                            + bank_wait
+                                            + array_latency
+                                        )
+                                        dram_bank_busy[bank] = array_done
+                                        bus_start = dram_channel_busy[channel]
+                                        if array_done > bus_start:
+                                            bus_start = array_done
+                                        bus_done = bus_start + dram_transfer
+                                        dram_channel_busy[channel] = bus_done
+                                        bus_wait = bus_start - array_done
+                                        dram_stats.requests += 1
+                                        dram_stats.prefetch_requests += 1
+                                        dram_stats.total_queue_wait += int(
+                                            bank_wait
+                                            + (
+                                                bus_wait
+                                                if bus_wait > 0.0
+                                                else 0.0
+                                            )
+                                        )
+                                        dram_stats.total_service_cycles += int(
+                                            array_latency + dram_transfer
+                                        )
+                                        source_latency = lat_llc_source + int(
+                                            round(bus_done - issue_cycle)
+                                        )
+                                    else:
+                                        source_latency = (
+                                            lat_llc_source
+                                            + dram_access(
+                                                pblock, issue_cycle, True
+                                            )
+                                        )
+                                    from_dram = True
+                                    # Inlined LLC fill (block just missed).
+                                    if len(p_llc_set) >= llc_ways:
+                                        victim = p_llc_set.pop(
+                                            next(iter(p_llc_set))
+                                        )
+                                        llc.evictions += 1
+                                        if (
+                                            victim.prefetched
+                                            and not victim.prefetch_useful
+                                        ):
+                                            llc.useless_prefetch_evictions += 1
+                                        for listener in llc_listeners:
+                                            listener(victim)
+                                        victim.block = pblock
+                                        victim.prefetched = False
+                                        victim.prefetch_useful = False
+                                        victim.from_dram = True
+                                        victim.dirty = False
+                                        victim.useful_counted = False
+                                        p_llc_set[pblock] = victim
+                                    else:
+                                        p_llc_set[pblock] = CacheBlock(
+                                            pblock, False, False, True
+                                        )
+
+                            if to_l1:
+                                # Inlined has_free_entry: expire(cycle) with
+                                # the results discarded (the method's exact
+                                # behaviour), then the capacity check.
+                                if (
+                                    mshr_entries
+                                    and issue_cycle >= l1_mshr._min_ready
+                                ):
+                                    done = [
+                                        e
+                                        for e in mshr_entries.values()
+                                        if e.ready_cycle <= issue_cycle
+                                    ]
+                                    for mshr_entry in done:
+                                        del mshr_entries[mshr_entry.block]
+                                    if mshr_entries:
+                                        l1_mshr._min_ready = min(
+                                            e.ready_cycle
+                                            for e in mshr_entries.values()
+                                        )
+                                    else:
+                                        l1_mshr._min_ready = INF
+                                if len(mshr_entries) >= mshr_capacity:
+                                    prefetch_stats.dropped_mshr_full += 1
+                                    if pblock not in p_l2_set:
+                                        # Fall back to an L2 fill (inlined
+                                        # fill_absent with listeners).
+                                        if len(p_l2_set) >= l2_ways:
+                                            victim = p_l2_set.pop(
+                                                next(iter(p_l2_set))
+                                            )
+                                            l2c.evictions += 1
+                                            if (
+                                                victim.prefetched
+                                                and not victim.prefetch_useful
+                                            ):
+                                                l2c.useless_prefetch_evictions += 1
+                                            for listener in l2_listeners:
+                                                listener(victim)
+                                            victim.block = pblock
+                                            victim.prefetched = True
+                                            victim.prefetch_useful = False
+                                            victim.from_dram = from_dram
+                                            victim.dirty = False
+                                            victim.useful_counted = False
+                                            p_l2_set[pblock] = victim
+                                        else:
+                                            p_l2_set[pblock] = CacheBlock(
+                                                pblock, True, False, from_dram
+                                            )
+                                        prefetch_stats.filled_l2 += 1
+                                    continue
+                                # Allocate (block proven absent; expiry only
+                                # removes entries, so it still is).
+                                ready = issue_cycle + source_latency
+                                mshr_entries[pblock] = MSHREntry(
+                                    pblock, ready, True, 1, from_dram
+                                )
+                                if ready < l1_mshr._min_ready:
+                                    l1_mshr._min_ready = ready
+                                prefetch_stats.filled_l1 += 1
+                            else:
+                                if pblock not in p_l2_set:
+                                    # Inlined L2 fill_absent with listeners.
+                                    if len(p_l2_set) >= l2_ways:
+                                        victim = p_l2_set.pop(
+                                            next(iter(p_l2_set))
+                                        )
+                                        l2c.evictions += 1
+                                        if (
+                                            victim.prefetched
+                                            and not victim.prefetch_useful
+                                        ):
+                                            l2c.useless_prefetch_evictions += 1
+                                        for listener in l2_listeners:
+                                            listener(victim)
+                                        victim.block = pblock
+                                        victim.prefetched = True
+                                        victim.prefetch_useful = False
+                                        victim.from_dram = from_dram
+                                        victim.dirty = False
+                                        victim.useful_counted = False
+                                        p_l2_set[pblock] = victim
+                                    else:
+                                        p_l2_set[pblock] = CacheBlock(
+                                            pblock, True, False, from_dram
+                                        )
+                                    prefetch_stats.filled_l2 += 1
+                                else:
+                                    prefetch_stats.redundant += 1
 
                 is_store = kind == 1
                 if not inline_ok:
@@ -1074,9 +1486,60 @@ class SingleCoreSimulator:
                                 else:
                                     llc.misses += 1
                                     stats.llc_misses += 1
-                                    latency = lat_llc + dram_access(
-                                        block, issue_cycle, False
-                                    )
+                                    if dram_plain:
+                                        # Inlined DRAMModel.access (demand).
+                                        channel = block % dram_channels
+                                        bank = (
+                                            channel * dram_banks
+                                            + (block // dram_channels)
+                                            % dram_banks
+                                        )
+                                        row = block // dram_row_div
+                                        if dram_open_row.get(bank) == row:
+                                            array_latency = dram_hit_lat
+                                            dram_stats.row_hits += 1
+                                        else:
+                                            array_latency = dram_miss_lat
+                                            dram_stats.row_misses += 1
+                                            dram_open_row[bank] = row
+                                        bank_wait = (
+                                            dram_bank_busy.get(bank, 0.0)
+                                            - issue_cycle
+                                        )
+                                        if bank_wait < 0.0:
+                                            bank_wait = 0.0
+                                        array_done = (
+                                            issue_cycle
+                                            + bank_wait
+                                            + array_latency
+                                        )
+                                        dram_bank_busy[bank] = array_done
+                                        bus_start = dram_channel_busy[channel]
+                                        if array_done > bus_start:
+                                            bus_start = array_done
+                                        bus_done = bus_start + dram_transfer
+                                        dram_channel_busy[channel] = bus_done
+                                        bus_wait = bus_start - array_done
+                                        dram_stats.requests += 1
+                                        dram_stats.demand_requests += 1
+                                        dram_stats.total_queue_wait += int(
+                                            bank_wait
+                                            + (
+                                                bus_wait
+                                                if bus_wait > 0.0
+                                                else 0.0
+                                            )
+                                        )
+                                        dram_stats.total_service_cycles += int(
+                                            array_latency + dram_transfer
+                                        )
+                                        latency = lat_llc + int(
+                                            round(bus_done - issue_cycle)
+                                        )
+                                    else:
+                                        latency = lat_llc + dram_access(
+                                            block, issue_cycle, False
+                                        )
                                     stats.dram_reads += 1
                                     from_dram = True
                                     # Inlined LLC fill (absent).
@@ -1162,9 +1625,72 @@ class SingleCoreSimulator:
                     fetch = issue
 
                 if kind == 0 and train is not None:
-                    requests = train(pc, address, issue_cycle, result)
-                    if requests:
-                        enqueue_prefetches(requests, issue_cycle)
+                    if train_flat is not None and use_packed:
+                        # Flat protocol: packed ints straight from the
+                        # prefetcher, enqueued with push()'s bookkeeping
+                        # batched per call as enqueue_prefetches does.
+                        packed = train_flat(pc, address, issue_cycle, latency)
+                        if packed:
+                            total = len(packed)
+                            accepted = 0
+                            for p in packed:
+                                if len(pending_prefetches) < pq_capacity:
+                                    pq_append(p)
+                                    accepted += 1
+                            prefetch_queue.enqueued += accepted
+                            prefetch_stats.generated += total
+                            if accepted != total:
+                                dropped = total - accepted
+                                prefetch_queue.dropped_full += dropped
+                                prefetch_stats.dropped_queue_full += dropped
+                    else:
+                        requests = train(pc, address, issue_cycle, result)
+                        if requests:
+                            if not use_packed:
+                                enqueue_prefetches(requests, issue_cycle)
+                            else:
+                                total = 0
+                                accepted = 0
+                                for request in requests:
+                                    total += 1
+                                    if len(pending_prefetches) < pq_capacity:
+                                        pq_append(
+                                            (request.address >> 6) << 1
+                                            | (
+                                                1
+                                                if request.hint is hint_l1
+                                                else 0
+                                            )
+                                        )
+                                        accepted += 1
+                                prefetch_queue.enqueued += accepted
+                                prefetch_stats.generated += total
+                                if accepted != total:
+                                    dropped = total - accepted
+                                    prefetch_queue.dropped_full += dropped
+                                    prefetch_stats.dropped_queue_full += dropped
+
+            if use_packed and pending_prefetches:
+                # Convert surviving packed entries back to the standard
+                # (request, enqueue_cycle) tuples so flush_prefetches and
+                # any later kernel invocation see the usual PQ shape.  The
+                # enqueue cycle is never read after this point (issuing uses
+                # the caller-supplied cycle), so the current issue cycle
+                # stands in for the lost per-entry value.
+                convert_cycle = int(issue)
+                for _ in range(len(pending_prefetches)):
+                    p = pq_popleft()
+                    pq_append(
+                        (
+                            PrefetchRequest(
+                                (p >> 1) << 6,
+                                hint_l1 if p & 1 else hint_l2,
+                                0,
+                                "",
+                            ),
+                            convert_cycle,
+                        )
+                    )
 
         core._instr_count = instr
         core._fetch_cycle = fetch
@@ -1197,9 +1723,12 @@ def simulate_trace(
     warmup_instructions: int = 0,
     name: str = "",
     batch: str = "auto",
+    kernel: str = "auto",
 ) -> SimulationStats:
     """Convenience wrapper: build a simulator, run it, return the stats."""
-    simulator = SingleCoreSimulator(config=config, prefetcher=prefetcher, name=name)
+    simulator = SingleCoreSimulator(
+        config=config, prefetcher=resolve_kernel(prefetcher, kernel), name=name
+    )
     return simulator.run(
         trace,
         max_instructions=max_instructions,

@@ -191,6 +191,41 @@ def test_golden_stats_scalar_kernel(prefetcher_name):
     )
 
 
+#: Every registered prefetcher re-checked under ``kernel="compiled"``
+#: against the committed golden rows.  Where the extension is built (the
+#: ``compiled-kernel`` CI lane), this proves the C kernels bit-identical
+#: to the committed behaviour on every snapshotted counter; where it is
+#: not, it proves the documented silent fallback leaves results untouched
+#: — both are release requirements, so the test runs unconditionally.
+@pytest.mark.parametrize("prefetcher_name", sorted(available_prefetchers()))
+def test_golden_stats_compiled_kernel(prefetcher_name):
+    trace_key = "spatial-s3"
+    stats = simulate_trace(
+        _trace(trace_key),
+        prefetcher=create_prefetcher(prefetcher_name),
+        kernel="compiled",
+    )
+    baseline = _baseline(trace_key)
+    row = {
+        "instructions": stats.instructions,
+        "cycles": stats.cycles,
+        "l1_hits": stats.l1_hits,
+        "llc_misses": stats.llc_misses,
+        "issued_prefetches": stats.prefetch.issued,
+        "useful_prefetches": stats.prefetch.useful,
+        "late_prefetches": stats.prefetch.late,
+        "ipc": round(stats.ipc, 9),
+        "accuracy": round(stats.prefetch.accuracy, 9),
+        "coverage": round(stats.coverage(baseline), 9),
+    }
+    golden = _load_golden(trace_key)
+    assert prefetcher_name in golden
+    assert row == golden[prefetcher_name], (
+        f"compiled tier diverged from the committed golden for "
+        f"{trace_key}/{prefetcher_name} (the batched kernel matches it)"
+    )
+
+
 def test_golden_files_have_no_orphan_entries():
     """Every snapshotted entry corresponds to a current grid cell."""
     grid_by_trace = {}
