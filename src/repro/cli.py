@@ -67,11 +67,12 @@ _RUNNER_FIGURES: Dict[str, Callable[..., object]] = {
     "fig15": figures.fig15_four_core_mixes,
     "fig17": figures.fig17_gaze_sensitivity,
     "fig18": figures.fig18_vgaze,
+    "fig19": figures.fig19_spatial_vs_temporal,
 }
 
 #: Figures over a fixed representative trace list: --traces-per-suite has no
 #: effect on them (only --trace-length shrinks the run).
-_FIXED_TRACE_FIGURES = ("fig10", "fig11", "fig17", "fig18")
+_FIXED_TRACE_FIGURES = ("fig10", "fig11", "fig17", "fig18", "fig19")
 
 #: Multi-core figures: engine-backed mix jobs that honour --jobs / the
 #: cache plus the mix-specific flags (--mix-mode, --epoch-instructions).
@@ -104,7 +105,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run a figure, table, sweep or ad-hoc grid")
     target = run.add_mutually_exclusive_group()
     target.add_argument("--figure", choices=sorted(_RUNNER_FIGURES),
-                        help="figure to reproduce (fig1..fig18)")
+                        help="figure to reproduce (fig1..fig19)")
     target.add_argument("--table", choices=sorted(_TABLES), help="table to reproduce")
     target.add_argument("--sweep", choices=sorted(_SWEEPS),
                         help="Fig. 16 system sweep to run")

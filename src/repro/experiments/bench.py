@@ -92,6 +92,14 @@ BENCH_TRACES: Tuple[Tuple[str, int], ...] = (
 )
 BENCH_PREFETCHERS: Tuple[str, ...] = ("none", "gaze", "pmp", "vberti")
 
+#: The temporal-reuse kernel lane: a recurring pointer-chase trace (dense
+#: L1-hit runs after warmup plus a recurring miss sequence) measured raw
+#: and under both temporal designs and one spatial design.  Added with the
+#: temporal tier; keys are new, so snapshots stay comparable case-by-case
+#: with pre-temporal baselines over the shared keys.
+TEMPORAL_BENCH_TRACE: Tuple[str, int] = ("temporal-pointer", 14)
+TEMPORAL_BENCH_PREFETCHERS: Tuple[str, ...] = ("none", "triangel", "ghb", "gaze")
+
 #: The fixed four-core heterogeneous mix behind every ``mix`` case: one
 #: (generator, seed) per core.  Each core's trace holds ``trace_length/4``
 #: accesses and its instruction budget is ``trace_length`` instructions.
@@ -172,6 +180,8 @@ QUICK_CASES: Tuple[BenchCase, ...] = (
     _kernel_case("spatial", 11, "gaze"),
     _kernel_case("streaming", 12, "pmp"),
     _kernel_case("cloud", 13, "vberti"),
+    _kernel_case(*TEMPORAL_BENCH_TRACE, "none"),
+    _kernel_case(*TEMPORAL_BENCH_TRACE, "triangel"),
     BenchCase("kernel", "spatial", 11, "none", batch="off"),
     BenchCase("mix", "hetero", 0, "gaze", mode="exact"),
     BenchCase("stream", *STREAM_BENCH_TRACE, "gaze"),
@@ -214,11 +224,22 @@ def bench_cases(
         # Scalar-kernel reference cases: one prefetcher-less and one trained
         # case pinned to batch="off", so every snapshot records the
         # batched-vs-scalar delta and the scalar path cannot silently regress.
+        cases.extend(
+            _kernel_case(*TEMPORAL_BENCH_TRACE, prefetcher)
+            for prefetcher in TEMPORAL_BENCH_PREFETCHERS
+        )
         cases.append(BenchCase("kernel", "spatial", 11, "none", batch="off"))
         cases.append(BenchCase("kernel", "spatial", 11, "gaze", batch="off"))
+        # Temporal scalar reference: the recurring trace drives the
+        # demand-hit-run fast path, so its batched-vs-scalar delta is the
+        # one worth pinning in every snapshot.
+        cases.append(
+            BenchCase("kernel", *TEMPORAL_BENCH_TRACE, "none", batch="off")
+        )
         cases.append(BenchCase("mix", "hetero", 0, "gaze", mode="exact"))
         cases.append(BenchCase("mix", "hetero", 0, "gaze", mode="epoch"))
         cases.append(BenchCase("stream", *STREAM_BENCH_TRACE, "gaze"))
+        cases.append(BenchCase("stream", *TEMPORAL_BENCH_TRACE, "triangel"))
     if kinds is not None:
         cases = [case for case in cases if case.kind in kinds]
     return cases

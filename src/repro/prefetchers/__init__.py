@@ -18,6 +18,7 @@ from repro.prefetchers.dspatch import DSPatchPrefetcher
 from repro.prefetchers.pmp import PMPPrefetcher
 from repro.prefetchers.ipcp import IPCPPrefetcher
 from repro.prefetchers.spp import SPPPrefetcher
+from repro.prefetchers.temporal import GHBMarkovPrefetcher, TriangelPrefetcher
 from repro.prefetchers.berti import BertiPrefetcher
 from repro.prefetchers.multilevel import MultiLevelPrefetcher
 from repro.prefetchers.registry import (
@@ -31,6 +32,7 @@ __all__ = [
     "BestOffsetPrefetcher",
     "BingoPrefetcher",
     "DSPatchPrefetcher",
+    "GHBMarkovPrefetcher",
     "IPCPPrefetcher",
     "IPStridePrefetcher",
     "MultiLevelPrefetcher",
@@ -41,6 +43,7 @@ __all__ = [
     "SMSPrefetcher",
     "SPPPrefetcher",
     "StatelessPrefetcher",
+    "TriangelPrefetcher",
     "available_prefetchers",
     "create_prefetcher",
     "register_prefetcher",

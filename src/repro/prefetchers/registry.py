@@ -22,6 +22,7 @@ from repro.prefetchers.no_prefetch import NoPrefetcher
 from repro.prefetchers.pmp import PMPPrefetcher
 from repro.prefetchers.sms import SMSPrefetcher
 from repro.prefetchers.spp import SPPPrefetcher
+from repro.prefetchers.temporal import GHBMarkovPrefetcher, TriangelPrefetcher
 
 PrefetcherFactory = Callable[..., Prefetcher]
 
@@ -176,6 +177,12 @@ def _register_defaults() -> None:
     register_prefetcher("ipcp-l1", IPCPPrefetcher)
     register_prefetcher("spp-ppf", SPPPrefetcher)
     register_prefetcher("vberti", _make_vberti)
+
+    # The temporal (address-correlating) tier: the other side of the
+    # paper's spatial-vs-temporal line (PAPERS.md: Triangel; GHB G/AC as
+    # the classic Markov baseline).
+    register_prefetcher("triangel", TriangelPrefetcher)
+    register_prefetcher("ghb", GHBMarkovPrefetcher)
 
     # Gaze and its ablations, resolved lazily (see :func:`_make_gaze`).
     for variant in ("gaze", "gaze-pht", "offset", "pc", "pc+addr", "pht4ss", "sm4ss"):

@@ -46,11 +46,14 @@ from repro.workloads.generators import (
     GENERATORS,
     CloudWorkload,
     GraphWorkload,
+    HashProbeWorkload,
     MixedPhaseWorkload,
     PointerChaseWorkload,
+    RingBufferWorkload,
     SpatialRecurrenceWorkload,
     StreamingWorkload,
     StridedWorkload,
+    TemporalPointerChaseWorkload,
     WorkloadGenerator,
 )
 
@@ -59,12 +62,15 @@ __all__ = [
     "FORMATS",
     "GENERATORS",
     "GraphWorkload",
+    "HashProbeWorkload",
     "MixedPhaseWorkload",
     "PointerChaseWorkload",
+    "RingBufferWorkload",
     "SUITES",
     "SpatialRecurrenceWorkload",
     "StreamingWorkload",
     "StridedWorkload",
+    "TemporalPointerChaseWorkload",
     "TraceFile",
     "TraceFormatError",
     "TraceSource",

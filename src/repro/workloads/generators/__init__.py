@@ -13,6 +13,11 @@ from repro.workloads.generators.spatial import SpatialRecurrenceWorkload
 from repro.workloads.generators.graph import GraphWorkload
 from repro.workloads.generators.irregular import CloudWorkload, PointerChaseWorkload
 from repro.workloads.generators.mixed import MixedPhaseWorkload
+from repro.workloads.generators.temporal import (
+    HashProbeWorkload,
+    RingBufferWorkload,
+    TemporalPointerChaseWorkload,
+)
 
 GENERATORS = {
     "streaming": StreamingWorkload,
@@ -22,16 +27,22 @@ GENERATORS = {
     "pointer-chase": PointerChaseWorkload,
     "cloud": CloudWorkload,
     "mixed": MixedPhaseWorkload,
+    "temporal-pointer": TemporalPointerChaseWorkload,
+    "ring": RingBufferWorkload,
+    "hash-probe": HashProbeWorkload,
 }
 
 __all__ = [
     "GENERATORS",
     "CloudWorkload",
     "GraphWorkload",
+    "HashProbeWorkload",
     "MixedPhaseWorkload",
     "PointerChaseWorkload",
+    "RingBufferWorkload",
     "SpatialRecurrenceWorkload",
     "StreamingWorkload",
     "StridedWorkload",
+    "TemporalPointerChaseWorkload",
     "WorkloadGenerator",
 ]

@@ -146,6 +146,23 @@ QMM_TRACES: List[TraceSpec] = [
     _spec("clt.int.19-like", "qmm-client", "strided", 706, stride_blocks=2),
 ]
 
+# --------------------------------------------------------------------------- #
+# Temporal-reuse workloads (not in the paper's Table III): the recurring
+# address sequences temporal prefetchers replay, used by the
+# spatial-vs-temporal comparison (fig19) and the hit-run regression suite.
+# --------------------------------------------------------------------------- #
+TEMPORAL_TRACES: List[TraceSpec] = [
+    _spec("linkwalk-like", "temporal", "temporal-pointer", 801),
+    _spec("linkwalk-deep-like", "temporal", "temporal-pointer", 802,
+          num_nodes=3072, noise_fraction=0.02),
+    _spec("kvprobe-like", "temporal", "hash-probe", 803),
+    _spec("kvprobe-hot-like", "temporal", "hash-probe", 804, num_keys=256,
+          zipf_s=4.0, miss_fraction=0.05),
+    _spec("ringqueue-like", "temporal", "ring", 805),
+    _spec("ringqueue-wide-like", "temporal", "ring", 806, slots=512,
+          item_blocks=2, lag=128),
+]
+
 #: All suites keyed by the names used throughout the experiments.
 SUITES: Dict[str, List[TraceSpec]] = {
     "spec06": SPEC06_TRACES,
@@ -156,6 +173,7 @@ SUITES: Dict[str, List[TraceSpec]] = {
     "gap": GAP_TRACES,
     "qmm-server": [t for t in QMM_TRACES if t.suite == "qmm-server"],
     "qmm-client": [t for t in QMM_TRACES if t.suite == "qmm-client"],
+    "temporal": TEMPORAL_TRACES,
 }
 
 #: The suites making up the paper's main single-core evaluation set.

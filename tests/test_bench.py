@@ -27,13 +27,19 @@ class TestBenchSuiteDefinition:
         scalar = [c for c in kernel if c.batch == "off"]
         mixes = [c for c in cases if c.kind == "mix"]
         streams = [c for c in cases if c.kind == "stream"]
-        # The batched-kernel grid plus the two scalar reference cases.
+        # The batched-kernel grids (spatial + temporal) plus the scalar
+        # reference cases.
         assert len(kernel) == (
-            len(bench.BENCH_TRACES) * len(bench.BENCH_PREFETCHERS) + len(scalar)
+            len(bench.BENCH_TRACES) * len(bench.BENCH_PREFETCHERS)
+            + len(bench.TEMPORAL_BENCH_PREFETCHERS)
+            + len(scalar)
         )
-        assert len(scalar) == 2
+        assert len(scalar) == 3
         assert {c.mode for c in mixes} == {"exact", "epoch"}
-        assert len(streams) == 1
+        assert len(streams) == 2
+        assert {c.generator for c in streams} == {
+            "streaming", bench.TEMPORAL_BENCH_TRACE[0],
+        }
 
     def test_scalar_reference_cases_have_distinct_keys(self):
         batched = bench.BenchCase("kernel", "spatial", 11, "none")

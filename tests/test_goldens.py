@@ -47,6 +47,15 @@ TRACE_SPECS = {
         name="cloud-s6", suite="golden", generator="cloud", seed=6,
         length=2_000,
     ),
+    # Recurring pointer chase sized so the working set exceeds the L1 but
+    # the trace still makes 3+ passes: both temporal designs train and
+    # issue at this scale (slightly longer than the other goldens because
+    # Triangel's sampled confidence needs a couple of recurrences first).
+    "temporal-s5": TraceSpec(
+        name="temporal-s5", suite="golden", generator="temporal-pointer",
+        seed=5, length=3_000,
+        params={"num_nodes": 900, "noise_fraction": 0.02},
+    ),
 }
 
 #: The paper's headline designs, snapshotted on every golden trace.
@@ -55,13 +64,20 @@ MAIN_PREFETCHERS = (
     "vberti", "ipcp", "gaze",
 )
 
+#: Designs snapshotted on the temporal-reuse trace: both temporal designs
+#: plus spatial representatives (whose near-silence there is itself a
+#: behaviour worth pinning).
+TEMPORAL_PREFETCHERS = ("triangel", "ghb", "gaze", "pmp", "vberti", "ip-stride")
+
 
 def _grid():
     """(trace_key, prefetcher) pairs: every registered prefetcher on the
-    spatial trace, the main designs on the other traces."""
+    spatial trace, the main designs on the other traces, the temporal
+    designs plus spatial representatives on the temporal trace."""
     pairs = [("spatial-s3", name) for name in available_prefetchers()]
     for trace_key in ("streaming-s2", "cloud-s6"):
         pairs.extend((trace_key, name) for name in MAIN_PREFETCHERS)
+    pairs.extend(("temporal-s5", name) for name in TEMPORAL_PREFETCHERS)
     return pairs
 
 
@@ -158,13 +174,24 @@ def test_golden_stats(trace_key, prefetcher_name):
 #: Subset of the grid re-checked under the scalar kernel: the committed
 #: golden rows are produced by the default batched kernel, so matching them
 #: with ``batch="off"`` proves both kernels byte-identical on every
-#: snapshotted counter without doubling the whole grid's runtime.
-SCALAR_CHECK_PREFETCHERS = ("gaze", "pmp", "vberti", "bingo")
+#: snapshotted counter without doubling the whole grid's runtime.  The
+#: temporal designs are checked on the temporal trace, where their tables
+#: actually train and the batched path's demand-hit runs engage.
+SCALAR_CHECK_CASES = (
+    ("spatial-s3", "gaze"),
+    ("spatial-s3", "pmp"),
+    ("spatial-s3", "vberti"),
+    ("spatial-s3", "bingo"),
+    ("temporal-s5", "triangel"),
+    ("temporal-s5", "ghb"),
+)
 
 
-@pytest.mark.parametrize("prefetcher_name", SCALAR_CHECK_PREFETCHERS)
-def test_golden_stats_scalar_kernel(prefetcher_name):
-    trace_key = "spatial-s3"
+@pytest.mark.parametrize(
+    "trace_key,prefetcher_name", SCALAR_CHECK_CASES,
+    ids=[f"{t}/{p}" for t, p in SCALAR_CHECK_CASES],
+)
+def test_golden_stats_scalar_kernel(trace_key, prefetcher_name):
     stats = simulate_trace(
         _trace(trace_key),
         prefetcher=create_prefetcher(prefetcher_name),
