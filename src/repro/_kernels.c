@@ -25,6 +25,8 @@
 
 #define PY_SSIZE_T_CLEAN
 #include <Python.h>
+#include <limits.h>
+#include <math.h>
 #include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
@@ -36,6 +38,30 @@ static inline uint64_t
 mask_n(int n)
 {
     return n >= 64 ? ~(uint64_t)0 : (((uint64_t)1 << n) - 1);
+}
+
+/* The train kernels are split into pure-C ``*_impl`` bodies writing packed
+ * prefetches (``block << 1 | to_l1``) into a per-kernel ``out_buf`` and
+ * returning a count (``-1`` maps to Python ``None``), so the compiled
+ * driver loop can call them without any per-access Python objects.  This
+ * helper rebuilds the exact Python-facing return value for the wrappers. */
+static PyObject *
+packed_result(const long long *buf, int n)
+{
+    if (n < 0)
+        Py_RETURN_NONE;
+    PyObject *out = PyList_New(n);
+    if (!out)
+        return NULL;
+    for (int i = 0; i < n; i++) {
+        PyObject *v = PyLong_FromLongLong(buf[i]);
+        if (!v) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, i, v);
+    }
+    return out;
 }
 
 /* ------------------------------------------------------------------ */
@@ -192,6 +218,7 @@ typedef struct {
     long long *d_tim;
     int *d_cnt;
     long long *rounds;
+    long long out_buf[64]; /* packed prefetches from the last train_impl */
 } BertiKernel;
 
 static void
@@ -299,20 +326,10 @@ Berti_reset(BertiKernel *self, PyObject *Py_UNUSED(ignored))
     Py_RETURN_NONE;
 }
 
-static PyObject *
-Berti_train(BertiKernel *self, PyObject *const *args, Py_ssize_t nargs)
+static int
+berti_train_impl(BertiKernel *self, long long pc, long long address,
+                 long long cycle, long long latency)
 {
-    if (nargs != 4) {
-        PyErr_SetString(PyExc_TypeError, "train(pc, address, cycle, latency)");
-        return NULL;
-    }
-    long long pc = PyLong_AsLongLong(args[0]);
-    long long address = PyLong_AsLongLong(args[1]);
-    long long cycle = PyLong_AsLongLong(args[2]);
-    long long latency = PyLong_AsLongLong(args[3]);
-    if (PyErr_Occurred())
-        return NULL;
-
     long long block = address >> 6;
     long long key = pc & 0xFFFF;
     FTable *t = &self->table;
@@ -436,7 +453,7 @@ Berti_train(BertiKernel *self, PyObject *const *args, Py_ssize_t nargs)
 
     /* ---- issue (exact port of the flat issue scan) ---- */
     if (!rounds)
-        Py_RETURN_NONE;
+        return -1;
     const long long thr_l2 = self->l2_thr[rounds];
     const long long cand_off = self->cand_off;
     const int cand_shift = self->cand_shift;
@@ -458,14 +475,12 @@ Berti_train(BertiKernel *self, PyObject *const *args, Py_ssize_t nargs)
         cand_n++;
     }
     if (!cand_n)
-        Py_RETURN_NONE;
+        return -1;
     const long long thr_l1 = self->l1_thr[rounds];
     const long long cand_mask = ((long long)1 << cand_shift) - 1;
     const long long window = self->window_blocks;
     int limit = cand_n < self->max_prefetches ? cand_n : self->max_prefetches;
-    PyObject *out = PyList_New(0);
-    if (!out)
-        return NULL;
+    int count = 0;
     for (int c = 0; c < limit; c++) {
         long long delta = (cand[c] & cand_mask) - cand_off;
         long long target = block + delta;
@@ -475,15 +490,26 @@ Berti_train(BertiKernel *self, PyObject *const *args, Py_ssize_t nargs)
         for (int d = 0; d < dcnt; d++)
             if (dval[d] == delta) { occ = docc[d]; tim = dtim[d]; break; }
         long long hint_bit = (occ >= thr_l1 && 2 * tim >= occ) ? 1 : 0;
-        PyObject *v = PyLong_FromLongLong((target << 1) | hint_bit);
-        if (!v || PyList_Append(out, v) < 0) {
-            Py_XDECREF(v);
-            Py_DECREF(out);
-            return NULL;
-        }
-        Py_DECREF(v);
+        self->out_buf[count++] = (target << 1) | hint_bit;
     }
-    return out;
+    return count;
+}
+
+static PyObject *
+Berti_train(BertiKernel *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError, "train(pc, address, cycle, latency)");
+        return NULL;
+    }
+    long long pc = PyLong_AsLongLong(args[0]);
+    long long address = PyLong_AsLongLong(args[1]);
+    long long cycle = PyLong_AsLongLong(args[2]);
+    long long latency = PyLong_AsLongLong(args[3]);
+    if (PyErr_Occurred())
+        return NULL;
+    return packed_result(self->out_buf,
+                         berti_train_impl(self, pc, address, cycle, latency));
 }
 
 static PyMethodDef Berti_methods[] = {
@@ -567,6 +593,7 @@ typedef struct {
     long long streaming_predictions;
     long long backup_activations;
     long long promotions;
+    long long out_buf[64]; /* packed prefetches from the last train_impl */
 } GazeKernel;
 
 static void
@@ -831,8 +858,8 @@ pb_add(GazeKernel *self, long long region, uint64_t l1_mask, uint64_t l2_mask,
 
 /* pop_requests: ascending offsets, bounded by pb_limit; returns a new
  * list, or None when nothing was pending. */
-static PyObject *
-pb_pop_requests(GazeKernel *self, int slot, long long region)
+static int
+pb_pop_requests_impl(GazeKernel *self, int slot, long long region)
 {
     uint64_t m1 = self->pb_l1[slot];
     uint64_t pending_mask = m1 | self->pb_l2[slot];
@@ -840,9 +867,6 @@ pb_pop_requests(GazeKernel *self, int slot, long long region)
     uint64_t taken = 0, taken_l1 = 0;
     int count = 0;
     const int limit = self->pb_limit;
-    PyObject *out = PyList_New(0);
-    if (!out)
-        return NULL;
     while (pending_mask && count < limit) {
         uint64_t low = pending_mask & (~pending_mask + 1);
         pending_mask ^= low;
@@ -855,25 +879,16 @@ pb_pop_requests(GazeKernel *self, int slot, long long region)
         } else {
             packed = (base_block + bit) << 1;
         }
-        PyObject *v = PyLong_FromLongLong(packed);
-        if (!v || PyList_Append(out, v) < 0) {
-            Py_XDECREF(v);
-            Py_DECREF(out);
-            return NULL;
-        }
-        Py_DECREF(v);
-        count++;
+        self->out_buf[count++] = packed;
     }
-    if (!count) {
-        Py_DECREF(out);
-        Py_RETURN_NONE;
-    }
+    if (!count)
+        return -1;
     self->pb_l1[slot] = m1 & ~taken;
     self->pb_l2[slot] &= ~taken;
     self->pb_issued[slot] |= taken;
     self->pb_issued_l1[slot] = (self->pb_issued_l1[slot] & ~taken) | taken_l1;
     self->pb_pending[slot] -= count;
-    return out;
+    return count;
 }
 
 /* ---- PHT predict / learn ----------------------------------------- */
@@ -991,10 +1006,10 @@ promote_tracked(GazeKernel *self, int slot, long long offset)
 }
 
 /* ---- region activation (second access) --------------------------- */
-static PyObject *
-gaze_activate(GazeKernel *self, long long region, long long trigger_pc,
-              long long trigger_offset, long long second_offset,
-              long long second_pc)
+static int
+gaze_activate_impl(GazeKernel *self, long long region, long long trigger_pc,
+                   long long trigger_offset, long long second_offset,
+                   long long second_pc)
 {
     (void)second_pc;
     int stride_flag = 0;
@@ -1042,28 +1057,19 @@ gaze_activate(GazeKernel *self, long long region, long long trigger_pc,
 
     int pslot = ft_find(&self->pb, region);
     if (pslot < 0)
-        Py_RETURN_NONE;
+        return -1;
     ft_touch(&self->pb, pslot);
     if (!self->pb_pending[pslot])
-        Py_RETURN_NONE;
+        return -1;
     self->last_pc = trigger_pc;
     self->last_meta = 0; /* "gaze" */
-    return pb_pop_requests(self, pslot, region);
+    return pb_pop_requests_impl(self, pslot, region);
 }
 
 /* ---- train ------------------------------------------------------- */
-static PyObject *
-Gaze_train(GazeKernel *self, PyObject *const *args, Py_ssize_t nargs)
+static int
+gaze_train_impl(GazeKernel *self, long long pc, long long address)
 {
-    if (nargs != 2) {
-        PyErr_SetString(PyExc_TypeError, "train(pc, address)");
-        return NULL;
-    }
-    long long pc = PyLong_AsLongLong(args[0]);
-    long long address = PyLong_AsLongLong(args[1]);
-    if (PyErr_Occurred())
-        return NULL;
-
     long long region, offset;
     if (self->region_shift >= 0) {
         region = address >> self->region_shift;
@@ -1086,13 +1092,13 @@ Gaze_train(GazeKernel *self, PyObject *const *args, Py_ssize_t nargs)
         }
         int pslot = ft_find(&self->pb, region);
         if (pslot < 0)
-            Py_RETURN_NONE;
+            return -1;
         ft_touch(&self->pb, pslot);
         if (!self->pb_pending[pslot])
-            Py_RETURN_NONE;
+            return -1;
         self->last_pc = pc;
         self->last_meta = 1; /* "gaze-promo" */
-        return pb_pop_requests(self, pslot, region);
+        return pb_pop_requests_impl(self, pslot, region);
     }
 
     int fslot = ft_find(&self->ft, region);
@@ -1100,12 +1106,12 @@ Gaze_train(GazeKernel *self, PyObject *const *args, Py_ssize_t nargs)
         long long trigger_offset = self->ft_off[fslot];
         if (trigger_offset == offset) {
             ft_touch(&self->ft, fslot);
-            Py_RETURN_NONE;
+            return -1;
         }
         long long trigger_pc = self->ft_pc[fslot];
         ft_drop_slot(&self->ft, fslot);
-        return gaze_activate(self, region, trigger_pc, trigger_offset,
-                             offset, pc);
+        return gaze_activate_impl(self, region, trigger_pc, trigger_offset,
+                                  offset, pc);
     }
 
     /* First touch of an unknown region: silent LRU allocation. */
@@ -1113,15 +1119,26 @@ Gaze_train(GazeKernel *self, PyObject *const *args, Py_ssize_t nargs)
     fslot = ft_insert(&self->ft, region, &evicted);
     self->ft_pc[fslot] = pc;
     self->ft_off[fslot] = offset;
-    Py_RETURN_NONE;
+    return -1;
 }
 
 static PyObject *
-Gaze_evict(GazeKernel *self, PyObject *arg)
+Gaze_train(GazeKernel *self, PyObject *const *args, Py_ssize_t nargs)
 {
-    long long block = PyLong_AsLongLong(arg);
-    if (block == -1 && PyErr_Occurred())
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "train(pc, address)");
         return NULL;
+    }
+    long long pc = PyLong_AsLongLong(args[0]);
+    long long address = PyLong_AsLongLong(args[1]);
+    if (PyErr_Occurred())
+        return NULL;
+    return packed_result(self->out_buf, gaze_train_impl(self, pc, address));
+}
+
+static void
+gaze_evict_impl(GazeKernel *self, long long block)
+{
     long long region;
     if (self->region_shift >= 0)
         region = block >> (self->region_shift - 6);
@@ -1132,6 +1149,15 @@ Gaze_evict(GazeKernel *self, PyObject *arg)
         learn_slot(self, slot);
         ft_drop_slot(&self->at, slot);
     }
+}
+
+static PyObject *
+Gaze_evict(GazeKernel *self, PyObject *arg)
+{
+    long long block = PyLong_AsLongLong(arg);
+    if (block == -1 && PyErr_Occurred())
+        return NULL;
+    gaze_evict_impl(self, block);
     Py_RETURN_NONE;
 }
 
@@ -1214,6 +1240,2235 @@ static PyTypeObject GazeKernelType = {
 };
 
 /* ================================================================== */
+/* PMPKernel: C twin of PMPPrefetcher.train_flat / on_cache_eviction   */
+/* ================================================================== */
+typedef struct {
+    PyObject_HEAD
+    int blocks;
+    long long region_size;
+    int region_shift; /* -1 when region_size is not a power of two */
+    int max_confidence;
+    int anchor;
+    uint64_t block_mask;
+    long long *l1_min; /* max_confidence + 1 integer thresholds */
+    long long *l2_min;
+    /* filter table: region -> trigger offset */
+    FTable ft;
+    long long *ft_off;
+    /* accumulation table: region -> (trigger offset, footprint) */
+    FTable at;
+    long long *at_trig;
+    uint64_t *at_foot;
+    /* offset pattern table: blocks x blocks counters + merge counts */
+    int *opt;
+    int *merge_counts;
+    long long out_buf[64]; /* packed prefetches from the last train_impl */
+} PMPKernel;
+
+static void
+PMP_dealloc(PMPKernel *self)
+{
+    ft_dealloc(&self->ft);
+    ft_dealloc(&self->at);
+    PyMem_Free(self->l1_min);
+    PyMem_Free(self->l2_min);
+    PyMem_Free(self->ft_off);
+    PyMem_Free(self->at_trig);
+    PyMem_Free(self->at_foot);
+    PyMem_Free(self->opt);
+    PyMem_Free(self->merge_counts);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static long long *
+load_min_table(PyObject *seq, int entries, const char *name)
+{
+    PyObject *fast = PySequence_Fast(seq, "threshold table must be a sequence");
+    if (!fast)
+        return NULL;
+    if (PySequence_Fast_GET_SIZE(fast) != entries) {
+        Py_DECREF(fast);
+        PyErr_Format(PyExc_ValueError, "%s must have %d entries", name, entries);
+        return NULL;
+    }
+    long long *out = PyMem_Malloc(sizeof(long long) * entries);
+    if (!out) {
+        Py_DECREF(fast);
+        PyErr_NoMemory();
+        return NULL;
+    }
+    for (int i = 0; i < entries; i++) {
+        out[i] = PyLong_AsLongLong(PySequence_Fast_GET_ITEM(fast, i));
+        if (out[i] == -1 && PyErr_Occurred()) {
+            Py_DECREF(fast);
+            PyMem_Free(out);
+            return NULL;
+        }
+    }
+    Py_DECREF(fast);
+    return out;
+}
+
+static int
+PMP_init(PMPKernel *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {
+        "blocks", "region_size", "filter_entries", "accumulation_entries",
+        "max_confidence", "anchor", "l1_min", "l2_min",
+        NULL,
+    };
+    int ft_entries, at_entries;
+    PyObject *l1_min, *l2_min;
+    if (!PyArg_ParseTupleAndKeywords(
+            args, kwds, "iLiiiiOO", kwlist,
+            &self->blocks, &self->region_size, &ft_entries, &at_entries,
+            &self->max_confidence, &self->anchor, &l1_min, &l2_min))
+        return -1;
+    if (self->blocks <= 0 || self->blocks > 64) {
+        PyErr_SetString(PyExc_ValueError,
+                        "PMPKernel requires 1 <= blocks_per_region <= 64");
+        return -1;
+    }
+    if (self->max_confidence <= 0) {
+        PyErr_SetString(PyExc_ValueError, "max_confidence must be positive");
+        return -1;
+    }
+    if ((self->region_size & (self->region_size - 1)) == 0) {
+        int shift = 0;
+        long long r = self->region_size;
+        while (r > 1) { r >>= 1; shift++; }
+        self->region_shift = shift;
+    } else {
+        self->region_shift = -1;
+    }
+    self->block_mask = mask_n(self->blocks);
+    self->l1_min = load_min_table(l1_min, self->max_confidence + 1, "l1_min");
+    if (!self->l1_min)
+        return -1;
+    self->l2_min = load_min_table(l2_min, self->max_confidence + 1, "l2_min");
+    if (!self->l2_min)
+        return -1;
+    if (ft_init(&self->ft, ft_entries) < 0 || ft_init(&self->at, at_entries) < 0)
+        goto nomem;
+    self->ft_off = PyMem_Malloc(sizeof(long long) * ft_entries);
+    self->at_trig = PyMem_Malloc(sizeof(long long) * at_entries);
+    self->at_foot = PyMem_Malloc(sizeof(uint64_t) * at_entries);
+    int opt_size = self->blocks * self->blocks;
+    self->opt = PyMem_Malloc(sizeof(int) * opt_size);
+    self->merge_counts = PyMem_Malloc(sizeof(int) * self->blocks);
+    if (!self->ft_off || !self->at_trig || !self->at_foot || !self->opt ||
+        !self->merge_counts)
+        goto nomem;
+    memset(self->opt, 0, sizeof(int) * opt_size);
+    memset(self->merge_counts, 0, sizeof(int) * self->blocks);
+    return 0;
+nomem:
+    PyErr_NoMemory();
+    return -1;
+}
+
+/* Exact port of PMPPrefetcher._merge (anchored rotation + saturating
+ * counter walk over set bits, decay over clear bits at saturation). */
+static void
+pmp_merge(PMPKernel *self, long long trigger_offset, uint64_t footprint)
+{
+    const int blocks = self->blocks;
+    const int max_conf = self->max_confidence;
+    uint64_t pattern = footprint & self->block_mask;
+    if (self->anchor && trigger_offset)
+        pattern = ((pattern << (blocks - trigger_offset)) |
+                   (pattern >> trigger_offset)) & self->block_mask;
+    int *counters = self->opt + (size_t)trigger_offset * blocks;
+    int merged = self->merge_counts[trigger_offset] + 1;
+    if (merged > max_conf)
+        merged = max_conf;
+    self->merge_counts[trigger_offset] = merged;
+    uint64_t value = pattern;
+    while (value) {
+        int b = __builtin_ctzll(value);
+        value &= value - 1;
+        int count = counters[b] + 1;
+        counters[b] = count < max_conf ? count : max_conf;
+    }
+    if (merged >= max_conf) {
+        value = ~pattern & self->block_mask;
+        while (value) {
+            int b = __builtin_ctzll(value);
+            value &= value - 1;
+            if (counters[b] > 0)
+                counters[b]--;
+        }
+    }
+}
+
+static int
+pmp_train_impl(PMPKernel *self, long long address)
+{
+    long long region, offset;
+    if (self->region_shift >= 0) {
+        region = address >> self->region_shift;
+        offset = (address >> 6) & (long long)(self->blocks - 1);
+    } else {
+        region = address / self->region_size;
+        offset = (address % self->region_size) >> 6;
+    }
+
+    /* Tracked region: accumulate the footprint, nothing to predict. */
+    int slot = ft_find(&self->at, region);
+    if (slot >= 0) {
+        ft_touch(&self->at, slot);
+        self->at_foot[slot] |= (uint64_t)1 << offset;
+        return -1;
+    }
+
+    int fslot = ft_find(&self->ft, region);
+    if (fslot >= 0) {
+        long long trigger_offset = self->ft_off[fslot];
+        if (trigger_offset == offset) {
+            /* Same block touched again: still a one-bit footprint. */
+            ft_touch(&self->ft, fslot);
+            return -1;
+        }
+        /* Activation: FT -> AT; a displaced AT entry deactivates and
+         * its footprint is merged (train_flat merges deactivations
+         * before checking the trigger, which is None here). */
+        ft_drop_slot(&self->ft, fslot);
+        int evicted;
+        slot = ft_insert(&self->at, region, &evicted);
+        if (evicted)
+            pmp_merge(self, self->at_trig[slot], self->at_foot[slot]);
+        self->at_trig[slot] = trigger_offset;
+        self->at_foot[slot] =
+            ((uint64_t)1 << trigger_offset) | ((uint64_t)1 << offset);
+        return -1;
+    }
+
+    /* Brand-new region: FT allocation (silent LRU) + trigger prediction. */
+    int evicted;
+    fslot = ft_insert(&self->ft, region, &evicted);
+    self->ft_off[fslot] = offset;
+
+    int observed = self->merge_counts[offset];
+    if (observed == 0)
+        return -1;
+    const int max_conf = self->max_confidence;
+    int scale = observed < max_conf ? observed : max_conf;
+    const long long l1m = self->l1_min[scale];
+    const long long l2m = self->l2_min[scale];
+    const int blocks = self->blocks;
+    const int anchor = self->anchor;
+    const long long base = region * blocks;
+    const int *counters = self->opt + (size_t)offset * blocks;
+    int count_out = 0;
+    for (int b = 0; b < blocks; b++) {
+        long long count = counters[b];
+        if (count < l2m)
+            continue;
+        long long target_offset = anchor ? (b + offset) % blocks : b;
+        if (target_offset == offset)
+            continue;
+        self->out_buf[count_out++] =
+            ((base + target_offset) << 1) | (count >= l1m ? 1 : 0);
+    }
+    return count_out;
+}
+
+static PyObject *
+PMP_train(PMPKernel *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "train(pc, address)");
+        return NULL;
+    }
+    long long address = PyLong_AsLongLong(args[1]);
+    if (PyErr_Occurred())
+        return NULL;
+    return packed_result(self->out_buf, pmp_train_impl(self, address));
+}
+
+static void
+pmp_evict_impl(PMPKernel *self, long long block)
+{
+    long long region;
+    if (self->region_shift >= 0)
+        region = block >> (self->region_shift - 6);
+    else
+        region = (block << 6) / self->region_size;
+    int slot = ft_find(&self->at, region);
+    if (slot >= 0) {
+        pmp_merge(self, self->at_trig[slot], self->at_foot[slot]);
+        ft_drop_slot(&self->at, slot);
+    }
+}
+
+static PyObject *
+PMP_evict(PMPKernel *self, PyObject *arg)
+{
+    long long block = PyLong_AsLongLong(arg);
+    if (block == -1 && PyErr_Occurred())
+        return NULL;
+    pmp_evict_impl(self, block);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+PMP_reset(PMPKernel *self, PyObject *Py_UNUSED(ignored))
+{
+    ft_clear(&self->ft);
+    ft_clear(&self->at);
+    memset(self->opt, 0, sizeof(int) * self->blocks * self->blocks);
+    memset(self->merge_counts, 0, sizeof(int) * self->blocks);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef PMP_methods[] = {
+    {"train", (PyCFunction)(void (*)(void))PMP_train, METH_FASTCALL,
+     "One train step; returns a list of packed prefetches or None."},
+    {"evict", (PyCFunction)PMP_evict, METH_O,
+     "Deactivate (and merge) the region of an evicted block."},
+    {"reset", (PyCFunction)PMP_reset, METH_NOARGS, "Clear all state."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject PMPKernelType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernels.PMPKernel",
+    .tp_basicsize = sizeof(PMPKernel),
+    .tp_dealloc = (destructor)PMP_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "C twin of PMPPrefetcher's train_flat state machine.",
+    .tp_methods = PMP_methods,
+    .tp_init = (initproc)PMP_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ================================================================== */
+/* TriangelKernel: C twin of TriangelPrefetcher.train                  */
+/* ================================================================== */
+typedef struct {
+    PyObject_HEAD
+    int sample_rate;
+    int markov_sets;
+    int markov_ways;
+    int degree;
+    int distance;
+    int train_threshold;
+    int predict_threshold;
+    int max_confidence;
+    /* training unit: pc -> (history ring, reuse confidence, observed) */
+    FTable training;
+    long long *tr_hist; /* `distance` blocks per slot */
+    int *tr_start;
+    int *tr_len;
+    int *tr_conf;
+    long long *tr_observed;
+    /* sample table: block -> owning pc */
+    FTable samples;
+    long long *sample_pc;
+    /* Markov table: per-set ordered arrays, index 0 = LRU */
+    long long *mk_tag;
+    long long *mk_succ;
+    int *mk_conf;
+    int *mk_count;
+    long long out_buf[64]; /* packed prefetches from the last train_impl */
+} TriangelKernel;
+
+static void
+Triangel_dealloc(TriangelKernel *self)
+{
+    ft_dealloc(&self->training);
+    ft_dealloc(&self->samples);
+    PyMem_Free(self->tr_hist);
+    PyMem_Free(self->tr_start);
+    PyMem_Free(self->tr_len);
+    PyMem_Free(self->tr_conf);
+    PyMem_Free(self->tr_observed);
+    PyMem_Free(self->sample_pc);
+    PyMem_Free(self->mk_tag);
+    PyMem_Free(self->mk_succ);
+    PyMem_Free(self->mk_conf);
+    PyMem_Free(self->mk_count);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+Triangel_init(TriangelKernel *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {
+        "training_entries", "sample_entries", "sample_rate", "markov_sets",
+        "markov_ways", "degree", "distance", "train_threshold",
+        "predict_threshold", "max_confidence",
+        NULL,
+    };
+    int training_entries, sample_entries;
+    if (!PyArg_ParseTupleAndKeywords(
+            args, kwds, "iiiiiiiiii", kwlist,
+            &training_entries, &sample_entries, &self->sample_rate,
+            &self->markov_sets, &self->markov_ways, &self->degree,
+            &self->distance, &self->train_threshold, &self->predict_threshold,
+            &self->max_confidence))
+        return -1;
+    if (training_entries <= 0 || sample_entries <= 0 ||
+        self->markov_sets <= 0 || self->markov_ways <= 0) {
+        PyErr_SetString(PyExc_ValueError, "table sizes must be positive");
+        return -1;
+    }
+    if (self->sample_rate <= 0 || self->degree <= 0 || self->distance <= 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "sample_rate, degree and distance must be positive");
+        return -1;
+    }
+    if (self->degree > 64) {
+        /* The predict walk keeps its `seen` set on the stack. */
+        PyErr_SetString(PyExc_ValueError,
+                        "TriangelKernel supports at most degree 64");
+        return -1;
+    }
+    if (ft_init(&self->training, training_entries) < 0 ||
+        ft_init(&self->samples, sample_entries) < 0)
+        goto nomem;
+    self->tr_hist =
+        PyMem_Malloc(sizeof(long long) * training_entries * self->distance);
+    self->tr_start = PyMem_Malloc(sizeof(int) * training_entries);
+    self->tr_len = PyMem_Malloc(sizeof(int) * training_entries);
+    self->tr_conf = PyMem_Malloc(sizeof(int) * training_entries);
+    self->tr_observed = PyMem_Malloc(sizeof(long long) * training_entries);
+    self->sample_pc = PyMem_Malloc(sizeof(long long) * sample_entries);
+    int mk_size = self->markov_sets * self->markov_ways;
+    self->mk_tag = PyMem_Malloc(sizeof(long long) * mk_size);
+    self->mk_succ = PyMem_Malloc(sizeof(long long) * mk_size);
+    self->mk_conf = PyMem_Malloc(sizeof(int) * mk_size);
+    self->mk_count = PyMem_Malloc(sizeof(int) * self->markov_sets);
+    if (!self->tr_hist || !self->tr_start || !self->tr_len ||
+        !self->tr_conf || !self->tr_observed || !self->sample_pc ||
+        !self->mk_tag || !self->mk_succ || !self->mk_conf || !self->mk_count)
+        goto nomem;
+    memset(self->mk_count, 0, sizeof(int) * self->markov_sets);
+    return 0;
+nomem:
+    PyErr_NoMemory();
+    return -1;
+}
+
+static inline int
+mk_find(TriangelKernel *self, int set, long long tag)
+{
+    const long long *tags = self->mk_tag + (size_t)set * self->markov_ways;
+    const int n = self->mk_count[set];
+    for (int i = 0; i < n; i++)
+        if (tags[i] == tag)
+            return i;
+    return -1;
+}
+
+/* Move entry i of a set to the MRU position (OrderedDict.move_to_end). */
+static void
+mk_touch(TriangelKernel *self, int set, int i)
+{
+    int n = self->mk_count[set];
+    if (i == n - 1)
+        return;
+    size_t base = (size_t)set * self->markov_ways;
+    long long tag = self->mk_tag[base + i];
+    long long succ = self->mk_succ[base + i];
+    int conf = self->mk_conf[base + i];
+    int tail = n - i - 1;
+    memmove(self->mk_tag + base + i, self->mk_tag + base + i + 1,
+            sizeof(long long) * tail);
+    memmove(self->mk_succ + base + i, self->mk_succ + base + i + 1,
+            sizeof(long long) * tail);
+    memmove(self->mk_conf + base + i, self->mk_conf + base + i + 1,
+            sizeof(int) * tail);
+    self->mk_tag[base + n - 1] = tag;
+    self->mk_succ[base + n - 1] = succ;
+    self->mk_conf[base + n - 1] = conf;
+}
+
+/* Exact port of TriangelPrefetcher._markov_update. */
+static void
+mk_update(TriangelKernel *self, long long prev_block, long long block)
+{
+    int set = (int)(prev_block % self->markov_sets);
+    long long tag = prev_block / self->markov_sets;
+    int i = mk_find(self, set, tag);
+    size_t base = (size_t)set * self->markov_ways;
+    if (i >= 0) {
+        mk_touch(self, set, i);
+        size_t idx = base + self->mk_count[set] - 1;
+        if (self->mk_succ[idx] == block) {
+            int conf = self->mk_conf[idx] + 1;
+            self->mk_conf[idx] =
+                conf < self->max_confidence ? conf : self->max_confidence;
+        } else {
+            self->mk_conf[idx] -= 1;
+            if (self->mk_conf[idx] <= 0) {
+                self->mk_succ[idx] = block;
+                self->mk_conf[idx] = 1;
+            }
+        }
+        return;
+    }
+    int n = self->mk_count[set];
+    if (n >= self->markov_ways) {
+        /* Evict the set LRU (index 0). */
+        memmove(self->mk_tag + base, self->mk_tag + base + 1,
+                sizeof(long long) * (n - 1));
+        memmove(self->mk_succ + base, self->mk_succ + base + 1,
+                sizeof(long long) * (n - 1));
+        memmove(self->mk_conf + base, self->mk_conf + base + 1,
+                sizeof(int) * (n - 1));
+        n--;
+    }
+    self->mk_tag[base + n] = tag;
+    self->mk_succ[base + n] = block;
+    self->mk_conf[base + n] = 1;
+    self->mk_count[set] = n + 1;
+}
+
+static int
+triangel_train_impl(TriangelKernel *self, long long pc, long long address)
+{
+    long long block = address >> 6;
+    FTable *tr = &self->training;
+    int slot = ft_find(tr, pc);
+    if (slot < 0) {
+        int evicted;
+        slot = ft_insert(tr, pc, &evicted);
+        self->tr_hist[(size_t)slot * self->distance] = block;
+        self->tr_start[slot] = 0;
+        self->tr_len[slot] = 1;
+        self->tr_conf[slot] = 0;
+        self->tr_observed[slot] = 0;
+        return -1;
+    }
+    ft_touch(tr, slot);
+
+    /* ---- sampler (exact port of _sample) ---- */
+    int s = ft_find(&self->samples, block);
+    if (s >= 0) {
+        long long owner = self->sample_pc[s];
+        ft_drop_slot(&self->samples, s);
+        int o = ft_find(tr, owner);
+        if (o >= 0) {
+            int conf = self->tr_conf[o] + 1;
+            self->tr_conf[o] =
+                conf < self->max_confidence ? conf : self->max_confidence;
+        }
+    } else {
+        self->tr_observed[slot] += 1;
+        if (self->tr_observed[slot] % self->sample_rate == 0) {
+            int evicted;
+            int s2 = ft_insert(&self->samples, block, &evicted);
+            if (evicted) {
+                /* The sample aged out unused: back off its owning PC. */
+                long long ev_owner = self->sample_pc[s2];
+                int o = ft_find(tr, ev_owner);
+                if (o >= 0 && self->tr_conf[o] > 0)
+                    self->tr_conf[o] -= 1;
+            }
+            self->sample_pc[s2] = pc;
+        }
+    }
+
+    const int trained = self->tr_conf[slot] >= self->train_threshold;
+    const int distance = self->distance;
+    long long *hist = self->tr_hist + (size_t)slot * distance;
+    int hstart = self->tr_start[slot];
+    int hlen = self->tr_len[slot];
+    if (hlen >= distance) {
+        long long h0 = hist[hstart];
+        if (trained && h0 != block)
+            mk_update(self, h0, block);
+        int trim = hlen - distance + 1;
+        hstart += trim;
+        if (hstart >= distance)
+            hstart -= distance;
+        hlen -= trim;
+    }
+    int pos = hstart + hlen;
+    if (pos >= distance)
+        pos -= distance;
+    hist[pos] = block;
+    hlen++;
+    self->tr_start[slot] = hstart;
+    self->tr_len[slot] = hlen;
+    if (!trained)
+        return -1;
+
+    /* ---- predict: chained Markov walk, all L1 hints ---- */
+    long long seen[65];
+    int seen_n = 0;
+    seen[seen_n++] = block;
+    long long current = block;
+    int count = 0;
+    for (int hop = 0; hop < self->degree; hop++) {
+        int set = (int)(current % self->markov_sets);
+        long long tag = current / self->markov_sets;
+        int mi = mk_find(self, set, tag);
+        if (mi < 0)
+            break;
+        size_t idx = (size_t)set * self->markov_ways + mi;
+        if (self->mk_conf[idx] < self->predict_threshold)
+            break;
+        long long target = self->mk_succ[idx];
+        int dup = 0;
+        for (int j = 0; j < seen_n; j++)
+            if (seen[j] == target) { dup = 1; break; }
+        if (dup)
+            break;
+        seen[seen_n++] = target;
+        self->out_buf[count++] = (target << 1) | 1;
+        current = target;
+    }
+    return count;
+}
+
+static PyObject *
+Triangel_train(TriangelKernel *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "train(pc, address)");
+        return NULL;
+    }
+    long long pc = PyLong_AsLongLong(args[0]);
+    long long address = PyLong_AsLongLong(args[1]);
+    if (PyErr_Occurred())
+        return NULL;
+    return packed_result(self->out_buf, triangel_train_impl(self, pc, address));
+}
+
+static PyObject *
+Triangel_reset(TriangelKernel *self, PyObject *Py_UNUSED(ignored))
+{
+    ft_clear(&self->training);
+    ft_clear(&self->samples);
+    memset(self->mk_count, 0, sizeof(int) * self->markov_sets);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef Triangel_methods[] = {
+    {"train", (PyCFunction)(void (*)(void))Triangel_train, METH_FASTCALL,
+     "One miss-stream train step; returns packed prefetches or None."},
+    {"reset", (PyCFunction)Triangel_reset, METH_NOARGS, "Clear all state."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject TriangelKernelType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernels.TriangelKernel",
+    .tp_basicsize = sizeof(TriangelKernel),
+    .tp_dealloc = (destructor)Triangel_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "C twin of TriangelPrefetcher's train state machine.",
+    .tp_methods = Triangel_methods,
+    .tp_init = (initproc)Triangel_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ================================================================== */
+/* DriverKernel — the batched driver loop of
+ * repro.sim.simulator._execute_batched in C: flat array-backed
+ * L1/L2/LLC state, demand_hit_run-equivalent run scans with batched
+ * LRU touches, the fused demand path with exact eviction-listener
+ * semantics, MSHR min-ready bookkeeping, DRAM bank/channel timing and
+ * the simple-core clock.  The Python batched driver stays the
+ * bit-exact oracle; repro.sim.driver loads a snapshot of the live
+ * hierarchy, feeds whole BatchedTrace chunks per run() call, and
+ * exports all state back on detach.                                   */
+
+#define CB_PREFETCHED 1u
+#define CB_USEFUL 2u
+#define CB_FROM_DRAM 4u
+#define CB_DIRTY 8u
+#define CB_COUNTED 16u
+
+enum {
+    DRV_PF_NONE = 0,
+    DRV_PF_BERTI = 1,
+    DRV_PF_GAZE = 2,
+    DRV_PF_PMP = 3,
+    DRV_PF_TRIANGEL = 4,
+};
+
+/* One set-associative cache level: rows stored LRU -> MRU (index 0 is
+ * the eviction victim, mirroring dict insertion order in the oracle). */
+typedef struct {
+    int sets;
+    int ways;
+    long long mask;      /* sets - 1 (power-of-two set counts only)    */
+    long long *tag;      /* sets * ways block numbers                  */
+    unsigned char *flag; /* parallel CB_* flag bytes                   */
+    int *size;           /* live entries per set                       */
+    long long hits, misses, evictions, useless;
+} DCache;
+
+typedef struct {
+    long long *tag;
+    unsigned char *flg;
+    long long set;
+    int n;
+} DCRow;
+
+static int
+dc_init(DCache *c, int sets, int ways)
+{
+    c->sets = sets;
+    c->ways = ways;
+    c->mask = (long long)sets - 1;
+    c->hits = c->misses = c->evictions = c->useless = 0;
+    c->tag = PyMem_Malloc(sizeof(long long) * (size_t)sets * (size_t)ways);
+    c->flag = PyMem_Malloc(sizeof(unsigned char) * (size_t)sets * (size_t)ways);
+    c->size = PyMem_Malloc(sizeof(int) * (size_t)sets);
+    if (!c->tag || !c->flag || !c->size)
+        return -1;
+    memset(c->size, 0, sizeof(int) * (size_t)sets);
+    return 0;
+}
+
+static void
+dc_free(DCache *c)
+{
+    PyMem_Free(c->tag);
+    PyMem_Free(c->flag);
+    PyMem_Free(c->size);
+    c->tag = NULL;
+    c->flag = NULL;
+    c->size = NULL;
+}
+
+static inline DCRow
+dc_row(DCache *c, long long block)
+{
+    DCRow r;
+    r.set = block & c->mask;
+    r.tag = c->tag + (size_t)r.set * (size_t)c->ways;
+    r.flg = c->flag + (size_t)r.set * (size_t)c->ways;
+    r.n = c->size[r.set];
+    return r;
+}
+
+static inline int
+dcrow_find(const DCRow *r, long long block)
+{
+    for (int i = 0; i < r->n; i++)
+        if (r->tag[i] == block)
+            return i;
+    return -1;
+}
+
+/* LRU touch: move position `pos` to the MRU end (dict del/re-insert). */
+static inline void
+dcrow_touch(DCRow *r, int pos)
+{
+    if (pos == r->n - 1)
+        return;
+    long long t = r->tag[pos];
+    unsigned char f = r->flg[pos];
+    memmove(r->tag + pos, r->tag + pos + 1,
+            sizeof(long long) * (size_t)(r->n - 1 - pos));
+    memmove(r->flg + pos, r->flg + pos + 1,
+            sizeof(unsigned char) * (size_t)(r->n - 1 - pos));
+    r->tag[r->n - 1] = t;
+    r->flg[r->n - 1] = f;
+}
+
+static inline int
+dc_contains(DCache *c, long long block)
+{
+    DCRow r = dc_row(c, block);
+    return dcrow_find(&r, block) >= 0;
+}
+
+typedef struct {
+    PyObject_HEAD
+    /* hierarchy */
+    DCache l1, l2, llc;
+    long long lat_l1, lat_l2, lat_llc, lat_l2_source, lat_llc_source;
+    /* L1 MSHR: insertion-ordered parallel arrays                      */
+    int mshr_cap, mshr_n;
+    long long *mshr_block;
+    long long *mshr_ready;
+    unsigned char *mshr_dram;
+    long long mshr_min_ready; /* LLONG_MAX == +inf                     */
+    /* prefetch queue: ring of packed ints (block << 1 | to_l1)        */
+    int pq_cap, pq_head, pq_n, pq_drain;
+    long long *pq;
+    /* DRAM (dr_banks = banks per channel)                             */
+    int dr_channels, dr_banks;
+    long long dr_row_div, dr_lat_row_hit, dr_lat_row_miss;
+    double dr_transfer;
+    long long *dr_open_row;   /* per global bank, -1 == closed         */
+    double *dr_bank_busy;     /* per global bank                       */
+    double *dr_channel_busy;  /* per channel                           */
+    /* core */
+    int width;
+    double fetch_inc;
+    long long rob, lq;
+    int miss_limit;
+    long long miss_threshold;
+    long long instr;
+    double fetch, last_retire, issue;
+    long long *out_pos;       /* outstanding ring: issue positions     */
+    double *out_comp;         /* parallel completion cycles            */
+    int out_head, out_n, out_cap;
+    double *missv;            /* outstanding misses (unsorted)         */
+    int miss_n, miss_cap;
+    double misses_min;        /* INFINITY == none                      */
+    /* prefetcher twin (borrowed train state, owned reference)         */
+    int ptype;
+    PyObject *pf_kernel;
+    /* decoded-trace identity cache                                    */
+    PyObject *tr_key_addr, *tr_key_block;
+    Py_ssize_t tr_len, tr_cap;
+    long long *tr_addr, *tr_pc, *tr_block, *tr_gap;
+    unsigned char *tr_kind;
+    /* stat deltas accumulated since the last drain_stats()            */
+    long long st_demand, st_l1_hits, st_l1_misses, st_l2_hits, st_l2_misses;
+    long long st_llc_hits, st_llc_misses, st_dram_reads, st_latency;
+    long long st_pf_generated, st_pf_issued, st_pf_drop_q, st_pf_drop_mshr;
+    long long st_pf_redundant, st_pf_fill_l1, st_pf_fill_l2;
+    long long st_pf_useful_l1, st_pf_useful_l2, st_pf_useless, st_pf_late;
+    long long st_pf_covered;
+    long long st_pq_enq, st_pq_drop;
+    long long dr_requests, dr_demand, dr_prefetch;
+    long long dr_row_hits, dr_row_misses, dr_queue_wait, dr_service;
+} DriverKernel;
+
+/* Fill `block` into level `c` (guaranteed absent).  Replicates
+ * Cache.fill_absent: victim accounting, the per-level eviction
+ * listeners (_count_useless_eviction on L1/L2 only, the prefetcher
+ * eviction callback on L1 only), then MRU insertion. */
+static void
+drv_fill(DriverKernel *d, DCache *c, long long block,
+         unsigned char flags, int level)
+{
+    DCRow r = dc_row(c, block);
+    if (r.n >= c->ways) {
+        long long vtag = r.tag[0];
+        unsigned char vf = r.flg[0];
+        c->evictions++;
+        if ((vf & CB_PREFETCHED) && !(vf & CB_USEFUL)) {
+            c->useless++;
+            if (level < 3)
+                d->st_pf_useless++;
+        }
+        if (level == 1) {
+            if (d->ptype == DRV_PF_GAZE)
+                gaze_evict_impl((GazeKernel *)d->pf_kernel, vtag);
+            else if (d->ptype == DRV_PF_PMP)
+                pmp_evict_impl((PMPKernel *)d->pf_kernel, vtag);
+        }
+        memmove(r.tag, r.tag + 1, sizeof(long long) * (size_t)(r.n - 1));
+        memmove(r.flg, r.flg + 1, sizeof(unsigned char) * (size_t)(r.n - 1));
+        r.tag[r.n - 1] = block;
+        r.flg[r.n - 1] = flags;
+    } else {
+        r.tag[r.n] = block;
+        r.flg[r.n] = flags;
+        c->size[r.set] = r.n + 1;
+    }
+}
+
+/* DRAMModel.access: returns bus_done (caller derives the latency via
+ * round(bus_done - cycle), banker's rounding == nearbyint under the
+ * default FE_TONEAREST mode). */
+static double
+drv_dram(DriverKernel *d, long long block, long long cyc, int is_prefetch)
+{
+    long long channel = block % d->dr_channels;
+    long long bank =
+        channel * d->dr_banks + (block / d->dr_channels) % d->dr_banks;
+    long long row = block / d->dr_row_div;
+    long long array_latency;
+    if (d->dr_open_row[bank] == row) {
+        array_latency = d->dr_lat_row_hit;
+        d->dr_row_hits++;
+    } else {
+        array_latency = d->dr_lat_row_miss;
+        d->dr_row_misses++;
+        d->dr_open_row[bank] = row;
+    }
+    double bank_wait = d->dr_bank_busy[bank] - (double)cyc;
+    if (bank_wait < 0.0)
+        bank_wait = 0.0;
+    double array_done = ((double)cyc + bank_wait) + (double)array_latency;
+    d->dr_bank_busy[bank] = array_done;
+    double bus_start = d->dr_channel_busy[channel];
+    if (array_done > bus_start)
+        bus_start = array_done;
+    double bus_done = bus_start + d->dr_transfer;
+    d->dr_channel_busy[channel] = bus_done;
+    double bus_wait = bus_start - array_done;
+    d->dr_requests++;
+    if (is_prefetch)
+        d->dr_prefetch++;
+    else
+        d->dr_demand++;
+    d->dr_queue_wait +=
+        (long long)(bank_wait + (bus_wait > 0.0 ? bus_wait : 0.0));
+    d->dr_service += (long long)((double)array_latency + d->dr_transfer);
+    return bus_done;
+}
+
+/* CoreTimingModel.begin_memory_access (with the preceding
+ * advance_non_memory(gap) folded in, exactly as the batched driver
+ * inlines them). */
+static void
+drv_begin(DriverKernel *d, long long gap)
+{
+    if (gap > 0) {
+        d->instr += gap;
+        d->fetch += (double)gap / (double)d->width;
+    }
+    d->instr += 1;
+    d->fetch += d->fetch_inc;
+    double issue = d->fetch;
+    double last_retire = d->last_retire;
+    while (d->out_n && d->instr - d->out_pos[d->out_head] >= d->rob) {
+        double completion = d->out_comp[d->out_head];
+        if (completion > issue)
+            issue = completion;
+        d->out_head++;
+        if (d->out_head >= d->out_cap)
+            d->out_head = 0;
+        d->out_n--;
+        if (completion > last_retire)
+            last_retire = completion;
+        if (issue > last_retire)
+            last_retire = issue;
+    }
+    while (d->out_n >= d->lq) {
+        double completion = d->out_comp[d->out_head];
+        if (completion > issue)
+            issue = completion;
+        d->out_head++;
+        if (d->out_head >= d->out_cap)
+            d->out_head = 0;
+        d->out_n--;
+        if (completion > last_retire)
+            last_retire = completion;
+        if (issue > last_retire)
+            last_retire = issue;
+    }
+    if (d->miss_n >= d->miss_limit) {
+        for (int i = 1; i < d->miss_n; i++) { /* misses_list.sort() */
+            double v = d->missv[i];
+            int j = i;
+            while (j > 0 && d->missv[j - 1] > v) {
+                d->missv[j] = d->missv[j - 1];
+                j--;
+            }
+            d->missv[j] = v;
+        }
+        int drop = 0;
+        while (d->miss_n - drop >= d->miss_limit) {
+            double completed = d->missv[drop++];
+            if (completed > issue)
+                issue = completed;
+        }
+        d->miss_n -= drop;
+        memmove(d->missv, d->missv + drop,
+                sizeof(double) * (size_t)d->miss_n);
+        d->misses_min = d->miss_n ? d->missv[0] : INFINITY;
+    }
+    if (d->miss_n && d->misses_min <= issue) {
+        int k = 0;
+        double mn = INFINITY;
+        for (int i = 0; i < d->miss_n; i++) {
+            double c = d->missv[i];
+            if (c > issue) {
+                d->missv[k++] = c;
+                if (c < mn)
+                    mn = c;
+            }
+        }
+        d->miss_n = k;
+        d->misses_min = k ? mn : INFINITY;
+    }
+    while (d->out_n && d->out_comp[d->out_head] <= issue) {
+        double completion = d->out_comp[d->out_head];
+        d->out_head++;
+        if (d->out_head >= d->out_cap)
+            d->out_head = 0;
+        d->out_n--;
+        if (completion > last_retire)
+            last_retire = completion;
+        if (issue > last_retire)
+            last_retire = issue;
+    }
+    d->issue = issue;
+    d->last_retire = last_retire;
+}
+
+/* CoreTimingModel.complete_memory_access. */
+static inline void
+drv_complete(DriverKernel *d, long long latency)
+{
+    double completion = d->issue + (double)(latency > 1 ? latency : 1);
+    int tail = d->out_head + d->out_n;
+    if (tail >= d->out_cap)
+        tail -= d->out_cap;
+    d->out_pos[tail] = d->instr;
+    d->out_comp[tail] = completion;
+    d->out_n++;
+    if (latency > d->miss_threshold) {
+        d->missv[d->miss_n++] = completion;
+        if (completion < d->misses_min)
+            d->misses_min = completion;
+    }
+    if (d->issue > d->fetch)
+        d->fetch = d->issue;
+}
+
+static inline int
+drv_mshr_find(DriverKernel *d, long long block)
+{
+    for (int i = 0; i < d->mshr_n; i++)
+        if (d->mshr_block[i] == block)
+            return i;
+    return -1;
+}
+
+/* MSHRFile.expire with the results discarded (has_free_entry's exact
+ * behaviour in the prefetch-issue path): ready entries vanish without
+ * filling, _min_ready is recomputed (also when nothing expired, which
+ * repairs a stale-low minimum). Call only when
+ * mshr_n && cycle >= mshr_min_ready (the hoisted fast path). */
+static void
+drv_mshr_expire_discard(DriverKernel *d, long long cycle)
+{
+    int k = 0;
+    long long mn = LLONG_MAX;
+    for (int i = 0; i < d->mshr_n; i++) {
+        if (d->mshr_ready[i] <= cycle)
+            continue;
+        d->mshr_block[k] = d->mshr_block[i];
+        d->mshr_ready[k] = d->mshr_ready[i];
+        d->mshr_dram[k] = d->mshr_dram[i];
+        if (d->mshr_ready[k] < mn)
+            mn = d->mshr_ready[k];
+        k++;
+    }
+    d->mshr_n = k;
+    d->mshr_min_ready = k ? mn : LLONG_MAX;
+}
+
+/* CacheHierarchy.complete_ready_prefetches: expire + fill each done
+ * entry into the L1 in insertion order (fills never read the MSHR, so
+ * filling during the compaction is equivalent to the oracle's
+ * collect-then-fill). Same call gate as drv_mshr_expire_discard. */
+static void
+drv_mshr_complete(DriverKernel *d, long long cycle)
+{
+    int k = 0;
+    long long mn = LLONG_MAX;
+    for (int i = 0; i < d->mshr_n; i++) {
+        if (d->mshr_ready[i] <= cycle) {
+            unsigned char fl = CB_PREFETCHED;
+            if (d->mshr_dram[i])
+                fl |= CB_FROM_DRAM;
+            drv_fill(d, &d->l1, d->mshr_block[i], fl, 1);
+            continue;
+        }
+        d->mshr_block[k] = d->mshr_block[i];
+        d->mshr_ready[k] = d->mshr_ready[i];
+        d->mshr_dram[k] = d->mshr_dram[i];
+        if (d->mshr_ready[k] < mn)
+            mn = d->mshr_ready[k];
+        k++;
+    }
+    d->mshr_n = k;
+    d->mshr_min_ready = k ? mn : LLONG_MAX;
+}
+
+/* The demand miss chain shared by the fused and per-access loops
+ * (everything below an L1 miss: L2 probe, LLC probe, DRAM access and
+ * the refills).  Returns the demand latency. */
+static long long
+drv_demand_miss(DriverKernel *d, long long block, long long issue_cycle,
+                int is_store)
+{
+    d->l1.misses++;
+    d->st_l1_misses++;
+    DCRow r2 = dc_row(&d->l2, block);
+    int p2 = dcrow_find(&r2, block);
+    if (p2 >= 0) {
+        unsigned char f = r2.flg[p2];
+        dcrow_touch(&r2, p2);
+        d->l2.hits++;
+        if (f & CB_PREFETCHED) {
+            if (!(f & CB_USEFUL))
+                f |= CB_USEFUL;
+            if (!(f & CB_COUNTED)) {
+                f |= CB_COUNTED;
+                d->st_pf_useful_l2++;
+                if (f & CB_FROM_DRAM)
+                    d->st_pf_covered++;
+            }
+        }
+        r2.flg[r2.n - 1] = f;
+        drv_fill(d, &d->l1, block,
+                 (unsigned char)(is_store ? CB_DIRTY : 0), 1);
+        d->st_l2_hits++;
+        d->st_latency += d->lat_l2;
+        return d->lat_l2;
+    }
+    d->l2.misses++;
+    d->st_l2_misses++;
+    long long latency;
+    unsigned char from_dram = 0;
+    DCRow r3 = dc_row(&d->llc, block);
+    int p3 = dcrow_find(&r3, block);
+    if (p3 >= 0) {
+        unsigned char f = r3.flg[p3];
+        dcrow_touch(&r3, p3);
+        d->llc.hits++;
+        if ((f & CB_PREFETCHED) && !(f & CB_USEFUL))
+            f |= CB_USEFUL;
+        r3.flg[r3.n - 1] = f;
+        latency = d->lat_llc;
+        d->st_llc_hits++;
+    } else {
+        d->llc.misses++;
+        d->st_llc_misses++;
+        double bus_done = drv_dram(d, block, issue_cycle, 0);
+        latency = d->lat_llc
+                  + (long long)nearbyint(bus_done - (double)issue_cycle);
+        d->st_dram_reads++;
+        from_dram = CB_FROM_DRAM;
+        drv_fill(d, &d->llc, block, CB_FROM_DRAM, 3);
+    }
+    drv_fill(d, &d->l2, block, from_dram, 2);
+    drv_fill(d, &d->l1, block,
+             (unsigned char)(from_dram | (is_store ? CB_DIRTY : 0)), 1);
+    d->st_latency += latency;
+    return latency;
+}
+
+/* In-process train dispatch (the flat protocol without the Python
+ * boundary).  Returns the packed count, -1 for "nothing" (None / the
+ * Triangel L1-hit gate), and points *buf at the kernel's out_buf. */
+static int
+drv_train(DriverKernel *d, long long pc, long long address,
+          long long cycle, long long latency, int l1_hit,
+          const long long **buf)
+{
+    switch (d->ptype) {
+    case DRV_PF_BERTI: {
+        BertiKernel *k = (BertiKernel *)d->pf_kernel;
+        *buf = k->out_buf;
+        return berti_train_impl(k, pc, address, cycle, latency);
+    }
+    case DRV_PF_GAZE: {
+        GazeKernel *k = (GazeKernel *)d->pf_kernel;
+        *buf = k->out_buf;
+        return gaze_train_impl(k, pc, address);
+    }
+    case DRV_PF_PMP: {
+        PMPKernel *k = (PMPKernel *)d->pf_kernel;
+        *buf = k->out_buf;
+        return pmp_train_impl(k, address);
+    }
+    case DRV_PF_TRIANGEL: {
+        TriangelKernel *k = (TriangelKernel *)d->pf_kernel;
+        if (l1_hit)
+            return -1; /* the training unit observes the L1 miss stream */
+        *buf = k->out_buf;
+        return triangel_train_impl(k, pc, address);
+    }
+    default:
+        return -1;
+    }
+}
+
+/* Decode the BatchedTrace arrays into flat C arrays.  Keyed on the
+ * identity of the addresses/blocks lists (BatchedTrace arrays are
+ * frozen after decode and chunk streams always build fresh lists), so
+ * repeated run() calls over the same in-memory trace copy once. */
+static int
+drv_load_trace(DriverKernel *d, PyObject *addresses, PyObject *pcs,
+               PyObject *blocks, PyObject *gaps, PyObject *kinds)
+{
+    if (!PyList_Check(addresses) || !PyList_Check(pcs)
+        || !PyList_Check(blocks) || !PyList_Check(gaps)) {
+        PyErr_SetString(PyExc_TypeError, "trace arrays must be lists");
+        return -1;
+    }
+    Py_ssize_t n = PyList_GET_SIZE(addresses);
+    if (PyList_GET_SIZE(pcs) != n || PyList_GET_SIZE(blocks) != n
+        || PyList_GET_SIZE(gaps) != n) {
+        PyErr_SetString(PyExc_ValueError, "trace arrays length mismatch");
+        return -1;
+    }
+    const char *kbuf;
+    if (PyByteArray_Check(kinds)) {
+        if (PyByteArray_GET_SIZE(kinds) != n) {
+            PyErr_SetString(PyExc_ValueError, "kinds length mismatch");
+            return -1;
+        }
+        kbuf = PyByteArray_AS_STRING(kinds);
+    } else if (PyBytes_Check(kinds)) {
+        if (PyBytes_GET_SIZE(kinds) != n) {
+            PyErr_SetString(PyExc_ValueError, "kinds length mismatch");
+            return -1;
+        }
+        kbuf = PyBytes_AS_STRING(kinds);
+    } else {
+        PyErr_SetString(PyExc_TypeError, "kinds must be bytes-like");
+        return -1;
+    }
+    if (d->tr_key_addr != addresses || d->tr_key_block != blocks
+        || d->tr_len != n) {
+        if (n > d->tr_cap) {
+            Py_ssize_t cap = n;
+            long long *na = PyMem_Malloc(sizeof(long long) * (size_t)cap);
+            long long *np = PyMem_Malloc(sizeof(long long) * (size_t)cap);
+            long long *nb = PyMem_Malloc(sizeof(long long) * (size_t)cap);
+            long long *ng = PyMem_Malloc(sizeof(long long) * (size_t)cap);
+            unsigned char *nk = PyMem_Malloc((size_t)cap);
+            if (!na || !np || !nb || !ng || !nk) {
+                PyMem_Free(na);
+                PyMem_Free(np);
+                PyMem_Free(nb);
+                PyMem_Free(ng);
+                PyMem_Free(nk);
+                PyErr_NoMemory();
+                return -1;
+            }
+            PyMem_Free(d->tr_addr);
+            PyMem_Free(d->tr_pc);
+            PyMem_Free(d->tr_block);
+            PyMem_Free(d->tr_gap);
+            PyMem_Free(d->tr_kind);
+            d->tr_addr = na;
+            d->tr_pc = np;
+            d->tr_block = nb;
+            d->tr_gap = ng;
+            d->tr_kind = nk;
+            d->tr_cap = cap;
+        }
+        for (Py_ssize_t i = 0; i < n; i++) {
+            long long a = PyLong_AsLongLong(PyList_GET_ITEM(addresses, i));
+            long long p = PyLong_AsLongLong(PyList_GET_ITEM(pcs, i));
+            long long b = PyLong_AsLongLong(PyList_GET_ITEM(blocks, i));
+            long long g = PyLong_AsLongLong(PyList_GET_ITEM(gaps, i));
+            if (PyErr_Occurred()) {
+                d->tr_len = -1;
+                Py_CLEAR(d->tr_key_addr);
+                Py_CLEAR(d->tr_key_block);
+                return -1;
+            }
+            d->tr_addr[i] = a;
+            d->tr_pc[i] = p;
+            d->tr_block[i] = b;
+            d->tr_gap[i] = g;
+        }
+        Py_INCREF(addresses);
+        Py_XSETREF(d->tr_key_addr, addresses);
+        Py_INCREF(blocks);
+        Py_XSETREF(d->tr_key_block, blocks);
+        d->tr_len = n;
+    }
+    if (n)
+        memcpy(d->tr_kind, kbuf, (size_t)n);
+    return 0;
+}
+
+/* run(addresses, pcs, blocks, gaps, kinds, index, budget, replays)
+ * -> (index, replays, executed, yielded).  budget < 0 == unbounded
+ * (one full pass of the trace). */
+static PyObject *
+Driver_run(DriverKernel *d, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 8) {
+        PyErr_SetString(PyExc_TypeError, "run() takes exactly 8 arguments");
+        return NULL;
+    }
+    Py_ssize_t index = PyLong_AsSsize_t(args[5]);
+    long long budget = PyLong_AsLongLong(args[6]);
+    long long replays = PyLong_AsLongLong(args[7]);
+    if (PyErr_Occurred())
+        return NULL;
+    if (drv_load_trace(d, args[0], args[1], args[2], args[3], args[4]) < 0)
+        return NULL;
+    Py_ssize_t length = d->tr_len;
+    long long executed = 0;
+    int yielded = 0;
+    int unbounded = budget < 0;
+    if (length <= 0)
+        return Py_BuildValue("(nLLi)", index, replays, executed, 0);
+    if (index < 0 || index >= length) {
+        PyErr_SetString(PyExc_ValueError, "trace index out of range");
+        return NULL;
+    }
+    const long long *tr_addr = d->tr_addr;
+    const long long *tr_pc = d->tr_pc;
+    const long long *tr_block = d->tr_block;
+    const long long *tr_gap = d->tr_gap;
+    const unsigned char *tr_kind = d->tr_kind;
+    long long lat_l1 = d->lat_l1;
+
+    if (d->ptype == DRV_PF_NONE) {
+        /* Fused loop: no prefetcher, so the MSHR and PQ stay empty and
+         * every access is either a pure hit (run scan) or a fused
+         * demand miss. */
+        for (;;) {
+            if (unbounded) {
+                if (replays > 0)
+                    break;
+            } else if (executed >= budget)
+                break;
+            long long block = tr_block[index];
+            DCRow r = dc_row(&d->l1, block);
+            int pos = dcrow_find(&r, block);
+            if (pos >= 0) {
+                /* Cache.demand_hit_run inlined. */
+                long long remaining = unbounded ? -1 : budget - executed;
+                long long run = 0, instructions = 0;
+                Py_ssize_t i = index;
+                while (i < length) {
+                    if (remaining >= 0 && instructions >= remaining)
+                        break;
+                    long long b = tr_block[i];
+                    DCRow rr = dc_row(&d->l1, b);
+                    int p = dcrow_find(&rr, b);
+                    if (p < 0)
+                        break;
+                    unsigned char f = rr.flg[p];
+                    if ((f & CB_PREFETCHED) && !(f & CB_COUNTED))
+                        break;
+                    dcrow_touch(&rr, p);
+                    if (tr_kind[i] == 1)
+                        rr.flg[rr.n - 1] |= CB_DIRTY;
+                    instructions += tr_gap[i] + 1;
+                    run++;
+                    i++;
+                }
+                d->l1.hits += run;
+                if (run) {
+                    for (Py_ssize_t ri = index; ri < index + run; ri++) {
+                        drv_begin(d, tr_gap[ri]);
+                        drv_complete(d, lat_l1);
+                    }
+                    d->st_demand += run;
+                    d->st_l1_hits += run;
+                    d->st_latency += run * lat_l1;
+                    executed += instructions;
+                    index += run;
+                    yielded = 1;
+                    if (index >= length) {
+                        index = 0;
+                        replays++;
+                    }
+                    continue;
+                }
+            }
+            /* Fused per-access demand path (the probe above is still
+             * valid: a zero-length run scan is side-effect free). */
+            long long gap = tr_gap[index];
+            int is_store = tr_kind[index] == 1;
+            index++;
+            if (index >= length) {
+                index = 0;
+                replays++;
+            }
+            yielded = 1;
+            drv_begin(d, gap);
+            executed += gap + 1;
+            d->st_demand++;
+            long long latency;
+            if (pos >= 0) {
+                unsigned char f = r.flg[pos];
+                dcrow_touch(&r, pos);
+                d->l1.hits++;
+                if (f & CB_PREFETCHED) {
+                    if (!(f & CB_USEFUL))
+                        f |= CB_USEFUL;
+                    if (!(f & CB_COUNTED)) {
+                        f |= CB_COUNTED;
+                        d->st_pf_useful_l1++;
+                        if (f & CB_FROM_DRAM)
+                            d->st_pf_covered++;
+                    }
+                }
+                if (is_store)
+                    f |= CB_DIRTY;
+                r.flg[r.n - 1] = f;
+                d->st_l1_hits++;
+                d->st_latency += lat_l1;
+                latency = lat_l1;
+            } else {
+                latency = drv_demand_miss(d, block, (long long)d->issue,
+                                          is_store);
+            }
+            drv_complete(d, latency);
+        }
+    } else {
+        /* Per-access loop: the prefetcher observes every demand load
+         * in program order (packed PQ drain + inlined demand chain +
+         * in-process train). */
+        while (unbounded || executed < budget) {
+            if (unbounded && replays > 0)
+                break;
+            long long gap = tr_gap[index];
+            int kind = tr_kind[index];
+            long long address = tr_addr[index];
+            long long block = tr_block[index];
+            long long pc = tr_pc[index];
+            index++;
+            if (index >= length) {
+                index = 0;
+                replays++;
+            }
+            yielded = 1;
+            drv_begin(d, gap);
+            long long issue_cycle = (long long)d->issue;
+            executed += gap + 1;
+            int is_store = kind == 1;
+
+            if (d->pq_n) {
+                /* Packed PQ drain (_issue_prefetch inlined). */
+                int issued = 0;
+                while (d->pq_n && issued < d->pq_drain) {
+                    long long p = d->pq[d->pq_head];
+                    d->pq_head++;
+                    if (d->pq_head >= d->pq_cap)
+                        d->pq_head = 0;
+                    d->pq_n--;
+                    issued++;
+                    long long pblock = p >> 1;
+                    if (dc_contains(&d->l1, pblock)
+                        || drv_mshr_find(d, pblock) >= 0) {
+                        d->st_pf_redundant++;
+                        continue;
+                    }
+                    DCRow r2 = dc_row(&d->l2, pblock);
+                    int p2 = dcrow_find(&r2, pblock);
+                    int to_l1 = (int)(p & 1);
+                    if (!to_l1 && p2 >= 0) {
+                        d->st_pf_redundant++;
+                        continue;
+                    }
+                    d->st_pf_issued++;
+                    unsigned char from_dram = 0;
+                    long long source_latency;
+                    if (p2 >= 0) {
+                        source_latency = d->lat_l2_source;
+                        dcrow_touch(&r2, p2);
+                    } else {
+                        DCRow r3 = dc_row(&d->llc, pblock);
+                        int p3 = dcrow_find(&r3, pblock);
+                        if (p3 >= 0) {
+                            dcrow_touch(&r3, p3);
+                            source_latency = d->lat_llc_source;
+                        } else {
+                            double bus_done =
+                                drv_dram(d, pblock, issue_cycle, 1);
+                            source_latency =
+                                d->lat_llc_source
+                                + (long long)nearbyint(
+                                      bus_done - (double)issue_cycle);
+                            from_dram = CB_FROM_DRAM;
+                            drv_fill(d, &d->llc, pblock, CB_FROM_DRAM, 3);
+                        }
+                    }
+                    if (to_l1) {
+                        /* has_free_entry: expire-and-discard, then the
+                         * capacity check. */
+                        if (d->mshr_n && issue_cycle >= d->mshr_min_ready)
+                            drv_mshr_expire_discard(d, issue_cycle);
+                        if (d->mshr_n >= d->mshr_cap) {
+                            d->st_pf_drop_mshr++;
+                            if (!dc_contains(&d->l2, pblock)) {
+                                drv_fill(d, &d->l2, pblock,
+                                         (unsigned char)(CB_PREFETCHED
+                                                         | from_dram),
+                                         2);
+                                d->st_pf_fill_l2++;
+                            }
+                            continue;
+                        }
+                        long long ready = issue_cycle + source_latency;
+                        d->mshr_block[d->mshr_n] = pblock;
+                        d->mshr_ready[d->mshr_n] = ready;
+                        d->mshr_dram[d->mshr_n] = from_dram ? 1 : 0;
+                        d->mshr_n++;
+                        if (ready < d->mshr_min_ready)
+                            d->mshr_min_ready = ready;
+                        d->st_pf_fill_l1++;
+                    } else {
+                        if (!dc_contains(&d->l2, pblock)) {
+                            drv_fill(d, &d->l2, pblock,
+                                     (unsigned char)(CB_PREFETCHED
+                                                     | from_dram),
+                                     2);
+                            d->st_pf_fill_l2++;
+                        } else {
+                            d->st_pf_redundant++;
+                        }
+                    }
+                }
+            }
+
+            /* Inlined demand_access. */
+            d->st_demand++;
+            long long latency;
+            int l1_level = 0;
+            int infl = -1;
+            if (d->mshr_n) {
+                if (issue_cycle >= d->mshr_min_ready)
+                    drv_mshr_complete(d, issue_cycle);
+                infl = drv_mshr_find(d, block);
+            }
+            if (infl >= 0) {
+                /* Late prefetch: the block is in flight. */
+                long long remaining = d->mshr_ready[infl] - issue_cycle;
+                latency = remaining > lat_l1 ? remaining : lat_l1;
+                unsigned char fl = CB_PREFETCHED | CB_USEFUL;
+                if (d->mshr_dram[infl])
+                    fl |= CB_FROM_DRAM;
+                if (is_store)
+                    fl |= CB_DIRTY;
+                /* dict pop: no _min_ready recompute. */
+                memmove(d->mshr_block + infl, d->mshr_block + infl + 1,
+                        sizeof(long long) * (size_t)(d->mshr_n - 1 - infl));
+                memmove(d->mshr_ready + infl, d->mshr_ready + infl + 1,
+                        sizeof(long long) * (size_t)(d->mshr_n - 1 - infl));
+                memmove(d->mshr_dram + infl, d->mshr_dram + infl + 1,
+                        sizeof(unsigned char)
+                            * (size_t)(d->mshr_n - 1 - infl));
+                d->mshr_n--;
+                drv_fill(d, &d->l1, block, fl, 1);
+                d->st_l1_hits++;
+                d->st_pf_useful_l1++;
+                d->st_pf_late++;
+                if (fl & CB_FROM_DRAM)
+                    d->st_pf_covered++;
+                d->st_latency += latency;
+                l1_level = 1;
+            } else {
+                DCRow r1 = dc_row(&d->l1, block);
+                int p1 = dcrow_find(&r1, block);
+                if (p1 >= 0) {
+                    unsigned char f = r1.flg[p1];
+                    dcrow_touch(&r1, p1);
+                    d->l1.hits++;
+                    if (f & CB_PREFETCHED) {
+                        if (!(f & CB_USEFUL))
+                            f |= CB_USEFUL;
+                        if (!(f & CB_COUNTED)) {
+                            f |= CB_COUNTED;
+                            d->st_pf_useful_l1++;
+                            if (f & CB_FROM_DRAM)
+                                d->st_pf_covered++;
+                        }
+                    }
+                    if (is_store)
+                        f |= CB_DIRTY;
+                    r1.flg[r1.n - 1] = f;
+                    d->st_l1_hits++;
+                    d->st_latency += lat_l1;
+                    latency = lat_l1;
+                    l1_level = 1;
+                } else {
+                    latency =
+                        drv_demand_miss(d, block, issue_cycle, is_store);
+                }
+            }
+            drv_complete(d, latency);
+
+            if (kind == 0) {
+                const long long *buf = NULL;
+                int cnt = drv_train(d, pc, address, issue_cycle, latency,
+                                    l1_level, &buf);
+                if (cnt > 0) {
+                    int accepted = 0;
+                    for (int i = 0; i < cnt; i++) {
+                        if (d->pq_n < d->pq_cap) {
+                            int tail = d->pq_head + d->pq_n;
+                            if (tail >= d->pq_cap)
+                                tail -= d->pq_cap;
+                            d->pq[tail] = buf[i];
+                            d->pq_n++;
+                            accepted++;
+                        }
+                    }
+                    d->st_pq_enq += accepted;
+                    d->st_pf_generated += cnt;
+                    if (accepted != cnt) {
+                        d->st_pq_drop += cnt - accepted;
+                        d->st_pf_drop_q += cnt - accepted;
+                    }
+                }
+            }
+        }
+    }
+    return Py_BuildValue("(nLLi)", index, replays, executed, yielded);
+}
+
+static void
+drv_zero_stats(DriverKernel *d)
+{
+    d->st_demand = d->st_l1_hits = d->st_l1_misses = 0;
+    d->st_l2_hits = d->st_l2_misses = d->st_llc_hits = d->st_llc_misses = 0;
+    d->st_dram_reads = d->st_latency = 0;
+    d->st_pf_generated = d->st_pf_issued = d->st_pf_drop_q = 0;
+    d->st_pf_drop_mshr = d->st_pf_redundant = 0;
+    d->st_pf_fill_l1 = d->st_pf_fill_l2 = 0;
+    d->st_pf_useful_l1 = d->st_pf_useful_l2 = d->st_pf_useless = 0;
+    d->st_pf_late = d->st_pf_covered = 0;
+    d->st_pq_enq = d->st_pq_drop = 0;
+    d->l1.hits = d->l1.misses = d->l1.evictions = d->l1.useless = 0;
+    d->l2.hits = d->l2.misses = d->l2.evictions = d->l2.useless = 0;
+    d->llc.hits = d->llc.misses = d->llc.evictions = d->llc.useless = 0;
+    d->dr_requests = d->dr_demand = d->dr_prefetch = 0;
+    d->dr_row_hits = d->dr_row_misses = d->dr_queue_wait = d->dr_service = 0;
+}
+
+static void
+drv_free_buffers(DriverKernel *d)
+{
+    dc_free(&d->l1);
+    dc_free(&d->l2);
+    dc_free(&d->llc);
+    PyMem_Free(d->mshr_block);
+    PyMem_Free(d->mshr_ready);
+    PyMem_Free(d->mshr_dram);
+    PyMem_Free(d->pq);
+    PyMem_Free(d->dr_open_row);
+    PyMem_Free(d->dr_bank_busy);
+    PyMem_Free(d->dr_channel_busy);
+    PyMem_Free(d->out_pos);
+    PyMem_Free(d->out_comp);
+    PyMem_Free(d->missv);
+    PyMem_Free(d->tr_addr);
+    PyMem_Free(d->tr_pc);
+    PyMem_Free(d->tr_block);
+    PyMem_Free(d->tr_gap);
+    PyMem_Free(d->tr_kind);
+    d->mshr_block = d->mshr_ready = NULL;
+    d->mshr_dram = NULL;
+    d->pq = NULL;
+    d->dr_open_row = NULL;
+    d->dr_bank_busy = d->dr_channel_busy = NULL;
+    d->out_pos = NULL;
+    d->out_comp = NULL;
+    d->missv = NULL;
+    d->tr_addr = d->tr_pc = d->tr_block = d->tr_gap = NULL;
+    d->tr_kind = NULL;
+    d->tr_cap = 0;
+    d->tr_len = -1;
+}
+
+static void
+Driver_dealloc(DriverKernel *d)
+{
+    drv_free_buffers(d);
+    Py_XDECREF(d->pf_kernel);
+    Py_XDECREF(d->tr_key_addr);
+    Py_XDECREF(d->tr_key_block);
+    Py_TYPE(d)->tp_free((PyObject *)d);
+}
+
+static int
+drv_pow2(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+static int
+Driver_init(DriverKernel *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {
+        "l1_sets", "l1_ways", "l2_sets", "l2_ways", "llc_sets", "llc_ways",
+        "lat_l1", "lat_l2", "lat_llc", "lat_l2_source", "lat_llc_source",
+        "mshr_capacity", "pq_capacity", "pq_drain",
+        "dram_channels", "dram_banks", "dram_row_div", "dram_row_hit",
+        "dram_row_miss", "dram_transfer",
+        "width", "fetch_increment", "rob", "lq", "miss_limit",
+        "miss_threshold", "ptype", "kernel", NULL,
+    };
+    int l1_sets, l1_ways, l2_sets, l2_ways, llc_sets, llc_ways;
+    long long lat_l1, lat_l2, lat_llc, lat_l2_source, lat_llc_source;
+    int mshr_capacity, pq_capacity, pq_drain;
+    int dram_channels, dram_banks;
+    long long dram_row_div, dram_row_hit, dram_row_miss;
+    double dram_transfer;
+    int width;
+    double fetch_increment;
+    long long rob, lq;
+    int miss_limit;
+    long long miss_threshold;
+    int ptype;
+    PyObject *kernel;
+    if (!PyArg_ParseTupleAndKeywords(
+            args, kwds, "iiiiiiLLLLLiiiiiLLLdidLLiLiO", kwlist,
+            &l1_sets, &l1_ways, &l2_sets, &l2_ways, &llc_sets, &llc_ways,
+            &lat_l1, &lat_l2, &lat_llc, &lat_l2_source, &lat_llc_source,
+            &mshr_capacity, &pq_capacity, &pq_drain,
+            &dram_channels, &dram_banks, &dram_row_div, &dram_row_hit,
+            &dram_row_miss, &dram_transfer,
+            &width, &fetch_increment, &rob, &lq, &miss_limit,
+            &miss_threshold, &ptype, &kernel))
+        return -1;
+    if (!drv_pow2(l1_sets) || !drv_pow2(l2_sets) || !drv_pow2(llc_sets)
+        || l1_ways < 1 || l2_ways < 1 || llc_ways < 1) {
+        PyErr_SetString(PyExc_ValueError,
+                        "cache geometry must be power-of-two sets, ways>=1");
+        return -1;
+    }
+    if (mshr_capacity < 1 || pq_capacity < 1 || pq_drain < 0
+        || dram_channels < 1 || dram_banks < 1 || dram_row_div < 1
+        || width < 1 || rob < 1 || lq < 1 || lq > (1 << 20)
+        || miss_limit < 1) {
+        PyErr_SetString(PyExc_ValueError, "invalid driver parameters");
+        return -1;
+    }
+    PyTypeObject *want = NULL;
+    switch (ptype) {
+    case DRV_PF_NONE:
+        break;
+    case DRV_PF_BERTI:
+        want = &BertiKernelType;
+        break;
+    case DRV_PF_GAZE:
+        want = &GazeKernelType;
+        break;
+    case DRV_PF_PMP:
+        want = &PMPKernelType;
+        break;
+    case DRV_PF_TRIANGEL:
+        want = &TriangelKernelType;
+        break;
+    default:
+        PyErr_SetString(PyExc_ValueError, "unknown ptype");
+        return -1;
+    }
+    if (want == NULL) {
+        if (kernel != Py_None) {
+            PyErr_SetString(PyExc_TypeError, "ptype 0 takes kernel=None");
+            return -1;
+        }
+    } else if (!PyObject_TypeCheck(kernel, want)) {
+        PyErr_Format(PyExc_TypeError, "kernel must be a %s instance",
+                     want->tp_name);
+        return -1;
+    }
+
+    drv_free_buffers(self);
+    Py_CLEAR(self->pf_kernel);
+    Py_CLEAR(self->tr_key_addr);
+    Py_CLEAR(self->tr_key_block);
+
+    if (dc_init(&self->l1, l1_sets, l1_ways) < 0
+        || dc_init(&self->l2, l2_sets, l2_ways) < 0
+        || dc_init(&self->llc, llc_sets, llc_ways) < 0)
+        goto nomem;
+    self->lat_l1 = lat_l1;
+    self->lat_l2 = lat_l2;
+    self->lat_llc = lat_llc;
+    self->lat_l2_source = lat_l2_source;
+    self->lat_llc_source = lat_llc_source;
+
+    self->mshr_cap = mshr_capacity;
+    self->mshr_n = 0;
+    self->mshr_min_ready = LLONG_MAX;
+    self->mshr_block =
+        PyMem_Malloc(sizeof(long long) * (size_t)mshr_capacity);
+    self->mshr_ready =
+        PyMem_Malloc(sizeof(long long) * (size_t)mshr_capacity);
+    self->mshr_dram = PyMem_Malloc((size_t)mshr_capacity);
+    if (!self->mshr_block || !self->mshr_ready || !self->mshr_dram)
+        goto nomem;
+
+    self->pq_cap = pq_capacity;
+    self->pq_head = self->pq_n = 0;
+    self->pq_drain = pq_drain;
+    self->pq = PyMem_Malloc(sizeof(long long) * (size_t)pq_capacity);
+    if (!self->pq)
+        goto nomem;
+
+    self->dr_channels = dram_channels;
+    self->dr_banks = dram_banks;
+    self->dr_row_div = dram_row_div;
+    self->dr_lat_row_hit = dram_row_hit;
+    self->dr_lat_row_miss = dram_row_miss;
+    self->dr_transfer = dram_transfer;
+    size_t total_banks = (size_t)dram_channels * (size_t)dram_banks;
+    self->dr_open_row = PyMem_Malloc(sizeof(long long) * total_banks);
+    self->dr_bank_busy = PyMem_Malloc(sizeof(double) * total_banks);
+    self->dr_channel_busy =
+        PyMem_Malloc(sizeof(double) * (size_t)dram_channels);
+    if (!self->dr_open_row || !self->dr_bank_busy || !self->dr_channel_busy)
+        goto nomem;
+    for (size_t b = 0; b < total_banks; b++) {
+        self->dr_open_row[b] = -1;
+        self->dr_bank_busy[b] = 0.0;
+    }
+    for (int c = 0; c < dram_channels; c++)
+        self->dr_channel_busy[c] = 0.0;
+
+    self->width = width;
+    self->fetch_inc = fetch_increment;
+    self->rob = rob;
+    self->lq = lq;
+    self->miss_limit = miss_limit;
+    self->miss_threshold = miss_threshold;
+    self->instr = 0;
+    self->fetch = self->last_retire = self->issue = 0.0;
+    self->out_cap = (int)lq + 2;
+    self->out_head = self->out_n = 0;
+    self->out_pos = PyMem_Malloc(sizeof(long long) * (size_t)self->out_cap);
+    self->out_comp = PyMem_Malloc(sizeof(double) * (size_t)self->out_cap);
+    self->miss_cap = miss_limit + 2;
+    self->miss_n = 0;
+    self->misses_min = INFINITY;
+    self->missv = PyMem_Malloc(sizeof(double) * (size_t)self->miss_cap);
+    if (!self->out_pos || !self->out_comp || !self->missv)
+        goto nomem;
+
+    self->ptype = ptype;
+    if (want != NULL) {
+        Py_INCREF(kernel);
+        self->pf_kernel = kernel;
+    }
+    drv_zero_stats(self);
+    return 0;
+
+nomem:
+    drv_free_buffers(self);
+    if (!PyErr_Occurred())
+        PyErr_NoMemory();
+    return -1;
+}
+
+static DCache *
+drv_level(DriverKernel *d, int level)
+{
+    switch (level) {
+    case 1:
+        return &d->l1;
+    case 2:
+        return &d->l2;
+    case 3:
+        return &d->llc;
+    }
+    PyErr_SetString(PyExc_ValueError, "level must be 1, 2 or 3");
+    return NULL;
+}
+
+/* load_cache(level, [(block, flags), ...]) — entries in per-set
+ * LRU -> MRU order (any interleaving across sets). */
+static PyObject *
+Driver_load_cache(DriverKernel *d, PyObject *args)
+{
+    int level;
+    PyObject *items;
+    if (!PyArg_ParseTuple(args, "iO", &level, &items))
+        return NULL;
+    DCache *c = drv_level(d, level);
+    if (!c)
+        return NULL;
+    PyObject *seq = PySequence_Fast(items, "items must be a sequence");
+    if (!seq)
+        return NULL;
+    memset(c->size, 0, sizeof(int) * (size_t)c->sets);
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(seq);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *it = PySequence_Fast_GET_ITEM(seq, i);
+        if (!PyTuple_Check(it) || PyTuple_GET_SIZE(it) != 2) {
+            Py_DECREF(seq);
+            PyErr_SetString(PyExc_TypeError,
+                            "items must be (block, flags) tuples");
+            return NULL;
+        }
+        long long block = PyLong_AsLongLong(PyTuple_GET_ITEM(it, 0));
+        long long flags = PyLong_AsLongLong(PyTuple_GET_ITEM(it, 1));
+        if (PyErr_Occurred()) {
+            Py_DECREF(seq);
+            return NULL;
+        }
+        DCRow r = dc_row(c, block);
+        if (r.n >= c->ways) {
+            Py_DECREF(seq);
+            PyErr_SetString(PyExc_ValueError, "cache set overflow");
+            return NULL;
+        }
+        r.tag[r.n] = block;
+        r.flg[r.n] = (unsigned char)flags;
+        c->size[r.set] = r.n + 1;
+    }
+    Py_DECREF(seq);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Driver_export_cache(DriverKernel *d, PyObject *args)
+{
+    int level;
+    if (!PyArg_ParseTuple(args, "i", &level))
+        return NULL;
+    DCache *c = drv_level(d, level);
+    if (!c)
+        return NULL;
+    PyObject *out = PyList_New(0);
+    if (!out)
+        return NULL;
+    for (int s = 0; s < c->sets; s++) {
+        const long long *tag = c->tag + (size_t)s * (size_t)c->ways;
+        const unsigned char *flg = c->flag + (size_t)s * (size_t)c->ways;
+        for (int i = 0; i < c->size[s]; i++) {
+            PyObject *it = Py_BuildValue("(Li)", tag[i], (int)flg[i]);
+            if (!it || PyList_Append(out, it) < 0) {
+                Py_XDECREF(it);
+                Py_DECREF(out);
+                return NULL;
+            }
+            Py_DECREF(it);
+        }
+    }
+    return out;
+}
+
+/* load_core(instr, fetch, last_retire, issue, [(pos, comp), ...],
+ *           [miss_completion, ...]) */
+static PyObject *
+Driver_load_core(DriverKernel *d, PyObject *args)
+{
+    long long instr;
+    double fetch, last_retire, issue;
+    PyObject *out_list, *miss_list;
+    if (!PyArg_ParseTuple(args, "LdddOO", &instr, &fetch, &last_retire,
+                          &issue, &out_list, &miss_list))
+        return NULL;
+    PyObject *oseq = PySequence_Fast(out_list, "outstanding must be a sequence");
+    if (!oseq)
+        return NULL;
+    PyObject *mseq = PySequence_Fast(miss_list, "misses must be a sequence");
+    if (!mseq) {
+        Py_DECREF(oseq);
+        return NULL;
+    }
+    Py_ssize_t on = PySequence_Fast_GET_SIZE(oseq);
+    Py_ssize_t mn = PySequence_Fast_GET_SIZE(mseq);
+    if (on > d->out_cap || mn > d->miss_cap) {
+        Py_DECREF(oseq);
+        Py_DECREF(mseq);
+        PyErr_SetString(PyExc_ValueError, "core state exceeds capacity");
+        return NULL;
+    }
+    d->instr = instr;
+    d->fetch = fetch;
+    d->last_retire = last_retire;
+    d->issue = issue;
+    d->out_head = 0;
+    d->out_n = 0;
+    for (Py_ssize_t i = 0; i < on; i++) {
+        PyObject *it = PySequence_Fast_GET_ITEM(oseq, i);
+        PyObject *fast = PySequence_Fast(it, "outstanding entries must be pairs");
+        if (!fast || PySequence_Fast_GET_SIZE(fast) != 2) {
+            Py_XDECREF(fast);
+            Py_DECREF(oseq);
+            Py_DECREF(mseq);
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_ValueError,
+                                "outstanding entries must be pairs");
+            return NULL;
+        }
+        long long pos =
+            PyLong_AsLongLong(PySequence_Fast_GET_ITEM(fast, 0));
+        double comp = PyFloat_AsDouble(PySequence_Fast_GET_ITEM(fast, 1));
+        Py_DECREF(fast);
+        if (PyErr_Occurred()) {
+            Py_DECREF(oseq);
+            Py_DECREF(mseq);
+            return NULL;
+        }
+        d->out_pos[i] = pos;
+        d->out_comp[i] = comp;
+        d->out_n++;
+    }
+    d->miss_n = 0;
+    d->misses_min = INFINITY;
+    for (Py_ssize_t i = 0; i < mn; i++) {
+        double m = PyFloat_AsDouble(PySequence_Fast_GET_ITEM(mseq, i));
+        if (PyErr_Occurred()) {
+            Py_DECREF(oseq);
+            Py_DECREF(mseq);
+            return NULL;
+        }
+        d->missv[d->miss_n++] = m;
+        if (m < d->misses_min)
+            d->misses_min = m;
+    }
+    Py_DECREF(oseq);
+    Py_DECREF(mseq);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Driver_export_core(DriverKernel *d, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *outl = PyList_New(d->out_n);
+    if (!outl)
+        return NULL;
+    for (int i = 0; i < d->out_n; i++) {
+        int idx = d->out_head + i;
+        if (idx >= d->out_cap)
+            idx -= d->out_cap;
+        PyObject *it =
+            Py_BuildValue("(Ld)", d->out_pos[idx], d->out_comp[idx]);
+        if (!it) {
+            Py_DECREF(outl);
+            return NULL;
+        }
+        PyList_SET_ITEM(outl, i, it);
+    }
+    PyObject *ml = PyList_New(d->miss_n);
+    if (!ml) {
+        Py_DECREF(outl);
+        return NULL;
+    }
+    for (int i = 0; i < d->miss_n; i++) {
+        PyObject *v = PyFloat_FromDouble(d->missv[i]);
+        if (!v) {
+            Py_DECREF(outl);
+            Py_DECREF(ml);
+            return NULL;
+        }
+        PyList_SET_ITEM(ml, i, v);
+    }
+    return Py_BuildValue("(LdddNN)", d->instr, d->fetch, d->last_retire,
+                         d->issue, outl, ml);
+}
+
+/* load_dram([(bank, row), ...], [(bank, busy), ...], [channel_busy...]) */
+static PyObject *
+Driver_load_dram(DriverKernel *d, PyObject *args)
+{
+    PyObject *open_list, *busy_list, *channel_list;
+    if (!PyArg_ParseTuple(args, "OOO", &open_list, &busy_list,
+                          &channel_list))
+        return NULL;
+    long long total_banks = (long long)d->dr_channels * d->dr_banks;
+    for (long long b = 0; b < total_banks; b++) {
+        d->dr_open_row[b] = -1;
+        d->dr_bank_busy[b] = 0.0;
+    }
+    PyObject *oseq = PySequence_Fast(open_list, "open rows must be a sequence");
+    if (!oseq)
+        return NULL;
+    for (Py_ssize_t i = 0; i < PySequence_Fast_GET_SIZE(oseq); i++) {
+        PyObject *it = PySequence_Fast_GET_ITEM(oseq, i);
+        long long bank = PyLong_AsLongLong(PyTuple_GetItem(it, 0));
+        long long row = PyLong_AsLongLong(PyTuple_GetItem(it, 1));
+        if (PyErr_Occurred() || bank < 0 || bank >= total_banks) {
+            Py_DECREF(oseq);
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_ValueError, "bank out of range");
+            return NULL;
+        }
+        d->dr_open_row[bank] = row;
+    }
+    Py_DECREF(oseq);
+    PyObject *bseq = PySequence_Fast(busy_list, "bank busy must be a sequence");
+    if (!bseq)
+        return NULL;
+    for (Py_ssize_t i = 0; i < PySequence_Fast_GET_SIZE(bseq); i++) {
+        PyObject *it = PySequence_Fast_GET_ITEM(bseq, i);
+        long long bank = PyLong_AsLongLong(PyTuple_GetItem(it, 0));
+        double busy = PyFloat_AsDouble(PyTuple_GetItem(it, 1));
+        if (PyErr_Occurred() || bank < 0 || bank >= total_banks) {
+            Py_DECREF(bseq);
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_ValueError, "bank out of range");
+            return NULL;
+        }
+        d->dr_bank_busy[bank] = busy;
+    }
+    Py_DECREF(bseq);
+    PyObject *cseq =
+        PySequence_Fast(channel_list, "channel busy must be a sequence");
+    if (!cseq)
+        return NULL;
+    if (PySequence_Fast_GET_SIZE(cseq) != d->dr_channels) {
+        Py_DECREF(cseq);
+        PyErr_SetString(PyExc_ValueError, "channel busy length mismatch");
+        return NULL;
+    }
+    for (Py_ssize_t i = 0; i < d->dr_channels; i++) {
+        double busy = PyFloat_AsDouble(PySequence_Fast_GET_ITEM(cseq, i));
+        if (PyErr_Occurred()) {
+            Py_DECREF(cseq);
+            return NULL;
+        }
+        d->dr_channel_busy[i] = busy;
+    }
+    Py_DECREF(cseq);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Driver_export_dram(DriverKernel *d, PyObject *Py_UNUSED(ignored))
+{
+    long long total_banks = (long long)d->dr_channels * d->dr_banks;
+    PyObject *open_list = PyList_New(0);
+    PyObject *busy_list = PyList_New(0);
+    PyObject *chan_list = PyList_New(d->dr_channels);
+    if (!open_list || !busy_list || !chan_list)
+        goto fail;
+    for (long long b = 0; b < total_banks; b++) {
+        if (d->dr_open_row[b] != -1) {
+            PyObject *it = Py_BuildValue("(LL)", b, d->dr_open_row[b]);
+            if (!it || PyList_Append(open_list, it) < 0) {
+                Py_XDECREF(it);
+                goto fail;
+            }
+            Py_DECREF(it);
+        }
+        if (d->dr_bank_busy[b] != 0.0) {
+            PyObject *it = Py_BuildValue("(Ld)", b, d->dr_bank_busy[b]);
+            if (!it || PyList_Append(busy_list, it) < 0) {
+                Py_XDECREF(it);
+                goto fail;
+            }
+            Py_DECREF(it);
+        }
+    }
+    for (int c = 0; c < d->dr_channels; c++) {
+        PyObject *v = PyFloat_FromDouble(d->dr_channel_busy[c]);
+        if (!v)
+            goto fail;
+        PyList_SET_ITEM(chan_list, c, v);
+    }
+    return Py_BuildValue("(NNN)", open_list, busy_list, chan_list);
+fail:
+    Py_XDECREF(open_list);
+    Py_XDECREF(busy_list);
+    Py_XDECREF(chan_list);
+    return NULL;
+}
+
+static PyObject *
+Driver_export_mshr(DriverKernel *d, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *lst = PyList_New(d->mshr_n);
+    if (!lst)
+        return NULL;
+    for (int i = 0; i < d->mshr_n; i++) {
+        PyObject *it = Py_BuildValue("(LLi)", d->mshr_block[i],
+                                     d->mshr_ready[i], (int)d->mshr_dram[i]);
+        if (!it) {
+            Py_DECREF(lst);
+            return NULL;
+        }
+        PyList_SET_ITEM(lst, i, it);
+    }
+    PyObject *mn;
+    if (d->mshr_min_ready == LLONG_MAX) {
+        mn = Py_None;
+        Py_INCREF(mn);
+    } else {
+        mn = PyLong_FromLongLong(d->mshr_min_ready);
+        if (!mn) {
+            Py_DECREF(lst);
+            return NULL;
+        }
+    }
+    return Py_BuildValue("(NN)", lst, mn);
+}
+
+static PyObject *
+Driver_export_pq(DriverKernel *d, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *lst = PyList_New(d->pq_n);
+    if (!lst)
+        return NULL;
+    for (int i = 0; i < d->pq_n; i++) {
+        int idx = d->pq_head + i;
+        if (idx >= d->pq_cap)
+            idx -= d->pq_cap;
+        PyObject *v = PyLong_FromLongLong(d->pq[idx]);
+        if (!v) {
+            Py_DECREF(lst);
+            return NULL;
+        }
+        PyList_SET_ITEM(lst, i, v);
+    }
+    return Py_BuildValue("(NL)", lst, (long long)d->issue);
+}
+
+static PyObject *
+Driver_drain_stats(DriverKernel *d, PyObject *Py_UNUSED(ignored))
+{
+    long long vals[42] = {
+        d->st_demand, d->st_l1_hits, d->st_l1_misses, d->st_l2_hits,
+        d->st_l2_misses, d->st_llc_hits, d->st_llc_misses, d->st_dram_reads,
+        d->st_latency,
+        d->st_pf_generated, d->st_pf_issued, d->st_pf_drop_q,
+        d->st_pf_drop_mshr, d->st_pf_redundant, d->st_pf_fill_l1,
+        d->st_pf_fill_l2, d->st_pf_useful_l1, d->st_pf_useful_l2,
+        d->st_pf_useless, d->st_pf_late, d->st_pf_covered,
+        d->st_pq_enq, d->st_pq_drop,
+        d->l1.hits, d->l1.misses, d->l1.evictions, d->l1.useless,
+        d->l2.hits, d->l2.misses, d->l2.evictions, d->l2.useless,
+        d->llc.hits, d->llc.misses, d->llc.evictions, d->llc.useless,
+        d->dr_requests, d->dr_demand, d->dr_prefetch, d->dr_row_hits,
+        d->dr_row_misses, d->dr_queue_wait, d->dr_service,
+    };
+    PyObject *t = PyTuple_New(42);
+    if (!t)
+        return NULL;
+    for (int i = 0; i < 42; i++) {
+        PyObject *v = PyLong_FromLongLong(vals[i]);
+        if (!v) {
+            Py_DECREF(t);
+            return NULL;
+        }
+        PyTuple_SET_ITEM(t, i, v);
+    }
+    drv_zero_stats(d);
+    return t;
+}
+
+static PyMethodDef Driver_methods[] = {
+    {"run", (PyCFunction)(void (*)(void))Driver_run, METH_FASTCALL,
+     "run(addresses, pcs, blocks, gaps, kinds, index, budget, replays)\n"
+     "-> (index, replays, executed, yielded); budget < 0 = one pass."},
+    {"load_cache", (PyCFunction)Driver_load_cache, METH_VARARGS,
+     "load_cache(level, [(block, flags), ...]) in per-set LRU->MRU order."},
+    {"export_cache", (PyCFunction)Driver_export_cache, METH_VARARGS,
+     "export_cache(level) -> [(block, flags), ...] per-set LRU->MRU."},
+    {"load_core", (PyCFunction)Driver_load_core, METH_VARARGS,
+     "load_core(instr, fetch, last_retire, issue, outstanding, misses)."},
+    {"export_core", (PyCFunction)Driver_export_core, METH_NOARGS,
+     "-> (instr, fetch, last_retire, issue, outstanding, misses)."},
+    {"load_dram", (PyCFunction)Driver_load_dram, METH_VARARGS,
+     "load_dram(open_rows, bank_busy, channel_busy)."},
+    {"export_dram", (PyCFunction)Driver_export_dram, METH_NOARGS,
+     "-> (open_rows, bank_busy, channel_busy) with defaults omitted."},
+    {"export_mshr", (PyCFunction)Driver_export_mshr, METH_NOARGS,
+     "-> ([(block, ready, from_dram), ...], min_ready | None)."},
+    {"export_pq", (PyCFunction)Driver_export_pq, METH_NOARGS,
+     "-> ([packed, ...], convert_cycle)."},
+    {"drain_stats", (PyCFunction)Driver_drain_stats, METH_NOARGS,
+     "-> 42-tuple of stat deltas since the last drain; zeroes them."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject DriverKernelType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._kernels.DriverKernel",
+    .tp_basicsize = sizeof(DriverKernel),
+    .tp_dealloc = (destructor)Driver_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "C port of the batched simulation driver loop.",
+    .tp_methods = Driver_methods,
+    .tp_init = (initproc)Driver_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ================================================================== */
 static PyModuleDef kernels_module = {
     PyModuleDef_HEAD_INIT,
     .m_name = "repro._kernels",
@@ -1226,7 +3481,10 @@ PyInit__kernels(void)
 {
     PyObject *m;
     if (PyType_Ready(&BertiKernelType) < 0 ||
-        PyType_Ready(&GazeKernelType) < 0)
+        PyType_Ready(&GazeKernelType) < 0 ||
+        PyType_Ready(&PMPKernelType) < 0 ||
+        PyType_Ready(&TriangelKernelType) < 0 ||
+        PyType_Ready(&DriverKernelType) < 0)
         return NULL;
     m = PyModule_Create(&kernels_module);
     if (!m)
@@ -1244,7 +3502,27 @@ PyInit__kernels(void)
         Py_DECREF(m);
         return NULL;
     }
-    if (PyModule_AddIntConstant(m, "KERNELS_ABI", 1) < 0) {
+    Py_INCREF(&PMPKernelType);
+    if (PyModule_AddObject(m, "PMPKernel", (PyObject *)&PMPKernelType) < 0) {
+        Py_DECREF(&PMPKernelType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    Py_INCREF(&TriangelKernelType);
+    if (PyModule_AddObject(m, "TriangelKernel",
+                           (PyObject *)&TriangelKernelType) < 0) {
+        Py_DECREF(&TriangelKernelType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    Py_INCREF(&DriverKernelType);
+    if (PyModule_AddObject(m, "DriverKernel",
+                           (PyObject *)&DriverKernelType) < 0) {
+        Py_DECREF(&DriverKernelType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    if (PyModule_AddIntConstant(m, "KERNELS_ABI", 3) < 0) {
         Py_DECREF(m);
         return NULL;
     }

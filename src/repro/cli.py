@@ -520,6 +520,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"{'geomean':40s} {result['geomean_accesses_per_sec']:12,.0f} acc/s")
     for kind, value in result.get("geomean_by_kind", {}).items():
         print(f"{'geomean/' + kind:40s} {value:12,.0f} acc/s")
+    if args.check or args.kernel == "compiled":
+        # Which tier actually executed each single-core case — a
+        # ``--kernel compiled`` run that silently fell back to the Python
+        # driver is visible here, not masquerading as a tier win.
+        for key, payload in result.get("cases", {}).items():
+            tier = payload.get("tier")
+            if tier is None:
+                continue  # mix cases have no single-core tier
+            line = f"# tier[{key}] = {tier}"
+            reason = payload.get("tier_decline_reason")
+            if reason:
+                line += f" ({reason})"
+            print(line)
+    compiled_tier = result.get("compiled_tier")
+    if compiled_tier:
+        print(
+            f"# compiled tier: geomean "
+            f"{compiled_tier['geomean_ratio_vs_default']:.2f}x vs default "
+            f"over {len(compiled_tier['cases'])} driver case(s)"
+        )
 
     baseline_path = args.baseline
     if baseline_path is None:

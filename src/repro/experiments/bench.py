@@ -70,7 +70,15 @@ from repro.workloads.trace import TraceSpec
 #: ``compiled_kernel_available``, per-case ``kernel``).  Purely additive:
 #: case keys are tier-independent, so v4 snapshots compare case-by-case
 #: against v3 and earlier baselines.
-BENCH_SCHEMA = 4
+#: v5: the tier that *actually executed* is recorded per case (``tier``:
+#: ``compiled-driver``/``compiled``/``python``, from the simulator's
+#: engagement record, so a silently-fallen-back "compiled" run is visible
+#: in the snapshot), and default-tier runs embed a ``compiled_tier``
+#: section — the compiled-driver-eligible kernel cases re-run under
+#: ``kernel="compiled"`` with per-case and geomean ratios against the
+#: default tier.  Purely additive: the main case table and its keys are
+#: unchanged, so v5 snapshots compare case-by-case against v1–v4.
+BENCH_SCHEMA = 5
 
 #: File-name pattern of committed benchmark snapshots.
 BENCH_FILE_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
@@ -195,6 +203,12 @@ def _case_key(generator: str, seed: int, prefetcher: str, length: int) -> str:
 #: Valid values of the ``kinds`` filter (``repro bench --kind …``).
 BENCH_KINDS = ("kernel", "mix", "stream")
 
+#: Prefetchers with a full compiled path (``none`` = the fused C driver
+#: loop; the four designs = per-access C driver + in-process C train
+#: kernels).  Kernel cases over these make up the ``compiled_tier``
+#: snapshot section.
+COMPILED_TIER_PREFETCHERS = ("none", "gaze", "pmp", "vberti", "triangel")
+
 
 def bench_cases(
     quick: bool = False, kinds: Optional[Tuple[str, ...]] = None
@@ -289,14 +303,19 @@ def _run_kernel_case(
         )
 
     best_rate, best_wall, stats = _best_of(repeats, run_once)
-    return {
+    payload = {
         "kind": case.kind,
         "kernel": case.kernel,
+        "tier": stats.extra.get("kernel_tier", "python"),
         "accesses": stats.demand_accesses,
         "instructions": stats.instructions,
         "best_wall_s": round(best_wall, 6),
         "accesses_per_sec": round(best_rate, 1),
     }
+    decline = stats.extra.get("kernel_decline_reason")
+    if decline:
+        payload["tier_decline_reason"] = decline
+    return payload
 
 
 def _run_stream_case(
@@ -389,6 +408,7 @@ def run_bench(
         trace_length = BENCH_TRACE_LENGTH
     cases: Dict[str, Dict[str, object]] = {}
     rates: List[float] = []
+    tier_eligible: List[BenchCase] = []
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp_dir:
         for case in bench_cases(quick, kinds=kinds):
             if case.kind != "mix" and kernel != "auto":
@@ -399,17 +419,54 @@ def run_bench(
                 payload = _run_stream_case(case, trace_length, repeats, tmp_dir)
             else:
                 payload = _run_kernel_case(case, trace_length, repeats)
+                if (
+                    case.batch != "off"
+                    and case.prefetcher in COMPILED_TIER_PREFETCHERS
+                ):
+                    tier_eligible.append(case)
             key = case.key(trace_length)
             cases[key] = payload
             rates.append(float(payload["accesses_per_sec"]))
             if progress is not None:
                 progress(f"{key:40s} {payload['accesses_per_sec']:12,.0f} acc/s")
+    compiled_tier: Optional[Dict[str, object]] = None
+    if kernel != "compiled" and compiled_available() and tier_eligible:
+        # Re-run every compiled-driver-eligible kernel case under the
+        # compiled tier.  Keys are identical to the default-tier cases
+        # above, so the ratios read directly as the tier's speedup —
+        # this is the snapshot section acceptance gates look at.
+        tier_cases: Dict[str, Dict[str, object]] = {}
+        tier_ratios: Dict[str, float] = {}
+        for case in tier_eligible:
+            case = replace(case, kernel="compiled")
+            payload = _run_kernel_case(case, trace_length, repeats)
+            key = case.key(trace_length)
+            tier_cases[key] = payload
+            base_rate = float(cases[key]["accesses_per_sec"])
+            if base_rate > 0:
+                tier_ratios[key] = round(
+                    float(payload["accesses_per_sec"]) / base_rate, 3
+                )
+            if progress is not None:
+                progress(
+                    f"{key + '@compiled':40s} "
+                    f"{payload['accesses_per_sec']:12,.0f} acc/s"
+                    f"  ({tier_ratios.get(key, 0.0):.2f}x, {payload['tier']})"
+                )
+        compiled_tier = {
+            "kernel": "compiled",
+            "cases": tier_cases,
+            "ratio_vs_default": tier_ratios,
+            "geomean_ratio_vs_default": round(
+                _geomean(list(tier_ratios.values())), 3
+            ),
+        }
     by_kind: Dict[str, List[float]] = {}
     for payload in cases.values():
         by_kind.setdefault(str(payload["kind"]), []).append(
             float(payload["accesses_per_sec"])
         )
-    return {
+    result: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
         "kind": "kernel-throughput",
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -428,6 +485,9 @@ def run_bench(
             for kind, values in sorted(by_kind.items())
         },
     }
+    if compiled_tier is not None:
+        result["compiled_tier"] = compiled_tier
+    return result
 
 
 def _geomean(values: List[float]) -> float:

@@ -382,6 +382,7 @@ def execute_job(
         name=job.spec.name,
         batch=job.batch,
         kernel=job.kernel,
+        record_tier=record_timing,
     )
     if record_timing:
         wall = time.perf_counter() - start

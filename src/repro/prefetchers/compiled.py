@@ -21,6 +21,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.prefetchers.arrays import FlatBertiPrefetcher, FlatGazePrefetcher
+from repro.prefetchers.pmp import PMPPrefetcher
+from repro.prefetchers.temporal import TriangelPrefetcher
 from repro.sim.types import BLOCK_SIZE, PrefetchHint, PrefetchRequest
 
 try:  # pragma: no cover - exercised only when the extension is built
@@ -151,6 +153,105 @@ class CompiledGazePrefetcher(FlatGazePrefetcher):
         self._kernel.reset()
 
 
+class CompiledPMPPrefetcher(PMPPrefetcher):
+    """PMP whose train/merge/predict paths run in the C kernel (bit-exact).
+
+    Requires ``blocks_per_region <= 64`` (region footprints are single
+    64-bit masks in C); :func:`compiled_twin` enforces the limit.  The
+    integer confidence-threshold tables are precomputed by the Python
+    constructor with the exact float comparisons and shipped to C.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if _kernels is None:
+            raise RuntimeError("repro._kernels extension is not built")
+        if self.blocks > 64:
+            raise ValueError(
+                "CompiledPMPPrefetcher requires blocks_per_region <= 64"
+            )
+        self._kernel = _kernels.PMPKernel(
+            blocks=self.blocks,
+            region_size=self.region_size,
+            filter_entries=self.tracker.filter_table.capacity,
+            accumulation_entries=self.tracker.accumulation_table.capacity,
+            max_confidence=self.max_confidence,
+            anchor=int(self.anchor_patterns),
+            l1_min=self._l1_min,
+            l2_min=self._l2_min,
+        )
+        self._ktrain = self._kernel.train
+
+    def train_flat(
+        self, pc: int, address: int, cycle: int, latency: int
+    ) -> Optional[List[int]]:
+        return self._ktrain(pc, address)
+
+    def train(self, pc, address, cycle, result=None) -> List[PrefetchRequest]:
+        packed = self._ktrain(pc, address)
+        if not packed:
+            return []
+        l1 = PrefetchHint.L1
+        l2 = PrefetchHint.L2
+        return [
+            PrefetchRequest((p >> 1) * BLOCK_SIZE, l1 if p & 1 else l2, pc, "pmp")
+            for p in packed
+        ]
+
+    def on_cache_eviction(self, block: int) -> None:
+        self._kernel.evict(block)
+
+    def reset(self) -> None:
+        super().reset()
+        self._kernel.reset()
+
+
+class CompiledTriangelPrefetcher(TriangelPrefetcher):
+    """Triangel whose train loop runs in the C kernel (bit-exact).
+
+    Deliberately does **not** expose ``train_flat``: the flat protocol's
+    ``(pc, address, cycle, latency)`` signature cannot distinguish
+    accesses served by the L1D, which Triangel's training unit must skip
+    (it observes the miss stream).  The object :meth:`train` keeps the
+    hit-level gate and forwards the surviving accesses to C; the compiled
+    *driver* applies the same gate natively.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if _kernels is None:
+            raise RuntimeError("repro._kernels extension is not built")
+        self._kernel = _kernels.TriangelKernel(
+            training_entries=self.training.capacity,
+            sample_entries=self.samples.capacity,
+            sample_rate=self.sample_rate,
+            markov_sets=self._markov_sets,
+            markov_ways=self.markov.ways,
+            degree=self.degree,
+            distance=self.distance,
+            train_threshold=self.train_threshold,
+            predict_threshold=self.predict_threshold,
+            max_confidence=self.max_confidence,
+        )
+        self._ktrain = self._kernel.train
+
+    def train(self, pc, address, cycle, result=None) -> List[PrefetchRequest]:
+        if result is not None and result.hit_level == "L1D":
+            return []  # the training unit observes the L1 miss stream
+        packed = self._ktrain(pc, address)
+        if not packed:
+            return []
+        l1 = PrefetchHint.L1
+        return [
+            PrefetchRequest((p >> 1) * BLOCK_SIZE, l1, pc, "")
+            for p in packed
+        ]
+
+    def reset(self) -> None:
+        super().reset()
+        self._kernel.reset()
+
+
 def compiled_twin(prefetcher):
     """A compiled twin of ``prefetcher``, or ``None`` when unavailable.
 
@@ -160,7 +261,15 @@ def compiled_twin(prefetcher):
     """
     if _kernels is None:
         return None
-    if isinstance(prefetcher, (CompiledBertiPrefetcher, CompiledGazePrefetcher)):
+    if isinstance(
+        prefetcher,
+        (
+            CompiledBertiPrefetcher,
+            CompiledGazePrefetcher,
+            CompiledPMPPrefetcher,
+            CompiledTriangelPrefetcher,
+        ),
+    ):
         return prefetcher
     if isinstance(prefetcher, FlatGazePrefetcher):
         if prefetcher.config.blocks_per_region > 64:
@@ -182,5 +291,32 @@ def compiled_twin(prefetcher):
             max_prefetches_per_access=prefetcher.max_prefetches_per_access,
             region_size=prefetcher.region_size,
             fetch_latency=prefetcher.fetch_latency,
+        )
+    if isinstance(prefetcher, PMPPrefetcher):
+        if prefetcher.blocks > 64:
+            return None
+        return CompiledPMPPrefetcher(
+            region_size=prefetcher.region_size,
+            filter_entries=prefetcher.tracker.filter_table.capacity,
+            accumulation_entries=prefetcher.tracker.accumulation_table.capacity,
+            max_confidence=prefetcher.max_confidence,
+            l1_threshold=prefetcher.l1_threshold,
+            l2_threshold=prefetcher.l2_threshold,
+            anchor_patterns=prefetcher.anchor_patterns,
+        )
+    if isinstance(prefetcher, TriangelPrefetcher):
+        if prefetcher.degree > 64:
+            return None
+        return CompiledTriangelPrefetcher(
+            training_entries=prefetcher.training.capacity,
+            sample_entries=prefetcher.samples.capacity,
+            sample_rate=prefetcher.sample_rate,
+            markov_sets=prefetcher._markov_sets,
+            markov_ways=prefetcher.markov.ways,
+            degree=prefetcher.degree,
+            distance=prefetcher.distance,
+            train_threshold=prefetcher.train_threshold,
+            predict_threshold=prefetcher.predict_threshold,
+            max_confidence=prefetcher.max_confidence,
         )
     return None

@@ -169,6 +169,10 @@ class TriangelPrefetcher(Prefetcher):
 
     Like the real design (which observes L2 accesses), training sees the
     L1 *miss stream*; accesses served by the L1 are invisible to it.
+    A bit-exact C twin exists
+    (:class:`repro.prefetchers.compiled.CompiledTriangelPrefetcher`), so
+    under ``kernel="compiled"`` this design trains in the extension and
+    runs inside the compiled driver loop.
 
     * a per-PC **training unit** (:class:`LRUTable`) holding the previous
       block and a saturating reuse-confidence counter;

@@ -150,6 +150,10 @@ class ChunkedTraceStream:
     ``None`` at the end of a pass and re-opens the source on the following
     call, so replay semantics (for bounded instruction budgets) match the
     scalar streamed path exactly.
+
+    Chunks feed either driver unchanged: the Python batched kernel, or —
+    under ``kernel="compiled"`` — the C ``DriverKernel``
+    (:mod:`repro.sim.driver`), which consumes one chunk per call.
     """
 
     __slots__ = ("source", "chunk_accesses", "_iterator")

@@ -1,0 +1,397 @@
+"""Compiled batched driver: glue between the simulator and ``DriverKernel``.
+
+When the optional C extension :mod:`repro._kernels` is built, the whole
+batched driver loop — cache probes, hit-run retirement, MSHR/DRAM/core
+timing, prefetch-queue drain and in-process prefetcher training — can run
+inside the extension's ``DriverKernel`` instead of
+:meth:`~repro.sim.simulator.SingleCoreSimulator._execute_batched`.  This
+module decides *whether* the C driver may engage for a given simulator
+(every shape/listener/quiescence condition the Python driver's fast paths
+rely on must hold), ships the live Python state into the kernel at attach
+time, keeps the Python-visible core/statistics state in sync after every
+batch call, and exports the hierarchy state back at detach so everything
+downstream (``flush_prefetches``, ``finalize``, goldens, state
+introspection) observes exactly what the Python driver would have left
+behind.
+
+Engagement is strictly opt-in (``kernel="compiled"``) and strictly
+conservative: :meth:`CompiledDriver.try_attach` declines — with a
+human-readable reason recorded as ``kernel_decline_reason`` — whenever the
+configuration is one the C port does not replicate bit-exactly, and the
+caller falls back to the Python driver.  The supported matrix:
+
+===================  ==========================================
+prefetcher           C driver path
+===================  ==========================================
+``none``             fused demand loop (no PQ/train machinery)
+vBerti (compiled)    per-access loop + ``BertiKernel`` train
+Gaze (compiled)      per-access loop + ``GazeKernel`` train/evict
+PMP (compiled)       per-access loop + ``PMPKernel`` train/evict
+Triangel (compiled)  per-access loop + ``TriangelKernel`` train
+                     (the L1-hit training gate applied natively)
+anything else        declined -> Python driver (bit-identical)
+===================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sim.cache import Cache, CacheBlock, MSHREntry
+from repro.sim.dram import DRAMModel
+from repro.sim.types import PrefetchHint, PrefetchRequest
+
+try:  # pragma: no cover - exercised only when the extension is built
+    from repro import _kernels
+except ImportError:  # plain source checkouts: Python driver only
+    _kernels = None
+
+#: ``ptype`` codes understood by ``DriverKernel`` (must match _kernels.c).
+PF_NONE = 0
+PF_BERTI = 1
+PF_GAZE = 2
+PF_PMP = 3
+PF_TRIANGEL = 4
+
+#: Cache-block flag bits used by ``load_cache``/``export_cache``.
+_F_PREFETCHED = 1
+_F_USEFUL = 2
+_F_FROM_DRAM = 4
+_F_DIRTY = 8
+_F_COUNTED = 16
+
+
+def driver_available() -> bool:
+    """Whether the extension exposes the batched ``DriverKernel``."""
+    return _kernels is not None and hasattr(_kernels, "DriverKernel")
+
+
+def _classify(prefetcher) -> Tuple[Optional[int], object, Optional[str]]:
+    """Map ``prefetcher`` to a ``(ptype, train_kernel, decline_reason)``.
+
+    Only the *compiled twin* classes qualify: they already own the C train
+    kernel the driver calls in-process, and their construction enforced
+    the geometry limits (<= 64-entry masks/FIFOs).  A plain Python
+    prefetcher under ``kernel="compiled"`` means :func:`resolve_kernel`
+    could not produce a twin (unsupported design or geometry), so the
+    driver declines and the Python driver runs it.
+    """
+    if prefetcher is None:
+        return PF_NONE, None, None
+    from repro.prefetchers.compiled import (
+        CompiledBertiPrefetcher,
+        CompiledGazePrefetcher,
+        CompiledPMPPrefetcher,
+        CompiledTriangelPrefetcher,
+    )
+
+    ptype = {
+        CompiledBertiPrefetcher: PF_BERTI,
+        CompiledGazePrefetcher: PF_GAZE,
+        CompiledPMPPrefetcher: PF_PMP,
+        CompiledTriangelPrefetcher: PF_TRIANGEL,
+    }.get(type(prefetcher))
+    if ptype is None:
+        return None, None, (
+            f"prefetcher {getattr(prefetcher, 'name', type(prefetcher).__name__)!r}"
+            " has no compiled twin"
+        )
+    if ptype in (PF_BERTI, PF_TRIANGEL):
+        # The driver never forwards L1 evictions to these designs; that is
+        # only correct while their eviction hook is the base-class no-op.
+        from repro.prefetchers.base import Prefetcher
+
+        if type(prefetcher).on_cache_eviction is not Prefetcher.on_cache_eviction:
+            return None, None, "prefetcher overrides on_cache_eviction"
+    return ptype, getattr(prefetcher, "_kernel", None), None
+
+
+def _cache_items(cache: Cache):
+    """Flatten a cache into ``(block, flags)`` rows, per-set LRU->MRU."""
+    items = []
+    append = items.append
+    for cache_set in cache._sets:
+        for block, entry in cache_set.items():
+            flags = 0
+            if entry.prefetched:
+                flags |= _F_PREFETCHED
+            if entry.prefetch_useful:
+                flags |= _F_USEFUL
+            if entry.from_dram:
+                flags |= _F_FROM_DRAM
+            if entry.dirty:
+                flags |= _F_DIRTY
+            if entry.useful_counted:
+                flags |= _F_COUNTED
+            append((block, flags))
+    return items
+
+
+class CompiledDriver:
+    """One attached ``DriverKernel`` driving one simulator's batched runs."""
+
+    __slots__ = ("_kernel", "_sim", "_ptype")
+
+    def __init__(self, kernel, sim, ptype: int) -> None:
+        self._kernel = kernel
+        self._sim = sim
+        self._ptype = ptype
+
+    # ------------------------------------------------------------------ #
+    # Attach
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def try_attach(sim) -> Tuple[Optional["CompiledDriver"], Optional[str]]:
+        """Build an attached driver for ``sim``, or ``(None, reason)``.
+
+        The checks mirror the preconditions of the Python driver's inline
+        fast paths (``inline_ok``/``fused``/``dram_plain``) plus the
+        quiescence the C state transfer requires; any mismatch falls back
+        to the Python driver, which handles every configuration.
+        """
+        if not driver_available():
+            return None, "repro._kernels extension (DriverKernel) not built"
+        ptype, train_kernel, reason = _classify(sim.prefetcher)
+        if ptype is None:
+            return None, reason
+
+        hierarchy = sim.hierarchy
+        l1d = hierarchy.l1d
+        l2c = hierarchy.l2c
+        llc = hierarchy.llc
+        dram = hierarchy.dram
+        if type(l1d) is not Cache or type(l2c) is not Cache or type(llc) is not Cache:
+            return None, "non-plain cache object in hierarchy"
+        if l1d._set_mask is None or l2c._set_mask is None or llc._set_mask is None:
+            return None, "non-power-of-two cache set count"
+        if type(dram) is not DRAMModel:
+            return None, "non-plain DRAM model"
+
+        expected_l1 = [hierarchy._count_useless_eviction]
+        if sim.prefetcher is not None:
+            expected_l1.append(sim._notify_prefetcher_eviction)
+        if l1d.eviction_listeners != expected_l1:
+            return None, "custom L1D eviction listeners"
+        if l2c.eviction_listeners != [hierarchy._count_useless_eviction]:
+            return None, "custom L2C eviction listeners"
+        if llc.eviction_listeners:
+            return None, "LLC has eviction listeners"
+
+        mshr = hierarchy.l1_mshr
+        pq = hierarchy.prefetch_queue
+        if mshr._entries or pq.pending:
+            return None, "hierarchy not quiescent (in-flight prefetches)"
+
+        core = sim.core
+        kernel = _kernels.DriverKernel(
+            l1_sets=l1d._set_count,
+            l1_ways=l1d._ways,
+            l2_sets=l2c._set_count,
+            l2_ways=l2c._ways,
+            llc_sets=llc._set_count,
+            llc_ways=llc._ways,
+            lat_l1=hierarchy._lat_l1,
+            lat_l2=hierarchy._lat_l2,
+            lat_llc=hierarchy._lat_llc,
+            lat_l2_source=hierarchy._lat_l2_source,
+            lat_llc_source=hierarchy._lat_llc_source,
+            mshr_capacity=mshr.capacity,
+            pq_capacity=pq.capacity,
+            pq_drain=pq.drain_per_access,
+            dram_channels=dram._channels,
+            dram_banks=dram._banks_per_channel,
+            dram_row_div=dram._row_divisor,
+            dram_row_hit=dram._row_hit_latency,
+            dram_row_miss=dram._row_miss_latency,
+            dram_transfer=float(dram._transfer_cycles),
+            width=core._width,
+            fetch_increment=core._fetch_increment,
+            rob=core._rob_size,
+            lq=core._load_queue_size,
+            miss_limit=core._miss_limit,
+            miss_threshold=core._miss_threshold,
+            ptype=ptype,
+            kernel=train_kernel,
+        )
+        kernel.load_cache(1, _cache_items(l1d))
+        kernel.load_cache(2, _cache_items(l2c))
+        kernel.load_cache(3, _cache_items(llc))
+        try:
+            issue = core._issue_cycle
+        except AttributeError:
+            issue = core._fetch_cycle
+        kernel.load_core(
+            core._instr_count,
+            core._fetch_cycle,
+            core._last_retire_cycle,
+            issue,
+            list(core._outstanding),
+            list(core._outstanding_misses),
+        )
+        kernel.load_dram(
+            list(dram._open_row.items()),
+            list(dram._bank_busy_until.items()),
+            list(dram._channel_busy_until),
+        )
+        return CompiledDriver(kernel, sim, ptype), None
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run_batch(self, replayer, instruction_budget: Optional[int]) -> None:
+        """Run one ``_execute_batched`` call's worth of trace in C.
+
+        ``replayer._batched`` holds the :class:`~repro.sim.batch.BatchedTrace`
+        (a whole trace or one streamed chunk); position/replay bookkeeping
+        round-trips through the kernel so chunked resume, warmup cuts and
+        budget cuts behave exactly like the Python driver.  Core progress
+        and statistics sync back *every* call: the simulator reads
+        ``core._instr_count`` between chunks and swaps the stats object at
+        the warmup boundary.
+        """
+        trace = replayer._batched
+        budget = -1 if instruction_budget is None else instruction_budget
+        index, replays, _executed, yielded = self._kernel.run(
+            trace.addresses,
+            trace.pcs,
+            trace.blocks,
+            trace.gaps,
+            trace.kinds,
+            replayer._index,
+            budget,
+            replayer.replays,
+        )
+        replayer._index = index
+        replayer.replays = replays
+        if yielded:
+            replayer.yielded_any = True
+        self._sync_core_out()
+        self._drain_stats()
+
+    def _sync_core_out(self) -> None:
+        """Write the kernel's core-model state onto the live Python core."""
+        instr, fetch, last_retire, issue, pairs, misses = self._kernel.export_core()
+        core = self._sim.core
+        core._instr_count = instr
+        core._fetch_cycle = fetch
+        core._last_retire_cycle = last_retire
+        core._issue_position = instr
+        core._issue_cycle = issue
+        outstanding = core._outstanding
+        outstanding.clear()
+        outstanding.extend(pairs)
+        core._outstanding_misses = misses
+
+    def _drain_stats(self) -> None:
+        """Add the kernel's counter deltas onto the live statistics objects.
+
+        ``hierarchy.stats`` is fetched *at call time* (never cached): the
+        warmup boundary swaps it for a fresh object, and the eviction
+        accounting must land in whichever object is current.
+        """
+        v = self._kernel.drain_stats()
+        sim = self._sim
+        hierarchy = sim.hierarchy
+        stats = hierarchy.stats
+        stats.demand_accesses += v[0]
+        stats.l1_hits += v[1]
+        stats.l1_misses += v[2]
+        stats.l2_hits += v[3]
+        stats.l2_misses += v[4]
+        stats.llc_hits += v[5]
+        stats.llc_misses += v[6]
+        stats.dram_reads += v[7]
+        stats.total_demand_latency += v[8]
+        prefetch = stats.prefetch
+        prefetch.generated += v[9]
+        prefetch.issued += v[10]
+        prefetch.dropped_queue_full += v[11]
+        prefetch.dropped_mshr_full += v[12]
+        prefetch.redundant += v[13]
+        prefetch.filled_l1 += v[14]
+        prefetch.filled_l2 += v[15]
+        prefetch.useful_l1 += v[16]
+        prefetch.useful_l2 += v[17]
+        prefetch.useless += v[18]
+        prefetch.late += v[19]
+        prefetch.covered_llc_misses += v[20]
+        pq = hierarchy.prefetch_queue
+        pq.enqueued += v[21]
+        pq.dropped_full += v[22]
+        for cache, base in (
+            (hierarchy.l1d, 23),
+            (hierarchy.l2c, 27),
+            (hierarchy.llc, 31),
+        ):
+            cache.hits += v[base]
+            cache.misses += v[base + 1]
+            cache.evictions += v[base + 2]
+            cache.useless_prefetch_evictions += v[base + 3]
+        dram_stats = hierarchy.dram.stats
+        dram_stats.requests += v[35]
+        dram_stats.demand_requests += v[36]
+        dram_stats.prefetch_requests += v[37]
+        dram_stats.row_hits += v[38]
+        dram_stats.row_misses += v[39]
+        dram_stats.total_queue_wait += v[40]
+        dram_stats.total_service_cycles += v[41]
+
+    # ------------------------------------------------------------------ #
+    # Detach
+    # ------------------------------------------------------------------ #
+    def detach(self) -> None:
+        """Export every piece of hierarchy state back onto the live objects.
+
+        After this returns, the simulator is indistinguishable from one
+        that ran the Python driver: ``flush_prefetches`` drains the same
+        queue entries into the same MSHR/caches, ``finalize`` sees the same
+        core state, and state-introspection tests read identical caches.
+        """
+        self._sync_core_out()
+        self._drain_stats()
+        kernel = self._kernel
+        hierarchy = self._sim.hierarchy
+
+        for level, cache in ((1, hierarchy.l1d), (2, hierarchy.l2c), (3, hierarchy.llc)):
+            sets = cache._sets
+            for cache_set in sets:
+                cache_set.clear()
+            mask = cache._set_mask
+            for block, flags in kernel.export_cache(level):
+                entry = CacheBlock(
+                    block,
+                    bool(flags & _F_PREFETCHED),
+                    bool(flags & _F_USEFUL),
+                    bool(flags & _F_FROM_DRAM),
+                    bool(flags & _F_DIRTY),
+                )
+                entry.useful_counted = bool(flags & _F_COUNTED)
+                sets[block & mask][block] = entry
+
+        mshr = hierarchy.l1_mshr
+        entries, min_ready = kernel.export_mshr()
+        mshr._entries.clear()
+        for block, ready, from_dram in entries:
+            mshr._entries[block] = MSHREntry(block, ready, True, 1, bool(from_dram))
+        mshr._min_ready = float("inf") if min_ready is None else min_ready
+
+        pq = hierarchy.prefetch_queue
+        packed, issue = kernel.export_pq()
+        if packed:
+            queue = pq._queue
+            convert_cycle = int(issue)
+            hint_l1 = PrefetchHint.L1
+            hint_l2 = PrefetchHint.L2
+            for p in packed:
+                request = PrefetchRequest(
+                    (p >> 1) << 6, hint_l1 if p & 1 else hint_l2, 0, ""
+                )
+                queue.append((request, convert_cycle))
+
+        dram = hierarchy.dram
+        open_rows, bank_busy, channel_busy = kernel.export_dram()
+        dram._open_row.clear()
+        dram._open_row.update(open_rows)
+        dram._bank_busy_until.clear()
+        dram._bank_busy_until.update(bank_busy)
+        dram._channel_busy_until[:] = channel_busy

@@ -220,9 +220,26 @@ class SingleCoreSimulator:
         config: Optional[SystemConfig] = None,
         prefetcher=None,
         name: str = "",
+        kernel: str = "auto",
     ) -> None:
+        if kernel not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernel mode {kernel!r}; expected one of {KERNEL_MODES}"
+            )
         self.config = config if config is not None else default_system_config(1)
         self.prefetcher = prefetcher
+        #: Requested kernel tier.  ``"compiled"`` additionally engages the
+        #: C batched driver (:mod:`repro.sim.driver`) when the run shape
+        #: supports it; the other modes always use the Python driver.
+        self.kernel_mode = kernel
+        #: Tier that actually executed the last :meth:`run`:
+        #: ``"compiled-driver"`` (C driver loop), ``"compiled"`` (Python
+        #: driver calling compiled train kernels) or ``"python"``.
+        self.kernel_tier_used: Optional[str] = None
+        #: Why the C driver did not engage (``None`` when it did, or when
+        #: it was never requested).
+        self.kernel_decline_reason: Optional[str] = None
+        self._driver = None
         self.stats = SimulationStats(
             name=name,
             prefetcher=getattr(prefetcher, "name", "none") if prefetcher else "none",
@@ -305,29 +322,36 @@ class SingleCoreSimulator:
             # silently re-enter the batched kernel.
             trace = list(trace)
         replayer = _TraceReplayer(trace)
+        self._attach_driver(replayer)
 
-        start_instr = 0
-        start_cycles = 0.0
-        if warmup_instructions > 0:
-            self._execute(replayer, warmup_instructions)
-            self._reset_measurement_counters()
-            snapshot = self.core.snapshot()
-            start_instr = snapshot.instructions
-            start_cycles = snapshot.cycles
+        try:
+            start_instr = 0
+            start_cycles = 0.0
+            if warmup_instructions > 0:
+                self._execute(replayer, warmup_instructions)
+                self._reset_measurement_counters()
+                snapshot = self.core.snapshot()
+                start_instr = snapshot.instructions
+                start_cycles = snapshot.cycles
 
-        if max_instructions is None:
-            # Materialized traces keep the historical exact budget (one
-            # pass's instructions, wrapping mid-access never truncates);
-            # streamed traces run single-pass until exhaustion, which
-            # executes the identical access sequence.  When warmup consumed
-            # part of the stream, a re-openable source pays one counting
-            # pass so its measured budget matches the materialized path
-            # exactly (one-shot iterators measure the stream's remainder).
-            max_instructions = replayer.known_instruction_total
-            if max_instructions is None and warmup_instructions > 0:
-                if replayer.reopenable:
-                    max_instructions = replayer.count_pass_instructions()
-        self._execute(replayer, max_instructions)
+            if max_instructions is None:
+                # Materialized traces keep the historical exact budget (one
+                # pass's instructions, wrapping mid-access never truncates);
+                # streamed traces run single-pass until exhaustion, which
+                # executes the identical access sequence.  When warmup consumed
+                # part of the stream, a re-openable source pays one counting
+                # pass so its measured budget matches the materialized path
+                # exactly (one-shot iterators measure the stream's remainder).
+                max_instructions = replayer.known_instruction_total
+                if max_instructions is None and warmup_instructions > 0:
+                    if replayer.reopenable:
+                        max_instructions = replayer.count_pass_instructions()
+            self._execute(replayer, max_instructions)
+        finally:
+            driver = self._driver
+            if driver is not None:
+                self._driver = None
+                driver.detach()
         if not replayer.yielded_any:
             raise ValueError("cannot simulate an empty trace")
 
@@ -338,6 +362,32 @@ class SingleCoreSimulator:
         return self.stats
 
     # ------------------------------------------------------------------ #
+    def _attach_driver(self, replayer: _TraceReplayer) -> None:
+        """Engage the C batched driver when requested and supported.
+
+        Sets ``kernel_tier_used``/``kernel_decline_reason`` either way, so
+        a ``kernel="compiled"`` run that silently fell back to the Python
+        driver is observable.  Only batched/chunked execution shapes
+        qualify: the scalar kernel has no C counterpart.
+        """
+        driver = None
+        reason = None
+        if self.kernel_mode == "compiled":
+            if replayer._batched is not None or replayer._chunked is not None:
+                from repro.sim.driver import CompiledDriver
+
+                driver, reason = CompiledDriver.try_attach(self)
+            else:
+                reason = "scalar execution path (batch=off or one-shot stream)"
+        self._driver = driver
+        if driver is not None:
+            self.kernel_tier_used = "compiled-driver"
+            self.kernel_decline_reason = None
+        else:
+            compiled_train = getattr(self.prefetcher, "_kernel", None) is not None
+            self.kernel_tier_used = "compiled" if compiled_train else "python"
+            self.kernel_decline_reason = reason
+
     def _execute(
         self, replayer: _TraceReplayer, instruction_budget: Optional[int]
     ) -> None:
@@ -533,7 +583,16 @@ class SingleCoreSimulator:
         order — and is written back to the model at every point where a
         :class:`CoreTimingModel` method runs (run retirement, non-fusable
         fallbacks) and at exit.
+
+        When the compiled driver is attached (``kernel="compiled"`` and
+        :meth:`_attach_driver` accepted the configuration), both loops run
+        inside the C extension instead — same replay/budget semantics,
+        same statistics, bit-identical.
         """
+        driver = self._driver
+        if driver is not None:
+            driver.run_batch(replayer, instruction_budget)
+            return
         batched = replayer._batched
         blocks = batched.blocks
         gaps = batched.gaps
@@ -1724,14 +1783,30 @@ def simulate_trace(
     name: str = "",
     batch: str = "auto",
     kernel: str = "auto",
+    record_tier: bool = False,
 ) -> SimulationStats:
-    """Convenience wrapper: build a simulator, run it, return the stats."""
+    """Convenience wrapper: build a simulator, run it, return the stats.
+
+    ``record_tier`` reports which kernel tier actually executed into
+    ``stats.extra`` (``kernel_tier``, plus ``kernel_decline_reason`` when
+    the compiled driver was requested but fell back).  Opt-in for the same
+    reason timing is: cached/golden results must stay bit-identical, so
+    the default run leaves ``extra`` untouched.
+    """
     simulator = SingleCoreSimulator(
-        config=config, prefetcher=resolve_kernel(prefetcher, kernel), name=name
+        config=config,
+        prefetcher=resolve_kernel(prefetcher, kernel),
+        name=name,
+        kernel=kernel,
     )
-    return simulator.run(
+    stats = simulator.run(
         trace,
         max_instructions=max_instructions,
         warmup_instructions=warmup_instructions,
         batch=batch,
     )
+    if record_tier:
+        stats.extra["kernel_tier"] = simulator.kernel_tier_used
+        if simulator.kernel_decline_reason:
+            stats.extra["kernel_decline_reason"] = simulator.kernel_decline_reason
+    return stats

@@ -184,7 +184,7 @@ class TestTriangel:
 
 
 # --------------------------------------------------------------------------- #
-# Compiled-tier fallback (satellite): no compiled twin => silent, identical
+# Compiled-tier behaviour: twins where supported, silent identical fallback
 # --------------------------------------------------------------------------- #
 class TestCompiledFallback:
     @pytest.fixture(scope="class")
@@ -195,12 +195,20 @@ class TestCompiledFallback:
             params={"num_nodes": 900, "noise_fraction": 0.02},
         ).build()
 
-    @pytest.mark.parametrize("name", ["triangel", "ghb"])
-    def test_temporal_designs_have_no_compiled_twin(self, name):
-        assert compiled_twin(create_prefetcher(name)) is None
+    def test_ghb_has_no_compiled_twin(self):
+        assert compiled_twin(create_prefetcher("ghb")) is None
+
+    def test_triangel_has_compiled_twin_when_built(self):
+        from repro.prefetchers.compiled import compiled_available
+
+        twin = compiled_twin(create_prefetcher("triangel"))
+        if compiled_available():
+            assert twin is not None and twin.name == "triangel"
+        else:
+            assert twin is None
 
     @pytest.mark.parametrize("name", ["triangel", "ghb", "pmp"])
-    def test_kernel_compiled_falls_back_bit_identically(
+    def test_kernel_compiled_matches_python_bit_identically(
         self, temporal_trace, name
     ):
         reference = simulate_trace(
