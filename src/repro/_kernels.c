@@ -195,6 +195,59 @@ ft_drop_slot(FTable *t, int s)
 }
 
 /* ================================================================== */
+/* Debug invariant tier (compiled only under REPRO_DEBUG_KERNELS).     */
+/*                                                                     */
+/* ``REPRO_DEBUG_KERNELS=1 python setup.py build_ext --inplace``       */
+/* builds this extension with internal invariant checks; a violated    */
+/* invariant raises AssertionError at the Python boundary instead of   */
+/* silently corrupting state.  The checks never mutate anything, so a  */
+/* debug build must stay bit-identical to a release build.             */
+/* ================================================================== */
+#ifdef REPRO_DEBUG_KERNELS
+static int
+dk_fail(const char *where, const char *what)
+{
+    PyErr_Format(PyExc_AssertionError,
+                 "repro._kernels debug invariant violated: %s: %s",
+                 where, what);
+    return -1;
+}
+
+#define DK_CHECK(cond, where, what)                                    \
+    do {                                                               \
+        if (!(cond))                                                   \
+            return dk_fail((where), (what));                           \
+    } while (0)
+
+/* LRU chain integrity: head->tail visits exactly the occupied slots
+ * with consistent back links, and the free list holds the rest. */
+static int
+ft_check(const FTable *t, const char *where)
+{
+    DK_CHECK(t->size >= 0 && t->size <= t->cap, where, "size out of range");
+    DK_CHECK(t->free_count == t->cap - t->size, where,
+             "free_count + size != cap");
+    int count = 0, prev = -1;
+    for (int s = t->head; s != -1; s = t->next[s]) {
+        DK_CHECK(s >= 0 && s < t->cap, where, "chain slot out of range");
+        DK_CHECK(t->used[s], where, "chain visits a free slot");
+        DK_CHECK(t->prev[s] == prev, where, "prev link disagrees");
+        prev = s;
+        count++;
+        DK_CHECK(count <= t->size, where, "chain longer than size (cycle?)");
+    }
+    DK_CHECK(prev == t->tail, where, "tail does not end the chain");
+    DK_CHECK(count == t->size, where, "chain shorter than size");
+    for (int i = 0; i < t->free_count; i++) {
+        int s = t->free_slots[i];
+        DK_CHECK(s >= 0 && s < t->cap && !t->used[s], where,
+                 "free list holds an occupied slot");
+    }
+    return 0;
+}
+#endif /* REPRO_DEBUG_KERNELS */
+
+/* ================================================================== */
 /* BertiKernel: C twin of FlatBertiPrefetcher.train_flat               */
 /* ================================================================== */
 typedef struct {
@@ -2381,6 +2434,165 @@ drv_train(DriverKernel *d, long long pc, long long address,
     }
 }
 
+/* ------------------------------------------------------------------ */
+/* Whole-driver invariant sweep (debug builds only; see ft_check).     */
+/* ------------------------------------------------------------------ */
+#ifdef REPRO_DEBUG_KERNELS
+/* Per-set occupancy in range, every tag mapped to the set holding it,
+ * no duplicate tag within a set. */
+static int
+dc_check(const DCache *c, const char *where)
+{
+    for (long long s = 0; s < c->sets; s++) {
+        int n = c->size[s];
+        DK_CHECK(n >= 0 && n <= c->ways, where, "set occupancy out of range");
+        const long long *tag = c->tag + (size_t)s * (size_t)c->ways;
+        for (int i = 0; i < n; i++) {
+            DK_CHECK((tag[i] & c->mask) == s, where,
+                     "tag stored in the wrong set");
+            for (int j = i + 1; j < n; j++)
+                DK_CHECK(tag[i] != tag[j], where, "duplicate tag in a set");
+        }
+    }
+    return 0;
+}
+
+static int
+drv_check(DriverKernel *d)
+{
+    if (dc_check(&d->l1, "L1") < 0 ||
+        dc_check(&d->l2, "L2") < 0 ||
+        dc_check(&d->llc, "LLC") < 0)
+        return -1;
+
+    /* MSHR occupancy accounting.  The cached minimum may run stale-LOW:
+     * the late-prefetch pop removes an entry without a recompute
+     * (mirroring the oracle's dict pop), so it lower-bounds the true
+     * minimum rather than equalling it; at n == 0 it is unconstrained. */
+    DK_CHECK(d->mshr_n >= 0 && d->mshr_n <= d->mshr_cap, "MSHR",
+             "occupancy out of range");
+    if (d->mshr_n > 0) {
+        long long mn = LLONG_MAX;
+        for (int i = 0; i < d->mshr_n; i++) {
+            if (d->mshr_ready[i] < mn)
+                mn = d->mshr_ready[i];
+            for (int j = i + 1; j < d->mshr_n; j++)
+                DK_CHECK(d->mshr_block[i] != d->mshr_block[j], "MSHR",
+                         "duplicate block");
+        }
+        DK_CHECK(d->mshr_min_ready <= mn, "MSHR",
+                 "cached min above the true minimum");
+    }
+
+    /* Ring-buffer bounds; issue positions are retired in order, so the
+     * outstanding ring must be position-sorted. */
+    DK_CHECK(d->pq_n >= 0 && d->pq_n <= d->pq_cap, "PQ",
+             "occupancy out of range");
+    DK_CHECK(d->pq_head >= 0 && d->pq_head < d->pq_cap, "PQ",
+             "head out of range");
+    DK_CHECK(d->out_n >= 0 && d->out_n <= d->out_cap, "core ring",
+             "occupancy out of range");
+    DK_CHECK(d->out_head >= 0 && d->out_head < d->out_cap, "core ring",
+             "head out of range");
+    for (int i = 1; i < d->out_n; i++) {
+        int a = (d->out_head + i - 1) % d->out_cap;
+        int b = (d->out_head + i) % d->out_cap;
+        DK_CHECK(d->out_pos[a] <= d->out_pos[b], "core ring",
+                 "issue positions not monotonic");
+    }
+
+    /* Outstanding-miss minimum is maintained exactly (every removal
+     * path recomputes it, unlike the MSHR's). */
+    DK_CHECK(d->miss_n >= 0 && d->miss_n <= d->miss_cap, "core misses",
+             "count out of range");
+    if (d->miss_n == 0) {
+        DK_CHECK(d->misses_min == INFINITY, "core misses",
+                 "cached min not +inf while empty");
+    } else {
+        double mn = INFINITY;
+        for (int i = 0; i < d->miss_n; i++)
+            if (d->missv[i] < mn)
+                mn = d->missv[i];
+        DK_CHECK(d->misses_min == mn, "core misses", "cached min inexact");
+    }
+
+    /* Stat-delta conservation: demands flow down the hierarchy without
+     * loss, DRAM traffic partitions two ways, and the per-level cache
+     * counters agree with the drain deltas.  All of these hold between
+     * any two drain_stats() zeroings. */
+    DK_CHECK(d->st_demand == d->st_l1_hits + d->st_l1_misses, "stats",
+             "demand != L1 hits + misses");
+    DK_CHECK(d->st_l1_misses == d->st_l2_hits + d->st_l2_misses, "stats",
+             "L1 misses != L2 hits + misses");
+    DK_CHECK(d->st_l2_misses == d->st_llc_hits + d->st_llc_misses, "stats",
+             "L2 misses != LLC hits + misses");
+    DK_CHECK(d->st_llc_misses == d->st_dram_reads, "stats",
+             "LLC misses != DRAM reads");
+    DK_CHECK(d->dr_requests == d->dr_demand + d->dr_prefetch, "stats",
+             "DRAM requests != demand + prefetch");
+    DK_CHECK(d->dr_requests == d->dr_row_hits + d->dr_row_misses, "stats",
+             "DRAM requests != row hits + misses");
+    DK_CHECK(d->st_pf_generated == d->st_pq_enq + d->st_pf_drop_q, "stats",
+             "pf generated != enqueued + queue-dropped");
+    DK_CHECK(d->st_pq_drop == d->st_pf_drop_q, "stats",
+             "queue drop counters disagree");
+    DK_CHECK(d->l1.misses == d->st_l1_misses, "stats",
+             "L1 cache/delta miss counters disagree");
+    DK_CHECK(d->l1.hits == d->st_l1_hits - d->st_pf_late, "stats",
+             "L1 cache hits != delta hits - late prefetches");
+    DK_CHECK(d->l2.hits == d->st_l2_hits && d->l2.misses == d->st_l2_misses,
+             "stats", "L2 cache/delta counters disagree");
+    DK_CHECK(d->llc.hits == d->st_llc_hits &&
+             d->llc.misses == d->st_llc_misses,
+             "stats", "LLC cache/delta counters disagree");
+
+    /* The attached train twin's LRU tables. */
+    switch (d->ptype) {
+    case DRV_PF_BERTI:
+        return ft_check(&((BertiKernel *)d->pf_kernel)->table, "Berti table");
+    case DRV_PF_GAZE: {
+        GazeKernel *k = (GazeKernel *)d->pf_kernel;
+        if (ft_check(&k->ft, "Gaze FT") < 0 ||
+            ft_check(&k->at, "Gaze AT") < 0 ||
+            ft_check(&k->pb, "Gaze PB") < 0 ||
+            ft_check(&k->dpct, "Gaze DPCT") < 0)
+            return -1;
+        break;
+    }
+    case DRV_PF_PMP: {
+        PMPKernel *k = (PMPKernel *)d->pf_kernel;
+        if (ft_check(&k->ft, "PMP FT") < 0 ||
+            ft_check(&k->at, "PMP AT") < 0)
+            return -1;
+        break;
+    }
+    case DRV_PF_TRIANGEL: {
+        TriangelKernel *k = (TriangelKernel *)d->pf_kernel;
+        if (ft_check(&k->training, "Triangel training") < 0 ||
+            ft_check(&k->samples, "Triangel samples") < 0)
+            return -1;
+        for (int s = 0; s < k->markov_sets; s++)
+            DK_CHECK(k->mk_count[s] >= 0 && k->mk_count[s] <= k->markov_ways,
+                     "Triangel Markov", "set occupancy out of range");
+        break;
+    }
+    default:
+        break;
+    }
+    return 0;
+}
+
+/* Sweep call for PyObject*-returning entry points; compiles away
+ * entirely in release builds. */
+#define DRV_CHECK(d)                                                   \
+    do {                                                               \
+        if (drv_check(d) < 0)                                          \
+            return NULL;                                               \
+    } while (0)
+#else
+#define DRV_CHECK(d) do { } while (0)
+#endif /* REPRO_DEBUG_KERNELS */
+
 /* Decode the BatchedTrace arrays into flat C arrays.  Keyed on the
  * identity of the addresses/blocks lists (BatchedTrace arrays are
  * frozen after decode and chunk streams always build fresh lists), so
@@ -2803,6 +3015,7 @@ Driver_run(DriverKernel *d, PyObject *const *args, Py_ssize_t nargs)
             }
         }
     }
+    DRV_CHECK(d);
     return Py_BuildValue("(nLLi)", index, replays, executed, yielded);
 }
 
@@ -3099,6 +3312,7 @@ Driver_load_cache(DriverKernel *d, PyObject *args)
         c->size[r.set] = r.n + 1;
     }
     Py_DECREF(seq);
+    DRV_CHECK(d);
     Py_RETURN_NONE;
 }
 
@@ -3203,6 +3417,7 @@ Driver_load_core(DriverKernel *d, PyObject *args)
     }
     Py_DECREF(oseq);
     Py_DECREF(mseq);
+    DRV_CHECK(d);
     Py_RETURN_NONE;
 }
 
@@ -3305,6 +3520,7 @@ Driver_load_dram(DriverKernel *d, PyObject *args)
         d->dr_channel_busy[i] = busy;
     }
     Py_DECREF(cseq);
+    DRV_CHECK(d);
     Py_RETURN_NONE;
 }
 
@@ -3352,6 +3568,7 @@ fail:
 static PyObject *
 Driver_export_mshr(DriverKernel *d, PyObject *Py_UNUSED(ignored))
 {
+    DRV_CHECK(d);
     PyObject *lst = PyList_New(d->mshr_n);
     if (!lst)
         return NULL;
@@ -3401,6 +3618,7 @@ Driver_export_pq(DriverKernel *d, PyObject *Py_UNUSED(ignored))
 static PyObject *
 Driver_drain_stats(DriverKernel *d, PyObject *Py_UNUSED(ignored))
 {
+    DRV_CHECK(d);
     long long vals[42] = {
         d->st_demand, d->st_l1_hits, d->st_l1_misses, d->st_l2_hits,
         d->st_l2_misses, d->st_llc_hits, d->st_llc_misses, d->st_dram_reads,
@@ -3523,6 +3741,14 @@ PyInit__kernels(void)
         return NULL;
     }
     if (PyModule_AddIntConstant(m, "KERNELS_ABI", 3) < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+#ifdef REPRO_DEBUG_KERNELS
+    if (PyModule_AddIntConstant(m, "DEBUG_KERNELS", 1) < 0) {
+#else
+    if (PyModule_AddIntConstant(m, "DEBUG_KERNELS", 0) < 0) {
+#endif
         Py_DECREF(m);
         return NULL;
     }

@@ -1,0 +1,59 @@
+"""Diagnostics and the inline waiver syntax shared by every lint rule."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence
+
+#: Matches ``repro-lint: waive R1`` / ``repro-lint: waive R2, R3`` /
+#: ``repro-lint: waive all`` inside any comment style (``#``, ``/* */``,
+#: ``//``) — the rule list is whatever ``R<n>`` tokens (or ``all``)
+#: follow the marker on that line.
+_WAIVER_MARKER = re.compile(r"repro-lint:\s*waive\b(?P<rules>[^\n]*)", re.IGNORECASE)
+_WAIVER_TOKEN = re.compile(r"\b(R\d+|all)\b", re.IGNORECASE)
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One lint finding: rule ID, repo-relative location and message."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        """The canonical ``path:line: RULE: message`` rendering."""
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def waived_rules(line_text: str) -> Optional[FrozenSet[str]]:
+    """The rule IDs waived by an inline comment on ``line_text``.
+
+    Returns ``None`` when the line carries no waiver marker; otherwise a
+    frozenset of upper-cased rule IDs (``{"all"}`` waives everything).
+    A marker with no parseable rule tokens waives nothing — a loud
+    no-op is safer than an accidental blanket waiver.
+    """
+    marker = _WAIVER_MARKER.search(line_text)
+    if marker is None:
+        return None
+    tokens = _WAIVER_TOKEN.findall(marker.group("rules"))
+    return frozenset(token.lower() if token.lower() == "all" else token.upper()
+                     for token in tokens)
+
+
+def is_waived(diagnostic: Diagnostic, lines: Sequence[str]) -> bool:
+    """Whether ``diagnostic`` is silenced by a waiver comment.
+
+    A waiver counts when it sits on the flagged line itself or on the
+    line immediately above (``lines`` is the flagged file's content;
+    diagnostics use 1-based line numbers).
+    """
+    for lineno in (diagnostic.line, diagnostic.line - 1):
+        if 1 <= lineno <= len(lines):
+            waived = waived_rules(lines[lineno - 1])
+            if waived is not None and (diagnostic.rule in waived or "all" in waived):
+                return True
+    return False

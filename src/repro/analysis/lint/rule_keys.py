@@ -1,0 +1,190 @@
+"""R1 — job-key completeness of frozen, keyed dataclasses.
+
+The persistent result cache is only sound if every behaviour-relevant
+field of a job/config dataclass is folded into its content key.  This
+rule finds every *frozen* dataclass under ``src/repro`` that defines a
+``to_dict`` method (``SimulationJob``, ``MixSimulationJob``,
+``SystemConfig``, ``TraceSpec``, ``TraceSource``, and anything added
+later) and requires each field to be either
+
+- consumed — read as ``self.<field>`` somewhere in the transitive
+  closure of methods reachable from ``to_dict`` / ``identity_dict`` /
+  ``content_key`` / ``key`` (an ``asdict(self)`` call consumes every
+  field at once), or
+- excluded — named on a class-level ``KEY_EXCLUDED`` tuple, the
+  explicit "execution detail, never affects results" list.
+
+Stale ``KEY_EXCLUDED`` entries are violations too: naming a field that
+no longer exists, or one the key methods actually consume, means the
+exclusion list has drifted from the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.engine import LintContext
+
+#: Methods whose attribute reads (transitively) count as key consumption.
+_KEY_METHODS = ("to_dict", "identity_dict", "content_key", "key")
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.expr]:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return decorator
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return decorator
+    return None
+
+
+def _is_frozen(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+    return False
+
+
+def _fields(node: ast.ClassDef) -> Dict[str, int]:
+    """Dataclass fields (annotated, non-ClassVar) mapped to line numbers."""
+    fields: Dict[str, int] = {}
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = ast.unparse(statement.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields[statement.target.id] = statement.lineno
+    return fields
+
+
+def _key_excluded(node: ast.ClassDef) -> Optional[Tuple[List[str], int]]:
+    """The ``KEY_EXCLUDED`` entries and their line, if declared."""
+    for statement in node.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "KEY_EXCLUDED":
+                names: List[str] = []
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            names.append(element.value)
+                return names, statement.lineno
+    return None
+
+
+def _methods(node: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        statement.name: statement
+        for statement in node.body
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _consumed_fields(
+    node: ast.ClassDef, fields: Dict[str, int]
+) -> Set[str]:
+    """Field names read via ``self.`` in the key-method closure."""
+    methods = _methods(node)
+    consumed: Set[str] = set()
+    visited: Set[str] = set()
+    worklist = [name for name in _KEY_METHODS if name in methods]
+    while worklist:
+        method = methods[worklist.pop()]
+        if method.name in visited:
+            continue
+        visited.add(method.name)
+        arguments = method.args.posonlyargs + method.args.args
+        self_name = arguments[0].arg if arguments else "self"
+        for inner in ast.walk(method):
+            if isinstance(inner, ast.Attribute) and isinstance(
+                inner.value, ast.Name
+            ) and inner.value.id == self_name:
+                if inner.attr in fields:
+                    consumed.add(inner.attr)
+                elif inner.attr in methods and inner.attr not in visited:
+                    worklist.append(inner.attr)
+            elif isinstance(inner, ast.Call):
+                target = inner.func
+                callee = (
+                    target.id
+                    if isinstance(target, ast.Name)
+                    else target.attr if isinstance(target, ast.Attribute) else ""
+                )
+                if callee == "asdict" and any(
+                    isinstance(argument, ast.Name) and argument.id == self_name
+                    for argument in inner.args
+                ):
+                    consumed.update(fields)
+    return consumed
+
+
+def check(context: LintContext) -> List[Diagnostic]:
+    """Run R1 over every frozen keyed dataclass under ``src/repro``."""
+    diagnostics: List[Diagnostic] = []
+    for path in context.py_files("src/repro"):
+        tree = context.tree(path)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None or not _is_frozen(decorator):
+                continue
+            methods = _methods(node)
+            if "to_dict" not in methods:
+                continue
+
+            fields = _fields(node)
+            consumed = _consumed_fields(node, fields)
+            declared = _key_excluded(node)
+            excluded, excluded_line = declared if declared else ([], node.lineno)
+
+            for name, lineno in sorted(fields.items(), key=lambda kv: kv[1]):
+                if name in consumed or name in excluded:
+                    continue
+                diagnostics.append(
+                    Diagnostic(
+                        "R1",
+                        path,
+                        lineno,
+                        f"field {name!r} of {node.name} is not consumed by "
+                        "to_dict()/content_key() and is not listed in "
+                        "KEY_EXCLUDED",
+                    )
+                )
+            for name in excluded:
+                if name not in fields:
+                    diagnostics.append(
+                        Diagnostic(
+                            "R1",
+                            path,
+                            excluded_line,
+                            f"stale KEY_EXCLUDED entry {name!r} on {node.name}: "
+                            "no such field",
+                        )
+                    )
+                elif name in consumed:
+                    diagnostics.append(
+                        Diagnostic(
+                            "R1",
+                            path,
+                            excluded_line,
+                            f"stale KEY_EXCLUDED entry {name!r} on {node.name}: "
+                            "the field is consumed by the key methods",
+                        )
+                    )
+    return diagnostics

@@ -1,0 +1,80 @@
+"""R4 — golden-grid coverage of every registered prefetcher.
+
+``tests/goldens/spatial-s3.json`` is the full-grid golden snapshot: the
+golden test suite runs *every* registered prefetcher against the
+``spatial-s3`` trace and compares bit-exact statistics.  A design that
+is registered but absent from that snapshot is unpinned — its behaviour
+can drift (or break under a new kernel tier) without any test noticing.
+
+This rule diffs the live registry (``available_prefetchers()``) against
+the snapshot's keys in both directions: registered-but-unpinned designs
+and stale snapshot entries for names that no longer exist are both
+violations.  Refresh protocol: ``REFRESH_GOLDENS=1 python -m pytest
+tests/test_goldens.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.engine import LintContext
+
+_GRID_GOLDEN = "tests/goldens/spatial-s3.json"
+_REGISTRY_PY = "src/repro/prefetchers/registry.py"
+
+
+def _anchor_line(context: LintContext, name: str) -> int:
+    """Best-effort line anchor for a prefetcher name in ``registry.py``."""
+    if context.exists(_REGISTRY_PY):
+        needle = f'"{name}"'
+        for index, line in enumerate(context.lines(_REGISTRY_PY), start=1):
+            if needle in line:
+                return index
+    return 1
+
+
+def check(context: LintContext) -> List[Diagnostic]:
+    """Run R4: registry names vs the full-grid golden snapshot."""
+    from repro.prefetchers.registry import available_prefetchers
+
+    diagnostics: List[Diagnostic] = []
+    registered = set(available_prefetchers())
+
+    if not context.exists(_GRID_GOLDEN):
+        diagnostics.append(
+            Diagnostic(
+                "R4", _GRID_GOLDEN, 1,
+                "full-grid golden snapshot not found; every registered "
+                "prefetcher must be pinned by the golden grid",
+            )
+        )
+        return diagnostics
+
+    try:
+        snapshot = json.loads(context.text(_GRID_GOLDEN))
+    except json.JSONDecodeError as error:
+        diagnostics.append(
+            Diagnostic("R4", _GRID_GOLDEN, 1, f"unparseable golden snapshot: {error}")
+        )
+        return diagnostics
+    pinned = set(snapshot)
+
+    for name in sorted(registered - pinned):
+        diagnostics.append(
+            Diagnostic(
+                "R4", _GRID_GOLDEN, _anchor_line(context, name),
+                f"registered prefetcher {name!r} has no golden-grid entry; "
+                "run REFRESH_GOLDENS=1 python -m pytest tests/test_goldens.py",
+            )
+        )
+    for name in sorted(pinned - registered):
+        diagnostics.append(
+            Diagnostic(
+                "R4", _GRID_GOLDEN, 1,
+                f"stale golden-grid entry {name!r}: no such registered "
+                "prefetcher",
+            )
+        )
+    return diagnostics

@@ -278,6 +278,28 @@ def _build_parser() -> argparse.ArgumentParser:
     lst = sub.add_parser("list", help="list available experiment targets")
     lst.add_argument("what", choices=("figures", "tables", "sweeps",
                                       "prefetchers", "suites"))
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo invariant lint (rules R1-R5)",
+        description=(
+            "Static analysis of repo-specific invariants: job-key "
+            "completeness (R1), C/Python twin-constant drift (R2), "
+            "hot-path hygiene (R3), golden-grid registry coverage (R4) "
+            "and compiled-driver decline reasons (R5).  Exits non-zero "
+            "when any unwaived diagnostic is found."
+        ),
+    )
+    lint.add_argument("--check", action="store_true",
+                      help="explicit CI alias; lint always exits non-zero "
+                           "on findings")
+    lint.add_argument("--rules", default=None, metavar="IDS",
+                      help="comma-separated rule IDs to run (default: all)")
+    lint.add_argument("--root", default=None, metavar="DIR",
+                      help="repository root to lint (default: the checkout "
+                           "that owns the running repro package)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -763,6 +785,38 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import RULES, run_lint
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id].summary}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [token.strip().upper() for token in args.rules.split(",") if token.strip()]
+    try:
+        report = run_lint(
+            root=Path(args.root) if args.root else None, rules=rules
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for diagnostic in report.diagnostics:
+        print(diagnostic.format())
+    waived = f", {len(report.waived)} waived" if report.waived else ""
+    if report.diagnostics:
+        print(
+            f"repro lint: {len(report.diagnostics)} problem(s) "
+            f"[{', '.join(report.rules_run)}{waived}]"
+        )
+        return 1
+    print(f"repro lint: clean [{', '.join(report.rules_run)}{waived}]")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -774,6 +828,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_list(args)
 
 

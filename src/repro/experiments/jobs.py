@@ -85,6 +85,12 @@ class SimulationJob:
     batch: str = "auto"
     kernel: str = "auto"
 
+    #: Execution-detail fields deliberately left out of :meth:`to_dict` /
+    #: :meth:`key` — results are bit-identical for every value.  Checked
+    #: by ``repro lint`` rule R1: a new field must either feed the key or
+    #: be listed here on purpose.
+    KEY_EXCLUDED = ("batch", "kernel")
+
     def __post_init__(self) -> None:
         if self.batch not in BATCH_MODES:
             raise ValueError(
@@ -162,6 +168,10 @@ class MixSimulationJob:
     epoch_instructions: int = 0
     prefetcher_params: Tuple[Tuple[str, object], ...] = ()
     workers: int = 1
+
+    #: Execution-detail fields deliberately left out of the job key (see
+    #: :attr:`SimulationJob.KEY_EXCLUDED`); checked by ``repro lint`` R1.
+    KEY_EXCLUDED = ("workers",)
 
     def __post_init__(self) -> None:
         if not self.specs:

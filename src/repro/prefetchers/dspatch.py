@@ -30,7 +30,7 @@ from repro.prefetchers.tables import LRUTable
 from repro.sim.types import AccessResult, PrefetchHint, PrefetchRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class _SignatureEntry:
     """Per-PC dual pattern state."""
 

@@ -23,7 +23,7 @@ from repro.sim.types import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class _IPEntry:
     last_block: int
     stride: int = 0

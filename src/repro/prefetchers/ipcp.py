@@ -33,7 +33,7 @@ from repro.sim.types import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class _IPEntry:
     """Per-IP tracking state."""
 
@@ -44,7 +44,7 @@ class _IPEntry:
     stream_valid: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _RegionStreamEntry:
     """Region-level dense-stream detector entry."""
 

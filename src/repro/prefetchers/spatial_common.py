@@ -122,6 +122,17 @@ class AccumulationEntry:
 class RegionTracker:
     """FT + AT front end shared by spatial prefetchers."""
 
+    __slots__ = (
+        "region_size",
+        "blocks_per_region",
+        "geometry",
+        "filter_table",
+        "accumulation_table",
+        "_split",
+        "_at_entries",
+        "_ft_entries",
+    )
+
     def __init__(
         self,
         region_size: int = 4096,

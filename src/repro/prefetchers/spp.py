@@ -32,7 +32,7 @@ from repro.sim.types import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class _SignatureEntry:
     """Per-page state in the signature table."""
 
@@ -40,7 +40,7 @@ class _SignatureEntry:
     last_offset: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class _PatternEntry:
     """Candidate deltas (with confidence) for one signature."""
 

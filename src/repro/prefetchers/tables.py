@@ -174,6 +174,8 @@ class SetAssociativeTable(Generic[V]):
 class SaturatingCounter:
     """A small saturating up/down counter (hardware confidence counter)."""
 
+    __slots__ = ("bits", "max_value", "value")
+
     def __init__(self, bits: int = 2, initial: int = 0) -> None:
         if bits <= 0:
             raise ValueError("counter width must be positive")

@@ -148,7 +148,7 @@ class GHBMarkovPrefetcher(Prefetcher):
         self.index.clear()
 
 
-@dataclass
+@dataclass(slots=True)
 class _TrainingEntry:
     """Per-PC training-unit state (Triangel's Training Unit)."""
 

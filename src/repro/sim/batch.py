@@ -42,6 +42,7 @@ KIND_LOAD = 0
 KIND_STORE = 1
 KIND_OTHER = 2
 
+# Init-once decode lookup table, never mutated.  # repro-lint: waive R3
 _KIND_TO_TYPE = {
     KIND_LOAD: AccessType.LOAD,
     KIND_STORE: AccessType.STORE,

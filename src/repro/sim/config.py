@@ -17,7 +17,7 @@ from typing import Dict, Optional
 from repro.hashing import content_hash
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoreConfig:
     """Parameters of the analytic out-of-order core model."""
 
@@ -42,7 +42,7 @@ class CoreConfig:
             raise ValueError("max_outstanding_misses must be positive")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheConfig:
     """Geometry and timing of one cache level."""
 
@@ -76,7 +76,7 @@ class CacheConfig:
         return self.size_bytes // self.block_size
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DRAMConfig:
     """Main-memory timing/bandwidth model parameters.
 
@@ -131,7 +131,7 @@ class DRAMConfig:
         return self.channels * self.ranks_per_channel * self.banks_per_rank
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SystemConfig:
     """Complete configuration of a simulated system."""
 

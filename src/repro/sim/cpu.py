@@ -27,7 +27,7 @@ from typing import Deque, List, Tuple
 from repro.sim.config import CoreConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreSnapshot:
     """Read-only view of the core model's progress."""
 

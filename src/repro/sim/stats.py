@@ -179,7 +179,7 @@ class SimulationStats:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class MultiCoreStats:
     """Result of a multi-core simulation: one :class:`SimulationStats` per core."""
 

@@ -298,6 +298,54 @@ class TestTierRecording:
 
 
 # --------------------------------------------------------------------------- #
+# Debug-assertion builds (REPRO_DEBUG_KERNELS=1)
+# --------------------------------------------------------------------------- #
+class TestDebugKernels:
+    """The invariant-assertion tier of the extension.
+
+    These tests run against whichever build is loaded: release builds
+    export ``DEBUG_KERNELS == 0`` and skip the sweep entirely, debug
+    builds run it at every Python boundary crossing.  The full
+    equivalence suite above doubles as the bit-identity proof — the
+    assertions are read-only, so a debug build must produce the exact
+    statistics the release build (and the Python oracle) produce.
+    """
+
+    @requires_driver
+    def test_debug_flag_exported(self):
+        from repro import _kernels
+
+        assert _kernels.DEBUG_KERNELS in (0, 1)
+
+    @requires_driver
+    def test_boundary_sweep_passes_on_real_runs(self):
+        # Attach, chunked run, detach: every DRV_CHECK call site fires on
+        # a debug build and must stay silent on healthy state.
+        for name in DRIVER_PREFETCHERS:
+            stats = _run(_trace(length=900), name, "compiled", record_tier=True)
+            assert stats.extra["kernel_tier"] == "compiled-driver"
+
+    @requires_driver
+    def test_debug_build_rejects_corrupt_core_state(self):
+        # The outstanding ring must be issue-position sorted; loading an
+        # out-of-order ring is the one corruption reachable from Python
+        # without poking C memory.  Release builds accept it silently
+        # (the sweep is compiled out), debug builds refuse loudly.
+        from repro import _kernels
+        from repro.sim.driver import CompiledDriver
+
+        sim = SingleCoreSimulator(kernel="compiled")
+        driver, reason = CompiledDriver.try_attach(sim)
+        assert driver is not None, reason
+        unsorted_ring = [(10, 1.0), (5, 2.0)]
+        if _kernels.DEBUG_KERNELS:
+            with pytest.raises(AssertionError, match="not monotonic"):
+                driver._kernel.load_core(0, 0.0, 0.0, 0.0, unsorted_ring, [])
+        else:
+            driver._kernel.load_core(0, 0.0, 0.0, 0.0, unsorted_ring, [])
+
+
+# --------------------------------------------------------------------------- #
 # PMP / Triangel train twins
 # --------------------------------------------------------------------------- #
 def _pmp_pair_and_blocks():
