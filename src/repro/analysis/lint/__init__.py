@@ -1,4 +1,4 @@
-"""``repro lint``: repo-specific invariant lint (rules R1-R5).
+"""``repro lint``: repo-specific invariant lint (rules R1-R6).
 
 The rules encode cross-cutting invariants that ordinary linters cannot
 see because they span files, languages and runtime registries:
@@ -18,6 +18,9 @@ rule ID   invariant
           by the golden grid (``tests/goldens/spatial-s3.json``)
 ``R5``    decline reasons: every decline return in ``sim/driver.py``
           carries a non-empty reason string
+``R6``    no silent failure in ``experiments/``: every exception
+          handler re-raises, returns/records a structured failure,
+          or carries an explicit waiver with a reason
 ========  ==========================================================
 
 Any diagnostic can be silenced with an inline waiver comment on the

@@ -83,6 +83,7 @@ def _load_rules() -> Dict[str, Rule]:
         rule_keys,
         rule_reasons,
         rule_registry,
+        rule_silent,
         rule_twins,
     )
 
@@ -97,6 +98,8 @@ def _load_rules() -> Dict[str, Rule]:
              rule_registry.check),
         Rule("R5", "non-empty decline reasons in sim/driver.py",
              rule_reasons.check),
+        Rule("R6", "no bare/silent except handlers in experiments/",
+             rule_silent.check),
     )
     return {rule.rule_id: rule for rule in rules}
 

@@ -1,0 +1,93 @@
+"""R6 — no bare/silent ``except`` handlers in ``experiments/``.
+
+The fault-tolerance layer's whole claim is that nothing fails *silently*:
+a job that cannot complete becomes a structured
+:class:`~repro.experiments.executors.JobFailure`, a corrupt cache entry
+is quarantined and counted, a transient I/O error is retried or recorded.
+A handler that swallows an exception without re-raising, returning a
+failure, or at least recording what happened punches a hole in that
+claim — the classic way a "fault-tolerant" system degrades into a
+wrong-answers-quietly system.
+
+Statically, a handler is flagged when either:
+
+* it is a **bare** ``except:`` (or ``except BaseException``) containing
+  no ``raise`` anywhere — it intercepts ``KeyboardInterrupt`` and
+  ``SystemExit`` and drops them; or
+* its body is **trivially silent**: nothing but ``pass``, ``continue``,
+  ``break``, ``...`` or docstring-style constant expressions — the
+  exception vanishes without a trace.
+
+Handlers that re-raise, return/record something, or call into real logic
+pass.  Intentional swallows (best-effort cleanup where the exception
+really is meaningless) must carry an inline
+``repro-lint: waive R6 — <reason>`` on the ``except`` line or the line
+above, so the intent is reviewable instead of implicit.
+
+Scope: ``src/repro/experiments/`` only — that is where the
+fault-tolerance contract lives.  The simulator and workload layers
+predate it and raise through naturally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.engine import LintContext
+
+_EXPERIMENTS_DIR = "src/repro/experiments"
+
+
+def _is_bare(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:`` or the equivalent ``except BaseException``."""
+    if handler.type is None:
+        return True
+    return isinstance(handler.type, ast.Name) and handler.type.id == "BaseException"
+
+
+def _has_raise(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _is_trivially_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the body cannot possibly act on the exception."""
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+def check(context: LintContext) -> List[Diagnostic]:
+    """Run R6 over every exception handler under ``experiments/``."""
+    diagnostics: List[Diagnostic] = []
+    for rel in context.py_files(_EXPERIMENTS_DIR):
+        for node in ast.walk(context.tree(rel)):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_bare(node) and not _has_raise(node):
+                diagnostics.append(
+                    Diagnostic(
+                        "R6", rel, node.lineno,
+                        "bare except without a re-raise swallows "
+                        "KeyboardInterrupt/SystemExit too — catch a "
+                        "concrete exception type, or re-raise (waive with "
+                        "a reason if the swallow is truly intended)",
+                    )
+                )
+                continue
+            if _is_trivially_silent(node) and not _has_raise(node):
+                diagnostics.append(
+                    Diagnostic(
+                        "R6", rel, node.lineno,
+                        "silent exception handler (body is only "
+                        "pass/continue/break): re-raise, return a "
+                        "JobFailure, or record the failure — or waive "
+                        "with a reason if discarding it is intended",
+                    )
+                )
+    return diagnostics

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.experiments import figures, sweeps, tables
 from repro.experiments.cache import ResultCache
 from repro.experiments.engine import ExperimentEngine, build_engine
+from repro.experiments.executors import BatchExecutionError
 from repro.experiments.reporting import render_result
 from repro.experiments.runner import ExperimentRunner, RunScale
 from repro.prefetchers.registry import available_prefetchers, is_registered
@@ -153,9 +154,28 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable the persistent result cache")
     run.add_argument("--precision", type=int, default=3,
                      help="decimal places in printed tables")
+    run.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="total attempts per job before it is reported as "
+                          "a failure (default 3; crashes, hangs and "
+                          "transient errors each cost one attempt)")
+    run.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                     help="per-job wall-clock bound in seconds under "
+                          "--jobs N: a hung worker is terminated and the "
+                          "job retried (default: no timeout)")
+    run.add_argument("--strict", action="store_true",
+                     help="abort with an error when any job exhausts its "
+                          "retries (default: render the partial grid with "
+                          "failed cells marked nan and print a failure "
+                          "report)")
+    run.add_argument("--faults", default=None, metavar="PLAN",
+                     help="fault-injection plan spec for chaos testing, "
+                          "e.g. 'seed=1;worker.crash:rate=0.3' "
+                          "(default: $REPRO_FAULT_PLAN; 'off' disables)")
 
-    cache = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache.add_argument("action", choices=("info", "clear"))
+    cache = sub.add_parser(
+        "cache", help="inspect, verify or clear the result cache"
+    )
+    cache.add_argument("action", choices=("info", "clear", "verify"))
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory (default .repro-cache)")
 
@@ -281,12 +301,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the repo invariant lint (rules R1-R5)",
+        help="run the repo invariant lint (rules R1-R6)",
         description=(
             "Static analysis of repo-specific invariants: job-key "
             "completeness (R1), C/Python twin-constant drift (R2), "
-            "hot-path hygiene (R3), golden-grid registry coverage (R4) "
-            "and compiled-driver decline reasons (R5).  Exits non-zero "
+            "hot-path hygiene (R3), golden-grid registry coverage (R4), "
+            "compiled-driver decline reasons (R5) and no silent "
+            "exception handlers in experiments/ (R6).  Exits non-zero "
             "when any unwaived diagnostic is found."
         ),
     )
@@ -345,6 +366,27 @@ def _print_engine_summary(engine: ExperimentEngine, elapsed: float) -> None:
         f"{counters['memo_hits']} memo hits in {elapsed:.1f}s "
         f"(cache: {cache_root})"
     )
+    recovery = {
+        key: counters[key]
+        for key in ("retries", "crashes", "timeouts", "cache_quarantined")
+        if counters[key]
+    }
+    if recovery:
+        detail = ", ".join(f"{value} {key}" for key, value in recovery.items())
+        print(f"# fault recovery: {detail}")
+
+
+def _print_failure_report(engine: ExperimentEngine) -> None:
+    """Structured report of every cell that exhausted its retries."""
+    if not engine.job_failures:
+        return
+    print(
+        f"# {len(engine.job_failures)} job(s) failed after retries "
+        "(cells marked nan):",
+        file=sys.stderr,
+    )
+    for failure in engine.job_failures:
+        print(f"#   {failure} [key {failure.key[:16]}…]", file=sys.stderr)
 
 
 def _file_trace_specs(paths: List[str]) -> List[TraceSpec]:
@@ -361,6 +403,16 @@ def _file_trace_specs(paths: List[str]) -> List[TraceSpec]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        return _cmd_run_inner(args)
+    except BatchExecutionError as exc:
+        # --strict: a job exhausted its retries; the structured failures
+        # are the error message.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_run_inner(args: argparse.Namespace) -> int:
     if args.trace_file and (args.figure or args.table or args.sweep):
         target = args.figure or args.table or f"sweep {args.sweep}"
         print(
@@ -377,10 +429,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
+    if args.retries is not None and args.retries < 1:
+        print("error: --retries must be >= 1", file=sys.stderr)
+        return 2
     engine = build_engine(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=False if args.no_cache else None,
+        retries=args.retries,
+        job_timeout=args.job_timeout,
+        faults=args.faults,
+        strict=args.strict,
     )
     scale = _make_scale(args)
     if file_specs and args.trace_length is None:
@@ -505,6 +564,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(render_result(result, precision=args.precision))
     if engine_used:
         _print_engine_summary(engine, elapsed)
+        _print_failure_report(engine)
     return 0
 
 
@@ -621,8 +681,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "info":
         info = cache.info()
-        for key in ("root", "entries", "bytes", "schema"):
+        for key in ("root", "entries", "bytes", "quarantine_entries",
+                    "quarantine_bytes", "tmp_files", "schema"):
             print(f"{key}: {info[key]}")
+    elif args.action == "verify":
+        report = cache.verify()
+        for key in ("scanned", "ok", "legacy", "quarantined", "tmp_removed"):
+            print(f"{key}: {report[key]}")
+        if report["quarantined"]:
+            print(
+                f"# {report['quarantined']} corrupt entr(ies) moved to "
+                f"{cache.quarantine_root}; they will re-simulate as misses"
+            )
     else:
         removed = cache.clear()
         print(f"removed {removed} cached results from {cache.root}")

@@ -4,9 +4,14 @@
   content-hashed description of one simulation; use ``job.key()`` for
   dict/set keys) and the pure ``execute_job`` worker.
 * :mod:`repro.experiments.executors` -- serial and process-pool execution
-  strategies with bit-identical results.
-* :mod:`repro.experiments.cache` -- persistent on-disk result cache keyed
-  by job content hash (``.repro-cache/``).
+  strategies with bit-identical results, per-job retry/timeout and
+  structured :class:`JobFailure` slots for jobs that exhaust retries.
+* :mod:`repro.experiments.cache` -- persistent, crash-safe on-disk result
+  cache keyed by job content hash (``.repro-cache/``): atomic publish,
+  checksummed entries, corrupt-entry quarantine.
+* :mod:`repro.experiments.faults` -- seeded deterministic fault injection
+  (:class:`FaultPlan`, ``REPRO_FAULT_PLAN``) for chaos-testing the
+  engine/cache/executor stack.
 * :mod:`repro.experiments.engine` -- cache-aware, deduplicating dispatch.
 * :mod:`repro.experiments.runner` -- the figure-facing façade: runs
   (trace, prefetcher, system-config) grids through the engine.
@@ -28,7 +33,16 @@ fidelity for runtime; the default scale is sized for a laptop-class run.
 from repro.experiments.bench import compare_bench, run_bench, write_bench_file
 from repro.experiments.cache import ResultCache
 from repro.experiments.engine import ExperimentEngine, build_engine
-from repro.experiments.executors import ParallelExecutor, SerialExecutor, make_executor
+from repro.experiments.executors import (
+    BatchExecutionError,
+    BatchOutcome,
+    JobFailure,
+    ParallelExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    make_executor,
+)
+from repro.experiments.faults import FaultPlan, FaultRule, resolve_fault_plan
 from repro.experiments.jobs import SimulationJob, execute_job
 from repro.experiments.runner import ExperimentRunner, RunResult, RunScale
 from repro.experiments.metrics import (
@@ -40,10 +54,16 @@ from repro.experiments.metrics import (
 from repro.experiments.reporting import format_rows, print_rows
 
 __all__ = [
+    "BatchExecutionError",
+    "BatchOutcome",
     "ExperimentEngine",
     "ExperimentRunner",
+    "FaultPlan",
+    "FaultRule",
+    "JobFailure",
     "ParallelExecutor",
     "ResultCache",
+    "RetryPolicy",
     "RunResult",
     "RunScale",
     "SerialExecutor",
@@ -57,6 +77,7 @@ __all__ = [
     "make_executor",
     "normalize_to_baseline",
     "print_rows",
+    "resolve_fault_plan",
     "run_bench",
     "summarize_runs",
     "write_bench_file",

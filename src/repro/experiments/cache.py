@@ -1,4 +1,4 @@
-"""Persistent on-disk cache of simulation results.
+"""Persistent, crash-safe on-disk cache of simulation results.
 
 Entries are JSON files keyed by the job's content hash (see
 :meth:`repro.experiments.jobs.SimulationJob.key`), sharded into
@@ -7,9 +7,33 @@ two-character prefix directories.  Values round-trip through
 counter exactly (Python's JSON encoder round-trips ints and floats
 bit-exactly), so a cache hit is indistinguishable from a fresh simulation.
 
+Crash safety and integrity — groundwork for the shared multi-machine
+store on the ROADMAP:
+
+* **Atomic publish.**  An entry is written to a same-directory temp file,
+  flushed and fsync'd, then ``os.replace``'d into place; readers can
+  never observe a half-written entry produced by *this* writer, no matter
+  where a crash lands.
+* **Checksummed envelope.**  The payload carries a sha256 over its own
+  canonical encoding, so torn writes by non-atomic writers, bit flips and
+  truncation are *detected* on read rather than deserialized into wrong
+  numbers.  Entries from older repo versions (no checksum) are still
+  accepted.
+* **Quarantine, not deletion.**  A corrupt entry is moved to
+  ``<root>/quarantine/`` and treated as a miss — the run re-simulates and
+  republishes, while the damaged bytes stay available for post-mortem
+  (``repro cache verify`` / ``repro cache info`` report them).
+* **Concurrent-writer safety.**  The payload bytes are a pure function of
+  ``(key, stats)`` via canonical JSON, and the stats themselves are a
+  pure function of the key's content — two racing writers publish
+  bit-identical files, so last-write-wins is indistinguishable from
+  first-write-wins.
+
 The default location is ``.repro-cache/`` in the current directory and can
 be redirected with the ``REPRO_CACHE_DIR`` environment variable or disabled
-entirely with ``REPRO_CACHE=0``.
+entirely with ``REPRO_CACHE=0``.  A :class:`~repro.experiments.faults.FaultPlan`
+(``faults=`` knob / ``REPRO_FAULT_PLAN``) can inject transient I/O errors
+and post-publish corruption at the named sites for chaos testing.
 """
 
 from __future__ import annotations
@@ -20,7 +44,9 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.experiments.faults import FaultsArg, corrupt_payload, resolve_fault_plan
 from repro.experiments.jobs import ENGINE_SCHEMA_VERSION, JobResult
+from repro.hashing import canonical_json, content_hash
 from repro.sim.stats import MultiCoreStats, SimulationStats
 
 #: Environment variable overriding the default cache directory.
@@ -29,6 +55,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_ENABLE_ENV = "REPRO_CACHE"
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory of the cache root holding quarantined (corrupt) entries.
+QUARANTINE_DIR = "quarantine"
 
 
 def cache_enabled_by_default() -> bool:
@@ -41,120 +70,326 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
 
 
+class CorruptEntry(ValueError):
+    """A cache entry whose bytes fail structural or checksum validation."""
+
+
+def encode_entry(key: str, stats: JobResult) -> bytes:
+    """The exact bytes published for ``(key, stats)``.
+
+    Canonical JSON of a self-checksummed envelope.  Determinism here is a
+    correctness property, not a nicety: two concurrent writers for the
+    same content key produce *identical* bytes, which is what makes the
+    cache safe to share between racing processes (and, later, machines)
+    without locking.
+    """
+    body = {
+        "schema": ENGINE_SCHEMA_VERSION,
+        "key": key,
+        "kind": "mix" if isinstance(stats, MultiCoreStats) else "single",
+        "stats": stats.to_dict(),
+    }
+    envelope = dict(body)
+    envelope["sha256"] = content_hash(body)
+    return canonical_json(envelope).encode("utf-8")
+
+
+def decode_entry(data: bytes, key: Optional[str] = None) -> JobResult:
+    """Validate and deserialize entry bytes; raise :class:`CorruptEntry`.
+
+    Validation layers, cheapest first: JSON well-formedness, envelope
+    shape, key match (when the expected key is known), then the sha256
+    checksum over the re-canonicalized body.  Pre-checksum entries
+    (``sha256`` absent) from older repo versions are accepted on their
+    structural checks alone.
+    """
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise CorruptEntry(f"undecodable entry: {error}") from error
+    if not isinstance(payload, dict) or "stats" not in payload:
+        raise CorruptEntry("entry is not a result envelope")
+    if key is not None and payload.get("key") not in (None, key):
+        raise CorruptEntry(
+            f"entry key mismatch: expected {key}, found {payload.get('key')}"
+        )
+    checksum = payload.get("sha256")
+    if checksum is not None:
+        body = {k: v for k, v in payload.items() if k != "sha256"}
+        if content_hash(body) != checksum:
+            raise CorruptEntry("checksum mismatch")
+    try:
+        if payload.get("kind", "single") == "mix":
+            return MultiCoreStats.from_dict(payload["stats"])
+        return SimulationStats.from_dict(payload["stats"])
+    except (ValueError, KeyError, TypeError) as error:
+        raise CorruptEntry(f"stats payload does not deserialize: {error}") from error
+
+
 class ResultCache:
     """Content-addressed store of :class:`SimulationStats` keyed by job hash."""
 
-    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        faults: FaultsArg = "off",
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.faults = resolve_fault_plan(faults)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
+        self.store_errors = 0
 
     # ------------------------------------------------------------------ #
     def path_for(self, key: str) -> Path:
         """File path storing the entry for ``key``."""
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_root(self) -> Path:
+        """Directory receiving corrupt entries."""
+        return self.root / QUARANTINE_DIR
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (never delete evidence)."""
+        target = self.quarantine_root / path.name
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = self.quarantine_root / f"{path.stem}.{suffix}{path.suffix}"
+            os.replace(path, target)
+        except OSError:
+            # Quarantine is best-effort forensics; if the move itself fails
+            # (read-only fs, races), fall back to unlinking so the corrupt
+            # bytes cannot poison the next read.
+            try:
+                path.unlink()
+            except OSError:  # repro-lint: waive R6 — entry already gone or fs read-only; miss either way
+                pass
+        self.quarantined += 1
+
     def get(self, key: str) -> Optional[JobResult]:
         """Load the cached result for ``key``, or ``None`` on a miss.
 
         Entries are kind-tagged: single-core jobs round-trip through
         :class:`SimulationStats`, multi-core mix jobs through
-        :class:`MultiCoreStats`.  Corrupt or unreadable entries are treated
-        as misses and removed so a damaged cache heals itself instead of
-        failing every run.
+        :class:`MultiCoreStats`.  Corrupt entries are quarantined and
+        treated as misses so a damaged cache heals itself instead of
+        failing every run; transient read errors are plain misses.
         """
         path = self.path_for(key)
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            if payload.get("kind", "single") == "mix":
-                stats = MultiCoreStats.from_dict(payload["stats"])
-            else:
-                stats = SimulationStats.from_dict(payload["stats"])
+            if self.faults is not None:
+                self.faults.maybe_os_error("cache.get.eio", key)
+            data = path.read_bytes()
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except OSError:
+            # Transient read failure: miss, re-simulate; nothing on disk is
+            # known-bad, so no quarantine.
+            self.misses += 1
+            return None
+        try:
+            stats = decode_entry(data, key=key)
+        except CorruptEntry:
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return stats
 
     def put(self, key: str, stats: JobResult) -> None:
-        """Store ``stats`` under ``key`` (atomic write, best effort)."""
+        """Store ``stats`` under ``key`` (atomic publish, best effort).
+
+        Write-to-temp + flush + fsync + ``os.replace`` guarantees readers
+        see either the complete entry or nothing.  I/O errors degrade to a
+        no-op cache (counted in ``store_errors``) rather than failing the
+        run that produced the result.
+        """
         path = self.path_for(key)
-        payload = {
-            "schema": ENGINE_SCHEMA_VERSION,
-            "key": key,
-            "kind": "mix" if isinstance(stats, MultiCoreStats) else "single",
-            "stats": stats.to_dict(),
-        }
+        data = encode_entry(key, stats)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+            if self.faults is not None:
+                self.faults.maybe_os_error("cache.put.eio", key)
+                self.faults.maybe_os_error("cache.put.enospc", key)
             fd, tmp_name = tempfile.mkstemp(
                 dir=str(path.parent), prefix=".tmp-", suffix=".json"
             )
             try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle)
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp_name, path)
             except BaseException:
                 try:
                     os.unlink(tmp_name)
-                except OSError:
+                except OSError:  # repro-lint: waive R6 — temp already renamed or gone; original error re-raised below
                     pass
                 raise
+            self._fsync_dir(path.parent)
         except OSError:
             # A read-only or full filesystem degrades to a no-op cache.
+            self.store_errors += 1
             return
         self.stores += 1
+        self._inject_corruption(path, key)
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        """Best-effort fsync of the entry's directory (durable rename)."""
+        try:
+            fd = os.open(str(directory), os.O_RDONLY)
+        except OSError:  # repro-lint: waive R6 — platform without dir fds; rename is still atomic
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # repro-lint: waive R6 — some filesystems reject dir fsync; durability only weakens
+            pass
+        finally:
+            os.close(fd)
+
+    def _inject_corruption(self, path: Path, key: str) -> None:
+        """Chaos hook: damage the just-published entry when the plan says so.
+
+        Models a torn write by a non-atomic (legacy/foreign) writer or
+        media corruption — failure modes that atomic publish cannot rule
+        out on a *shared* store, which is exactly what quarantine-on-read
+        exists to absorb.
+        """
+        if self.faults is None:
+            return
+        for site, mode in (("cache.torn", "torn"), ("cache.bitflip", "bitflip")):
+            if self.faults.should_fire(site, key) is not None:
+                try:
+                    damaged = corrupt_payload(path.read_bytes(), mode, self.faults, key)
+                    path.write_bytes(damaged)
+                except OSError:  # repro-lint: waive R6 — injection is best-effort chaos, not a data path
+                    pass
+                return
 
     # ------------------------------------------------------------------ #
-    def clear(self) -> int:
-        """Delete every cache entry; returns the number of files removed."""
+    def _entry_files(self):
+        """Live entry files (excludes quarantine and orphaned temp files)."""
+        if not self.root.exists():
+            return
+        for entry in self.root.glob("*/*.json"):
+            if entry.parent.name == QUARANTINE_DIR:
+                continue
+            if entry.name.startswith(".tmp-"):
+                continue
+            yield entry
+
+    def sweep_tmp(self) -> int:
+        """Remove orphaned ``.tmp-*`` files (crashed/interrupted writers)."""
         removed = 0
         if not self.root.exists():
             return removed
-        for entry in sorted(self.root.glob("*/*.json")):
-            orphaned_tmp = entry.name.startswith(".tmp-")
+        for orphan in sorted(self.root.glob("*/.tmp-*")):
+            try:
+                orphan.unlink()
+                removed += 1
+            except OSError:  # repro-lint: waive R6 — another sweeper raced us; the orphan is gone either way
+                pass
+        return removed
+
+    def verify(self) -> Dict[str, int]:
+        """Scan every entry, quarantine corruption, sweep orphaned temps.
+
+        Returns a report of what was found; never raises on bad entries —
+        the whole point is that a damaged store degrades to misses.
+        """
+        scanned = ok = legacy = quarantined = 0
+        for entry in sorted(self._entry_files()):
+            scanned += 1
+            try:
+                data = entry.read_bytes()
+                payload = json.loads(data.decode("utf-8"))
+                is_legacy = isinstance(payload, dict) and "sha256" not in payload
+                decode_entry(data, key=entry.stem)
+            except (OSError, ValueError, KeyError, TypeError):
+                self._quarantine(entry)
+                quarantined += 1
+                continue
+            ok += 1
+            if is_legacy:
+                legacy += 1
+        return {
+            "scanned": scanned,
+            "ok": ok,
+            "legacy": legacy,
+            "quarantined": quarantined,
+            "tmp_removed": self.sweep_tmp(),
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number of files removed.
+
+        Quarantined corpses and orphaned temp files are removed too but
+        not counted — they were never live entries.
+        """
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in sorted(self.root.glob("*/*")):
+            is_entry = (
+                entry.suffix == ".json"
+                and not entry.name.startswith(".tmp-")
+                and entry.parent.name != QUARANTINE_DIR
+            )
             try:
                 entry.unlink()
-                if not orphaned_tmp:  # crash leftovers aren't cache entries
+                if is_entry:
                     removed += 1
-            except OSError:
+            except OSError:  # repro-lint: waive R6 — raced or read-only; clear() is best-effort
                 pass
         for shard in sorted(self.root.glob("*")):
             if shard.is_dir():
                 try:
                     shard.rmdir()
-                except OSError:
+                except OSError:  # repro-lint: waive R6 — non-empty (foreign files) or raced; harmless
                     pass
         return removed
 
     def info(self) -> Dict[str, object]:
-        """Summary of the on-disk state plus this process's hit counters."""
+        """Summary of the on-disk state plus this process's counters."""
         entries = 0
         total_bytes = 0
-        if self.root.exists():
-            for entry in self.root.glob("*/*.json"):
-                if entry.name.startswith(".tmp-"):
-                    continue  # orphan from a crashed put(), not an entry
-                entries += 1
+        tmp_files = 0
+        for entry in self._entry_files():
+            entries += 1
+            try:
+                total_bytes += entry.stat().st_size
+            except OSError:  # repro-lint: waive R6 — entry vanished mid-scan; size stays approximate
+                pass
+        quarantine_entries = 0
+        quarantine_bytes = 0
+        if self.quarantine_root.exists():
+            for corpse in self.quarantine_root.glob("*.json"):
+                quarantine_entries += 1
                 try:
-                    total_bytes += entry.stat().st_size
-                except OSError:
+                    quarantine_bytes += corpse.stat().st_size
+                except OSError:  # repro-lint: waive R6 — corpse vanished mid-scan; size stays approximate
                     pass
+        if self.root.exists():
+            tmp_files = sum(1 for _ in self.root.glob("*/.tmp-*"))
         return {
             "root": str(self.root),
             "entries": entries,
             "bytes": total_bytes,
+            "quarantine_entries": quarantine_entries,
+            "quarantine_bytes": quarantine_bytes,
+            "tmp_files": tmp_files,
             "schema": ENGINE_SCHEMA_VERSION,
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "quarantined": self.quarantined,
+            "store_errors": self.store_errors,
         }

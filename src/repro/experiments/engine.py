@@ -12,15 +12,39 @@ figures, sweeps) and the executors.  For every batch it:
 
 The returned list always lines up 1:1 with the submitted jobs, so callers
 are oblivious to which of the three tiers served each result.
+
+Partial failure.  The executors retry crashed/hung/erroring jobs; a job
+that exhausts its retries comes back as a structured
+:class:`~repro.experiments.executors.JobFailure` occupying its slot.
+Under ``strict=False`` (the default — figures should render the 63 cells
+that worked, not abort over the one that did not) failures are returned
+in-slot, never memoized and never cached, so a later batch retries them
+from scratch.  Under ``strict=True`` the batch raises
+:class:`~repro.experiments.executors.BatchExecutionError` after caching
+the successes.  The engine's counters record retries, worker crashes,
+timeouts and cache quarantines so chaos runs can prove exactly what they
+survived.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.experiments.cache import ResultCache, cache_enabled_by_default
-from repro.experiments.executors import Executor, SerialExecutor, make_executor
+from repro.experiments.executors import (
+    BatchExecutionError,
+    BatchOutcome,
+    Executor,
+    JobFailure,
+    RetryPolicy,
+    SerialExecutor,
+    make_executor,
+)
+from repro.experiments.faults import FaultsArg, resolve_fault_plan
 from repro.experiments.jobs import AnyJob, JobResult
+
+#: What one engine result slot holds under ``strict=False``.
+EngineResult = Union[JobResult, JobFailure]
 
 
 class ExperimentEngine:
@@ -32,23 +56,42 @@ class ExperimentEngine:
         executor: Optional[Executor] = None,
         cache: Optional[ResultCache] = None,
         salt: str = "",
+        strict: bool = False,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.salt = salt
+        self.strict = strict
         self._memo: Dict[str, JobResult] = {}
         #: Number of jobs actually simulated (executor dispatches).
         self.simulations_run = 0
         #: Number of jobs answered by the in-process memo (incl. duplicates).
         self.memo_hits = 0
+        #: Executor re-submissions beyond first attempts (fault recovery).
+        self.retries = 0
+        #: Worker-pool crash events survived.
+        self.crashes = 0
+        #: Hung jobs reclaimed by the per-job timeout.
+        self.timeouts = 0
+        #: Every failure slot ever returned (for reports; not memoized).
+        self.job_failures: List[JobFailure] = []
 
     # ------------------------------------------------------------------ #
-    def run_job(self, job: AnyJob) -> JobResult:
+    def run_job(self, job: AnyJob, strict: Optional[bool] = None) -> EngineResult:
         """Run a single job (convenience wrapper around :meth:`run_jobs`)."""
-        return self.run_jobs([job])[0]
+        return self.run_jobs([job], strict=strict)[0]
 
-    def run_jobs(self, jobs: Sequence[AnyJob]) -> List[JobResult]:
-        """Run a batch of jobs; result ``i`` corresponds to ``jobs[i]``."""
+    def run_jobs(
+        self, jobs: Sequence[AnyJob], strict: Optional[bool] = None
+    ) -> List[EngineResult]:
+        """Run a batch of jobs; result ``i`` corresponds to ``jobs[i]``.
+
+        ``strict=None`` defers to the engine-level default.  Failure slots
+        are batch-local: they are handed back (or raised, under strict)
+        but never enter the memo or the persistent cache, so re-running
+        the batch retries exactly the failed cells.
+        """
+        strict = self.strict if strict is None else strict
         jobs = list(jobs)
         keys = [job.key(self.salt) for job in jobs]
 
@@ -72,25 +115,61 @@ class ExperimentEngine:
             pending_jobs.append(job)
             pending_keys.append(key)
 
+        failed: Dict[str, JobFailure] = {}
         if pending_jobs:
-            results = self.executor.run(pending_jobs)
-            self.simulations_run += len(pending_jobs)
-            for key, stats in zip(pending_keys, results):
-                self._memo[key] = stats
+            try:
+                outcome = self._dispatch(pending_jobs)
+            except KeyboardInterrupt:
+                # An interrupted parallel batch may have left half-written
+                # temp files behind (the publish itself is atomic, the temp
+                # is the only debris); sweep before propagating.
                 if self.cache is not None:
-                    self.cache.put(key, stats)
+                    self.cache.sweep_tmp()
+                raise
+            self.simulations_run += len(pending_jobs)
+            self.retries += outcome.retries
+            self.crashes += outcome.crashes
+            self.timeouts += outcome.timeouts
+            for key, slot in zip(pending_keys, outcome.results):
+                if isinstance(slot, JobFailure):
+                    failed[key] = slot
+                    self.job_failures.append(slot)
+                    continue
+                self._memo[key] = slot
+                if self.cache is not None:
+                    self.cache.put(key, slot)
+            if strict and failed:
+                raise BatchExecutionError(list(failed.values()))
 
-        return [self._memo[key] for key in keys]
+        return [
+            self._memo[key] if key in self._memo else failed[key] for key in keys
+        ]
+
+    def _dispatch(self, pending_jobs: List[AnyJob]) -> BatchOutcome:
+        """Run the true misses through the executor's richest interface."""
+        run_detailed = getattr(self.executor, "run_detailed", None)
+        if run_detailed is not None:
+            return run_detailed(pending_jobs)
+        # Bare `run` contract (custom executor): failures surface as
+        # exceptions there, so a completed call means all slots are stats.
+        return BatchOutcome(results=list(self.executor.run(pending_jobs)))
 
     # ------------------------------------------------------------------ #
     def counters(self) -> Dict[str, int]:
-        """Hit/miss/simulation counters for reporting and tests."""
+        """Hit/miss/simulation/fault-recovery counters for reporting and tests."""
         counters = {
             "simulations_run": self.simulations_run,
             "memo_hits": self.memo_hits,
             "cache_hits": self.cache.hits if self.cache is not None else 0,
             "cache_misses": self.cache.misses if self.cache is not None else 0,
             "cache_stores": self.cache.stores if self.cache is not None else 0,
+            "cache_quarantined": (
+                self.cache.quarantined if self.cache is not None else 0
+            ),
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "job_failures": len(self.job_failures),
         }
         return counters
 
@@ -98,10 +177,16 @@ class ExperimentEngine:
         """Zero every counter (the memo itself is kept)."""
         self.simulations_run = 0
         self.memo_hits = 0
+        self.retries = 0
+        self.crashes = 0
+        self.timeouts = 0
+        self.job_failures = []
         if self.cache is not None:
             self.cache.hits = 0
             self.cache.misses = 0
             self.cache.stores = 0
+            self.cache.quarantined = 0
+            self.cache.store_errors = 0
 
 
 def build_engine(
@@ -109,13 +194,27 @@ def build_engine(
     cache_dir: Optional[str] = None,
     use_cache: Optional[bool] = None,
     salt: str = "",
+    retries: Optional[int] = None,
+    job_timeout: Optional[float] = None,
+    faults: FaultsArg = None,
+    strict: bool = False,
 ) -> ExperimentEngine:
     """Standard engine construction shared by the runner, sweeps and CLI.
 
     ``jobs=None``/``1`` selects serial execution; ``use_cache=None`` defers
     to the ``REPRO_CACHE`` environment variable (cache on by default).
+    ``retries`` is total attempts per job (``None`` = the
+    :class:`RetryPolicy` default), ``job_timeout`` the per-job wall-clock
+    bound in the pool path, and ``faults`` a chaos plan/spec (``None``
+    defers to ``REPRO_FAULT_PLAN``) applied to both the executor and the
+    cache.
     """
     if use_cache is None:
         use_cache = cache_enabled_by_default()
-    cache = ResultCache(cache_dir) if use_cache else None
-    return ExperimentEngine(executor=make_executor(jobs), cache=cache, salt=salt)
+    plan = resolve_fault_plan(faults)
+    cache = ResultCache(cache_dir, faults=plan if plan is not None else "off") if use_cache else None
+    retry = RetryPolicy(max_attempts=retries) if retries is not None else None
+    executor = make_executor(
+        jobs, retry=retry, job_timeout=job_timeout, faults=plan if plan is not None else "off"
+    )
+    return ExperimentEngine(executor=executor, cache=cache, salt=salt, strict=strict)

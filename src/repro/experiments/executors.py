@@ -10,6 +10,28 @@ the serial one — only wall-clock time differs.  Mix jobs are sharded
 across workers exactly like single-core jobs: one worker process runs one
 whole mix (fig. 14 runs its 2-core and 4-core mixes concurrently under
 ``--jobs``).
+
+Fault tolerance.  A ``kill -9``'d, hung, or transiently failing worker
+must cost one retry, not the whole figure batch — that is the contract
+the ROADMAP's simulation-as-a-service arc builds on.  Both executors
+implement :meth:`run_detailed`, which drives each job through a bounded
+:class:`RetryPolicy` (exponential backoff, deterministic jitter) and a
+per-job timeout, and returns a :class:`BatchOutcome` in which every slot
+is either the job's stats or a structured :class:`JobFailure` (job key,
+attempts, reason, traceback).  Nothing is ever silently dropped: a
+failure slot is data the engine/runner can render as a failed cell.  The
+strict :meth:`run` contract (raise on any failure) is preserved on top of
+it.  Because retried jobs are pure, a batch that survives injected chaos
+is *bit-identical* to a fault-free run — the property
+``tests/test_faults.py`` pins.
+
+The process-pool path recovers from :class:`BrokenProcessPool` (a worker
+hard-exit poisons every in-flight future of that pool) by rebuilding the
+pool and resubmitting only the unfinished jobs, and reclaims hung workers
+by terminating the pool when a running job exceeds ``job_timeout``.
+``KeyboardInterrupt`` and other ``BaseException``s terminate and join all
+worker processes before propagating — an interrupted ``--jobs N`` batch
+leaves no orphaned workers behind.
 """
 
 from __future__ import annotations
@@ -17,10 +39,195 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Protocol, Sequence
+import time
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Union
 
-from repro.experiments.jobs import AnyJob, JobResult, execute_job
+from repro.experiments.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultsArg,
+    resolve_fault_plan,
+)
+from repro.experiments.jobs import AnyJob, JobResult, MixSimulationJob, execute_job
+
+#: How long the harvest loop waits for a completion before rescanning for
+#: per-job timeouts (and injected interrupts).
+_POLL_SECONDS = 0.05
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``max_attempts`` counts total tries (1 = never retry).  The jitter is
+    a hash of ``(token, attempt)`` rather than an RNG draw so two runs of
+    the same batch back off identically — wall-clock behaviour is part of
+    what chaos tests replay.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, token: str, attempt: int) -> float:
+        """Seconds to wait before attempt ``attempt + 1`` (attempt >= 1)."""
+        base = min(
+            self.backoff_max_s,
+            self.backoff_s * self.backoff_factor ** (attempt - 1),
+        )
+        if not self.jitter or base <= 0:
+            return base
+        # Deterministic jitter in [1 - jitter, 1]: derived from the same
+        # hash family the fault plan uses, keyed by (token, attempt).
+        fraction = FaultPlan(seed=0).fraction("retry.jitter", f"{token}|{attempt}")
+        return base * (1.0 - self.jitter * fraction)
+
+
+@dataclass(frozen=True, slots=True)
+class JobFailure:
+    """A job that exhausted its retries — structured, renderable evidence.
+
+    Occupies the job's slot in batch results so orderings and grid shapes
+    survive partial failure.  ``key`` is the job's unsalted content key,
+    ``reason`` one of ``"error"`` / ``"crash"`` / ``"timeout"``,
+    ``traceback`` the formatted worker-side traceback when one exists
+    (crashed workers leave none).
+    """
+
+    key: str
+    name: str
+    attempts: int
+    reason: str
+    error: str = ""
+    traceback: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form for reports and CLI output."""
+        return {
+            "key": self.key,
+            "name": self.name,
+            "attempts": self.attempts,
+            "reason": self.reason,
+            "error": self.error,
+            "traceback": self.traceback,
+        }
+
+    def __str__(self) -> str:
+        detail = f": {self.error}" if self.error else ""
+        return (
+            f"{self.name} failed after {self.attempts} attempt(s) "
+            f"[{self.reason}]{detail}"
+        )
+
+
+#: What one slot of a detailed batch holds.
+SlotResult = Union[JobResult, JobFailure]
+
+
+@dataclass(slots=True)
+class BatchOutcome:
+    """Everything a batch execution produced, failures included.
+
+    ``results`` aligns 1:1 with the submitted jobs; ``retries`` counts
+    re-submissions beyond each job's first attempt, ``crashes`` broken-pool
+    events, ``timeouts`` reclaimed hung jobs.
+    """
+
+    results: List[SlotResult] = field(default_factory=list)
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+
+    @property
+    def failures(self) -> List[JobFailure]:
+        """The slots that exhausted their retries, in submission order."""
+        return [slot for slot in self.results if isinstance(slot, JobFailure)]
+
+    @property
+    def ok(self) -> bool:
+        """True when every job produced stats."""
+        return not self.failures
+
+
+class BatchExecutionError(RuntimeError):
+    """Raised under ``strict=True`` when any job exhausted its retries."""
+
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} job(s) failed after retries:"]
+        lines.extend(f"  - {failure}" for failure in self.failures)
+        super().__init__("\n".join(lines))
+
+
+def job_name(job: AnyJob) -> str:
+    """Short human-readable identity for reports and failure slots."""
+    if isinstance(job, MixSimulationJob):
+        return job.name
+    return f"{job.spec.name}/{job.prefetcher or 'none'}"
+
+
+# --------------------------------------------------------------------------- #
+# Pool worker
+# --------------------------------------------------------------------------- #
+# The fault plan crosses the process boundary as its spec string (plans are
+# mutable and carry per-process counters, so shipping the object would be
+# misleading); each worker parses it once and caches the result.
+_WORKER_PLAN_SPEC: Optional[str] = None
+_WORKER_PLAN: Optional[FaultPlan] = None
+
+
+def _worker_plan(plan_spec: Optional[str]) -> Optional[FaultPlan]:
+    global _WORKER_PLAN_SPEC, _WORKER_PLAN
+    if plan_spec != _WORKER_PLAN_SPEC:
+        _WORKER_PLAN_SPEC = plan_spec
+        _WORKER_PLAN = FaultPlan.from_spec(plan_spec) if plan_spec else None
+    return _WORKER_PLAN
+
+
+def _apply_worker_faults(
+    plan: Optional[FaultPlan], token: str, attempt: int, in_pool_worker: bool
+) -> None:
+    """Fire armed worker-side faults for this (job, attempt).
+
+    Crash and hang only ever fire inside pool worker processes — injecting
+    them in-process would kill or stall the caller itself, which is not
+    the failure mode under test.
+    """
+    if plan is None:
+        return
+    if in_pool_worker:
+        if plan.should_fire("worker.crash", token, attempt) is not None:
+            from repro.experiments.faults import CRASH_EXIT_CODE
+
+            os._exit(CRASH_EXIT_CODE)
+        rule = plan.should_fire("worker.hang", token, attempt)
+        if rule is not None:
+            time.sleep(rule.seconds)
+    if plan.should_fire("worker.error", token, attempt) is not None:
+        raise FaultInjected(f"injected worker.error for {token} (attempt {attempt})")
+
+
+def _pool_worker(job: AnyJob, attempt: int, plan_spec: Optional[str]) -> JobResult:
+    """Top-level pool target: apply armed faults, then run the pure job."""
+    plan = _worker_plan(plan_spec)
+    _apply_worker_faults(plan, job.key(), attempt, in_pool_worker=True)
+    return execute_job(job)
 
 
 class Executor(Protocol):
@@ -30,31 +237,100 @@ class Executor(Protocol):
         """Execute ``jobs`` and return their stats, order preserved."""
         ...
 
+    def run_detailed(self, jobs: Sequence[AnyJob]) -> BatchOutcome:
+        """Execute ``jobs`` with retries; failures become result slots."""
+        ...
+
 
 class SerialExecutor:
     """Runs every job in-process, one after another."""
 
     jobs = 1
 
+    def __init__(
+        self,
+        retry: Optional[RetryPolicy] = None,
+        faults: FaultsArg = None,
+    ) -> None:
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = resolve_fault_plan(faults)
+
+    def run_detailed(self, jobs: Sequence[AnyJob]) -> BatchOutcome:
+        """Execute ``jobs`` sequentially, retrying transient failures.
+
+        Only the ``worker.error`` fault site can fire here — crash and
+        hang faults are meaningless in-process (and a per-job timeout is
+        unenforceable without a second process; use ``--jobs 2`` to get
+        one).
+        """
+        outcome = BatchOutcome()
+        for job in jobs:
+            token = job.key()
+            last_error: Optional[BaseException] = None
+            for attempt in range(1, self.retry.max_attempts + 1):
+                if attempt > 1:
+                    outcome.retries += 1
+                    time.sleep(self.retry.delay(token, attempt - 1))
+                try:
+                    _apply_worker_faults(
+                        self.fault_plan, token, attempt, in_pool_worker=False
+                    )
+                    outcome.results.append(execute_job(job))
+                    break
+                except Exception as error:
+                    last_error = error
+            else:
+                outcome.results.append(
+                    JobFailure(
+                        key=token,
+                        name=job_name(job),
+                        attempts=self.retry.max_attempts,
+                        reason="error",
+                        error=repr(last_error),
+                        traceback="".join(
+                            traceback_module.format_exception(last_error)
+                        ),
+                    )
+                )
+        return outcome
+
     def run(self, jobs: Sequence[AnyJob]) -> List[JobResult]:
-        """Execute ``jobs`` sequentially in the calling process."""
-        return [execute_job(job) for job in jobs]
+        """Execute ``jobs`` sequentially; raise if any exhausts retries."""
+        outcome = self.run_detailed(jobs)
+        if not outcome.ok:
+            raise BatchExecutionError(outcome.failures)
+        return outcome.results  # type: ignore[return-value]
 
 
 class ParallelExecutor:
-    """Fans jobs out over a :class:`ProcessPoolExecutor`.
+    """Fans jobs out over a :class:`ProcessPoolExecutor`, surviving chaos.
 
-    ``ProcessPoolExecutor.map`` yields results in submission order, and the
-    worker function is pure, so results are identical to
-    :class:`SerialExecutor` for the same batch.  Prefers the ``fork`` start
-    method (cheap workers that inherit the imported package) and falls back
-    to the platform default elsewhere.
+    Jobs are submitted individually (not ``pool.map``) so each has its own
+    future: a :class:`BrokenProcessPool` from a hard-exited worker, or a
+    hung worker reclaimed by ``job_timeout``, costs the affected jobs one
+    :class:`RetryPolicy` attempt while finished results are kept.  The
+    worker function is pure, so results remain bit-identical to
+    :class:`SerialExecutor` for the same batch regardless of how many
+    retries occurred.  Prefers the ``fork`` start method (cheap workers
+    that inherit the imported package) and falls back to the platform
+    default elsewhere.
     """
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        job_timeout: Optional[float] = None,
+        faults: FaultsArg = None,
+    ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be > 0")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.job_timeout = job_timeout
+        self.fault_plan = resolve_fault_plan(faults)
 
     def _context(self):
         # Prefer cheap forked workers only on Linux; macOS lists "fork" but
@@ -64,25 +340,217 @@ class ParallelExecutor:
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
-    def run(self, jobs: Sequence[AnyJob]) -> List[JobResult]:
-        """Execute ``jobs`` across worker processes, order preserved."""
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool: kill workers, then join them.
+
+        Used for hung-worker reclamation and interrupt cleanup, where a
+        graceful shutdown would block forever behind a wedged job.  Reaches
+        into ``_processes`` (no public kill API on ProcessPoolExecutor);
+        ``shutdown(wait=True)`` afterwards joins the now-dying processes so
+        none are orphaned.
+        """
+        processes = list(getattr(pool, "_processes", {}).values())
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # repro-lint: waive R6 — worker already dead; terminate is idempotent cleanup
+                pass
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # repro-lint: waive R6 — a broken pool can raise from shutdown; workers are already signalled
+            pass
+        for process in processes:
+            try:
+                process.join(timeout=5.0)
+            except Exception:  # repro-lint: waive R6 — already reaped by shutdown(); join is belt-and-braces
+                pass
+
+    def run_detailed(self, jobs: Sequence[AnyJob]) -> BatchOutcome:
+        """Execute ``jobs`` across worker processes with retry/timeout.
+
+        Structured as *sessions*: one pool runs until either everything
+        pending finishes or the pool must be abandoned (worker crash,
+        hung-job reclamation), in which case a fresh pool retries the
+        survivors.  Attempts are charged at submission — a job whose pool
+        broke because of a *different* job may burn an attempt, which is
+        the price of not being able to attribute a hard exit, and is why
+        ``max_attempts`` bounds total work rather than per-cause work.
+        """
         jobs = list(jobs)
+        outcome = BatchOutcome()
         if len(jobs) <= 1 or self.jobs == 1:
-            return SerialExecutor().run(jobs)
-        workers = min(self.jobs, len(jobs))
-        chunksize = max(1, len(jobs) // (workers * 4))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=self._context()
-        ) as pool:
-            return list(pool.map(execute_job, jobs, chunksize=chunksize))
+            return SerialExecutor(retry=self.retry, faults=self.fault_plan).run_detailed(
+                jobs
+            )
+
+        plan = self.fault_plan
+        plan_spec = plan.to_spec() if plan is not None else None
+        tokens = [job.key() for job in jobs]
+        slots: List[Optional[SlotResult]] = [None] * len(jobs)
+        attempts = [0] * len(jobs)
+        # Last known blame per pending index; refined as evidence arrives.
+        blame: Dict[int, JobFailure] = {}
+        pending = set(range(len(jobs)))
+
+        while pending:
+            # Pre-session backoff: anything being retried waits out its
+            # (deterministic) delay before the replacement pool spins up.
+            delay = max(
+                (
+                    self.retry.delay(tokens[index], attempts[index])
+                    for index in pending
+                    if attempts[index] > 0
+                ),
+                default=0.0,
+            )
+            if delay > 0:
+                time.sleep(delay)
+
+            workers = min(self.jobs, len(pending))
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=self._context()
+            )
+            session_broken = False
+            try:
+                future_to_index = {}
+                for index in sorted(pending):
+                    if attempts[index] > 0:
+                        outcome.retries += 1
+                    attempts[index] += 1
+                    future = pool.submit(
+                        _pool_worker, jobs[index], attempts[index], plan_spec
+                    )
+                    future_to_index[future] = index
+                started: Dict[object, float] = {}
+
+                while future_to_index:
+                    done, not_done = wait(
+                        future_to_index, timeout=_POLL_SECONDS,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if plan is not None and plan.should_fire(
+                        "main.interrupt", tokens[min(pending)]
+                    ):
+                        raise KeyboardInterrupt("injected main.interrupt")
+                    for future in done:
+                        index = future_to_index.pop(future)
+                        try:
+                            slots[index] = future.result()
+                            pending.discard(index)
+                            blame.pop(index, None)
+                        except BrokenProcessPool:
+                            # A worker hard-exited; every in-flight future
+                            # of this pool is poisoned. Abandon the session
+                            # and retry the survivors on a fresh pool.
+                            outcome.crashes += 1
+                            for victim in future_to_index.values():
+                                blame[victim] = self._failure(
+                                    jobs[victim], tokens[victim],
+                                    attempts[victim], "crash",
+                                )
+                            blame[index] = self._failure(
+                                jobs[index], tokens[index],
+                                attempts[index], "crash",
+                            )
+                            session_broken = True
+                            break
+                        except Exception as error:
+                            blame[index] = self._failure(
+                                jobs[index], tokens[index], attempts[index],
+                                "error", error=error,
+                            )
+                    if session_broken:
+                        break
+                    now = time.monotonic()
+                    timed_out = False
+                    for future in not_done:
+                        if future.running():
+                            started.setdefault(future, now)
+                            if (
+                                self.job_timeout is not None
+                                and now - started[future] > self.job_timeout
+                            ):
+                                index = future_to_index[future]
+                                outcome.timeouts += 1
+                                blame[index] = self._failure(
+                                    jobs[index], tokens[index],
+                                    attempts[index], "timeout",
+                                )
+                                timed_out = True
+                    if timed_out:
+                        # No way to cancel a running job short of killing
+                        # its process, and killing one worker breaks the
+                        # whole pool anyway — reclaim the session.
+                        session_broken = True
+                        break
+            except BaseException:
+                # KeyboardInterrupt (real or injected) or anything else
+                # unexpected: never leave workers running.
+                self._terminate_pool(pool)
+                raise
+            if session_broken:
+                self._terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+
+            # Anything still pending either retries (next session) or — out
+            # of attempts — settles into its recorded failure.
+            for index in sorted(pending):
+                if attempts[index] >= self.retry.max_attempts:
+                    slots[index] = blame.get(index) or self._failure(
+                        jobs[index], tokens[index], attempts[index], "error"
+                    )
+                    pending.discard(index)
+
+        outcome.results = [slot for slot in slots if slot is not None]
+        return outcome
+
+    @staticmethod
+    def _failure(
+        job: AnyJob,
+        token: str,
+        attempts: int,
+        reason: str,
+        error: Optional[BaseException] = None,
+    ) -> JobFailure:
+        return JobFailure(
+            key=token,
+            name=job_name(job),
+            attempts=attempts,
+            reason=reason,
+            error=repr(error) if error is not None else "",
+            traceback=(
+                "".join(traceback_module.format_exception(error))
+                if error is not None
+                else ""
+            ),
+        )
+
+    def run(self, jobs: Sequence[AnyJob]) -> List[JobResult]:
+        """Execute ``jobs`` across workers; raise if any exhausts retries."""
+        outcome = self.run_detailed(jobs)
+        if not outcome.ok:
+            raise BatchExecutionError(outcome.failures)
+        return outcome.results  # type: ignore[return-value]
 
 
-def make_executor(jobs: Optional[int] = None) -> Executor:
+def make_executor(
+    jobs: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    job_timeout: Optional[float] = None,
+    faults: FaultsArg = None,
+) -> Executor:
     """Build the right executor for a ``--jobs`` style request.
 
     ``None`` or ``1`` selects the serial executor; anything larger selects
-    the process-pool executor with that many workers.
+    the process-pool executor with that many workers.  ``retry``,
+    ``job_timeout`` and ``faults`` configure the fault-tolerance layer
+    (``job_timeout`` only applies where there is a worker process to
+    reclaim).
     """
     if jobs is None or jobs <= 1:
-        return SerialExecutor()
-    return ParallelExecutor(jobs=jobs)
+        return SerialExecutor(retry=retry, faults=faults)
+    return ParallelExecutor(
+        jobs=jobs, retry=retry, job_timeout=job_timeout, faults=faults
+    )

@@ -1,0 +1,317 @@
+"""Deterministic fault injection for the experiment engine.
+
+The fault-tolerance layer (retrying executors, the crash-safe result
+cache) is only trustworthy if every failure mode it claims to survive can
+be *produced on demand*, repeatably, in any test or CI lane.  A
+:class:`FaultPlan` does exactly that: it names the failure modes to
+inject — worker crashes, hangs, torn or bit-flipped cache payloads,
+transient ``EIO``/``ENOSPC`` — and decides *deterministically* whether a
+given operation fails.
+
+Determinism matters more than realism here.  A decision is a pure
+function of ``(seed, site, token)`` — the token is a content key (job
+hash or cache key), never a wall clock or an RNG stream — so the same
+plan run against the same batch injects the same faults regardless of
+worker placement, scheduling order or process count.  Chaos runs are
+therefore *reproducible*: a failure found under ``seed=1337`` can be
+replayed under ``seed=1337``.
+
+Injection sites (the only places the engine consults a plan):
+
+========================  ==================================================
+site                      effect when it fires
+========================  ==================================================
+``worker.crash``          pool worker hard-exits (``os._exit``) mid-job —
+                          simulates a ``kill -9``'d worker
+``worker.hang``           pool worker sleeps ``seconds`` before the job —
+                          simulates a wedged worker (reclaimed by the
+                          executor's per-job timeout)
+``worker.error``          raises :class:`FaultInjected` from the job —
+                          simulates a transient in-worker failure
+``cache.put.eio``         ``OSError(EIO)`` from the cache write path
+``cache.put.enospc``      ``OSError(ENOSPC)`` from the cache write path
+``cache.get.eio``         ``OSError(EIO)`` from the cache read path
+``cache.torn``            the just-published cache entry is truncated in
+                          place — simulates a torn write by a non-atomic
+                          writer or a crash mid-write
+``cache.bitflip``         one bit of the published entry is flipped —
+                          simulates media corruption
+``main.interrupt``        raises ``KeyboardInterrupt`` in the parallel
+                          executor's harvest loop — simulates Ctrl-C
+                          landing mid-batch
+========================  ==================================================
+
+Crash and hang sites only ever fire inside *pool worker processes* — a
+serial executor never injects them (they would kill or stall the test
+process itself); ``worker.error`` fires in both paths.
+
+Activation.  Every fault-aware component takes a ``faults=`` knob
+accepting a plan, a spec string, ``"off"`` (explicitly disabled) or
+``None`` — the default, which defers to the ``REPRO_FAULT_PLAN``
+environment variable so a whole test run or CI lane can be put under
+chaos without touching any call site.
+
+Spec grammar (the env-var / CLI encoding)::
+
+    seed=1337;worker.crash:rate=0.35;worker.hang:rate=0.1,seconds=2
+
+Segments are ``;``-separated.  ``seed=N`` seeds the decision hash; every
+other segment is ``site`` or ``site:key=value,...`` with per-rule knobs:
+
+* ``rate`` — fire probability in ``[0, 1]`` (deterministic hash
+  threshold, default 1.0);
+* ``attempts`` — fire only while the job's attempt number is <= this
+  (default 1, so retries succeed *by construction*; 0 = every attempt);
+* ``max_fires`` — per-process cap on total fires (default 0 = unlimited);
+* ``seconds`` — hang duration for ``worker.hang`` (default 30).
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+#: Environment variable holding a fault-plan spec; consulted whenever a
+#: component's ``faults=`` knob is left at ``None``.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit status of a worker killed by ``worker.crash`` (distinctive on
+#: purpose, so a real segfault is not mistaken for an injected crash).
+CRASH_EXIT_CODE = 173
+
+#: Every recognised injection-point name.
+FAULT_SITES = (
+    "worker.crash",
+    "worker.hang",
+    "worker.error",
+    "cache.put.eio",
+    "cache.put.enospc",
+    "cache.get.eio",
+    "cache.torn",
+    "cache.bitflip",
+    "main.interrupt",
+)
+
+#: Sites raising a transient ``OSError`` mapped to their errno.
+_OS_ERROR_SITES = {
+    "cache.put.eio": errno.EIO,
+    "cache.put.enospc": errno.ENOSPC,
+    "cache.get.eio": errno.EIO,
+}
+
+
+class FaultInjected(RuntimeError):
+    """A transient error raised on purpose by a ``worker.error`` fault."""
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRule:
+    """One armed injection site plus its firing knobs."""
+
+    site: str
+    rate: float = 1.0
+    attempts: int = 1
+    max_fires: int = 0
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known: {', '.join(FAULT_SITES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.attempts < 0 or self.max_fires < 0 or self.seconds < 0:
+            raise ValueError("attempts/max_fires/seconds must be >= 0")
+
+    def spec(self) -> str:
+        """This rule's segment of a plan spec (non-default knobs only)."""
+        params = []
+        if self.rate != 1.0:
+            params.append(f"rate={self.rate:g}")
+        if self.attempts != 1:
+            params.append(f"attempts={self.attempts}")
+        if self.max_fires:
+            params.append(f"max_fires={self.max_fires}")
+        if self.seconds != 30.0:
+            params.append(f"seconds={self.seconds:g}")
+        return self.site + (":" + ",".join(params) if params else "")
+
+
+_RULE_FIELDS = {
+    "rate": float,
+    "attempts": int,
+    "max_fires": int,
+    "seconds": float,
+}
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injected faults.
+
+    The plan itself is cheap, picklable-by-spec (``to_spec`` /
+    ``from_spec`` round-trip exactly) and carries one piece of mutable
+    state: a per-process :class:`~collections.Counter` of fires per site,
+    which both enforces ``max_fires`` and gives tests something concrete
+    to assert against.
+    """
+
+    __slots__ = ("seed", "rules", "fired")
+
+    def __init__(self, seed: int = 0, rules: Iterable[FaultRule] = ()) -> None:
+        self.seed = int(seed)
+        self.rules: Dict[str, FaultRule] = {}
+        for rule in rules:
+            if rule.site in self.rules:
+                raise ValueError(f"duplicate fault site {rule.site!r}")
+            self.rules[rule.site] = rule
+        self.fired: Counter = Counter()
+
+    # ------------------------------------------------------------------ #
+    # Spec round-trip
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse the ``seed=N;site:key=value,...`` grammar (see module doc)."""
+        seed = 0
+        rules = []
+        for segment in spec.split(";"):
+            segment = segment.strip()
+            if not segment:
+                continue
+            if segment.startswith("seed="):
+                try:
+                    seed = int(segment[len("seed="):], 0)
+                except ValueError:
+                    raise ValueError(
+                        f"fault-plan seed must be an integer, got {segment!r}"
+                    ) from None
+                continue
+            site, _, params_text = segment.partition(":")
+            site = site.strip()
+            params: Dict[str, object] = {}
+            if params_text.strip():
+                for pair in params_text.split(","):
+                    key, sep, raw = pair.partition("=")
+                    key = key.strip()
+                    if not sep or key not in _RULE_FIELDS:
+                        raise ValueError(
+                            f"bad fault rule parameter {pair!r} for site "
+                            f"{site!r}; known: {', '.join(_RULE_FIELDS)}"
+                        )
+                    try:
+                        params[key] = _RULE_FIELDS[key](raw.strip())
+                    except ValueError:
+                        raise ValueError(
+                            f"bad value for fault parameter {key!r}: {raw!r}"
+                        ) from None
+            rules.append(FaultRule(site=site, **params))  # type: ignore[arg-type]
+        return cls(seed=seed, rules=rules)
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan armed by ``REPRO_FAULT_PLAN``, or ``None`` when unset."""
+        spec = os.environ.get(FAULT_PLAN_ENV, "").strip()
+        if not spec or spec.lower() == "off":
+            return None
+        return cls.from_spec(spec)
+
+    def to_spec(self) -> str:
+        """Canonical spec string (stable ordering; exact round-trip)."""
+        segments = [f"seed={self.seed}"]
+        segments.extend(self.rules[site].spec() for site in sorted(self.rules))
+        return ";".join(segments)
+
+    # ------------------------------------------------------------------ #
+    # Firing decisions
+    # ------------------------------------------------------------------ #
+    def fraction(self, site: str, token: str) -> float:
+        """Deterministic uniform-ish value in ``[0, 1)`` for a decision."""
+        digest = hashlib.sha256(
+            f"{self.seed}|{site}|{token}".encode("utf-8")
+        ).hexdigest()
+        return int(digest[:12], 16) / float(16 ** 12)
+
+    def should_fire(
+        self, site: str, token: str, attempt: int = 1
+    ) -> Optional[FaultRule]:
+        """The armed rule for ``site`` if this operation should fail.
+
+        ``token`` is the operation's content identity (job key, cache
+        key); ``attempt`` is the 1-based retry count where one exists.
+        Increments the per-process fire counter on a hit.
+        """
+        rule = self.rules.get(site)
+        if rule is None:
+            return None
+        if rule.attempts and attempt > rule.attempts:
+            return None
+        if rule.max_fires and self.fired[site] >= rule.max_fires:
+            return None
+        if rule.rate < 1.0 and self.fraction(site, token) >= rule.rate:
+            return None
+        self.fired[site] += 1
+        return rule
+
+    def fire_count(self, site: str) -> int:
+        """How often ``site`` has fired in this process."""
+        return self.fired[site]
+
+    def maybe_os_error(self, site: str, token: str) -> None:
+        """Raise the site's transient ``OSError`` when the plan says so."""
+        rule = self.should_fire(site, token)
+        if rule is not None:
+            code = _OS_ERROR_SITES[site]
+            raise OSError(code, f"{os.strerror(code)} [injected: {site}]")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.to_spec()!r})"
+
+
+#: What a ``faults=`` knob accepts: a plan, a spec string, ``"off"``, or
+#: ``None`` (defer to :data:`FAULT_PLAN_ENV`).
+FaultsArg = Union[None, str, FaultPlan]
+
+
+def resolve_fault_plan(faults: FaultsArg) -> Optional[FaultPlan]:
+    """Normalise a ``faults=`` knob into a plan (or ``None`` = disabled).
+
+    ``None`` defers to the environment; the explicit strings ``""`` and
+    ``"off"`` disable injection even when ``REPRO_FAULT_PLAN`` is set —
+    that is how tests pin a fault-free reference run inside a chaos lane.
+    """
+    if faults is None:
+        return FaultPlan.from_env()
+    if isinstance(faults, FaultPlan):
+        return faults
+    spec = str(faults).strip()
+    if not spec or spec.lower() == "off":
+        return None
+    return FaultPlan.from_spec(spec)
+
+
+def corrupt_payload(data: bytes, mode: str, plan: FaultPlan, token: str) -> bytes:
+    """The deterministically damaged form of ``data`` for a fired fault.
+
+    ``"torn"`` keeps a prefix (a write that stopped partway);
+    ``"bitflip"`` flips one payload bit chosen by the plan's hash.
+    """
+    if not data:
+        return data
+    if mode == "torn":
+        return data[: max(1, len(data) // 2)]
+    if mode == "bitflip":
+        position = int(
+            hashlib.sha256(
+                f"{plan.seed}|bitflip-at|{token}".encode("utf-8")
+            ).hexdigest()[:12],
+            16,
+        ) % (len(data) * 8)
+        flipped = bytearray(data)
+        flipped[position // 8] ^= 1 << (position % 8)
+        return bytes(flipped)
+    raise ValueError(f"unknown corruption mode {mode!r}")

@@ -31,6 +31,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.executors import JobFailure
 from repro.experiments.metrics import aggregate_by_suite, geomean, summarize_runs
 from repro.experiments.runner import ExperimentRunner, RunScale
 from repro.prefetchers.registry import create_prefetcher
@@ -74,6 +75,17 @@ FOUR_CORE_MIXES: Dict[str, Sequence[str]] = {
 
 def _default_runner(runner: Optional[ExperimentRunner]) -> ExperimentRunner:
     return runner if runner is not None else ExperimentRunner(RunScale())
+
+
+def _failed(*slots: object) -> bool:
+    """True when any engine result slot is a structured job failure.
+
+    Figures that read stats fields directly (the mix figures and the
+    sensitivity study bypass :class:`~repro.experiments.runner.RunResult`)
+    use this to render a failed cell as ``nan`` instead of raising — the
+    engine's default ``strict=False`` promises partial grids.
+    """
+    return any(isinstance(slot, JobFailure) for slot in slots)
 
 
 def _spec_by_name(name: str) -> TraceSpec:
@@ -385,6 +397,8 @@ def fig14_multicore(
     for (kind, prefetcher, cores), stats in zip(layout, stats_list):
         if prefetcher is None:
             baselines[(kind, cores)] = stats
+        elif _failed(stats, baselines[(kind, cores)]):
+            results[kind][prefetcher][cores] = float("nan")
         else:
             results[kind][prefetcher][cores] = stats.geomean_speedup(
                 baselines[(kind, cores)]
@@ -441,6 +455,12 @@ def fig15_four_core_mixes(
             continue
         baseline = baselines[mix_name]
         row: Dict[str, object] = {"mix": mix_name, "prefetcher": prefetcher}
+        if _failed(stats, baseline):
+            for core in range(len(mixes[mix_name])):
+                row[f"c{core}"] = float("nan")
+            row["avg"] = float("nan")
+            rows.append(row)
+            continue
         for core in sorted(stats.per_core):
             base_core = baseline.per_core[core]
             run_core = stats.per_core[core]
@@ -498,7 +518,10 @@ def fig17_gaze_sensitivity(
         cursor += 1
         speedups: List[float] = []
         for _params in configs:
-            speedups.append(stats_list[cursor].speedup(baseline))
+            cell = stats_list[cursor]
+            speedups.append(
+                float("nan") if _failed(cell, baseline) else cell.speedup(baseline)
+            )
             cursor += 1
         reference = speedups[0]
         region_row: Dict[str, object] = {"trace": spec.name}

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments.engine import ExperimentEngine, build_engine
+from repro.experiments.executors import JobFailure
+from repro.experiments.faults import FaultsArg
 from repro.experiments.jobs import (
     MixSimulationJob,
     SimulationJob,
@@ -54,35 +56,73 @@ class RunScale:
 
 @dataclass
 class RunResult:
-    """One (trace, prefetcher) simulation outcome plus its baseline."""
+    """One (trace, prefetcher) simulation outcome plus its baseline.
+
+    Under the engine's default ``strict=False``, a cell whose job (or
+    whose baseline job) exhausted its retries carries the structured
+    :class:`~repro.experiments.executors.JobFailure` in place of stats.
+    Every derived metric then reads ``nan`` — which is exactly how the
+    report tables mark the cell — while :attr:`failure` keeps the
+    evidence (key, attempts, reason, traceback) for the failure report.
+    """
 
     spec: TraceSpec
     prefetcher: str
-    stats: SimulationStats
-    baseline: SimulationStats
+    stats: Union[SimulationStats, JobFailure]
+    baseline: Union[SimulationStats, JobFailure]
+
+    @property
+    def failure(self) -> Optional[JobFailure]:
+        """The cell's failure (its own job's first, else its baseline's)."""
+        if isinstance(self.stats, JobFailure):
+            return self.stats
+        if isinstance(self.baseline, JobFailure):
+            return self.baseline
+        return None
+
+    @property
+    def ok(self) -> bool:
+        """True when both the cell and its baseline simulated."""
+        return self.failure is None
 
     @property
     def speedup(self) -> float:
         """IPC speedup over the no-prefetching baseline."""
+        if not self.ok:
+            return float("nan")
         return self.stats.speedup(self.baseline)
 
     @property
     def accuracy(self) -> float:
         """Overall prefetch accuracy."""
+        if isinstance(self.stats, JobFailure):
+            return float("nan")
         return self.stats.prefetch.accuracy
 
     @property
     def coverage(self) -> float:
         """LLC miss coverage relative to the baseline run."""
+        if not self.ok:
+            return float("nan")
         return self.stats.coverage(self.baseline)
 
     @property
     def late_fraction(self) -> float:
         """Fraction of useful prefetches that were late."""
+        if isinstance(self.stats, JobFailure):
+            return float("nan")
         return self.stats.prefetch.late_fraction
 
     def row(self) -> Dict[str, object]:
-        """Flat dictionary representation (for reports and tests)."""
+        """Flat dictionary representation (for reports and tests).
+
+        Failed cells keep the exact same columns with ``nan`` metrics, so
+        partial grids render with failed cells marked instead of raising
+        or reshaping the table.
+        """
+        nan = float("nan")
+        stats_ok = not isinstance(self.stats, JobFailure)
+        baseline_ok = not isinstance(self.baseline, JobFailure)
         return {
             "trace": self.spec.name,
             "suite": self.spec.suite,
@@ -91,9 +131,9 @@ class RunResult:
             "accuracy": self.accuracy,
             "coverage": self.coverage,
             "late_fraction": self.late_fraction,
-            "ipc": self.stats.ipc,
-            "baseline_ipc": self.baseline.ipc,
-            "llc_mpki": self.stats.llc_mpki,
+            "ipc": self.stats.ipc if stats_ok else nan,
+            "baseline_ipc": self.baseline.ipc if baseline_ok else nan,
+            "llc_mpki": self.stats.llc_mpki if stats_ok else nan,
         }
 
 
@@ -126,6 +166,10 @@ class ExperimentRunner:
         use_cache: Optional[bool] = None,
         batch: str = "auto",
         kernel: str = "auto",
+        retries: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        faults: FaultsArg = None,
+        strict: bool = False,
     ) -> None:
         """Create a runner.
 
@@ -133,12 +177,22 @@ class ExperimentRunner:
             scale: trace length / suite-subset policy (default laptop scale).
             system: the simulated system (default 1-core Table II config).
             engine: share an existing engine (its executor, cache and memo);
-                when given, ``jobs``/``cache_dir``/``use_cache`` are ignored.
+                when given, ``jobs``/``cache_dir``/``use_cache`` and the
+                fault-tolerance knobs below are ignored.
             jobs: worker-process count; ``None`` or ``1`` runs serially.
             cache_dir: persistent cache location (default ``.repro-cache``
                 or ``$REPRO_CACHE_DIR``).
             use_cache: force the persistent cache on/off; defaults to on
                 unless ``REPRO_CACHE=0``.
+            retries: total attempts per job before it becomes a
+                :class:`~repro.experiments.executors.JobFailure`
+                (``None`` = :class:`RetryPolicy` default).
+            job_timeout: per-job wall-clock bound in the pool path; a hung
+                worker is reclaimed and the job retried.
+            faults: chaos plan/spec forwarded to the engine (``None``
+                defers to ``REPRO_FAULT_PLAN``).
+            strict: re-raise on exhausted retries instead of returning
+                failure-marked cells.
             batch: simulation-kernel selection forwarded to every
                 single-core job (``"auto"``/``"on"``/``"off"``, see
                 :class:`~repro.experiments.jobs.SimulationJob`); results
@@ -155,7 +209,15 @@ class ExperimentRunner:
         self.batch = batch
         self.kernel = kernel
         if engine is None:
-            engine = build_engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache)
+            engine = build_engine(
+                jobs=jobs,
+                cache_dir=cache_dir,
+                use_cache=use_cache,
+                retries=retries,
+                job_timeout=job_timeout,
+                faults=faults,
+                strict=strict,
+            )
         self.engine = engine
 
     # ------------------------------------------------------------------ #

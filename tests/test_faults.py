@@ -1,0 +1,686 @@
+"""Chaos tests: fault plans, retrying executors and the crash-safe cache.
+
+The contract under test is the fault-tolerance tentpole's acceptance
+property: a figure-sized batch run under a seeded fault plan (worker
+kills, hangs, torn/bit-flipped cache writes, transient I/O errors)
+finishes **bit-identical** to a fault-free run, with every recovery
+counted, and ``strict=True`` turns residual failures into a structured
+:class:`BatchExecutionError` instead of wrong numbers.
+
+Every test pins its own ``faults=`` argument (a spec or ``"off"``) and
+the autouse fixture strips ``REPRO_FAULT_PLAN`` from the environment, so
+the assertions stay exact even inside the CI chaos lane, which exports a
+plan for the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.cache import (
+    CorruptEntry,
+    ResultCache,
+    decode_entry,
+    encode_entry,
+)
+from repro.experiments.engine import build_engine
+from repro.experiments.executors import (
+    BatchExecutionError,
+    JobFailure,
+    ParallelExecutor,
+    RetryPolicy,
+    SerialExecutor,
+)
+from repro.experiments.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultRule,
+    corrupt_payload,
+    resolve_fault_plan,
+)
+from repro.experiments.jobs import SimulationJob
+from repro.experiments.runner import RunResult
+from repro.sim.config import default_system_config
+from repro.workloads.suites import trace_specs_for_suite
+
+
+@pytest.fixture(autouse=True)
+def _no_env_plan(monkeypatch):
+    """Pin every test to its explicit ``faults=`` argument.
+
+    The CI chaos lane exports ``REPRO_FAULT_PLAN`` for the whole suite;
+    these tests assert exact counters, so an inherited plan must not
+    stack on top of the one under test.
+    """
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+
+
+def _jobs(n=4, trace_length=600):
+    """A figure-sized batch: (trace x prefetcher) cells, pairwise distinct."""
+    specs = trace_specs_for_suite("spec17")[: max(1, (n + 1) // 2)]
+    system = default_system_config(1)
+    jobs = []
+    for spec in specs:
+        for prefetcher in ("ip-stride", None):
+            jobs.append(
+                SimulationJob(
+                    spec=spec,
+                    prefetcher=prefetcher,
+                    system=system,
+                    trace_length=trace_length,
+                )
+            )
+    return jobs[:n]
+
+
+def _rows(results):
+    """Comparable plain-data form of a result list (bit-exact via to_dict)."""
+    return [r.to_dict() for r in results]
+
+
+def _reference(jobs):
+    """Fault-free serial stats for ``jobs`` — the bit-identity baseline."""
+    return SerialExecutor(faults="off").run(jobs)
+
+
+# --------------------------------------------------------------------------- #
+# The plan itself
+# --------------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_spec_round_trip_is_exact(self):
+        spec = "seed=1337;worker.crash:rate=0.35;worker.hang:rate=0.1,seconds=2"
+        plan = FaultPlan.from_spec(spec)
+        assert plan.to_spec() == spec
+        assert FaultPlan.from_spec(plan.to_spec()).to_spec() == plan.to_spec()
+
+    def test_decisions_are_deterministic_across_instances(self):
+        spec = "seed=99;worker.error:rate=0.5,attempts=0"
+        first = FaultPlan.from_spec(spec)
+        second = FaultPlan.from_spec(spec)
+        tokens = [f"job-{i}" for i in range(64)]
+        decisions_a = [first.should_fire("worker.error", t) is not None for t in tokens]
+        decisions_b = [second.should_fire("worker.error", t) is not None for t in tokens]
+        assert decisions_a == decisions_b
+        # A 0.5 rate over 64 tokens fires some but not all of them.
+        assert 0 < sum(decisions_a) < len(tokens)
+
+    def test_seed_changes_the_schedule(self):
+        tokens = [f"job-{i}" for i in range(64)]
+
+        def schedule(seed):
+            plan = FaultPlan.from_spec(f"seed={seed};worker.error:rate=0.5")
+            return [plan.should_fire("worker.error", t) is not None for t in tokens]
+
+        assert schedule(1) != schedule(2)
+
+    def test_rate_bounds(self):
+        never = FaultPlan(rules=[FaultRule("worker.error", rate=0.0)])
+        always = FaultPlan(rules=[FaultRule("worker.error", rate=1.0)])
+        assert all(
+            never.should_fire("worker.error", f"t{i}") is None for i in range(32)
+        )
+        assert all(
+            always.should_fire("worker.error", f"t{i}") is not None
+            for i in range(32)
+        )
+
+    def test_attempts_gate_guarantees_retry_recovery(self):
+        plan = FaultPlan(rules=[FaultRule("worker.error")])  # attempts=1
+        assert plan.should_fire("worker.error", "t", attempt=1) is not None
+        assert plan.should_fire("worker.error", "t", attempt=2) is None
+        every = FaultPlan(rules=[FaultRule("worker.error", attempts=0)])
+        assert every.should_fire("worker.error", "t", attempt=7) is not None
+
+    def test_max_fires_caps_per_process_fires(self):
+        plan = FaultPlan(rules=[FaultRule("worker.error", max_fires=2)])
+        fired = [plan.should_fire("worker.error", f"t{i}") for i in range(5)]
+        assert sum(rule is not None for rule in fired) == 2
+        assert plan.fire_count("worker.error") == 2
+
+    def test_unknown_site_and_bad_values_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultRule("worker.explode")
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule("worker.error", rate=1.5)
+        with pytest.raises(ValueError, match="parameter"):
+            FaultPlan.from_spec("worker.error:boom=1")
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan.from_spec("seed=abc")
+
+    def test_resolve_none_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "seed=5;worker.error:rate=0.25")
+        plan = resolve_fault_plan(None)
+        assert plan is not None and plan.seed == 5
+        assert resolve_fault_plan("off") is None
+        assert resolve_fault_plan("") is None
+        monkeypatch.setenv(FAULT_PLAN_ENV, "off")
+        assert resolve_fault_plan(None) is None
+
+    def test_resolve_passes_plans_through(self):
+        plan = FaultPlan.from_spec("seed=3;cache.torn")
+        assert resolve_fault_plan(plan) is plan
+        assert resolve_fault_plan(None) is None  # env stripped by fixture
+
+    def test_os_error_sites_carry_injected_marker(self):
+        plan = FaultPlan.from_spec("cache.put.enospc")
+        with pytest.raises(OSError, match="injected: cache.put.enospc"):
+            plan.maybe_os_error("cache.put.enospc", "key")
+
+    def test_corrupt_payload_torn_and_bitflip(self):
+        plan = FaultPlan(seed=11)
+        data = b'{"stats": {"x": 1}, "sha256": "abc"}'
+        torn = corrupt_payload(data, "torn", plan, "k")
+        assert torn == data[: len(data) // 2]
+        flipped = corrupt_payload(data, "bitflip", plan, "k")
+        assert len(flipped) == len(data)
+        diff_bits = sum(
+            bin(a ^ b).count("1") for a, b in zip(data, flipped)
+        )
+        assert diff_bits == 1
+        # Deterministic: same (plan seed, token) flips the same bit.
+        assert corrupt_payload(data, "bitflip", plan, "k") == flipped
+
+
+# --------------------------------------------------------------------------- #
+# Serial retry path
+# --------------------------------------------------------------------------- #
+class TestSerialRetry:
+    def test_transient_error_is_retried_to_bit_identity(self):
+        jobs = _jobs(2)
+        chaotic = SerialExecutor(faults="seed=1;worker.error:rate=1.0")
+        outcome = chaotic.run_detailed(jobs)
+        assert outcome.ok
+        # attempts=1 (default) fires on every first attempt only: each job
+        # burns exactly one retry and then must succeed.
+        assert outcome.retries == len(jobs)
+        assert _rows(outcome.results) == _rows(_reference(jobs))
+
+    def test_exhausted_retries_become_structured_failures(self):
+        jobs = _jobs(2)
+        executor = SerialExecutor(
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            faults="seed=1;worker.error:rate=1.0,attempts=0",
+        )
+        outcome = executor.run_detailed(jobs)
+        assert not outcome.ok
+        assert len(outcome.failures) == len(jobs)
+        for failure, job in zip(outcome.results, jobs):
+            assert isinstance(failure, JobFailure)
+            assert failure.key == job.key()
+            assert failure.attempts == 2
+            assert failure.reason == "error"
+            assert "FaultInjected" in failure.error
+            assert "FaultInjected" in failure.traceback
+
+    def test_strict_run_raises_batch_execution_error(self):
+        jobs = _jobs(1)
+        executor = SerialExecutor(
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            faults="seed=1;worker.error:rate=1.0,attempts=0",
+        )
+        with pytest.raises(BatchExecutionError) as excinfo:
+            executor.run(jobs)
+        assert len(excinfo.value.failures) == 1
+        assert "failed after 2 attempt(s)" in str(excinfo.value)
+
+    def test_keyboard_interrupt_is_not_swallowed_by_retries(self, monkeypatch):
+        class Interrupting:
+            def key(self, salt=""):
+                return "interrupting-job"
+
+        def boom(job):
+            raise KeyboardInterrupt
+
+        import repro.experiments.executors as executors_module
+
+        monkeypatch.setattr(executors_module, "execute_job", boom)
+        with pytest.raises(KeyboardInterrupt):
+            SerialExecutor(faults="off").run_detailed([Interrupting()])
+
+    def test_retry_delay_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_s=0.1, backoff_factor=2.0,
+            backoff_max_s=0.5, jitter=0.25,
+        )
+        delays = [policy.delay("token", attempt) for attempt in (1, 2, 3, 4)]
+        assert delays == [policy.delay("token", attempt) for attempt in (1, 2, 3, 4)]
+        for attempt, delay in enumerate(delays, start=1):
+            base = min(0.5, 0.1 * 2.0 ** (attempt - 1))
+            assert base * 0.75 <= delay <= base
+
+
+# --------------------------------------------------------------------------- #
+# Parallel chaos: crashes, hangs, interrupts
+# --------------------------------------------------------------------------- #
+class TestParallelChaos:
+    def test_worker_crashes_are_survived_bit_identically(self):
+        jobs = _jobs(4)
+        executor = ParallelExecutor(
+            jobs=2,
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+            faults="seed=7;worker.crash:rate=0.6;worker.error:rate=0.5",
+        )
+        outcome = executor.run_detailed(jobs)
+        assert outcome.ok
+        # The seeded plan must actually have injected something, or the
+        # test proves nothing.
+        assert outcome.retries + outcome.crashes > 0
+        assert _rows(outcome.results) == _rows(_reference(jobs))
+
+    def test_hung_worker_is_reclaimed_by_job_timeout(self):
+        jobs = _jobs(2)
+        executor = ParallelExecutor(
+            jobs=2,
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+            job_timeout=1.0,
+            faults="seed=7;worker.hang:rate=1.0,seconds=60",
+        )
+        start = time.monotonic()
+        outcome = executor.run_detailed(jobs)
+        elapsed = time.monotonic() - start
+        assert outcome.ok
+        assert outcome.timeouts >= 1
+        # Reclamation, not the 60 s hang, bounds the wall clock.
+        assert elapsed < 30
+        assert _rows(outcome.results) == _rows(_reference(jobs))
+
+    def test_injected_interrupt_leaves_no_orphan_workers(self):
+        jobs = _jobs(4)
+        executor = ParallelExecutor(
+            jobs=2,
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+            faults="seed=7;main.interrupt",
+        )
+        with pytest.raises(KeyboardInterrupt):
+            executor.run_detailed(jobs)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not any(p.is_alive() for p in multiprocessing.active_children()):
+                break
+            time.sleep(0.05)
+        leaked = [p for p in multiprocessing.active_children() if p.is_alive()]
+        assert not leaked, f"orphaned worker processes: {leaked}"
+
+    def test_single_job_batches_fall_back_to_serial(self):
+        jobs = _jobs(1)
+        executor = ParallelExecutor(jobs=4, faults="off")
+        assert _rows(executor.run(jobs)) == _rows(_reference(jobs))
+
+
+# --------------------------------------------------------------------------- #
+# Crash-safe cache
+# --------------------------------------------------------------------------- #
+class TestCacheCrashSafety:
+    def _stats(self):
+        return _reference(_jobs(1))[0]
+
+    def test_entry_bytes_are_a_pure_function_of_key_and_stats(self):
+        stats = self._stats()
+        assert encode_entry("k" * 64, stats) == encode_entry("k" * 64, stats)
+        decoded = decode_entry(encode_entry("k" * 64, stats), key="k" * 64)
+        assert decoded.to_dict() == stats.to_dict()
+
+    def test_concurrent_writers_publish_identical_files(self, tmp_path):
+        stats = self._stats()
+        key = "ab" + "0" * 62
+        first = ResultCache(tmp_path / "a")
+        second = ResultCache(tmp_path / "b")
+        first.put(key, stats)
+        second.put(key, stats)
+        assert (
+            first.path_for(key).read_bytes() == second.path_for(key).read_bytes()
+        )
+
+    def test_decode_rejects_torn_bitflipped_and_mismatched_entries(self):
+        stats = self._stats()
+        key = "cd" + "0" * 62
+        data = encode_entry(key, stats)
+        plan = FaultPlan(seed=3)
+        with pytest.raises(CorruptEntry):
+            decode_entry(corrupt_payload(data, "torn", plan, key), key=key)
+        with pytest.raises(CorruptEntry):
+            decode_entry(corrupt_payload(data, "bitflip", plan, key), key=key)
+        with pytest.raises(CorruptEntry, match="key mismatch"):
+            decode_entry(data, key="ee" + "0" * 62)
+
+    def test_legacy_unchecksummed_entries_still_load(self, tmp_path):
+        stats = self._stats()
+        key = "12" + "0" * 62
+        cache = ResultCache(tmp_path)
+        payload = json.loads(encode_entry(key, stats).decode("utf-8"))
+        del payload["sha256"]
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(key) is not None
+        assert cache.verify()["legacy"] == 1
+
+    def test_corrupt_entry_is_quarantined_and_healed(self, tmp_path):
+        stats = self._stats()
+        key = "34" + "0" * 62
+        cache = ResultCache(tmp_path, faults="seed=3;cache.bitflip:rate=1.0")
+        cache.put(key, stats)
+        assert cache.get(key) is None  # corrupt -> miss, not raise
+        assert cache.quarantined == 1
+        assert not cache.path_for(key).exists()
+        corpses = list(cache.quarantine_root.glob("*.json"))
+        assert len(corpses) == 1
+        # Healing: a clean writer republishes; the quarantined corpse stays.
+        clean = ResultCache(tmp_path, faults="off")
+        clean.put(key, stats)
+        assert clean.get(key).to_dict() == stats.to_dict()
+        assert list(cache.quarantine_root.glob("*.json")) == corpses
+
+    def test_quarantine_names_never_collide(self, tmp_path):
+        stats = self._stats()
+        key = "56" + "0" * 62
+        cache = ResultCache(tmp_path, faults="seed=3;cache.torn:rate=1.0")
+        for _ in range(3):
+            cache.put(key, stats)
+            assert cache.get(key) is None
+        assert len(list(cache.quarantine_root.glob("*.json"))) == 3
+
+    def test_transient_put_errors_degrade_to_no_op(self, tmp_path):
+        stats = self._stats()
+        key = "78" + "0" * 62
+        cache = ResultCache(
+            tmp_path, faults="seed=3;cache.put.enospc:max_fires=1"
+        )
+        cache.put(key, stats)
+        assert cache.store_errors == 1 and cache.stores == 0
+        assert cache.get(key) is None  # nothing was written
+        cache.put(key, stats)  # max_fires exhausted: this one lands
+        assert cache.stores == 1
+        assert cache.get(key).to_dict() == stats.to_dict()
+
+    def test_transient_get_errors_are_misses_without_quarantine(self, tmp_path):
+        stats = self._stats()
+        key = "9a" + "0" * 62
+        writer = ResultCache(tmp_path, faults="off")
+        writer.put(key, stats)
+        reader = ResultCache(tmp_path, faults="seed=3;cache.get.eio:max_fires=1")
+        assert reader.get(key) is None
+        assert reader.quarantined == 0
+        assert reader.path_for(key).exists()  # nothing on disk is known-bad
+        assert reader.get(key) is not None  # transient error cleared
+
+    def test_verify_quarantines_every_planted_corruption(self, tmp_path):
+        stats = self._stats()
+        cache = ResultCache(tmp_path, faults="off")
+        keys = [f"{i:02d}" + "0" * 62 for i in range(4)]
+        for key in keys:
+            cache.put(key, stats)
+        # Plant: one torn entry, one bit-flipped entry, one orphaned temp.
+        torn_path = cache.path_for(keys[0])
+        torn_path.write_bytes(torn_path.read_bytes()[:40])
+        flip_path = cache.path_for(keys[1])
+        flip_path.write_bytes(
+            corrupt_payload(flip_path.read_bytes(), "bitflip", FaultPlan(), keys[1])
+        )
+        (torn_path.parent / ".tmp-orphan.json").write_bytes(b"partial")
+        report = cache.verify()
+        assert report == {
+            "scanned": 4, "ok": 2, "legacy": 0,
+            "quarantined": 2, "tmp_removed": 1,
+        }
+        info = cache.info()
+        assert info["entries"] == 2
+        assert info["quarantine_entries"] == 2
+        assert info["quarantine_bytes"] > 0
+        assert info["tmp_files"] == 0
+        # Undamaged entries still load; damaged ones re-simulate as misses.
+        assert cache.get(keys[2]) is not None
+        assert cache.get(keys[0]) is None
+
+    def test_sweep_tmp_only_removes_orphans(self, tmp_path):
+        stats = self._stats()
+        key = "bc" + "0" * 62
+        cache = ResultCache(tmp_path, faults="off")
+        cache.put(key, stats)
+        (cache.path_for(key).parent / ".tmp-dead.json").write_bytes(b"x")
+        assert cache.sweep_tmp() == 1
+        assert cache.get(key) is not None
+
+    def test_directly_constructed_caches_ignore_env_plan(self, monkeypatch, tmp_path):
+        # The constructor default is "off", not None: only build_engine
+        # opts a cache into the environment's chaos plan.
+        monkeypatch.setenv(FAULT_PLAN_ENV, "seed=1;cache.torn:rate=1.0")
+        cache = ResultCache(tmp_path)
+        assert cache.faults is None
+
+
+# --------------------------------------------------------------------------- #
+# Engine-level recovery and strictness
+# --------------------------------------------------------------------------- #
+class TestEngineFaultRecovery:
+    def test_chaos_run_is_bit_identical_and_counted(self, tmp_path):
+        jobs = _jobs(4)
+        engine = build_engine(
+            jobs=2, cache_dir=str(tmp_path / "chaos"), retries=3,
+            faults="seed=7;worker.crash:rate=0.6;worker.error:rate=0.5",
+        )
+        results = engine.run_jobs(jobs)
+        counters = engine.counters()
+        assert counters["job_failures"] == 0
+        assert counters["retries"] + counters["crashes"] > 0
+        reference = build_engine(
+            cache_dir=str(tmp_path / "clean"), faults="off"
+        ).run_jobs(jobs)
+        assert _rows(results) == _rows(reference)
+
+    def test_cache_corruption_heals_across_runs(self, tmp_path):
+        jobs = _jobs(4)
+        cache_dir = str(tmp_path / "cache")
+        chaos = build_engine(
+            cache_dir=cache_dir,
+            faults="seed=7;cache.torn:rate=0.6;cache.bitflip:rate=0.5",
+        )
+        first = chaos.run_jobs(jobs)
+        assert chaos.counters()["job_failures"] == 0
+        # Some published entries were damaged post-publish; verify must
+        # quarantine them all without aborting.
+        verify = ResultCache(cache_dir, faults="off").verify()
+        assert verify["quarantined"] > 0
+        assert verify["quarantined"] + verify["ok"] == verify["scanned"]
+        # The healed warm run answers from cache + re-simulation and stays
+        # bit-identical.
+        warm = build_engine(cache_dir=cache_dir, faults="off")
+        second = warm.run_jobs(jobs)
+        assert _rows(second) == _rows(first)
+        counters = warm.counters()
+        assert counters["cache_hits"] == verify["ok"]
+        assert counters["simulations_run"] == verify["quarantined"]
+
+    def test_failures_are_returned_in_slot_but_never_cached(self, tmp_path):
+        jobs = _jobs(2)
+        cache_dir = str(tmp_path / "cache")
+        engine = build_engine(
+            cache_dir=cache_dir, retries=2,
+            faults="seed=1;worker.error:rate=1.0,attempts=0",
+        )
+        results = engine.run_jobs(jobs)
+        assert all(isinstance(slot, JobFailure) for slot in results)
+        assert engine.counters()["job_failures"] == len(jobs)
+        assert ResultCache(cache_dir, faults="off").info()["entries"] == 0
+        # A later fault-free engine re-simulates the failed cells from
+        # scratch — nothing poisoned the memo or the store.
+        retry = build_engine(cache_dir=cache_dir, faults="off")
+        recovered = retry.run_jobs(jobs)
+        assert _rows(recovered) == _rows(_reference(jobs))
+        assert retry.counters()["simulations_run"] == len(jobs)
+
+    def test_strict_raises_after_caching_the_successes(self, tmp_path):
+        jobs = _jobs(2)
+        cache_dir = str(tmp_path / "cache")
+        # Deterministically fail exactly one of the two jobs, forever.
+        failing = next(
+            job for job in jobs
+            if FaultPlan.from_spec(
+                "seed=13;worker.error:rate=0.5,attempts=0"
+            ).should_fire("worker.error", job.key()) is not None
+        )
+        engine = build_engine(
+            cache_dir=cache_dir, retries=2, strict=True,
+            faults="seed=13;worker.error:rate=0.5,attempts=0",
+        )
+        with pytest.raises(BatchExecutionError) as excinfo:
+            engine.run_jobs(jobs)
+        assert [f.key for f in excinfo.value.failures] == [failing.key()]
+        # The surviving job was cached before the raise.
+        assert ResultCache(cache_dir, faults="off").info()["entries"] == 1
+
+    def test_per_call_strict_overrides_engine_default(self):
+        jobs = _jobs(1)
+        engine = build_engine(
+            use_cache=False, retries=2,
+            faults="seed=1;worker.error:rate=1.0,attempts=0",
+        )
+        assert isinstance(engine.run_jobs(jobs)[0], JobFailure)
+        with pytest.raises(BatchExecutionError):
+            engine.run_jobs(jobs, strict=True)
+
+
+# --------------------------------------------------------------------------- #
+# Partial grids in the runner layer
+# --------------------------------------------------------------------------- #
+class TestPartialGrid:
+    def test_failed_cell_reads_nan_but_keeps_row_shape(self):
+        jobs = _jobs(2)
+        stats, baseline = _reference(jobs)
+        good = RunResult(
+            spec=jobs[0].spec, prefetcher="ip-stride",
+            stats=stats, baseline=baseline,
+        )
+        failure = JobFailure(
+            key=jobs[0].key(), name="x/ip-stride", attempts=3, reason="crash"
+        )
+        bad = RunResult(
+            spec=jobs[0].spec, prefetcher="ip-stride",
+            stats=failure, baseline=baseline,
+        )
+        assert good.ok and not bad.ok
+        assert bad.failure is failure
+        assert math.isnan(bad.speedup)
+        assert math.isnan(bad.accuracy)
+        assert math.isnan(bad.coverage)
+        assert math.isnan(bad.late_fraction)
+        assert set(bad.row().keys()) == set(good.row().keys())
+
+    def test_failed_baseline_also_marks_the_cell(self):
+        jobs = _jobs(2)
+        stats, _ = _reference(jobs)
+        failure = JobFailure(
+            key=jobs[1].key(), name="x/none", attempts=3, reason="timeout"
+        )
+        cell = RunResult(
+            spec=jobs[0].spec, prefetcher="ip-stride",
+            stats=stats, baseline=failure,
+        )
+        assert not cell.ok
+        assert cell.failure is failure
+        assert math.isnan(cell.speedup)
+        # The cell's own stats simulated, so its local metrics survive.
+        assert not math.isnan(cell.accuracy)
+
+
+# --------------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------------- #
+class TestFaultCli:
+    BASE = [
+        "run", "--suite", "spec17", "--prefetchers", "ip-stride",
+        "--trace-length", "600", "--traces-per-suite", "1",
+    ]
+
+    def _run(self, argv, capsys):
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_recovered_faults_are_reported(self, tmp_path, capsys):
+        code, out, _ = self._run(
+            self.BASE + [
+                "--cache-dir", str(tmp_path / "cache"),
+                "--faults", "seed=1;worker.error:rate=1.0", "--retries", "3",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "# fault recovery:" in out
+        assert "retries" in out
+
+    def test_fault_free_run_prints_no_recovery_line(self, tmp_path, capsys):
+        code, out, _ = self._run(
+            self.BASE + ["--cache-dir", str(tmp_path / "cache"), "--faults", "off"],
+            capsys,
+        )
+        assert code == 0
+        assert "# fault recovery:" not in out
+
+    def test_default_renders_partial_grid_with_failure_report(
+        self, tmp_path, capsys
+    ):
+        code, out, err = self._run(
+            self.BASE + [
+                "--cache-dir", str(tmp_path / "cache"),
+                "--faults", "seed=1;worker.error:rate=1.0,attempts=0",
+                "--retries", "2",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "nan" in out  # the failed cells render, marked
+        assert "failed after retries" in err
+        assert "attempt(s)" in err
+
+    def test_strict_aborts_with_structured_error(self, tmp_path, capsys):
+        code, _, err = self._run(
+            self.BASE + [
+                "--cache-dir", str(tmp_path / "cache"),
+                "--faults", "seed=1;worker.error:rate=1.0,attempts=0",
+                "--retries", "2", "--strict",
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "failed after retries" in err or "failed after 2 attempt(s)" in err
+
+    def test_retries_must_be_positive(self, capsys):
+        code, _, err = self._run(self.BASE + ["--retries", "0"], capsys)
+        assert code == 2
+        assert "--retries" in err
+
+    def test_cache_verify_reports_and_quarantines(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        code, _, _ = self._run(
+            self.BASE + ["--cache-dir", cache_dir, "--faults", "off"], capsys
+        )
+        assert code == 0
+        # Plant a torn entry behind the CLI's back.
+        cache = ResultCache(cache_dir, faults="off")
+        victim = sorted(cache._entry_files())[0]
+        victim.write_bytes(victim.read_bytes()[:32])
+        code, out, _ = self._run(["cache", "verify", "--cache-dir", cache_dir], capsys)
+        assert code == 0
+        assert "quarantined: 1" in out
+        assert "re-simulate as misses" in out
+        code, out, _ = self._run(["cache", "info", "--cache-dir", cache_dir], capsys)
+        assert code == 0
+        assert "quarantine_entries: 1" in out
+
+    def test_env_plan_feeds_the_default_faults_flag(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "seed=1;worker.error:rate=1.0")
+        code, out, _ = self._run(
+            self.BASE + ["--cache-dir", str(tmp_path / "cache"), "--retries", "3"],
+            capsys,
+        )
+        assert code == 0
+        assert "# fault recovery:" in out

@@ -458,6 +458,99 @@ class TestR5DeclineReasons:
         assert report.diagnostics[0].line == 3
 
 
+class TestR6SilentHandlers:
+    def test_bare_except_without_reraise_is_flagged(self, tmp_path):
+        _write(tmp_path, "src/repro/experiments/cache.py",
+            """\
+            def load(path):
+                try:
+                    return path.read_bytes()
+                except:
+                    return None
+            """
+        )
+        report = run_lint(root=tmp_path, rules=["R6"])
+        messages = _messages(report)
+        assert len(messages) == 1
+        assert "bare except" in messages[0]
+        assert "KeyboardInterrupt" in messages[0]
+
+    def test_except_baseexception_counts_as_bare(self, tmp_path):
+        _write(tmp_path, "src/repro/experiments/engine.py",
+            """\
+            def run(job):
+                try:
+                    job()
+                except BaseException:
+                    return 0
+            """
+        )
+        report = run_lint(root=tmp_path, rules=["R6"])
+        assert len(report.diagnostics) == 1
+
+    def test_silent_pass_handler_is_flagged(self, tmp_path):
+        _write(tmp_path, "src/repro/experiments/executors.py",
+            """\
+            def cleanup(pool):
+                try:
+                    pool.shutdown()
+                except OSError:
+                    pass
+            """
+        )
+        report = run_lint(root=tmp_path, rules=["R6"])
+        messages = _messages(report)
+        assert len(messages) == 1
+        assert "silent exception handler" in messages[0]
+
+    def test_handlers_that_reraise_or_record_pass(self, tmp_path):
+        _write(tmp_path, "src/repro/experiments/executors.py",
+            """\
+            def run(job, failures):
+                try:
+                    return job()
+                except ValueError:
+                    failures.append("boom")
+                    return None
+                except OSError:
+                    raise
+                except BaseException:
+                    job.abort()
+                    raise
+            """
+        )
+        report = run_lint(root=tmp_path, rules=["R6"])
+        assert report.ok
+
+    def test_waiver_with_reason_moves_diagnostic_aside(self, tmp_path):
+        _write(tmp_path, "src/repro/experiments/cache.py",
+            """\
+            def sweep(path):
+                try:
+                    path.unlink()
+                except OSError:  # repro-lint: waive R6 -- raced; gone either way
+                    pass
+            """
+        )
+        report = run_lint(root=tmp_path, rules=["R6"])
+        assert report.ok
+        assert len(report.waived) == 1
+        assert report.waived[0].rule == "R6"
+
+    def test_scope_is_experiments_only(self, tmp_path):
+        _write(tmp_path, "src/repro/sim/driver.py",
+            """\
+            def poke(sim):
+                try:
+                    sim.step()
+                except:
+                    pass
+            """
+        )
+        report = run_lint(root=tmp_path, rules=["R6"])
+        assert report.ok
+
+
 # --------------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------------- #
